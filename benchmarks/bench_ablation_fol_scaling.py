@@ -1,0 +1,50 @@
+"""Theorems 4 and 6 ablation: FOL1's cycle cost is O(N) when sharing is
+rare and O(N^2) when every element aliases one storage area.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import fol1
+from repro.machine import CostModel, Memory, VectorMachine
+
+
+def run_fol(n: int, regime: str) -> float:
+    rng = np.random.default_rng(0)
+    if regime == "no_sharing":
+        v = rng.permutation(n).astype(np.int64) + 1
+    elif regime == "all_shared":
+        v = np.ones(n, dtype=np.int64)
+    else:  # mixed: 10% of elements alias one hot address
+        v = rng.permutation(n).astype(np.int64) + 1
+        v[: n // 10] = 1
+    vm = VectorMachine(Memory(n + 64, cost_model=CostModel.s810(), seed=0))
+    fol1(vm, v)
+    return vm.counter.total
+
+
+@pytest.mark.parametrize("n", [256, 1024, 4096])
+@pytest.mark.parametrize("regime", ["no_sharing", "mixed", "all_shared"])
+def test_fol1_scaling(benchmark, n, regime):
+    cycles = benchmark(run_fol, n, regime)
+    benchmark.extra_info["cycles"] = int(cycles)
+    benchmark.extra_info["cycles_per_n"] = round(cycles / n, 2)
+
+
+def test_linear_vs_quadratic_regimes(benchmark):
+    """Doubling N must roughly double no-sharing cycles but roughly
+    quadruple all-shared cycles."""
+
+    def run():
+        return {
+            "lin": (run_fol(512, "no_sharing"), run_fol(2048, "no_sharing")),
+            "quad": (run_fol(512, "all_shared"), run_fol(2048, "all_shared")),
+        }
+
+    r = benchmark.pedantic(run, rounds=1, iterations=1)
+    lin_ratio = r["lin"][1] / r["lin"][0]
+    quad_ratio = r["quad"][1] / r["quad"][0]
+    benchmark.extra_info["linear_growth_4x_n"] = round(lin_ratio, 2)
+    benchmark.extra_info["quadratic_growth_4x_n"] = round(quad_ratio, 2)
+    assert lin_ratio < 8  # ~4x for 4x N
+    assert quad_ratio > 10  # ~16x for 4x N

@@ -1,0 +1,43 @@
+"""§3.3 ablation: FOL*'s overhead grows with L (items rewritten per unit
+process); the paper judges it "practical only when L is less than five
+or so"."""
+
+import numpy as np
+import pytest
+
+from repro.core import fol_star
+from repro.machine import CostModel, Memory, VectorMachine
+
+N = 512
+
+
+def run_fol_star(l: int) -> float:
+    rng = np.random.default_rng(0)
+    vs = []
+    for k in range(l):
+        base = 1 + k * 2 * N
+        vs.append(base + rng.integers(0, int(N * 0.9), size=N).astype(np.int64))
+    vm = VectorMachine(
+        Memory(1 + 2 * N * (l + 1) + 64, cost_model=CostModel.s810(), seed=0)
+    )
+    fol_star(vm, vs)
+    return vm.counter.total
+
+
+@pytest.mark.parametrize("l", [1, 2, 3, 5, 8])
+def test_fol_star_l_cost(benchmark, l):
+    cycles = benchmark(run_fol_star, l)
+    benchmark.extra_info["cycles_per_tuple"] = round(cycles / N, 2)
+
+
+def test_overhead_superlinear_in_l(benchmark):
+    """Per-tuple cycles at L=5 must exceed 2.5x the L=2 cost — the
+    effect behind the paper's practicality bound."""
+
+    def run():
+        return run_fol_star(2) / N, run_fol_star(5) / N
+
+    c2, c5 = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["per_tuple_L2"] = round(c2, 2)
+    benchmark.extra_info["per_tuple_L5"] = round(c5, 2)
+    assert c5 > 2.5 * c2

@@ -1,0 +1,97 @@
+"""Design-choice ablations from DESIGN.md §5: scatter conflict policy
+and cost-model sensitivity."""
+
+import pytest
+
+from repro.bench import runner
+from repro.machine import CostModel
+
+
+@pytest.mark.parametrize("policy", ["arbitrary", "last", "first"])
+def test_conflict_policy_hashing(benchmark, record_pair, policy):
+    """FOL is correct under any ELS policy; cycle counts barely move."""
+    result = benchmark(
+        runner.run_open_hashing_pair, 521, 0.5, 0, None, "optimized", policy
+    )
+    record_pair(benchmark, result)
+
+
+@pytest.mark.parametrize("model", ["s810", "uniform"])
+def test_cost_model_sensitivity(benchmark, record_pair, model):
+    """The factor-of-ten wins require a weak-scalar machine: under the
+    flat `uniform` model the vector formulation stops paying."""
+    cm = CostModel.s810() if model == "s810" else CostModel.uniform()
+    result = benchmark(runner.run_open_hashing_pair, 4099, 0.5, 0, cm)
+    record_pair(benchmark, result)
+
+
+def test_policy_equivalence_summary(benchmark):
+    def run():
+        return {
+            p: runner.run_open_hashing_pair(521, 0.5, seed=0, policy=p).acceleration
+            for p in ("arbitrary", "last", "first")
+        }
+
+    accels = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["accels"] = accels
+    values = list(accels.values())
+    assert max(values) / min(values) < 1.6  # same ballpark under all policies
+
+
+@pytest.mark.parametrize("n", [2**6, 2**10, 2**14])
+def test_strip_mining_ablation(benchmark, record_pair, n):
+    """How much of Table 1's growth-with-N is start-up amortisation?
+    With 256-element vector registers (strip-mined start-up), the
+    address-calculation sort's acceleration saturates instead of
+    growing past N ≈ 2^10."""
+    cm = CostModel.s810_sectioned(256)
+    result = benchmark(runner.run_address_calc_pair, n, 0, cm)
+    record_pair(benchmark, result)
+
+
+def test_strip_mining_saturation_shape(benchmark):
+    def run():
+        cm = CostModel.s810_sectioned(256)
+        return [runner.run_address_calc_pair(n, seed=0, cost=cm).acceleration
+                for n in (2**6, 2**10, 2**14)]
+
+    accels = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["accels"] = accels
+    # grows to one section's worth, then flattens: 2^14 gains little
+    # over 2^10 compared with the unsectioned model's continued growth
+    assert accels[1] > accels[0]
+    assert accels[2] < accels[1] * 1.5
+
+
+def test_label_strategy_ablation(benchmark):
+    """§3.2's simplification: fusing label-write with main processing
+    (keys as labels, Figure 8) vs the generic unfused FOL1 with a
+    separate work area.  The fused form must be cheaper."""
+    import numpy as np
+
+    from repro.hashing import OpenHashTable, vector_open_insert
+    from repro.hashing.open_addressing import vector_open_insert_unfused
+    from repro.machine import Memory, VectorMachine
+    from repro.mem import BumpAllocator
+
+    def run():
+        rng = np.random.default_rng(0)
+        keys = rng.choice(100_000, size=2049, replace=False)
+        cm = CostModel.s810()
+
+        vm1 = VectorMachine(Memory(2 * 4099 + 128, cost_model=cm, seed=1))
+        a1 = BumpAllocator(vm1.mem)
+        t1 = OpenHashTable(a1, 4099)
+        work = a1.alloc(4099, "fol_work")
+        vector_open_insert_unfused(vm1, t1, keys, work)
+
+        vm2 = VectorMachine(Memory(4099 + 128, cost_model=cm, seed=1))
+        t2 = OpenHashTable(BumpAllocator(vm2.mem), 4099)
+        vector_open_insert(vm2, t2, keys)
+        return vm1.counter.total, vm2.counter.total
+
+    unfused, fused = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["unfused_cycles"] = int(unfused)
+    benchmark.extra_info["fused_cycles"] = int(fused)
+    benchmark.extra_info["fusion_saves"] = round(1 - fused / unfused, 3)
+    assert fused < unfused

@@ -1,0 +1,56 @@
+"""§5 extension benchmarks: the related-work algorithms that embed the
+S1-only FOL specialisation (vectorized copying GC, maze routing), plus
+chained hashing, list rewriting, and operation-tree rewriting."""
+
+import pytest
+
+from repro.bench import runner
+
+
+def test_gc_copying(benchmark, record_pair):
+    result = benchmark(runner.run_gc_pair, 1000, 0)
+    record_pair(benchmark, result)
+    assert result.acceleration > 1.0
+
+
+def test_maze_routing(benchmark, record_pair):
+    result = benchmark(runner.run_maze_pair, 40, 48, 0)
+    record_pair(benchmark, result)
+
+
+def test_chained_hashing(benchmark, record_pair):
+    result = benchmark(runner.run_chained_hashing_pair, 521, 1024, 0)
+    record_pair(benchmark, result)
+    assert result.acceleration > 1.0
+
+
+def test_list_rewrite_staggered(benchmark, record_pair):
+    """Low per-wave sharing: the regime FOL targets."""
+    result = benchmark(runner.run_lists_pair, 48, 24, 16, 0)
+    record_pair(benchmark, result)
+
+
+def test_list_rewrite_worst_case(benchmark, record_pair):
+    """All lists hit the shared suffix on the same wave: the §3.2
+    warning that sequential wins under heavy sharing."""
+    result = benchmark.pedantic(
+        lambda: runner.run_lists_pair(48, 24, 16, seed=0, uniform_lengths=True),
+        rounds=1, iterations=1,
+    )
+    record_pair(benchmark, result)
+
+
+@pytest.mark.parametrize("shape", ["random", "comb"])
+def test_tree_rewrite(benchmark, record_pair, shape):
+    """Random trees parallelise; the right comb is the §2 maximally-
+    shared shape where FOL* degenerates to near-sequential."""
+    result = benchmark(runner.run_rewrite_pair, 96, 0, None, shape)
+    record_pair(benchmark, result)
+
+
+def test_hash_join(benchmark, record_pair):
+    """The §1 database motivation: build with FOL1 multiple hashing,
+    probe with lock-step chain walking."""
+    result = benchmark(runner.run_join_pair, 512, 1024, 600, 0)
+    record_pair(benchmark, result)
+    assert result.acceleration > 1.0

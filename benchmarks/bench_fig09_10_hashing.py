@@ -1,0 +1,41 @@
+"""Figures 9 and 10: multiple hashing into an empty open-addressing
+table, CPU time and acceleration ratio vs. load factor, for table sizes
+521 and 4099.
+
+Paper reference points (Figure 10): acceleration peaks at load factor
+0.5 — ≈5.2 for N=521 and ≈12.3 for N=4099 — and declines toward ≈1–2 as
+the table approaches full.
+"""
+
+import pytest
+
+from repro.bench import runner
+
+PAPER_PEAKS = {521: 5.2, 4099: 12.3}
+
+
+@pytest.mark.parametrize("table_size", [521, 4099])
+@pytest.mark.parametrize("load_factor", [0.2, 0.5, 0.9, 0.98])
+def test_fig9_10_hashing_pair(benchmark, record_pair, table_size, load_factor):
+    result = benchmark(
+        runner.run_open_hashing_pair, table_size, load_factor, seed=0
+    )
+    paper = PAPER_PEAKS[table_size] if load_factor == 0.5 else None
+    record_pair(benchmark, result, paper=paper)
+
+
+@pytest.mark.parametrize("table_size", [521, 4099])
+def test_fig10_peak_shape(benchmark, record_pair, table_size):
+    """The headline shape claim: the peak of the acceleration curve sits
+    in the mid-load region, and the vector version wins there."""
+
+    def run():
+        return {
+            lf: runner.run_open_hashing_pair(table_size, lf, seed=0).acceleration
+            for lf in (0.1, 0.5, 0.98)
+        }
+
+    curve = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["curve"] = curve
+    assert curve[0.5] > 1.0, "vector must win at the paper's peak point"
+    assert curve[0.5] > curve[0.98], "curve must decline toward a full table"

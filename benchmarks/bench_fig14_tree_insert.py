@@ -1,0 +1,38 @@
+"""Figure 14: acceleration ratio when entering multiple keys into a
+pre-built random binary search tree, by initial tree size Ni and the
+number of inserted keys.
+
+Paper reference: ratios roughly 1–5, growing both with Ni (bigger trees
+spread the keys, so fewer slot conflicts) and with the insert count
+(longer vectors).  An empty initial tree is avoided because "all the
+keys to be entered create conflict when the tree is empty".
+"""
+
+import pytest
+
+from repro.bench import runner
+
+
+@pytest.mark.parametrize("ni", [8, 32, 128, 512, 2048])
+def test_fig14_bst_insert_500(benchmark, record_pair, ni):
+    result = benchmark(runner.run_bst_pair, ni, 500, 0)
+    record_pair(benchmark, result)
+
+
+@pytest.mark.parametrize("n_insert", [25, 100, 500])
+def test_fig14_bst_insert_count_sweep(benchmark, record_pair, n_insert):
+    result = benchmark(runner.run_bst_pair, 128, n_insert, 0)
+    record_pair(benchmark, result)
+
+
+def test_fig14_accel_grows_with_ni(benchmark):
+    """Shape claim: acceleration grows with the initial tree size."""
+
+    def run():
+        return [runner.run_bst_pair(ni, 300, seed=0).acceleration
+                for ni in (8, 128, 2048)]
+
+    accels = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["accels"] = accels
+    assert accels[0] < accels[-1]
+    assert accels[-1] > 1.0

@@ -1,0 +1,93 @@
+"""§6 future-work and transformation-layer benchmarks: graph connected
+components, the vectorizing compiler's plans, and the ISA backend vs the
+facade on the same algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import Loop, Store, add, const, inp, load, run_sequential, run_vectorized
+from repro.graphs import ParentForest, scalar_components, vector_components
+from repro.hashing import OpenHashTable, vector_open_insert
+from repro.hashing.isa_program import isa_open_insert
+from repro.machine import CostModel, Memory, ScalarProcessor, VectorMachine
+from repro.mem import BumpAllocator
+
+
+def _graph_pair(n_nodes: int, n_edges: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    u = rng.integers(0, n_nodes, size=n_edges)
+    v = rng.integers(0, n_nodes, size=n_edges)
+    cm = CostModel.s810()
+
+    vvm = VectorMachine(Memory(2 * n_nodes + 64, cost_model=cm, seed=seed))
+    vf = ParentForest(BumpAllocator(vvm.mem), n_nodes)
+    vector_components(vvm, vf, u, v)
+
+    svm = Memory(2 * n_nodes + 64, cost_model=cm, seed=seed)
+    sf = ParentForest(BumpAllocator(svm), n_nodes)
+    scalar_components(ScalarProcessor(svm), sf, u, v)
+
+    assert vf.component_count() == sf.component_count()
+    return svm.counter.total, vvm.counter.total
+
+
+@pytest.mark.parametrize("n_nodes,n_edges", [(256, 512), (2048, 4096)])
+def test_graph_components(benchmark, n_nodes, n_edges):
+    scalar, vector = benchmark(_graph_pair, n_nodes, n_edges)
+    benchmark.extra_info["acceleration"] = round(scalar / vector, 2)
+    benchmark.extra_info["scalar_cycles"] = int(scalar)
+    benchmark.extra_info["vector_cycles"] = int(vector)
+
+
+def _histogram_pair(n: int, n_bins: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    k = rng.integers(0, n_bins, size=n).astype(np.int64)
+    loop = Loop(
+        body=[Store("h", inp("k"), add(load("h", inp("k")), const(1)))],
+        inputs=("k",),
+    )
+    cm = CostModel.s810()
+    regions = {"h": 100}
+
+    vvm = VectorMachine(Memory(4096, cost_model=cm, seed=seed))
+    run_vectorized(vvm, loop, n, {"k": k}, regions, work_offset=2000)
+
+    svm = Memory(4096, cost_model=cm, seed=seed)
+    run_sequential(ScalarProcessor(svm), loop, n, {"k": k}, regions)
+    assert np.array_equal(
+        vvm.mem.peek_range(100, n_bins), svm.peek_range(100, n_bins)
+    )
+    return svm.counter.total, vvm.counter.total
+
+
+@pytest.mark.parametrize("n,n_bins", [(512, 256), (512, 8)])
+def test_compiler_histogram(benchmark, n, n_bins):
+    """The auto-vectorized RMW histogram: many bins = rare sharing
+    (vector wins); 8 bins = heavy sharing (ordered FOL serialises)."""
+    scalar, vector = benchmark(_histogram_pair, n, n_bins)
+    benchmark.extra_info["acceleration"] = round(scalar / vector, 2)
+
+
+def _backend_pair(seed: int = 0):
+    rng = np.random.default_rng(seed)
+    keys = rng.choice(100_000, size=260, replace=False)
+    cm = CostModel.s810()
+
+    vm1 = VectorMachine(Memory(1200, cost_model=cm, seed=seed))
+    t1 = OpenHashTable(BumpAllocator(vm1.mem), 521)
+    isa_open_insert(vm1, t1, keys, staging_base=600)
+
+    vm2 = VectorMachine(Memory(1200, cost_model=cm, seed=seed))
+    t2 = OpenHashTable(BumpAllocator(vm2.mem), 521)
+    vector_open_insert(vm2, t2, keys)
+    return vm1.counter.total, vm2.counter.total
+
+
+def test_isa_vs_facade_backend(benchmark):
+    """Two backends, one algorithm: the ISA interpreter's simulated
+    cycle count must track the facade's (the interpreter itself is
+    free; only machine operations cost cycles)."""
+    isa_cycles, facade_cycles = benchmark(_backend_pair)
+    ratio = isa_cycles / facade_cycles
+    benchmark.extra_info["isa_over_facade"] = round(ratio, 2)
+    assert 0.5 < ratio < 2.0

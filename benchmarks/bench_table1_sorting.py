@@ -1,0 +1,41 @@
+"""Table 1: CPU time and acceleration ratio of the two O(N) sorting
+algorithms at N = 2^6, 2^10 and 2^14.
+
+Paper reference accelerations — address-calculation sorting: 2.62,
+7.65, 12.84 (growing with N); distribution counting sort: 8.02, 7.52,
+5.31 (work array fixed at 2^16).
+"""
+
+import pytest
+
+from repro.bench import runner
+
+PAPER_ACS = {2**6: 2.62, 2**10: 7.65, 2**14: 12.84}
+PAPER_DCS = {2**6: 8.02, 2**10: 7.52, 2**14: 5.31}
+
+
+@pytest.mark.parametrize("n", [2**6, 2**10, 2**14])
+def test_table1_address_calc(benchmark, record_pair, n):
+    result = benchmark(runner.run_address_calc_pair, n, 0)
+    record_pair(benchmark, result, paper=PAPER_ACS[n])
+    assert result.acceleration > 1.0
+
+
+@pytest.mark.parametrize("n", [2**6, 2**10, 2**14])
+def test_table1_distribution(benchmark, record_pair, n):
+    result = benchmark(runner.run_distribution_pair, n, 0)
+    record_pair(benchmark, result, paper=PAPER_DCS[n])
+    assert result.acceleration > 1.0
+
+
+def test_table1_acs_grows_with_n(benchmark, record_pair):
+    """The paper's shape claim for ACS: longer vectors amortise
+    start-up, so acceleration grows with N."""
+
+    def run():
+        return [runner.run_address_calc_pair(n, seed=0).acceleration
+                for n in (2**6, 2**10, 2**14)]
+
+    accels = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["accels"] = accels
+    assert accels[0] < accels[1] < accels[2]

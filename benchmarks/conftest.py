@@ -1,0 +1,28 @@
+"""Benchmark-suite configuration.
+
+Every benchmark measures the wall-clock of one paired scalar/vector
+experiment run (the same code path `repro.bench.figures` uses) and
+stores the *simulated-cycle acceleration ratio* — the paper's metric —
+in ``extra_info`` together with the paper's reported value where the
+paper states one.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def record(benchmark, result, paper=None):
+    """Attach the paper-comparison metrics to a benchmark entry."""
+    benchmark.extra_info["acceleration"] = round(result.acceleration, 2)
+    benchmark.extra_info["scalar_cycles"] = int(result.scalar_cycles)
+    benchmark.extra_info["vector_cycles"] = int(result.vector_cycles)
+    if paper is not None:
+        benchmark.extra_info["paper_acceleration"] = paper
+    for k, v in result.params.items():
+        benchmark.extra_info[str(k)] = v
+
+
+@pytest.fixture
+def record_pair():
+    return record

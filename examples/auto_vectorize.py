@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""The vectorizing transformation in action.
+
+The paper presents FOL as something a *vectorizing transformation*
+inserts when a loop's stores may alias.  This example writes three tiny
+loops in the library's loop IR, shows how the classifier sorts them into
+the paper's Figure 2 taxonomy, and runs each both sequentially and
+vectorized to show the results agree exactly.
+
+Run:  python examples/auto_vectorize.py
+"""
+
+import numpy as np
+
+from repro.compiler import (
+    Loop,
+    Store,
+    add,
+    classify,
+    const,
+    inp,
+    lane,
+    load,
+    run_sequential,
+    run_vectorized,
+    sub,
+)
+from repro.machine import CostModel, Memory, ScalarProcessor, VectorMachine
+
+
+def twin_machines(seed=0):
+    cm = CostModel.s810()
+    vm = VectorMachine(Memory(8192, cost_model=cm, seed=seed))
+    sm = Memory(8192, cost_model=cm, seed=seed)
+    return vm, ScalarProcessor(sm)
+
+
+def show(title, loop, n, inputs, regions, probe_range, work_offset=None):
+    plan = classify(loop)
+    print(f"\n--- {title}")
+    print(f"    classification: {plan.kind}  ({'; '.join(plan.notes)})")
+    vm, sp = twin_machines()
+    run_vectorized(vm, loop, n, inputs, regions, work_offset=work_offset)
+    run_sequential(sp, loop, n, inputs, regions)
+    base, cnt = probe_range
+    v = vm.mem.peek_range(base, cnt)
+    s = sp.mem.peek_range(base, cnt)
+    assert np.array_equal(v, s), "vectorized result diverged from sequential!"
+    print(f"    results agree: {v.tolist()}")
+    accel = sp.counter.total / vm.counter.total
+    print(f"    cycles: scalar {sp.counter.total:,.0f}, vector "
+          f"{vm.counter.total:,.0f}  (accel {accel:.2f}x)")
+
+
+def main() -> None:
+    n = 16
+
+    # 1. Figure 2a — independent stores (array reversal).
+    reversal = Loop(body=[
+        Store("out", sub(const(n - 1), lane()), load("src", lane()))
+    ])
+    vm, sp = twin_machines()
+    for i in range(n):
+        vm.mem.poke(300 + i, i * i)
+        sp.mem.poke(300 + i, i * i)
+    # (seed the source region in both machines, then reuse show()'s logic
+    # manually so the poke stays)
+    plan = classify(reversal)
+    print(f"--- array reversal\n    classification: {plan.kind}")
+    run_vectorized(vm, reversal, n, {}, {"out": 100, "src": 300})
+    run_sequential(sp, reversal, n, {}, {"out": 100, "src": 300})
+    assert np.array_equal(vm.mem.peek_range(100, n), sp.mem.peek_range(100, n))
+    print(f"    results agree: {vm.mem.peek_range(100, n).tolist()}")
+
+    # 2. SHARED store with duplicate targets — the transformation inserts
+    # *ordered* FOL1 (footnote 7) so last-write-wins is preserved exactly.
+    # 512 lanes over 256 targets: sharing is rare, the vector unit wins.
+    rng = np.random.default_rng(0)
+    big_n = 512
+    p = rng.integers(0, 256, size=big_n).astype(np.int64)
+    x = np.arange(1000, 1000 + big_n, dtype=np.int64)
+    scatter = Loop(body=[Store("out", inp("p"), inp("x"))], inputs=("p", "x"))
+    show("permutation store with duplicates (512 lanes)", scatter, big_n,
+         {"p": p, "x": x}, {"out": 100}, (100, 6), work_offset=4000)
+
+    # 3. RMW histogram — the canonical shared-update loop of the paper.
+    k = rng.integers(0, 64, size=big_n).astype(np.int64)
+    hist = Loop(
+        body=[Store("h", inp("k"), add(load("h", inp("k")), const(1)))],
+        inputs=("k",),
+    )
+    show("histogram, 512 keys into 64 bins", hist, big_n,
+         {"k": k}, {"h": 100}, (100, 8), work_offset=4000)
+
+
+if __name__ == "__main__":
+    main()

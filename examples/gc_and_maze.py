@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""The §5 related-work algorithms: vectorized copying GC and maze
+routing, both built on the S1-only FOL specialisation.
+
+* GC: builds a cons heap with sharing, a cycle and garbage; collects it
+  wave-by-wave with overwrite-and-check copier election; verifies the
+  reachable structure is isomorphic and garbage is reclaimed.
+* Maze: routes corner-to-corner through a random grid with a vectorized
+  Lee wavefront, then cross-checks the path length against sequential
+  BFS.
+
+Run:  python examples/gc_and_maze.py
+"""
+
+import numpy as np
+
+from repro.apps import CopyingHeap, MazeGrid, check_path, scalar_route, vector_collect
+from repro.bench.workloads import random_maze
+from repro.lists.cells import encode_atom
+from repro.machine import CostModel, Memory, ScalarProcessor, VectorMachine
+from repro.mem import NIL, BumpAllocator
+
+
+def gc_demo() -> None:
+    print("=== vectorized copying GC ===")
+    vm = VectorMachine(Memory(65536, cost_model=CostModel.s810(), seed=1))
+    heap = CopyingHeap(BumpAllocator(vm.mem), capacity=4096)
+
+    shared = heap.cons(encode_atom(7), NIL)          # shared by two lists
+    a = heap.cons(encode_atom(1), shared)
+    b = heap.cons(encode_atom(2), shared)
+    ring = heap.cons(encode_atom(3), NIL)            # a cycle
+    heap.from_cells.poke_field(ring, "cdr", ring)
+    for i in range(500):                              # garbage
+        heap.cons(encode_atom(i), NIL)
+    heap.add_root(a)
+    heap.add_root(b)
+    heap.add_root(ring)
+
+    before = heap.structure_signature(heap.roots(), heap.from_cells)
+    copied, waves = vector_collect(vm, heap)
+    after = heap.structure_signature(heap.roots(), heap.to_cells)
+
+    print(f"live cells copied : {copied} (of {heap.from_cells.allocated} allocated)")
+    print(f"waves             : {waves}")
+    print(f"structure intact  : {before == after}")
+    print(f"simulated cycles  : {vm.counter.total:,.0f}")
+
+
+def maze_demo() -> None:
+    print("\n=== vectorized maze routing ===")
+    grid = random_maze(np.random.default_rng(5), 24, 32, wall_density=0.2)
+    src, dst = (0, 0), (23, 31)
+
+    vvm = VectorMachine(Memory(8192, cost_model=CostModel.s810(), seed=2))
+    maze_v = MazeGrid(BumpAllocator(vvm.mem), grid)
+    from repro.apps import vector_route
+    path_v = vector_route(vvm, maze_v, src, dst)
+
+    svm = VectorMachine(Memory(8192, cost_model=CostModel.s810(), seed=2))
+    maze_s = MazeGrid(BumpAllocator(svm.mem), grid)
+    path_s = scalar_route(ScalarProcessor(svm.mem), maze_s, src, dst)
+
+    if path_v is None:
+        print("target unreachable (both agree:", path_s is None, ")")
+        return
+    check_path(maze_v, path_v, src, dst)
+    print(f"path length       : {len(path_v)} (scalar BFS: {len(path_s)})")
+    accel = svm.counter.total / vvm.counter.total
+    print(f"simulated cycles  : vector {vvm.counter.total:,.0f}, "
+          f"scalar {svm.counter.total:,.0f}  (accel {accel:.2f}x)")
+
+
+if __name__ == "__main__":
+    gc_demo()
+    maze_demo()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Graph connected components with FOL — the paper's §6 future work.
+
+Builds a random graph, finds its connected components two ways — the
+FOL-elected parallel union (pointer jumping + overwrite-and-check merge
+election) and a sequential union-find — and cross-checks both against
+networkx.
+
+Run:  python examples/graph_components.py
+"""
+
+import networkx as nx
+import numpy as np
+
+from repro.graphs import ParentForest, scalar_components, vector_components
+from repro.machine import CostModel, Memory, ScalarProcessor, VectorMachine
+from repro.mem import BumpAllocator
+
+
+def main() -> None:
+    n_nodes, n_edges = 2000, 3000
+    rng = np.random.default_rng(7)
+    u = rng.integers(0, n_nodes, size=n_edges)
+    v = rng.integers(0, n_nodes, size=n_edges)
+
+    # oracle
+    g = nx.Graph()
+    g.add_nodes_from(range(n_nodes))
+    g.add_edges_from(zip(u.tolist(), v.tolist()))
+    expected = nx.number_connected_components(g)
+
+    # vectorized
+    vvm = VectorMachine(Memory(2 * n_nodes + 64, cost_model=CostModel.s810(), seed=1))
+    vf = ParentForest(BumpAllocator(vvm.mem), n_nodes)
+    forest_edges = vector_components(vvm, vf, u, v)
+
+    # sequential
+    svm = Memory(2 * n_nodes + 64, cost_model=CostModel.s810(), seed=1)
+    sf = ParentForest(BumpAllocator(svm), n_nodes)
+    scalar_components(ScalarProcessor(svm), sf, u, v)
+
+    assert vf.component_count() == sf.component_count() == expected
+    print(f"graph: {n_nodes} nodes, {n_edges} edges")
+    print(f"components: {expected} (networkx agrees)")
+    print(f"spanning forest edges elected by FOL: {forest_edges.size} "
+          f"(= nodes - components = {n_nodes - expected})")
+    accel = svm.counter.total / vvm.counter.total
+    print(f"cycles: scalar {svm.counter.total:,.0f}, vector "
+          f"{vvm.counter.total:,.0f}  (accel {accel:.2f}x)")
+
+    print(
+        "\nwhere FOL sits: many edges may re-parent the same root in one\n"
+        "wave; an overwrite-and-check round elects one merge per root and\n"
+        "the losers simply retry against the updated forest — the same\n"
+        "losers-reread pattern as the paper's §5 GC citation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Reproduce Figures 9 and 10: multiple hashing into an empty table.
+
+Sweeps the load factor for the paper's two table sizes (521 and 4099),
+runs the sequential baseline and the vectorized overwrite-and-check
+algorithm (Figure 8) on identical key sets, and prints the CPU-time and
+acceleration-ratio series the paper plots.
+
+Run:  python examples/hashing_load_factor.py [--quick]
+"""
+
+import argparse
+
+from repro.bench.figures import LOAD_FACTORS, fig9_10
+from repro.bench.reporting import print_section
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer load factors, smaller table only")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    if args.quick:
+        sizes, lfs = (521,), (0.2, 0.5, 0.9)
+    else:
+        sizes, lfs = (521, 4099), LOAD_FACTORS
+
+    series = fig9_10(table_sizes=sizes, load_factors=lfs, seed=args.seed)
+    print_section("Figures 9 & 10 — multiple hashing vs load factor", series.render())
+
+    print(
+        "\nreading the curves: acceleration climbs while longer key vectors\n"
+        "amortise the vector start-up, peaks mid-load, then falls as\n"
+        "collisions force more (and shorter) overwrite-and-check rounds —\n"
+        "the paper reports peaks of 5.2 (N=521) and 12.3 (N=4099) at 0.5."
+    )
+
+
+if __name__ == "__main__":
+    main()

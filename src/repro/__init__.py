@@ -1,0 +1,91 @@
+"""repro — a reproduction of Kanada's *Filtering-Overwritten-Label*
+method for vector processing of shared symbolic data (Supercomputing
+'91 / Parallel Computing 1993).
+
+Layers
+------
+* :mod:`repro.machine` — simulated pipelined vector processor (the
+  S-810 stand-in): memory with list-vector gather/scatter under the ELS
+  condition, data-parallel primitives, and a cycle cost model.
+* :mod:`repro.mem` — region allocator and typed record arenas (the
+  pointer-linked heap symbolic structures live in).
+* :mod:`repro.core` — the paper's contribution: FOL1 and FOL*, label
+  strategies, validated decompositions, executable theorems.
+* :mod:`repro.hashing`, :mod:`repro.sorting`, :mod:`repro.trees`,
+  :mod:`repro.lists` — the paper's §4 applications with scalar baselines.
+* :mod:`repro.apps` — §5 related-work reproductions (vectorized GC,
+  maze routing).
+* :mod:`repro.bench` — paired runners + regeneration of every figure.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import make_machine, fol1
+>>> vm = make_machine(1024)
+>>> dec = fol1(vm, np.array([5, 9, 5, 7, 5]))   # address 5 shared 3x
+>>> dec.m                                        # minimal decomposition
+3
+"""
+
+from .core import (
+    Decomposition,
+    TupleDecomposition,
+    fol1,
+    fol_star,
+    max_multiplicity,
+    reference_decomposition,
+)
+from .errors import (
+    DeadlockError,
+    DecompositionError,
+    LabelError,
+    MachineError,
+    MemoryFault,
+    PhantomNodeError,
+    ReproError,
+    RewriteError,
+    TableFullError,
+)
+from .machine import (
+    CostModel,
+    CycleCounter,
+    Memory,
+    ScalarProcessor,
+    VectorMachine,
+    make_machine,
+)
+from .mem import NIL, BumpAllocator, RecordArena
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # machine
+    "CostModel",
+    "CycleCounter",
+    "Memory",
+    "ScalarProcessor",
+    "VectorMachine",
+    "make_machine",
+    # heap
+    "NIL",
+    "BumpAllocator",
+    "RecordArena",
+    # core
+    "fol1",
+    "fol_star",
+    "Decomposition",
+    "TupleDecomposition",
+    "max_multiplicity",
+    "reference_decomposition",
+    # errors
+    "ReproError",
+    "MachineError",
+    "MemoryFault",
+    "LabelError",
+    "DecompositionError",
+    "DeadlockError",
+    "TableFullError",
+    "RewriteError",
+    "PhantomNodeError",
+]

@@ -1,0 +1,87 @@
+"""Command-line entry point: ``python -m repro``.
+
+Subcommands
+-----------
+``figures [names...]``
+    Regenerate the paper's tables/figures (delegates to
+    :mod:`repro.bench.figures`; default: all).
+``demo``
+    One-screen tour: FOL1 on a shared index vector, the theorem checks,
+    and a chained multiple-hashing run with its cycle breakdown.
+``info``
+    Print the library version, the calibrated cost model, and the
+    experiment registry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command")
+
+    fig = sub.add_parser("figures", help="regenerate paper tables/figures")
+    fig.add_argument("names", nargs="*", default=[])
+    fig.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("demo", help="one-screen FOL tour")
+    sub.add_parser("info", help="version, cost model, experiment registry")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "figures":
+        from .bench.figures import main as figures_main
+
+        figures_main(list(args.names) + ["--seed", str(args.seed)])
+        return 0
+
+    if args.command == "demo":
+        _demo()
+        return 0
+
+    if args.command == "info":
+        _info()
+        return 0
+
+    parser.print_help()
+    return 1
+
+
+def _demo() -> None:
+    import numpy as np
+
+    from . import fol1, make_machine
+    from .core.theorems import check_all
+    from .hashing import ChainedHashTable, vector_chained_insert
+    from .mem import BumpAllocator
+
+    vm = make_machine(32_768, seed=42)
+    v = np.array([100, 200, 100, 300, 100, 200], dtype=np.int64)
+    dec = fol1(vm, v)
+    check_all(dec)
+    print(f"FOL1 over {v.tolist()}: M = {dec.m} sets "
+          f"{[vm_set.tolist() for vm_set in dec.sets]} (all theorems hold)")
+
+    table = ChainedHashTable(BumpAllocator(vm.mem), 127, 1000)
+    keys = np.random.default_rng(0).integers(0, 5000, size=1000)
+    rounds = vector_chained_insert(vm, table, keys)
+    print(f"chained multiple hashing: 1000 keys in {rounds} FOL rounds, "
+          f"{vm.counter.total:,.0f} simulated cycles")
+    print(vm.counter.report())
+
+
+def _info() -> None:
+    from . import CostModel, __version__
+    from .bench.figures import EXPERIMENTS
+
+    print(f"repro {__version__}")
+    print(f"cost model (s810): {CostModel.s810()}")
+    print("experiments:", ", ".join(sorted(set(EXPERIMENTS))))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

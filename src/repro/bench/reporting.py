@@ -1,0 +1,55 @@
+"""Plain-text tables and series for the regenerated figures."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Right-aligned ASCII table."""
+    srows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in srows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell >= 1000:
+            return f"{cell:,.0f}"
+        return f"{cell:.2f}"
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    return str(cell)
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """Tiny ASCII plot of one series (for the load-factor curves)."""
+    if not values:
+        return ""
+    blocks = " .:-=+*#%@"
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    cells = [blocks[min(int((v - lo) / span * (len(blocks) - 1)), len(blocks) - 1)]
+             for v in values]
+    return "".join(cells)
+
+
+def banner(title: str) -> str:
+    """Section header used between regenerated figures."""
+    bar = "=" * max(len(title), 8)
+    return f"\n{bar}\n{title}\n{bar}"
+
+
+def print_section(title: str, body: str) -> None:
+    """Print one experiment section."""
+    print(banner(title))
+    print(body)

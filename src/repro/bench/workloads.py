@@ -1,0 +1,125 @@
+"""Seeded workload generators for every experiment.
+
+The paper's workloads are uniformly random keys (hashing, sorting, BST)
+plus synthetic structures (right-comb operation trees, mazes).  All
+generators take an explicit :class:`numpy.random.Generator` so every
+figure is reproducible bit-for-bit from its seed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def unique_keys(rng: np.random.Generator, n: int, key_max: int = 2**31) -> np.ndarray:
+    """``n`` distinct non-negative keys below ``key_max``."""
+    if n > key_max:
+        raise ValueError(f"cannot draw {n} distinct keys below {key_max}")
+    return rng.choice(key_max, size=n, replace=False).astype(np.int64)
+
+
+def keys_for_load_factor(
+    rng: np.random.Generator, table_size: int, load_factor: float
+) -> np.ndarray:
+    """Distinct keys sized so entering them fills ``table_size`` entries
+    to ``load_factor`` (Figure 9/10's x-axis)."""
+    if not 0.0 <= load_factor <= 1.0:
+        raise ValueError(f"load factor must be in [0, 1], got {load_factor}")
+    n = int(round(table_size * load_factor))
+    return unique_keys(rng, n)
+
+
+def duplicated_addresses(
+    rng: np.random.Generator,
+    n: int,
+    n_distinct: int,
+    addr_base: int = 1,
+) -> np.ndarray:
+    """Index vector of ``n`` addresses drawn from ``n_distinct`` distinct
+    values — the knob for FOL's sharing rate (Theorems 4 vs 6: pass
+    ``n_distinct=n`` for no sharing, ``n_distinct=1`` for worst case)."""
+    if n_distinct <= 0 or n_distinct > n:
+        raise ValueError(f"n_distinct must be in [1, {n}], got {n_distinct}")
+    pool = addr_base + rng.choice(10 * n_distinct, size=n_distinct, replace=False)
+    # guarantee every distinct address appears at least once
+    v = np.concatenate([pool, rng.choice(pool, size=n - n_distinct, replace=True)])
+    return rng.permutation(v).astype(np.int64)
+
+
+def multiplicity_vector(
+    rng: np.random.Generator, n_distinct: int, multiplicity: int, addr_base: int = 1
+) -> np.ndarray:
+    """Every distinct address repeated exactly ``multiplicity`` times —
+    fixes FOL1's M exactly (Lemma 3)."""
+    pool = addr_base + np.arange(n_distinct, dtype=np.int64)
+    v = np.repeat(pool, multiplicity)
+    return rng.permutation(v)
+
+
+def sort_values(
+    rng: np.random.Generator, n: int, vmax: int, duplicates: float = 0.0
+) -> np.ndarray:
+    """``n`` sortable values in [0, vmax); ``duplicates`` in [0, 1)
+    shrinks the distinct-value pool to force collisions."""
+    if duplicates:
+        pool_size = max(1, int(n * (1.0 - duplicates)))
+        pool = rng.integers(0, vmax, size=pool_size)
+        return rng.choice(pool, size=n).astype(np.int64)
+    return rng.integers(0, vmax, size=n).astype(np.int64)
+
+
+def bst_keys(
+    rng: np.random.Generator, n_initial: int, n_insert: int, key_max: int = 10**6
+) -> tuple[np.ndarray, np.ndarray]:
+    """Figure 14's workload: ``n_initial`` keys to pre-build the tree
+    and ``n_insert`` uniformly random keys to enter."""
+    initial = rng.integers(0, key_max, size=n_initial).astype(np.int64)
+    inserts = rng.integers(0, key_max, size=n_insert).astype(np.int64)
+    return initial, inserts
+
+
+def random_maze(
+    rng: np.random.Generator, height: int, width: int, wall_density: float = 0.25
+) -> np.ndarray:
+    """Random grid with open corners (source/target)."""
+    grid = (rng.random((height, width)) < wall_density).astype(np.int64)
+    grid[0, 0] = 0
+    grid[height - 1, width - 1] = 0
+    return grid
+
+
+def shared_lists(
+    arena,
+    rng: np.random.Generator,
+    n_lists: int,
+    list_len: int,
+    shared_len: int,
+    value_max: int = 1000,
+    uniform_lengths: bool = False,
+) -> list[int]:
+    """Build ``n_lists`` lists that all share one ``shared_len``-cell
+    suffix (Figure 3a generalised).  Returns the head pointers.
+
+    By default the private prefixes get *varied* lengths (between half
+    and double ``list_len``), so lists reach the shared suffix on
+    different lock-step waves — the realistic low-sharing regime FOL
+    targets.  ``uniform_lengths=True`` makes every list arrive at the
+    shared suffix on the same wave: maximum per-wave duplication, FOL's
+    worst case (useful for the sequentiality ablation)."""
+    shared = arena.from_values(rng.integers(0, value_max, size=shared_len).tolist())
+    heads = []
+    for _ in range(n_lists):
+        if uniform_lengths:
+            own_len = list_len
+        else:
+            own_len = int(rng.integers(max(1, list_len // 2), 2 * list_len + 1))
+        own = rng.integers(0, value_max, size=own_len).tolist()
+        heads.append(arena.from_values(own, tail=shared))
+    return heads
+
+
+def comb_values(n_leaves: int) -> Sequence[int]:
+    """Leaf values 1..n for a right-comb operation tree."""
+    return list(range(1, n_leaves + 1))

@@ -1,0 +1,46 @@
+"""The vectorizing transformation layer: a loop IR, the Figure-2
+classifier, and scalar/vector executors that insert FOL automatically
+for shared-update loops."""
+
+from .ast import (
+    Affine,
+    BinOp,
+    CompileError,
+    Const,
+    Input,
+    Lane,
+    Let,
+    Load,
+    Loop,
+    Store,
+    Var,
+    add,
+    affine,
+    const,
+    inp,
+    lane,
+    load,
+    mod,
+    mul,
+    sub,
+    var,
+)
+from .vectorizer import (
+    INDEPENDENT,
+    READ_ONLY_SHARED,
+    SHARED_FOL1,
+    SHARED_FOL_STAR,
+    Plan,
+    classify,
+    run_sequential,
+    run_vectorized,
+)
+
+__all__ = [
+    "Loop", "Let", "Store", "Load",
+    "Const", "Lane", "Input", "Var", "BinOp", "Affine",
+    "const", "lane", "inp", "var", "add", "sub", "mul", "mod", "load",
+    "affine", "CompileError",
+    "Plan", "classify", "run_sequential", "run_vectorized",
+    "INDEPENDENT", "READ_ONLY_SHARED", "SHARED_FOL1", "SHARED_FOL_STAR",
+]

@@ -1,0 +1,279 @@
+"""Loop IR for the vectorizing transformation.
+
+The paper's methods are *program transformations*: Fortran loops over
+symbolic data are vectorized, and FOL is what the transformation
+inserts when a loop's stores may alias across iterations (§1: "The
+symbolic vector-processing methods ... enable vector processing of
+multiple dynamic data structures by vectorization, a program
+transformation").
+
+This module defines the miniature IR those transformations operate on:
+one counted loop ``for i in 0..n-1`` whose body is straight-line code
+over
+
+* per-lane **inputs** (arrays indexed by ``i`` — Fortran's vectors),
+* the **lane index** itself,
+* integer arithmetic,
+* **loads and stores** through computed addresses into named memory
+  *regions* (Fortran arrays — refs in different regions never alias).
+
+Expressions
+-----------
+``Const(c)`` · ``Lane()`` (the value of i) · ``Input(name)`` ·
+``Var(name)`` (body-local) · ``BinOp(op, a, b)`` for
+``+ - * // % &`` · ``Load(region, addr)``.
+
+Statements
+----------
+``Let(name, expr)`` · ``Store(region, addr, value, guard=None)``.
+
+The :func:`affine` analysis recognises address expressions of the form
+``base + stride*i`` with load-free integer components — the class of
+addresses a compiler can prove distinct across lanes (stride ≠ 0), which
+is what separates Figure 2a from the shared cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import ReproError
+
+
+class CompileError(ReproError):
+    """The loop IR is malformed (unknown variable, bad operator, ...)."""
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Expr:
+    """Base class of IR expressions."""
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    value: int
+
+
+@dataclass(frozen=True)
+class Lane(Expr):
+    """The loop index i (a vector 0..n-1 after vectorization)."""
+
+
+@dataclass(frozen=True)
+class Input(Expr):
+    """Per-lane input array value: ``name[i]``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """Body-local variable bound by a previous :class:`Let`."""
+
+    name: str
+
+
+BINOPS = ("+", "-", "*", "//", "%", "&")
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in BINOPS:
+            raise CompileError(f"unsupported operator {self.op!r}; use one of {BINOPS}")
+
+
+@dataclass(frozen=True)
+class Load(Expr):
+    """Memory read: ``region[addr]``."""
+
+    region: str
+    addr: Expr
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Stmt:
+    """Base class of IR statements."""
+
+
+@dataclass(frozen=True)
+class Let(Stmt):
+    name: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class Store(Stmt):
+    """Memory write: ``region[addr] := value`` (optionally guarded:
+    lanes whose ``guard`` evaluates to 0 skip the store)."""
+
+    region: str
+    addr: Expr
+    value: Expr
+    guard: Optional[Expr] = None
+
+
+@dataclass
+class Loop:
+    """``for i in 0..n-1: body`` over named inputs and memory regions."""
+
+    body: List[Stmt]
+    inputs: Tuple[str, ...] = ()
+    commutative: bool = False
+    """Declare that the loop's iterations commute (any execution order
+    of same-cell updates yields an acceptable result — the paper's §3.2
+    processing condition).  Without it the vectorizer must preserve
+    sequential order exactly (footnote 7) and rejects plans it cannot
+    order."""
+
+    def __post_init__(self) -> None:
+        declared = set(self.inputs)
+        used = set()
+        bound: set = set()
+        for stmt in self.body:
+            exprs = []
+            if isinstance(stmt, Let):
+                exprs.append(stmt.expr)
+            elif isinstance(stmt, Store):
+                exprs.extend([stmt.addr, stmt.value])
+                if stmt.guard is not None:
+                    exprs.append(stmt.guard)
+            else:
+                raise CompileError(f"unknown statement {stmt!r}")
+            for e in exprs:
+                for sub in walk(e):
+                    if isinstance(sub, Input):
+                        used.add(sub.name)
+                    elif isinstance(sub, Var) and sub.name not in bound:
+                        raise CompileError(
+                            f"variable {sub.name!r} used before Let binding"
+                        )
+            if isinstance(stmt, Let):
+                bound.add(stmt.name)
+        missing = used - declared
+        if missing:
+            raise CompileError(f"inputs used but not declared: {sorted(missing)}")
+
+
+# ----------------------------------------------------------------------
+# traversal + analyses
+# ----------------------------------------------------------------------
+def walk(e: Expr):
+    """Yield ``e`` and all sub-expressions, pre-order."""
+    yield e
+    if isinstance(e, BinOp):
+        yield from walk(e.left)
+        yield from walk(e.right)
+    elif isinstance(e, Load):
+        yield from walk(e.addr)
+
+
+def contains_load(e: Expr) -> bool:
+    """True if any sub-expression reads memory."""
+    return any(isinstance(sub, Load) for sub in walk(e))
+
+
+@dataclass(frozen=True)
+class Affine:
+    """``base + stride * i`` (lane-affine address form)."""
+
+    base: int
+    stride: int
+
+    @property
+    def lane_distinct(self) -> bool:
+        """Distinct address per lane — the provably conflict-free case."""
+        return self.stride != 0
+
+
+def affine(e: Expr, env: Optional[Dict[str, "Affine"]] = None) -> Optional[Affine]:
+    """Affine-in-lane analysis: return ``base + stride*i`` if ``e`` is
+    provably of that form (constants, the lane index, +, -, and
+    multiplication by a constant; Lets of affine expressions propagate
+    through ``env``).  ``None`` means data-dependent."""
+    env = env or {}
+    if isinstance(e, Const):
+        return Affine(e.value, 0)
+    if isinstance(e, Lane):
+        return Affine(0, 1)
+    if isinstance(e, Var):
+        return env.get(e.name)
+    if isinstance(e, BinOp):
+        l = affine(e.left, env)
+        r = affine(e.right, env)
+        if l is None or r is None:
+            return None
+        if e.op == "+":
+            return Affine(l.base + r.base, l.stride + r.stride)
+        if e.op == "-":
+            return Affine(l.base - r.base, l.stride - r.stride)
+        if e.op == "*":
+            # affine only when one side is a pure constant
+            if l.stride == 0:
+                return Affine(l.base * r.base, l.base * r.stride)
+            if r.stride == 0:
+                return Affine(l.base * r.base, r.base * l.stride)
+            return None
+        return None  # // % & don't preserve lane-affineness in general
+    return None  # Input, Load
+
+
+def let_env_affine(body: List[Stmt]) -> Dict[str, Affine]:
+    """Affine facts for every Let-bound variable (in binding order)."""
+    env: Dict[str, Affine] = {}
+    for stmt in body:
+        if isinstance(stmt, Let):
+            a = affine(stmt.expr, env)
+            if a is not None:
+                env[stmt.name] = a
+    return env
+
+
+# ----------------------------------------------------------------------
+# ergonomic builders
+# ----------------------------------------------------------------------
+def const(c: int) -> Const:
+    return Const(int(c))
+
+
+def lane() -> Lane:
+    return Lane()
+
+
+def inp(name: str) -> Input:
+    return Input(name)
+
+
+def var(name: str) -> Var:
+    return Var(name)
+
+
+def add(a: Expr, b: Expr) -> BinOp:
+    return BinOp("+", a, b)
+
+
+def sub(a: Expr, b: Expr) -> BinOp:
+    return BinOp("-", a, b)
+
+
+def mul(a: Expr, b: Expr) -> BinOp:
+    return BinOp("*", a, b)
+
+
+def mod(a: Expr, b: Expr) -> BinOp:
+    return BinOp("%", a, b)
+
+
+def load(region: str, addr: Expr) -> Load:
+    return Load(region, addr)

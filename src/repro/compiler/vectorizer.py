@@ -1,0 +1,338 @@
+"""The vectorizing transformation: classify a loop (Figure 2) and run
+it data-parallel, inserting FOL where stores may alias.
+
+Classification (paper §2, Figure 2)
+-----------------------------------
+* **independent** (Fig 2a): every store's address is lane-affine with a
+  non-zero stride (provably distinct per lane).  Plain SIVP — one
+  data-parallel pass, no filtering.
+* **read_only_shared** (Fig 2b): loads may hit shared cells but every
+  store is independent.  Also plain SIVP (reading shared data is safe).
+* **shared_update**: at least one store address is data-dependent.  The
+  transformation inserts FOL:
+
+  - one data-dependent store → **ordered FOL1** (footnote 7), which
+    replays same-cell stores in program order, so the vectorized loop
+    is *exactly* equivalent to the sequential one;
+  - several data-dependent stores → **FOL*** over the address tuple,
+    which guarantees disjoint footprints per set but not program order
+    across sets — the loop must declare ``commutative=True`` (the
+    §3.2 processing condition) or vectorization is refused.
+
+Safety restrictions (all checked, all raise :class:`CompileError`):
+
+* store/guard addresses must be load-free (computable from the
+  pre-state — the paper's index vectors are, too);
+* a load from a region that is also data-dependently stored must be the
+  read of a read-modify-write, i.e. its address must be structurally
+  identical to one of that region's store addresses (histogram-style
+  ``r[k] := r[k] + 1``); any other load/store aliasing would need a
+  dependence the transformation cannot order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.fol_star import fol_star
+from ..core.ordered import fol1_ordered
+from ..machine.scalar import ScalarProcessor
+from ..machine.vm import VectorMachine
+from .ast import (
+    Affine,
+    BinOp,
+    CompileError,
+    Const,
+    Expr,
+    Input,
+    Lane,
+    Let,
+    Load,
+    Loop,
+    Stmt,
+    Store,
+    Var,
+    affine,
+    contains_load,
+    let_env_affine,
+    walk,
+)
+
+#: Plan kinds, in the taxonomy of Figure 2.
+INDEPENDENT = "independent"
+READ_ONLY_SHARED = "read_only_shared"
+SHARED_FOL1 = "shared_fol1"
+SHARED_FOL_STAR = "shared_fol_star"
+
+
+@dataclass
+class Plan:
+    """Result of classifying a :class:`Loop` for vectorization."""
+
+    kind: str
+    data_stores: List[Store] = field(default_factory=list)
+    shared_loads: List[Load] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def needs_fol(self) -> bool:
+        return self.kind in (SHARED_FOL1, SHARED_FOL_STAR)
+
+
+def classify(loop: Loop) -> Plan:
+    """Figure-2 classification + safety checking (see module docs)."""
+    env = let_env_affine(loop.body)
+    stores = [s for s in loop.body if isinstance(s, Store)]
+    data_stores: List[Store] = []
+    store_addrs_by_region: Dict[str, List[Expr]] = {}
+
+    for s in stores:
+        if contains_load(s.addr):
+            raise CompileError("store addresses must be load-free")
+        if s.guard is not None and contains_load(s.guard):
+            raise CompileError("store guards must be load-free")
+        a = affine(s.addr, env)
+        if a is None or not a.lane_distinct:
+            data_stores.append(s)
+            store_addrs_by_region.setdefault(s.region, []).append(s.addr)
+
+    # collect loads anywhere in the body
+    loads: List[Load] = []
+    for stmt in loop.body:
+        exprs = [stmt.expr] if isinstance(stmt, Let) else [stmt.addr, stmt.value] + (
+            [stmt.guard] if stmt.guard is not None else []
+        )
+        for e in exprs:
+            loads.extend(sub for sub in walk(e) if isinstance(sub, Load))
+
+    shared_loads = [ld for ld in loads if affine(ld.addr, env) is None
+                    or not affine(ld.addr, env).lane_distinct]
+
+    # loads from data-stored regions must be RMW reads
+    for ld in loads:
+        if ld.region in store_addrs_by_region:
+            if not any(ld.addr == sa for sa in store_addrs_by_region[ld.region]):
+                raise CompileError(
+                    f"load from region {ld.region!r} at {ld.addr} may alias a "
+                    f"data-dependent store at a different address; the "
+                    f"transformation cannot order that dependence"
+                )
+
+    if not data_stores:
+        kind = READ_ONLY_SHARED if shared_loads else INDEPENDENT
+        return Plan(kind=kind, shared_loads=shared_loads,
+                    notes=[f"figure 2{'b' if shared_loads else 'a'} case"])
+
+    if len(data_stores) == 1:
+        return Plan(
+            kind=SHARED_FOL1,
+            data_stores=data_stores,
+            shared_loads=shared_loads,
+            notes=["single shared store: ordered FOL1 (footnote 7), exact "
+                   "sequential semantics"],
+        )
+
+    if not loop.commutative:
+        raise CompileError(
+            f"{len(data_stores)} data-dependent stores need FOL*, which "
+            f"cannot preserve sequential order across sets; declare the "
+            f"loop commutative=True if any order is acceptable (§3.2)"
+        )
+    return Plan(
+        kind=SHARED_FOL_STAR,
+        data_stores=data_stores,
+        shared_loads=shared_loads,
+        notes=[f"FOL* over L={len(data_stores)} store addresses"],
+    )
+
+
+# ----------------------------------------------------------------------
+# sequential reference executor
+# ----------------------------------------------------------------------
+def run_sequential(
+    sp: ScalarProcessor,
+    loop: Loop,
+    n: int,
+    inputs: Dict[str, np.ndarray],
+    regions: Dict[str, int],
+) -> None:
+    """Execute the loop one iteration at a time on the scalar unit —
+    both the semantics oracle and the charged baseline."""
+    _check_run_args(loop, n, inputs)
+
+    def eval_expr(e: Expr, i: int, env: Dict[str, int]) -> int:
+        if isinstance(e, Const):
+            return e.value
+        if isinstance(e, Lane):
+            return i
+        if isinstance(e, Input):
+            return int(inputs[e.name][i])
+        if isinstance(e, Var):
+            return env[e.name]
+        if isinstance(e, BinOp):
+            sp.alu()
+            l = eval_expr(e.left, i, env)
+            r = eval_expr(e.right, i, env)
+            return _apply(e.op, l, r)
+        if isinstance(e, Load):
+            addr = eval_expr(e.addr, i, env)
+            sp.alu()  # region base addition
+            return sp.load(regions[e.region] + addr)
+        raise CompileError(f"unknown expression {e!r}")
+
+    for i in range(n):
+        env: Dict[str, int] = {}
+        for stmt in loop.body:
+            if isinstance(stmt, Let):
+                env[stmt.name] = eval_expr(stmt.expr, i, env)
+            else:
+                if stmt.guard is not None:
+                    sp.branch()
+                    if eval_expr(stmt.guard, i, env) == 0:
+                        continue
+                addr = eval_expr(stmt.addr, i, env)
+                value = eval_expr(stmt.value, i, env)
+                sp.alu()
+                sp.store(regions[stmt.region] + addr, value)
+        sp.loop_iter()
+
+
+def _apply(op: str, l: int, r: int) -> int:
+    if op == "+":
+        return l + r
+    if op == "-":
+        return l - r
+    if op == "*":
+        return l * r
+    if op == "//":
+        return l // r
+    if op == "%":
+        return l % r
+    if op == "&":
+        return l & r
+    raise CompileError(f"unknown operator {op!r}")
+
+
+# ----------------------------------------------------------------------
+# vectorized executor
+# ----------------------------------------------------------------------
+_VEC_OPS = {
+    "+": "add", "-": "sub", "*": "mul", "//": "floordiv", "%": "mod", "&": "bitand",
+}
+
+
+class _VecCtx:
+    """Lane-parallel evaluation context for one parallel-processable set."""
+
+    def __init__(self, vm, inputs, regions, positions):
+        self.vm = vm
+        self.inputs = inputs
+        self.regions = regions
+        self.positions = positions  # original lane ids of this set
+        self.env: Dict[str, np.ndarray] = {}
+
+    def eval(self, e: Expr) -> np.ndarray:
+        vm = self.vm
+        if isinstance(e, Const):
+            return vm.splat(self.positions.size, e.value)
+        if isinstance(e, Lane):
+            return self.positions
+        if isinstance(e, Input):
+            # slice the already-resident input register down to the set
+            full = self.inputs[e.name]
+            self.vm.counter.charge_vector(
+                vm.cost.vector_cost(self.positions.size, vm.cost.chime_alu),
+                self.positions.size,
+                "v_alu",
+            )
+            return full[self.positions]
+        if isinstance(e, Var):
+            return self.env[e.name]
+        if isinstance(e, BinOp):
+            return getattr(vm, _VEC_OPS[e.op])(self.eval(e.left), self.eval(e.right))
+        if isinstance(e, Load):
+            addrs = vm.add(self.eval(e.addr), self.regions[e.region])
+            return vm.gather(addrs)
+        raise CompileError(f"unknown expression {e!r}")
+
+    def run_body(self, body: Sequence[Stmt], policy: str) -> None:
+        vm = self.vm
+        for stmt in body:
+            if isinstance(stmt, Let):
+                self.env[stmt.name] = self.eval(stmt.expr)
+            else:
+                addrs = vm.add(self.eval(stmt.addr), self.regions[stmt.region])
+                values = self.eval(stmt.value)
+                if stmt.guard is not None:
+                    mask = vm.ne(self.eval(stmt.guard), 0)
+                    vm.scatter_masked(addrs, values, mask, policy=policy)
+                else:
+                    vm.scatter(addrs, values, policy=policy)
+
+
+def run_vectorized(
+    vm: VectorMachine,
+    loop: Loop,
+    n: int,
+    inputs: Dict[str, np.ndarray],
+    regions: Dict[str, int],
+    work_offset: Optional[int] = None,
+    policy: str = "arbitrary",
+) -> Plan:
+    """Vectorize and execute the loop; returns the :class:`Plan` used.
+
+    ``work_offset`` — required for shared-update plans: every address a
+    data-dependent store can touch must have a scratch word at
+    ``addr + work_offset`` for FOL's label traffic.
+    """
+    plan = classify(loop)
+    _check_run_args(loop, n, inputs)
+    if n == 0:
+        return plan
+
+    input_regs = {name: np.asarray(arr[:n], dtype=np.int64) for name, arr in inputs.items()}
+    all_lanes = vm.iota(n)
+
+    if not plan.needs_fol:
+        _VecCtx(vm, input_regs, regions, all_lanes).run_body(loop.body, policy)
+        return plan
+
+    if work_offset is None:
+        raise CompileError(
+            f"plan {plan.kind} inserts FOL and needs a work_offset scratch region"
+        )
+
+    # compute the conflict address vector(s) from the pre-state
+    pre = _VecCtx(vm, input_regs, regions, all_lanes)
+    addr_vectors = [
+        vm.add(pre.eval(s.addr), regions[s.region]) for s in plan.data_stores
+    ]
+
+    if plan.kind == SHARED_FOL1:
+        dec = fol1_ordered(vm, addr_vectors[0], work_offset=work_offset)
+        sets = dec.sets
+    else:
+        dec = fol_star(
+            vm, addr_vectors, work_offset=work_offset, policy=policy,
+            internal="isolate",
+        )
+        sets = dec.sets
+
+    for s in sets:
+        ctx = _VecCtx(vm, input_regs, regions, all_lanes[s])
+        ctx.run_body(loop.body, policy)
+        vm.loop_overhead()
+    return plan
+
+
+def _check_run_args(loop: Loop, n: int, inputs: Dict[str, np.ndarray]) -> None:
+    for name in loop.inputs:
+        if name not in inputs:
+            raise CompileError(f"missing input array {name!r}")
+        if len(inputs[name]) < n:
+            raise CompileError(
+                f"input {name!r} has {len(inputs[name])} elements, need {n}"
+            )

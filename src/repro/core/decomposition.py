@@ -1,0 +1,169 @@
+"""Decomposition result type and validators for FOL's output conditions.
+
+FOL's contract (paper §3.2, Output + Lemmas 1–2, Theorems 3 and 5):
+
+* the output sets partition the input multiset of index-vector elements
+  (**disjoint decomposition condition**),
+* within one output set no two elements point to the same storage area
+  (**parallel-processability**, Lemma 2),
+* cardinalities are non-increasing, |S₁| ≥ |S₂| ≥ … ≥ |S_M| (Theorem 3),
+* M equals the maximum pointer multiplicity, which is the minimum
+  possible number of sets (Lemma 3 + Theorem 5).
+
+:class:`Decomposition` carries the output sets as *position* vectors
+(indices into the original index vector) so that main processing can
+slice any per-element payload (keys, labels, node pointers) with them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..errors import DecompositionError
+
+
+@dataclass
+class Decomposition:
+    """Result of running FOL1/FOL* over an index vector.
+
+    Attributes
+    ----------
+    index_vector:
+        The original index vector V (addresses), unmodified.
+    sets:
+        ``sets[j]`` holds the positions (0-based indices into
+        ``index_vector``) forming the parallel-processable set S_{j+1}.
+    labels:
+        The labels used during filtering (for diagnostics).
+    """
+
+    index_vector: np.ndarray
+    sets: List[np.ndarray] = field(default_factory=list)
+    labels: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> int:
+        """Number of output sets (the paper's M)."""
+        return len(self.sets)
+
+    @property
+    def n(self) -> int:
+        """Number of input elements (the paper's N)."""
+        return int(self.index_vector.size)
+
+    def cardinalities(self) -> List[int]:
+        """|S₁|, |S₂|, …, |S_M|."""
+        return [int(s.size) for s in self.sets]
+
+    def addresses(self, j: int) -> np.ndarray:
+        """The storage addresses of set ``S_{j+1}`` (0-based ``j``)."""
+        return self.index_vector[self.sets[j]]
+
+    def __iter__(self):
+        return iter(self.sets)
+
+    # ------------------------------------------------------------------
+    # validators (raise DecompositionError on violation)
+    # ------------------------------------------------------------------
+    def check_partition(self) -> None:
+        """Disjoint decomposition condition (Lemma 1): every input
+        position appears in exactly one output set."""
+        if self.n == 0:
+            if self.sets and any(s.size for s in self.sets):
+                raise DecompositionError("non-empty sets for empty input")
+            return
+        seen = np.zeros(self.n, dtype=np.int64)
+        for s in self.sets:
+            if s.size and (s.min() < 0 or s.max() >= self.n):
+                raise DecompositionError(
+                    f"set positions out of range [0, {self.n}): {s}"
+                )
+            np.add.at(seen, s, 1)
+        missing = np.flatnonzero(seen == 0)
+        dup = np.flatnonzero(seen > 1)
+        if missing.size:
+            raise DecompositionError(f"positions never output: {missing[:10].tolist()}")
+        if dup.size:
+            raise DecompositionError(f"positions output twice: {dup[:10].tolist()}")
+
+    def check_parallel_processable(self) -> None:
+        """Lemma 2: within a set, all storage addresses are distinct."""
+        for j, s in enumerate(self.sets):
+            addrs = self.index_vector[s]
+            if np.unique(addrs).size != addrs.size:
+                raise DecompositionError(
+                    f"set S_{j + 1} contains duplicate addresses — not "
+                    f"parallel-processable"
+                )
+
+    def check_monotone_cardinalities(self) -> None:
+        """Theorem 3: |S₁| ≥ |S₂| ≥ … ≥ |S_M|."""
+        cards = self.cardinalities()
+        for a, b in zip(cards, cards[1:]):
+            if a < b:
+                raise DecompositionError(f"cardinalities not non-increasing: {cards}")
+
+    def check_minimal(self) -> None:
+        """Theorem 5 (via Lemma 3): M equals the maximum multiplicity of
+        any address in the input — the minimum achievable number of
+        parallel-processable sets."""
+        expected = max_multiplicity(self.index_vector)
+        if self.m != expected:
+            raise DecompositionError(
+                f"M = {self.m} but maximum address multiplicity is {expected}"
+            )
+
+    def check_nonempty_sets(self) -> None:
+        """Termination argument (Theorem 1): every round produced a
+        non-empty set."""
+        for j, s in enumerate(self.sets):
+            if s.size == 0:
+                raise DecompositionError(f"set S_{j + 1} is empty")
+
+    def validate(self) -> "Decomposition":
+        """Run every output-condition check; returns self for chaining."""
+        self.check_partition()
+        self.check_parallel_processable()
+        self.check_nonempty_sets()
+        self.check_monotone_cardinalities()
+        self.check_minimal()
+        return self
+
+
+def max_multiplicity(index_vector: np.ndarray) -> int:
+    """Maximum number of times any single address occurs in V."""
+    v = np.asarray(index_vector)
+    if v.size == 0:
+        return 0
+    _, counts = np.unique(v, return_counts=True)
+    return int(counts.max())
+
+
+def reference_decomposition(index_vector: np.ndarray) -> Decomposition:
+    """Oracle decomposition used by tests: S_j = the j-th occurrence of
+    each distinct address, in input order.
+
+    This is what FOL produces under the ``"first"`` conflict policy and
+    is, by construction, a minimal disjoint decomposition; property
+    tests compare FOL's output *invariants* (not its exact sets, which
+    legitimately vary with the conflict policy) against this oracle's.
+    """
+    v = np.asarray(index_vector, dtype=np.int64)
+    dec = Decomposition(index_vector=v)
+    if v.size == 0:
+        return dec
+    # occurrence rank of each element among equal addresses, stable order
+    order = np.argsort(v, kind="stable")
+    ranks = np.empty(v.size, dtype=np.int64)
+    sorted_v = v[order]
+    boundaries = np.flatnonzero(np.diff(sorted_v)) + 1
+    starts = np.concatenate(([0], boundaries))
+    within = np.arange(v.size) - np.repeat(starts, np.diff(np.concatenate((starts, [v.size]))))
+    ranks[order] = within
+    for j in range(int(ranks.max()) + 1):
+        dec.sets.append(np.flatnonzero(ranks == j).astype(np.int64))
+    return dec

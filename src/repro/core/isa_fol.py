@@ -1,0 +1,105 @@
+"""FOL1 as an actual machine program.
+
+The truest form of the paper's algorithm: §3.2's four steps written as
+an instruction sequence for the ISA backend — scatter labels (``VIST``),
+gather them back, compare, compress the survivors away, branch back.
+Fifteen instructions in the loop body; the paper's claim that "the whole
+process of this algorithm can be performed by vector operations" is a
+statement about exactly this program.
+
+Register conventions::
+
+    S1 = staging base (index vector input)    V0 = remaining addresses
+    S4 = n                                    V1 = remaining labels/positions
+    S5 = remaining count                      V2 = read-back labels
+    S7 = 1                                    V3 = round-number splat
+    S9 = output base                          V4 = output addresses
+    S10 = current round (0-based)             M0 = survived, M1 = filtered
+
+Output: for each input position ``i``, ``mem[out_base + i]`` holds the
+0-based index of the parallel-processable set S_{j+1} that position was
+assigned to — a dense encoding of the decomposition.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..errors import VectorLengthError
+from ..machine.isa import Assembler, Instr, Interpreter
+from ..machine.vm import VectorMachine
+from .decomposition import Decomposition
+
+
+def build_fol1_program() -> List[Instr]:
+    """Assemble the FOL1 machine program (expects S1, S4, S7, S9 preset
+    per the module docstring)."""
+    a = Assembler()
+    # load the index vector; labels are the subscripts (footnote 6)
+    a.emit("VIOTA", 1, 4)          # V1 := 0..n-1  (labels = positions)
+    a.emit("VADDS", 0, 1, 1)       # V0 := staging + positions
+    a.emit("VGATHER", 0, 0)        # V0 := index vector
+
+    a.label("round")
+    a.emit("VLEN", 5, 0)
+    a.emit("JZ", 5, "done")
+
+    # step 1: write labels through the index vector (ELS scatter)
+    a.emit("VSCATTER", 0, 1)
+    # step 2: read back and compare
+    a.emit("VGATHER", 2, 0)
+    a.emit("VCMPEV", 0, 2, 1)      # M0 := survived
+
+    # record the set number for the survivors
+    a.emit("VSPLAT", 3, 10, 5)     # V3 := round, S5 lanes
+    a.emit("VADDS", 4, 1, 9)       # V4 := out_base + position
+    a.emit("VSCATTERM", 4, 3, 0)
+
+    # step 3: delete the survivors from V
+    a.emit("MNOT", 1, 0)
+    a.emit("VCOMPRESS", 0, 0, 1)
+    a.emit("VCOMPRESS", 1, 1, 1)
+    a.emit("SADD", 10, 10, 7)
+    a.emit("JMP", "round")
+
+    a.label("done")
+    a.emit("HALT")
+    return a.assemble()
+
+
+def isa_fol1(
+    vm: VectorMachine,
+    index_vector: np.ndarray,
+    staging_base: int,
+    out_base: int,
+    policy: str = "arbitrary",
+) -> Decomposition:
+    """Run the FOL1 machine program over ``index_vector``.
+
+    ``staging_base`` and ``out_base`` are memory regions of at least
+    ``len(index_vector)`` words each (input staging and the per-position
+    set-number output).  Returns the decoded :class:`Decomposition`.
+    """
+    v = np.asarray(index_vector, dtype=np.int64)
+    if v.ndim != 1:
+        raise VectorLengthError(f"index vector must be 1-D, got shape {v.shape}")
+    dec = Decomposition(index_vector=v)
+    if v.size == 0:
+        return dec
+
+    vm.mem.words[staging_base : staging_base + v.size] = v
+
+    interp = Interpreter(vm, max_steps=40 * (v.size + 2))
+    interp.s[1] = staging_base
+    interp.s[4] = v.size
+    interp.s[7] = 1
+    interp.s[9] = out_base
+    interp.run(build_fol1_program(), scatter_policy=policy)
+
+    set_of = vm.mem.peek_range(out_base, v.size)
+    m = interp.s[10]
+    for j in range(m):
+        dec.sets.append(np.flatnonzero(set_of == j).astype(np.int64))
+    return dec

@@ -1,0 +1,86 @@
+"""Label assignment strategies for FOL (paper §3.2 step 0, footnote 6).
+
+FOL needs one unique label per index-vector element.  The paper notes:
+
+* the cheapest label is the element's **subscript** in the index vector
+  (or its byte displacement) — computable before execution;
+* when the *values to be written* by main processing are themselves
+  unique, they can double as labels, fusing label-writing with main
+  processing (the §3.2 "simplified method"; used by the open-addressing
+  hash of Figure 8, where keys are the labels);
+* labels must fit one machine word so the ELS condition holds.
+
+Every strategy returns an int64 vector; :func:`validate_unique` enforces
+the precondition that FOL's correctness proofs rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import LabelError
+from ..machine.vm import VectorMachine
+
+
+def index_labels(vm: VectorMachine, n: int) -> np.ndarray:
+    """Subscript labels 0..n-1 (footnote 6's default), generated with
+    one vector iota instruction."""
+    return vm.iota(n)
+
+
+def negated_index_labels(vm: VectorMachine, n: int) -> np.ndarray:
+    """Labels −1, −2, …, −n (the paper's ``−ι`` from Figure 12).
+
+    Negative labels cannot collide with non-negative data values, which
+    lets the address-calculation sort share the data array ``C`` between
+    labels and sorted data without a separate work area."""
+    return vm.neg(vm.iota(n, start=1))
+
+
+def displacement_labels(vm: VectorMachine, n: int, base: int, stride: int) -> np.ndarray:
+    """Byte/word displacement labels: ``base + i*stride`` — the other
+    footnote-6 option; unique for any positive stride."""
+    if stride <= 0:
+        raise LabelError(f"displacement stride must be positive, got {stride}")
+    return vm.iota(n, start=base, step=stride)
+
+
+def key_labels(keys: np.ndarray) -> np.ndarray:
+    """Use the written values themselves as labels (§3.2 simplification).
+
+    Requires all keys distinct; raises :class:`LabelError` otherwise,
+    because a duplicate label would make overwrite detection unsound
+    (two lanes would both believe their write survived)."""
+    keys = np.asarray(keys, dtype=np.int64)
+    validate_unique(keys)
+    return keys
+
+
+def tuple_labels(vm: VectorMachine, n: int, l: int) -> list[np.ndarray]:
+    """Labels for FOL* over ``l`` index vectors of ``n`` elements each:
+    vector k gets labels ``k*n .. k*n + n - 1`` so uniqueness holds
+    *across* vectors, as §3.3 step 0 requires."""
+    if l <= 0:
+        raise LabelError(f"need at least one index vector, got {l}")
+    return [vm.iota(n, start=k * n) for k in range(l)]
+
+
+def validate_unique(labels: np.ndarray) -> np.ndarray:
+    """Raise :class:`LabelError` unless all labels are distinct."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise LabelError(f"labels must be a 1-D vector, got shape {labels.shape}")
+    uniq = np.unique(labels)
+    if uniq.size != labels.size:
+        raise LabelError(
+            f"labels are not unique: {labels.size - uniq.size} duplicates"
+        )
+    return labels
+
+
+def min_label_bits(n: int) -> int:
+    """Minimum work-area width in bits to hold one of ``n`` labels
+    (paper: "the size must be log2 N bits or more")."""
+    if n <= 1:
+        return 1
+    return int(np.ceil(np.log2(n)))

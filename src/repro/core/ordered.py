@@ -1,0 +1,143 @@
+"""Order-preserving FOL — the footnote 7 variant.
+
+Plain FOL1 assumes "the execution order between the processings of two
+arbitrary data items must not affect the correctness of the result".
+Some algorithms violate that: when several updates target the same cell,
+they must apply in **program order** (e.g. a sequence of assignments
+where the last one must win, or appends that must keep order).
+
+Footnote 7's construction: replace the ELS condition with the stronger
+order-guaranteeing store (the S-3800's ``VSTX``, our ``"last"`` policy —
+the highest-numbered lane survives).  Then in each FOL round the
+*latest remaining* occurrence of every address survives, so for two
+processings Pᵢ before Pⱼ of the same cell, dᵢ lands in a **later** set
+than dⱼ: dᵢ ∈ S_k, dⱼ ∈ S_l with k > l, exactly the footnote's
+relation.  Executing the sets in *reverse* order S_M … S₁ therefore
+replays same-cell updates in program order, while different cells still
+update in parallel within a set.
+
+:func:`fol1_ordered` packages this: it runs FOL1 under the ordered
+policy and returns the sets already reversed, ready to apply first to
+last.  :func:`ordered_scatter` is the canonical application — a scatter
+whose duplicate-address semantics equal a sequential loop's.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..machine.vm import VectorMachine
+from .decomposition import Decomposition
+from .fol1 import fol1
+
+
+def fol1_ordered(
+    vm: VectorMachine,
+    index_vector: np.ndarray,
+    *,
+    labels: Optional[np.ndarray] = None,
+    work_offset: int = 0,
+    max_rounds: Optional[int] = None,
+) -> Decomposition:
+    """FOL1 with order preservation (footnote 7).
+
+    Returns a :class:`Decomposition` whose sets, **applied in list
+    order**, execute same-address processings in original program
+    (index) order.  Requires the order-guaranteeing ``"last"`` scatter
+    policy internally; there is no policy parameter because the whole
+    point is that arbitrary-winner hardware cannot give this guarantee.
+
+    Postcondition (tested): within the returned object, if positions
+    ``i < j`` share an address, ``i`` appears in an earlier set than
+    ``j``.
+    """
+    dec = fol1(
+        vm,
+        index_vector,
+        labels=labels,
+        work_offset=work_offset,
+        policy="last",
+        max_rounds=max_rounds,
+    )
+    # Under "last", round 1 keeps the *final* occurrence per address,
+    # round 2 the one before it, and so on — reverse to get program
+    # order.  (Cardinalities become non-decreasing; Theorem 3 applies
+    # to the pre-reversal order.)
+    dec.sets.reverse()
+    return dec
+
+
+def check_program_order(dec: Decomposition) -> None:
+    """Validate the ordering postcondition of :func:`fol1_ordered`:
+    same-address positions appear in strictly increasing set index as
+    their position increases."""
+    from ..errors import DecompositionError
+
+    set_of = np.empty(dec.n, dtype=np.int64)
+    for j, s in enumerate(dec.sets):
+        set_of[s] = j
+    v = dec.index_vector
+    order = np.argsort(v, kind="stable")
+    sv = v[order]
+    for a, b in zip(order[:-1], order[1:]):
+        if v[a] == v[b]:  # consecutive occurrences of one address
+            lo, hi = (a, b) if a < b else (b, a)
+            if set_of[lo] >= set_of[hi]:
+                raise DecompositionError(
+                    f"positions {lo} < {hi} share address {v[lo]} but land "
+                    f"in sets {set_of[lo]} >= {set_of[hi]}"
+                )
+    _ = sv  # argsort used only for pairing
+
+
+def ordered_scatter(
+    vm: VectorMachine,
+    addrs: np.ndarray,
+    values: np.ndarray,
+    work_offset: int = 0,
+) -> int:
+    """Scatter with sequential-loop semantics: for duplicate addresses
+    the *last* value in program order ends up stored, and intermediate
+    values are stored transiently in between (so read-modify-write
+    chains layered on top observe each predecessor).  Returns the
+    number of FOL rounds used.
+
+    This is the minimal "algorithm where processing order must be
+    preserved" from footnote 7: a plain ELS scatter would store an
+    arbitrary occurrence; this one provably stores the final one, on
+    hardware whose only ordered primitive is VSTX.
+    """
+    addrs = np.asarray(addrs, dtype=np.int64)
+    values = np.asarray(values, dtype=np.int64)
+    dec = fol1_ordered(vm, addrs, work_offset=work_offset)
+    for s in dec.sets:
+        vm.scatter(addrs[s], values[s], policy="last")
+        vm.loop_overhead()
+    return dec.m
+
+
+def ordered_rmw_add(
+    vm: VectorMachine,
+    addrs: np.ndarray,
+    deltas: np.ndarray,
+    work_offset: int,
+) -> int:
+    """Read-modify-write accumulation with sequential semantics:
+    ``mem[addrs[i]] += deltas[i]`` applied as if by a scalar loop.
+    Because addition commutes the *final* contents match any order; the
+    point of routing it through :func:`fol1_ordered` is that each
+    intermediate sum also appears in memory in program order, which is
+    observable by the per-set gather (and asserted in tests via the
+    on-set trace).  Requires a disjoint work area (``work_offset``)
+    since the target words hold live partial sums."""
+    addrs = np.asarray(addrs, dtype=np.int64)
+    deltas = np.asarray(deltas, dtype=np.int64)
+    dec = fol1_ordered(vm, addrs, work_offset=work_offset)
+    for s in dec.sets:
+        a = addrs[s]
+        cur = vm.gather(a)
+        vm.scatter(a, vm.add(cur, deltas[s]), policy="last")
+        vm.loop_overhead()
+    return dec.m

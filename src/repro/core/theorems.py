@@ -1,0 +1,116 @@
+"""Executable statements of the paper's theorems (§3.2).
+
+Each function checks one theorem/lemma against a concrete FOL run and
+raises :class:`~repro.errors.DecompositionError` on violation.  They are
+used by the property-based test-suite and by ``examples/quickstart.py``
+to demonstrate that the implementation honours the paper's proofs:
+
+* **Theorem 1** (termination): FOL1 terminates — checked implicitly by
+  every call returning, plus :func:`check_round_progress`.
+* **Lemma 1** (disjoint decomposition): :func:`check_theorem2_correctness`.
+* **Lemma 2** (within-set distinctness): same.
+* **Theorem 3**: |S₁| ≥ … ≥ |S_M|, and M = 1 without duplicates.
+* **Theorem 4**: O(N) work when |S₁| ≫ Σ_{i≥2}|S_i| — checked as an
+  operation-count bound via :func:`fol1_element_work`.
+* **Lemma 3 / Theorem 5** (minimality): M = max multiplicity.
+* **Theorem 6**: O(N²) worst case when every |S_i| = 1 — exact element
+  count N(N+1)/2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DecompositionError
+from .decomposition import Decomposition, max_multiplicity
+
+
+def check_theorem1_termination(dec: Decomposition) -> None:
+    """Theorem 1: every round removed at least one element (FOL1
+    terminated in at most N rounds)."""
+    dec.check_nonempty_sets()
+    if dec.m > dec.n:
+        raise DecompositionError(f"{dec.m} rounds for {dec.n} elements")
+
+
+def check_theorem2_correctness(dec: Decomposition) -> None:
+    """Theorem 2 (via Lemmas 1 and 2): disjoint decomposition whose sets
+    are each parallel-processable."""
+    dec.check_partition()
+    dec.check_parallel_processable()
+
+
+def check_theorem3_monotone(dec: Decomposition) -> None:
+    """Theorem 3: non-increasing cardinalities; M = 1 when the input has
+    no duplicated addresses."""
+    dec.check_monotone_cardinalities()
+    if max_multiplicity(dec.index_vector) == 1 and dec.m not in (0, 1):
+        raise DecompositionError(f"M = {dec.m} for duplicate-free input")
+
+
+def check_theorem5_minimality(dec: Decomposition) -> None:
+    """Theorem 5 + Lemma 3: M equals the maximum address multiplicity
+    (no decomposition can use fewer sets)."""
+    dec.check_minimal()
+
+
+def fol1_element_work(dec: Decomposition) -> int:
+    """Total vector elements processed across all FOL1 rounds:
+    Σ_j (elements remaining at round j) = Σ_j Σ_{i≥j} |S_i|.
+
+    This is the quantity the complexity theorems bound:
+
+    * Theorem 4: ≈ N when |S₁| dominates,
+    * Theorem 6: N(N+1)/2 when every set is a singleton.
+    """
+    cards = dec.cardinalities()
+    remaining = sum(cards)
+    total = 0
+    for c in cards:
+        total += remaining
+        remaining -= c
+    return total
+
+
+def check_theorem4_linear(dec: Decomposition, slack: float = 3.0) -> None:
+    """Theorem 4: when sharing is rare the element work is O(N) — we
+    check work ≤ slack·N, which holds whenever |S₁| ≫ Σ_{i≥2}|S_i|."""
+    n = dec.n
+    if n == 0:
+        return
+    work = fol1_element_work(dec)
+    if work > slack * n:
+        raise DecompositionError(
+            f"element work {work} exceeds {slack}·N = {slack * n:.0f}"
+        )
+
+
+def check_theorem6_quadratic(dec: Decomposition) -> None:
+    """Theorem 6: with all-singleton sets (all N elements aliases of one
+    address) the element work is exactly N(N+1)/2."""
+    n = dec.n
+    if any(c != 1 for c in dec.cardinalities()):
+        raise DecompositionError("theorem 6 applies only to all-singleton runs")
+    expected = n * (n + 1) // 2
+    work = fol1_element_work(dec)
+    if work != expected:
+        raise DecompositionError(f"element work {work}, expected {expected}")
+
+
+def check_all(dec: Decomposition) -> None:
+    """Run every structural theorem check (1, 2, 3, 5) on one run."""
+    check_theorem1_termination(dec)
+    check_theorem2_correctness(dec)
+    check_theorem3_monotone(dec)
+    check_theorem5_minimality(dec)
+
+
+def multiplicity_histogram(index_vector: np.ndarray) -> dict[int, int]:
+    """How many addresses occur k times, for each k — useful when
+    reasoning about which complexity regime (Theorem 4 vs 6) applies."""
+    v = np.asarray(index_vector)
+    if v.size == 0:
+        return {}
+    _, counts = np.unique(v, return_counts=True)
+    ks, freq = np.unique(counts, return_counts=True)
+    return {int(k): int(f) for k, f in zip(ks, freq)}

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the FOL reproduction library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to distinguish machine-level faults (bad addresses,
+register misuse) from algorithm-level contract violations (non-unique
+labels, full hash tables).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class MachineError(ReproError):
+    """Base class for simulated-machine faults."""
+
+
+class MemoryFault(MachineError):
+    """An address or address vector fell outside an allocated region."""
+
+
+class AllocationError(MachineError):
+    """The arena or memory could not satisfy an allocation request."""
+
+
+class VectorLengthError(MachineError):
+    """Operand vectors passed to a vector instruction have mismatched lengths."""
+
+
+class LabelError(ReproError):
+    """Labels supplied to FOL violate the uniqueness precondition."""
+
+
+class DecompositionError(ReproError):
+    """A produced decomposition violates the paper's output conditions.
+
+    Raised only by the validators in :mod:`repro.core.decomposition`;
+    a correct FOL implementation never triggers it.
+    """
+
+
+class DeadlockError(ReproError):
+    """FOL* made no progress in a round (empty ``S_j``; see paper §3.3)."""
+
+
+class TableFullError(ReproError):
+    """An open-addressing hash table ran out of probeable slots."""
+
+
+class RewriteError(ReproError):
+    """A tree/graph rewrite failed (e.g. phantom-node access in the
+    deliberately unsafe forced-parallel rewriter)."""
+
+
+class PhantomNodeError(RewriteError):
+    """A rewrite step dereferenced a node that no longer exists.
+
+    This reproduces the failure mode of Figure 5 in the paper: forced
+    parallel rewriting of a shared node can leave a sibling rewrite
+    holding a pointer into a structure that was already restructured.
+    """

@@ -1,0 +1,5 @@
+"""Graph algorithms via FOL (the paper's §6 future work)."""
+
+from .components import ParentForest, scalar_components, vector_components
+
+__all__ = ["ParentForest", "vector_components", "scalar_components"]

@@ -1,0 +1,204 @@
+"""Vectorized connected components / spanning forest — the paper's §6
+future work ("apply FOL to various symbolic algorithms including tree
+rebalancing and graph rewriting") made concrete.
+
+The structure-rewriting step of component merging is a *shared-data
+update*: many edges may try to re-parent the same root in one wave, so
+the update is exactly the problem FOL solves.  Per wave:
+
+1. **Find** — every edge endpoint chases parent pointers to its root by
+   repeated gathers (all lanes jump together; path-halving keeps the
+   chains short).
+2. **Filter** — edges whose endpoints share a root are dropped (their
+   lanes carry no work).
+3. **Merge** — each surviving edge wants ``parent[max_root] :=
+   min_root``.  Duplicate max-roots collide; one FOL overwrite-and-check
+   round (S₁ only) elects a winner per root, the winners scatter their
+   merges, and the losers simply retry next wave against the updated
+   forest — the same losers-reread pattern as the §5 GC.
+
+The min/max orientation makes every merge strictly decrease the loser
+root's id, so the parent forest stays acyclic without ranks.  The
+elected edges form a spanning forest (returned for verification against
+``networkx``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+from ..machine.scalar import ScalarProcessor
+from ..machine.vm import VectorMachine
+from ..mem.arena import BumpAllocator
+
+
+class ParentForest:
+    """Union-find parent array in simulated memory (one word per node),
+    plus a shadow work region for FOL label traffic."""
+
+    def __init__(self, allocator: BumpAllocator, n_nodes: int, name: str = "forest") -> None:
+        if n_nodes <= 0:
+            raise ReproError(f"need at least one node, got {n_nodes}")
+        self.n = int(n_nodes)
+        self.base = allocator.alloc(self.n, f"{name}.parent")
+        self.work_base = allocator.alloc(self.n, f"{name}.work")
+        self.memory = allocator.memory
+        self.memory.words[self.base : self.base + self.n] = np.arange(
+            self.n, dtype=np.int64
+        )
+
+    @property
+    def work_offset(self) -> int:
+        """Additive offset from a parent word to its FOL work word."""
+        return self.work_base - self.base
+
+    # -- verification helpers (uncharged) --------------------------------
+    def roots(self) -> np.ndarray:
+        """Fully-resolved root of every node (uncharged)."""
+        parent = self.memory.peek_range(self.base, self.n)
+        out = np.arange(self.n, dtype=np.int64)
+        for _ in range(self.n + 1):
+            nxt = parent[out]
+            if np.array_equal(nxt, out):
+                return out
+            out = nxt
+        raise ReproError("parent forest contains a cycle")
+
+    def component_count(self) -> int:
+        """Number of connected components (uncharged)."""
+        return int(np.unique(self.roots()).size)
+
+
+def _check_edges(u: np.ndarray, v: np.ndarray, n: int) -> Tuple[np.ndarray, np.ndarray]:
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    if u.shape != v.shape or u.ndim != 1:
+        raise ReproError("edge endpoint arrays must be equal-length 1-D")
+    if u.size and (min(u.min(), v.min()) < 0 or max(u.max(), v.max()) >= n):
+        raise ReproError(f"edge endpoints must lie in [0, {n})")
+    return u, v
+
+
+def vector_components(
+    vm: VectorMachine,
+    forest: ParentForest,
+    u: np.ndarray,
+    v: np.ndarray,
+    policy: str = "arbitrary",
+    max_waves: Optional[int] = None,
+) -> np.ndarray:
+    """Union all edges ``(u[i], v[i])`` into ``forest`` by vector
+    operations.  Returns the index vector of the edges elected into the
+    spanning forest (a subset of ``range(len(u))``)."""
+    u, v = _check_edges(u, v, forest.n)
+    if u.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    base = forest.base
+    positions = vm.iota(u.size)
+    ru, rv = u.copy(), v.copy()
+    forest_edges = []
+
+    waves = 0
+    limit = max_waves if max_waves is not None else forest.n + u.size + 4
+    while positions.size:
+        waves += 1
+        if waves > limit:
+            raise ReproError(f"component merging exceeded {limit} waves")
+
+        # 1. find roots of both endpoints by lock-step pointer jumping
+        # (with path halving: grandparent writes shorten future chains)
+        ru = _vector_find_roots(vm, base, ru, forest.n)
+        rv = _vector_find_roots(vm, base, rv, forest.n)
+
+        # 2. drop internal edges (same root)
+        differs = vm.ne(ru, rv)
+        if not vm.any_true(differs):
+            break
+        positions = vm.compress(positions, differs)
+        ru = vm.compress(ru, differs)
+        rv = vm.compress(rv, differs)
+
+        # orient: big root adopts small root as parent
+        hi = vm.select(vm.gt(ru, rv), ru, rv)
+        lo = vm.select(vm.gt(ru, rv), rv, ru)
+
+        # 3. FOL election: one merge per distinct hi-root this wave
+        target_addrs = vm.add(hi, base)
+        labels = positions
+        vm.scatter(vm.add(target_addrs, forest.work_offset), labels, policy=policy)
+        readback = vm.gather(vm.add(target_addrs, forest.work_offset))
+        won = vm.eq(readback, labels)
+        vm.scatter_masked(target_addrs, lo, won, policy=policy)
+
+        forest_edges.append(vm.compress(positions, won))
+
+        # losers re-find roots against the updated forest next wave
+        lost = vm.mask_not(won)
+        positions = vm.compress(positions, lost)
+        ru = vm.compress(hi, lost)
+        rv = vm.compress(lo, lost)
+        vm.loop_overhead()
+
+    if forest_edges:
+        out = np.concatenate(forest_edges)
+        out.sort()
+        return out
+    return np.zeros(0, dtype=np.int64)
+
+
+def _vector_find_roots(
+    vm: VectorMachine, base: int, nodes: np.ndarray, n: int
+) -> np.ndarray:
+    """All lanes chase parent pointers until every lane is at a root.
+    Applies path halving: each jump scatters the grandparent back, a
+    conflict-free write because all lanes write values gathered from
+    the same consistent snapshot and any winner is equally valid (the
+    classic benign race of pointer jumping, safe under ELS)."""
+    cur = nodes
+    for _ in range(n + 1):
+        parent = vm.gather(vm.add(cur, base))
+        at_root = vm.eq(parent, cur)
+        if vm.all_true(at_root):
+            return cur
+        grand = vm.gather(vm.add(parent, base))
+        # path halving: parent[cur] := grand (ELS picks any winner)
+        vm.scatter(vm.add(cur, base), grand, policy="arbitrary")
+        cur = vm.select(at_root, cur, grand)
+    raise ReproError("root finding did not converge — cycle in forest?")
+
+
+def scalar_components(
+    sp: ScalarProcessor,
+    forest: ParentForest,
+    u: np.ndarray,
+    v: np.ndarray,
+) -> np.ndarray:
+    """Sequential union-find baseline (path halving, no ranks, same
+    min-root orientation).  Returns the spanning-forest edge indices."""
+    u, v = _check_edges(u, v, forest.n)
+    base = forest.base
+
+    def find(x: int) -> int:
+        while True:
+            p = sp.load(base + x)
+            sp.branch()
+            if p == x:
+                return x
+            g = sp.load(base + p)
+            sp.store(base + x, g)
+            x = g
+
+    chosen = []
+    for i in range(u.size):
+        ru, rv = find(int(u[i])), find(int(v[i]))
+        sp.branch()
+        if ru != rv:
+            hi, lo = (ru, rv) if ru > rv else (rv, ru)
+            sp.alu()
+            sp.store(base + hi, lo)
+            chosen.append(i)
+        sp.loop_iter()
+    return np.asarray(chosen, dtype=np.int64)

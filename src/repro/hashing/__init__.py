@@ -1,0 +1,51 @@
+"""Multiple hashing (paper §4.1): chained (Figure 7, FOL1) and open
+addressing (Figure 8, overwrite-and-check), plus sequential baselines."""
+
+from .chained import vector_chained_insert, vector_multiple_hashing_chained
+from .open_addressing import (
+    vector_multiple_hashing_open,
+    vector_open_insert,
+    vector_open_insert_unfused,
+)
+from .probes import (
+    PROBES,
+    get_probe,
+    optimized_scalar,
+    optimized_vector,
+    original_scalar,
+    original_vector,
+)
+from .sets import VectorHashSet, vector_member, vector_unique
+from .scalar import (
+    scalar_chained_insert,
+    scalar_chained_lookup,
+    scalar_multiple_hashing_open,
+    scalar_open_insert,
+    scalar_open_lookup,
+)
+from .table import UNENTERED, ChainedHashTable, OpenHashTable
+
+__all__ = [
+    "UNENTERED",
+    "OpenHashTable",
+    "ChainedHashTable",
+    "PROBES",
+    "get_probe",
+    "original_scalar",
+    "original_vector",
+    "optimized_scalar",
+    "optimized_vector",
+    "scalar_open_insert",
+    "scalar_open_lookup",
+    "scalar_chained_insert",
+    "scalar_chained_lookup",
+    "scalar_multiple_hashing_open",
+    "vector_open_insert",
+    "vector_open_insert_unfused",
+    "vector_multiple_hashing_open",
+    "vector_chained_insert",
+    "vector_multiple_hashing_chained",
+    "vector_unique",
+    "vector_member",
+    "VectorHashSet",
+]

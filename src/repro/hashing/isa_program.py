@@ -1,0 +1,113 @@
+"""Figure 8 as an actual machine program.
+
+The paper's algorithm ran as compiled Fortran on the S-810; this module
+writes the same algorithm as an instruction sequence for the ISA-level
+backend (:mod:`repro.machine.isa`), with the probe-recalculation loop
+expressed through labels and conditional branches rather than Python
+control flow.  Tests cross-validate it against the facade-level
+implementation (:func:`repro.hashing.open_addressing.vector_open_insert`):
+same table contents, comparable cycle counts.
+
+Register conventions::
+
+    S1 = table base        V0 = keys (live, compressed each round)
+    S2 = table size        V1 = hashed values
+    S3 = UNENTERED         V2 = absolute addresses
+    S4 = n (key count)     V3 = gathered entries
+    S5 = nrest             V4 = probe step scratch
+    S6 = 31, S7 = 1        M0 = free-slot mask
+    S8 = staging base      M1 = entered mask, M2 = not-entered
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..errors import TableFullError
+from ..machine.isa import Assembler, Instr, Interpreter
+from ..machine.vm import VectorMachine
+from .table import UNENTERED, OpenHashTable
+
+
+def build_figure8_program() -> List[Instr]:
+    """Assemble the Figure 8 multiple-hashing program (optimized
+    probe).  Expects S1..S4, S6..S8 preset per the module docstring."""
+    a = Assembler()
+    # load the key vector from the staging area: V0 := mem[S8 .. S8+n)
+    a.emit("VIOTA", 5, 4)          # V5 := 0..n-1
+    a.emit("VADDS", 5, 5, 8)       # V5 += staging base
+    a.emit("VGATHER", 0, 5)        # V0 := keys
+
+    # hashed := keys mod size ; first entry attempt
+    a.emit("VMODS", 1, 0, 2)       # V1 := V0 mod S2
+    a.emit("VADDS", 2, 1, 1)       # V2 := V1 + base
+    a.emit("VGATHER", 3, 2)        # V3 := table entries
+    a.emit("VCMPES", 0, 3, 3)      # M0 := entry == UNENTERED
+    a.emit("VSCATTERM", 2, 0, 0)   # where free: table := keys
+
+    a.label("loop")
+    # overwrite check
+    a.emit("VGATHER", 3, 2)
+    a.emit("VCMPEV", 1, 3, 0)      # M1 := entry == key
+    a.emit("MNOT", 2, 1)           # M2 := not entered
+    a.emit("MCNT", 5, 2)           # S5 := nrest
+    a.emit("JZ", 5, "done")
+
+    # pack the colliding keys and their subscripts
+    a.emit("VCOMPRESS", 0, 0, 2)
+    a.emit("VCOMPRESS", 1, 1, 2)
+
+    # optimized recalculation: h := (h + (key & 31) + 1) mod size
+    a.emit("VANDS", 4, 0, 6)       # V4 := key & 31
+    a.emit("VADDV", 1, 1, 4)       # h += step
+    a.emit("VADDS", 1, 1, 7)       # h += 1
+    a.emit("VMODS", 1, 1, 2)       # h mod size
+
+    # retry entry
+    a.emit("VADDS", 2, 1, 1)
+    a.emit("VGATHER", 3, 2)
+    a.emit("VCMPES", 0, 3, 3)
+    a.emit("VSCATTERM", 2, 0, 0)
+    a.emit("JMP", "loop")
+
+    a.label("done")
+    a.emit("HALT")
+    return a.assemble()
+
+
+def isa_open_insert(
+    vm: VectorMachine,
+    table: OpenHashTable,
+    keys: np.ndarray,
+    staging_base: int,
+    policy: str = "arbitrary",
+) -> int:
+    """Run the Figure 8 machine program to enter ``keys`` into
+    ``table``.  ``staging_base`` is a memory region of at least
+    ``len(keys)`` words for the input vector.  Returns the number of
+    instructions executed."""
+    keys = np.asarray(keys, dtype=np.int64)
+    if keys.size == 0:
+        return 0
+    if np.unique(keys).size != keys.size:
+        raise ValueError("open-addressing multiple hashing requires distinct keys")
+    if keys.min() < 0:
+        raise ValueError("keys must be non-negative (UNENTERED is -1)")
+    if keys.size > table.size:
+        raise TableFullError(f"{keys.size} keys cannot fit a table of {table.size}")
+
+    # stage the key vector (workload setup, uncharged like the paper's
+    # pre-loaded arrays) and preset the register conventions
+    vm.mem.words[staging_base : staging_base + keys.size] = keys
+
+    interp = Interpreter(vm, max_steps=200 * (table.size + keys.size) + 10_000)
+    interp.s[1] = table.base
+    interp.s[2] = table.size
+    interp.s[3] = UNENTERED
+    interp.s[4] = keys.size
+    interp.s[6] = 31
+    interp.s[7] = 1
+    interp.s[8] = staging_base
+    return interp.run(build_figure8_program(), scatter_policy=policy)

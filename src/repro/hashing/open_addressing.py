@@ -1,0 +1,186 @@
+"""Vectorized multiple hashing with open addressing — Figure 8.
+
+This is the paper's optimized "overwrite-and-check" algorithm, a
+specialized FOL1 in which the **keys themselves are the labels** (§3.2's
+simplified method): writing a key into a free entry *is* the label write,
+and reading it back *is* the overwrite detection, so label writing and
+main processing are fused into a single scatter.
+
+All keys must therefore be distinct (the label-uniqueness precondition),
+and only keys are stored in the table.
+
+The algorithm, per Figure 8::
+
+    hashedValue := hash(key)                      -- vector
+    where table[hashedValue] = unentered do       -- masked scatter
+        table[hashedValue] := key                 --   (ELS: one key/slot wins)
+    loop:
+        entered := key = table[hashedValue]       -- gather + compare
+        pack the not-entered keys                 -- compress
+        exit when none remain
+        hashedValue := recalc(hashedValue, key)   -- probe strategy
+        where table[hashedValue] = unentered do
+            table[hashedValue] := key
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TableFullError
+from ..machine.vm import VectorMachine
+from .probes import VectorProbe, optimized_vector
+from .table import UNENTERED, OpenHashTable
+
+
+def vector_open_insert(
+    vm: VectorMachine,
+    table: OpenHashTable,
+    keys: np.ndarray,
+    probe: VectorProbe = optimized_vector,
+    policy: str = "arbitrary",
+) -> int:
+    """Enter all ``keys`` (distinct, non-negative) into ``table`` by
+    vector operations.  Returns the number of probe rounds used.
+
+    Raises
+    ------
+    TableFullError
+        After ``size(table)`` rounds with keys still unentered (the
+        Figure 8 loop bound).
+    ValueError
+        If keys are not distinct — the fused key-as-label scheme is
+        unsound with duplicates (see :func:`repro.core.labels.key_labels`).
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    if keys.size == 0:
+        return 0
+    if np.unique(keys).size != keys.size:
+        raise ValueError("open-addressing multiple hashing requires distinct keys")
+    if keys.min() < 0:
+        raise ValueError("keys must be non-negative (UNENTERED is -1)")
+    if keys.size > table.size:
+        raise TableFullError(f"{keys.size} keys cannot fit a table of {table.size}")
+
+    size = table.size
+
+    # hashedValue := hash(key)  {hash(x) = x mod size}
+    hashed = vm.mod(keys, size)
+    addrs = vm.add(hashed, table.base)
+
+    # First entry attempt: store keys only where the entry is free.
+    entry = vm.gather(addrs)
+    free = vm.eq(entry, UNENTERED)
+    vm.scatter_masked(addrs, keys, free, policy=policy)
+
+    rounds = 1
+    for _ in range(size):
+        # Overwrite check: did *my* key survive in *my* slot?
+        entry = vm.gather(addrs)
+        entered = vm.eq(entry, keys)
+        nrest = vm.count_true(vm.mask_not(entered))
+        if nrest == 0:
+            return rounds
+        not_entered = vm.mask_not(entered)
+        keys = vm.compress(keys, not_entered)
+        hashed = vm.compress(hashed, not_entered)
+
+        # Subscript recalculation for the colliding keys, then retry.
+        hashed = probe(vm, hashed, keys, size)
+        addrs = vm.add(hashed, table.base)
+        entry = vm.gather(addrs)
+        free = vm.eq(entry, UNENTERED)
+        vm.scatter_masked(addrs, keys, free, policy=policy)
+        vm.loop_overhead()
+        rounds += 1
+
+    raise TableFullError(
+        f"{keys.size} keys unentered after {size} rounds (load factor "
+        f"{table.load_factor():.2f})"
+    )
+
+
+def vector_open_insert_unfused(
+    vm: VectorMachine,
+    table: OpenHashTable,
+    keys: np.ndarray,
+    work_base: int,
+    probe: VectorProbe = optimized_vector,
+    policy: str = "arbitrary",
+) -> int:
+    """The *unfused* formulation: generic FOL1 with subscript labels in
+    a separate work area, instead of Figure 8's key-as-label fusion.
+
+    Per round, lanes whose probed slot is free run a label round
+    (scatter subscripts into ``work_base + slot``, gather, compare);
+    survivors then store their keys in a second scatter.  Functionally
+    identical to :func:`vector_open_insert`, but every round pays one
+    extra scatter+gather pair plus the work-area traffic — the overhead
+    §3.2's simplification ("the label writing and the main processing
+    can be performed at the same time") exists to remove.  Used by the
+    label-strategy ablation bench.
+
+    ``work_base`` must point at ``table.size`` scratch words.
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    if keys.size == 0:
+        return 0
+    if np.unique(keys).size != keys.size:
+        raise ValueError("open-addressing multiple hashing requires distinct keys")
+    if keys.min() < 0:
+        raise ValueError("keys must be non-negative (UNENTERED is -1)")
+    if keys.size > table.size:
+        raise TableFullError(f"{keys.size} keys cannot fit a table of {table.size}")
+
+    size = table.size
+    hashed = vm.mod(keys, size)
+    labels = vm.iota(keys.size)
+
+    rounds = 0
+    for _ in range(2 * size + 2):
+        rounds += 1
+        addrs = vm.add(hashed, table.base)
+        entry = vm.gather(addrs)
+        free = vm.eq(entry, UNENTERED)
+
+        # FOL1 label round over the free-slot lanes (separate work area)
+        work = vm.add(hashed, work_base)
+        vm.scatter_masked(work, labels, free, policy=policy)
+        readback = vm.gather(work)
+        won = vm.mask_and(free, vm.eq(readback, labels))
+        # main processing, now a second scatter
+        vm.scatter_masked(addrs, keys, won, policy=policy)
+
+        live = vm.mask_not(won)
+        if vm.count_true(live) == 0:
+            return rounds
+        keys = vm.compress(keys, live)
+        hashed = vm.compress(hashed, live)
+        labels = vm.compress(labels, live)
+        # free-slot losers re-check the same slot; occupied lanes probe
+        advance = vm.compress(vm.mask_not(free), live)
+        next_hashed = probe(vm, hashed, keys, size)
+        hashed = vm.select(advance, next_hashed, hashed)
+        vm.loop_overhead()
+
+    raise TableFullError(
+        f"{keys.size} keys unentered after {2 * size} rounds (load factor "
+        f"{table.load_factor():.2f})"
+    )
+
+
+def vector_multiple_hashing_open(
+    vm: VectorMachine,
+    table: OpenHashTable,
+    keys: np.ndarray,
+    probe: VectorProbe = optimized_vector,
+    policy: str = "arbitrary",
+    charge_init: bool = True,
+) -> int:
+    """The full vectorized run measured in Figure 9: initialise the
+    table (one vector fill), then enter all keys."""
+    if charge_init:
+        table.reset_vector(vm)
+    else:
+        table.reset()
+    return vector_open_insert(vm, table, keys, probe, policy)

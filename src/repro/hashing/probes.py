@@ -1,0 +1,80 @@
+"""Probe-sequence (subscript recalculation) strategies for open
+addressing (paper §4.1).
+
+The paper compares two recalculation rules for colliding keys:
+
+* **original** (the PARBASE-90 "overwrite-and-check" paper's rule):
+  ``h' = (h + 1) mod size`` — every collided key advances by one, so
+  keys that collided with *each other* keep colliding forever until an
+  empty slot separates them, and clustering grows.
+* **optimized** (this paper's improvement): ``h' = (h + (key & 31) + 1)
+  mod size`` — the step depends on the key's low bits, so keys that
+  collided at the same slot scatter to (mostly) different slots on the
+  next round.  Requires ``size > 32``.
+
+Both are expressed once, with a scalar form (for the sequential
+baseline) and a vector form (for Figure 8), so the two implementations
+provably probe the same sequence for the same key.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..machine.scalar import ScalarProcessor
+from ..machine.vm import VectorMachine
+
+#: Scalar probe: (sp, h, key, size) -> next h, charging its own ALU ops.
+ScalarProbe = Callable[[ScalarProcessor, int, int, int], int]
+#: Vector probe: (vm, h_vec, key_vec, size) -> next h_vec, charged on vm.
+VectorProbe = Callable[[VectorMachine, np.ndarray, np.ndarray, int], np.ndarray]
+
+
+# ----------------------------------------------------------------------
+# original: +1 linear probing
+# ----------------------------------------------------------------------
+def original_scalar(sp: ScalarProcessor, h: int, key: int, size: int) -> int:
+    """``(h + 1) mod size`` — one add, one mod."""
+    sp.alu(2)
+    return (h + 1) % size
+
+
+def original_vector(
+    vm: VectorMachine, h: np.ndarray, keys: np.ndarray, size: int
+) -> np.ndarray:
+    """Vector form of the +1 rule."""
+    return vm.mod(vm.add(h, 1), size)
+
+
+# ----------------------------------------------------------------------
+# optimized: key-dependent step (this paper's contribution in §4.1)
+# ----------------------------------------------------------------------
+def optimized_scalar(sp: ScalarProcessor, h: int, key: int, size: int) -> int:
+    """``(h + (key & 31) + 1) mod size`` — and, two adds, one mod."""
+    sp.alu(4)
+    return (h + (key & 31) + 1) % size
+
+
+def optimized_vector(
+    vm: VectorMachine, h: np.ndarray, keys: np.ndarray, size: int
+) -> np.ndarray:
+    """Vector form of the key-dependent rule (Figure 8's recalculation)."""
+    step = vm.add(vm.bitand(keys, 31), 1)
+    return vm.mod(vm.add(h, step), size)
+
+
+#: Named probe pairs for benches and the CLI: name -> (scalar, vector).
+PROBES: dict[str, tuple[ScalarProbe, VectorProbe]] = {
+    "original": (original_scalar, original_vector),
+    "optimized": (optimized_scalar, optimized_vector),
+}
+
+
+def get_probe(name: str) -> tuple[ScalarProbe, VectorProbe]:
+    """Look up a probe pair by name (raises KeyError with choices)."""
+    try:
+        return PROBES[name]
+    except KeyError:
+        raise KeyError(f"unknown probe {name!r}; choose from {sorted(PROBES)}") from None

@@ -1,0 +1,132 @@
+"""Sequential hashing baselines (the paper's scalar Fortran stand-ins).
+
+These run on the :class:`~repro.machine.scalar.ScalarProcessor`, charging
+one scalar memory/ALU/branch cost per operation — the denominator of
+every acceleration ratio in Figures 9 and 10.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..errors import TableFullError
+from ..machine.scalar import ScalarProcessor
+from ..mem.arena import NIL
+from .probes import ScalarProbe, optimized_scalar
+from .table import UNENTERED, ChainedHashTable, OpenHashTable
+
+
+def scalar_open_insert(
+    sp: ScalarProcessor,
+    table: OpenHashTable,
+    keys: Iterable[int],
+    probe: ScalarProbe = optimized_scalar,
+) -> None:
+    """Insert ``keys`` one at a time into an open-addressing table.
+
+    Per key: hash, then probe until an ``unentered`` entry is found.
+    Keys must be distinct (only keys are stored, as in Figure 8).
+
+    Raises
+    ------
+    TableFullError
+        If a key probes ``size`` times without finding a free entry.
+    """
+    size = table.size
+    for key in keys:
+        key = int(key)
+        h = sp.hash_mod(key, size)
+        for _ in range(size):
+            entry = sp.load(table.base + h)
+            sp.branch()  # the "is it free?" test
+            if entry == UNENTERED:
+                sp.store(table.base + h, key)
+                break
+            h = probe(sp, h, key, size)
+            sp.loop_iter()
+        else:
+            raise TableFullError(f"no free slot for key {key} after {size} probes")
+
+
+def scalar_open_lookup(
+    sp: ScalarProcessor,
+    table: OpenHashTable,
+    key: int,
+    probe: ScalarProbe = optimized_scalar,
+) -> Optional[int]:
+    """Find ``key``'s slot following its probe sequence; None if absent."""
+    size = table.size
+    key = int(key)
+    h = sp.hash_mod(key, size)
+    for _ in range(size):
+        entry = sp.load(table.base + h)
+        sp.branch()
+        if entry == key:
+            return h
+        if entry == UNENTERED:
+            return None
+        h = probe(sp, h, key, size)
+        sp.loop_iter()
+    return None
+
+
+def scalar_chained_insert(
+    sp: ScalarProcessor,
+    table: ChainedHashTable,
+    keys: Iterable[int],
+) -> None:
+    """Insert ``keys`` one at a time at the head of their hash chain
+    (Figure 4a's sequential processing; duplicates allowed)."""
+    size = table.size
+    for key in keys:
+        key = int(key)
+        h = sp.hash_mod(key, size)
+        node = table.nodes.alloc_one()
+        sp.alu()  # bump-pointer allocation
+        head_addr = table.base + h
+        old = sp.load(head_addr)
+        sp.store(table.nodes.field_addr(node, "key"), key)
+        sp.alu()  # field address arithmetic
+        sp.store(table.nodes.field_addr(node, "next"), old)
+        sp.alu()
+        sp.store(head_addr, node)
+        sp.loop_iter()
+
+
+def scalar_chained_lookup(
+    sp: ScalarProcessor,
+    table: ChainedHashTable,
+    key: int,
+) -> bool:
+    """Walk ``key``'s chain; True if present."""
+    key = int(key)
+    h = sp.hash_mod(key, table.size)
+    ptr = sp.load(table.base + h)
+    while ptr != NIL:
+        sp.branch()
+        k = sp.load(table.nodes.field_addr(ptr, "key"))
+        sp.alu()
+        if k == key:
+            return True
+        ptr = sp.load(table.nodes.field_addr(ptr, "next"))
+        sp.alu()
+    sp.branch()
+    return False
+
+
+def scalar_multiple_hashing_open(
+    sp: ScalarProcessor,
+    table: OpenHashTable,
+    keys: np.ndarray,
+    probe: ScalarProbe = optimized_scalar,
+    charge_init: bool = True,
+) -> None:
+    """The full sequential run measured in Figure 9: initialise the
+    table, then enter all keys."""
+    if charge_init:
+        table.reset_scalar(sp)
+    else:
+        table.reset()
+    scalar_open_insert(sp, table, keys, probe)

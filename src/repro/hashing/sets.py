@@ -1,0 +1,181 @@
+"""Vectorized set operations built on overwrite-and-check hashing.
+
+The paper positions multiple hashing as a building block ("entering
+multiple data items into a hash table, address calculation sorting, and
+many other algorithms").  This module supplies the most common
+downstream uses as a small public API:
+
+* :func:`vector_unique` — deduplicate a key vector (the overwrite-and-
+  check election run to a fixed point over an open-addressing table);
+* :func:`vector_member` — batch membership queries against an already
+  populated table, entirely with gathers;
+* :class:`VectorHashSet` — a growable wrapper tying the two together.
+
+These are *vector* algorithms in the paper's sense: no Python-level
+per-element loops, only per-round loops, every operation charged to the
+machine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import TableFullError
+from ..machine.vm import VectorMachine
+from ..mem.arena import BumpAllocator
+from .probes import VectorProbe, optimized_vector
+from .table import UNENTERED, OpenHashTable
+
+
+def vector_unique(
+    vm: VectorMachine,
+    table: OpenHashTable,
+    keys: np.ndarray,
+    probe: VectorProbe = optimized_vector,
+    policy: str = "arbitrary",
+) -> np.ndarray:
+    """Insert ``keys`` (duplicates allowed) into ``table``, returning
+    the distinct keys ordered by their *winning* occurrence's position.
+    Which occurrence of a duplicated key wins is the conflict policy's
+    business (footnote 5); under ``policy="first"`` the result is in
+    first-occurrence order.
+
+    Unlike :func:`~repro.hashing.open_addressing.vector_open_insert`,
+    duplicated keys are legal here.  That forces a change from
+    Figure 8: the key-as-label shortcut requires unique labels (§3.2),
+    so this algorithm runs proper FOL1 rounds with **subscript labels**
+    to elect one inserter per free slot.  Equal keys racing on one free
+    slot then resolve correctly — one lane wins and stores the key, the
+    losers re-examine the *same* slot next round, find their own key
+    already stored, and drop out as duplicates.  Lanes whose slot holds
+    a different key probe onward.
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    if keys.size == 0:
+        return keys.copy()
+    if keys.min() < 0:
+        raise ValueError("keys must be non-negative (UNENTERED is -1)")
+
+    size = table.size
+    positions = vm.iota(keys.size)
+    rem_keys = keys.copy()
+    hashed = vm.mod(rem_keys, size)
+    unique_positions = []
+
+    # Each round makes progress (a slot is filled, or lanes drop as
+    # duplicates), but a lane can spend one extra round re-checking a
+    # lost slot, hence the 2x bound.
+    for _ in range(2 * size + 2):
+        addrs = vm.add(hashed, table.base)
+        entry = vm.gather(addrs)
+
+        # a lane whose slot already holds its own key is a duplicate
+        dup = vm.eq(entry, rem_keys)
+        free = vm.eq(entry, UNENTERED)
+        occupied_other = vm.mask_not(vm.mask_or(dup, free))
+
+        # FOL round over the free-slot lanes: subscript labels elect
+        # exactly one inserter per slot, then winners store their keys.
+        labels = positions  # unique per lane, >= 0 so never UNENTERED
+        vm.scatter_masked(addrs, labels, free, policy=policy)
+        readback = vm.gather(addrs)
+        won = vm.mask_and(free, vm.eq(readback, labels))
+        vm.scatter_masked(addrs, rem_keys, won, policy=policy)
+        unique_positions.append(vm.compress(positions, won))
+
+        live = vm.mask_not(vm.mask_or(dup, won))
+        if vm.count_true(live) == 0:
+            out = np.concatenate(unique_positions)
+            out.sort()  # first-occurrence order
+            return keys[out]
+
+        # Only occupied-by-another-key lanes probe onward; free-slot
+        # losers re-examine the same slot (it now holds some winner's
+        # key — possibly their own, which the next round's dup check
+        # catches).
+        advance = vm.compress(occupied_other, live)
+        rem_keys = vm.compress(rem_keys, live)
+        hashed = vm.compress(hashed, live)
+        positions = vm.compress(positions, live)
+        next_hashed = probe(vm, hashed, rem_keys, size)
+        hashed = vm.select(advance, next_hashed, hashed)
+        vm.loop_overhead()
+
+    raise TableFullError(
+        f"{rem_keys.size} keys unresolved after {2 * size} rounds "
+        f"(load factor {table.load_factor():.2f})"
+    )
+
+
+def vector_member(
+    vm: VectorMachine,
+    table: OpenHashTable,
+    keys: np.ndarray,
+    probe: VectorProbe = optimized_vector,
+) -> np.ndarray:
+    """Batch membership: mask[i] = (keys[i] in table), by pure gathers
+    along each key's probe sequence (read-only sharing is the Figure 2b
+    case, so no FOL is needed)."""
+    keys = np.asarray(keys, dtype=np.int64)
+    if keys.size == 0:
+        return np.zeros(0, dtype=bool)
+    size = table.size
+    result = np.zeros(keys.size, dtype=bool)
+    positions = vm.iota(keys.size)
+    rem = keys.copy()
+    hashed = vm.mod(rem, size)
+
+    for _ in range(size + 1):
+        entry = vm.gather(vm.add(hashed, table.base))
+        found = vm.eq(entry, rem)
+        missing = vm.eq(entry, UNENTERED)
+        if vm.any_true(found):
+            result[vm.compress(positions, found)] = True
+        live = vm.mask_not(vm.mask_or(found, missing))
+        if vm.count_true(live) == 0:
+            return result
+        rem = vm.compress(rem, live)
+        hashed = vm.compress(hashed, live)
+        positions = vm.compress(positions, live)
+        hashed = probe(vm, hashed, rem, size)
+        vm.loop_overhead()
+
+    return result
+
+
+class VectorHashSet:
+    """A set of non-negative int64 keys with vectorized bulk operations.
+
+    Thin stateful wrapper over one :class:`OpenHashTable`; capacity is
+    fixed at construction (open addressing cannot grow in place on the
+    simulated machine, just as it could not on the S-810)."""
+
+    def __init__(
+        self,
+        vm: VectorMachine,
+        allocator: BumpAllocator,
+        size: int,
+        name: str = "hashset",
+    ) -> None:
+        self.vm = vm
+        self.table = OpenHashTable(allocator, size, name=name)
+        self._count = 0
+
+    def add_all(self, keys: np.ndarray, policy: str = "arbitrary") -> np.ndarray:
+        """Insert keys (duplicates fine); returns the newly added ones."""
+        fresh = vector_unique(self.vm, self.table, keys, policy=policy)
+        self._count += fresh.size
+        return fresh
+
+    def contains_all(self, keys: np.ndarray) -> np.ndarray:
+        """Vector membership mask."""
+        return vector_member(self.vm, self.table, keys)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def keys(self) -> np.ndarray:
+        """Current contents (uncharged snapshot, unordered)."""
+        return self.table.stored_keys()

@@ -1,0 +1,135 @@
+"""Hash-table storage layouts on simulated memory.
+
+Two layouts matching the paper's two collision-resolution schemes (§4.1):
+
+* :class:`OpenHashTable` — a flat array of ``size`` words; empty entries
+  hold the sentinel :data:`UNENTERED`; only keys are stored (Figure 8's
+  setting).
+* :class:`ChainedHashTable` — ``size`` chain-head words plus a node
+  arena of ``(key, next)`` records (Figures 4 and 7's setting).
+
+Keys are non-negative int64 values; :data:`UNENTERED` is −1 so it can
+never collide with a key.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..machine.memory import Memory
+from ..machine.scalar import ScalarProcessor
+from ..machine.vm import VectorMachine
+from ..mem.arena import NIL, BumpAllocator, RecordArena
+
+#: Sentinel marking an unused open-addressing entry (paper: "a special
+#: value, unentered, which is not used as a key value").
+UNENTERED = -1
+
+
+class OpenHashTable:
+    """Open-addressing hash table: ``size`` key words in memory."""
+
+    def __init__(self, allocator: BumpAllocator, size: int, name: str = "open_table") -> None:
+        if size <= 32:
+            # The optimized probe recalculation asserts size(table) > 32
+            # (paper §4.1: "It is asserted that size(table) > 32").
+            raise ValueError(f"table size must exceed 32, got {size}")
+        self.memory: Memory = allocator.memory
+        self.size = int(size)
+        self.base = allocator.alloc(self.size, name)
+        self.memory.words[self.base : self.base + self.size] = UNENTERED
+
+    # -- charged initialisation (part of a measured run) ---------------
+    def reset_vector(self, vm: VectorMachine) -> None:
+        """Re-initialise every entry with one vector fill."""
+        vm.mem.fill(self.base, self.size, UNENTERED)
+
+    def reset_scalar(self, sp: ScalarProcessor) -> None:
+        """Re-initialise sequentially (charged per entry)."""
+        sp.fill_array(self.base, self.size, UNENTERED)
+
+    # -- debug/verification (uncharged) ---------------------------------
+    def reset(self) -> None:
+        """Uncharged reset for test setup."""
+        self.memory.words[self.base : self.base + self.size] = UNENTERED
+
+    def entries(self) -> np.ndarray:
+        """Snapshot of all entries (uncharged)."""
+        return self.memory.peek_range(self.base, self.size)
+
+    def stored_keys(self) -> np.ndarray:
+        """Multiset of keys currently in the table (uncharged)."""
+        e = self.entries()
+        return e[e != UNENTERED]
+
+    def load_factor(self) -> float:
+        """Fraction of entries in use (uncharged)."""
+        return float((self.entries() != UNENTERED).mean())
+
+
+class ChainedHashTable:
+    """Chained hash table: head words, per-slot label work area, and a
+    ``(key, next)`` node arena.
+
+    Figure 7 gives every hash-table entry "a work area for storing
+    labels": FOL's label writes must not destroy the chain-head pointer,
+    because the main processing reads the old head when linking.  The
+    work area is a parallel region, addressed as ``head_addr +
+    work_offset``.
+    """
+
+    def __init__(
+        self,
+        allocator: BumpAllocator,
+        size: int,
+        capacity: int,
+        name: str = "chained_table",
+    ) -> None:
+        if size <= 0:
+            raise ValueError(f"table size must be positive, got {size}")
+        self.memory: Memory = allocator.memory
+        self.size = int(size)
+        self.base = allocator.alloc(self.size, f"{name}.heads")
+        self.work_base = allocator.alloc(self.size, f"{name}.work")
+        self.nodes = RecordArena(
+            allocator, fields=("key", "next"), capacity=capacity, name=f"{name}.nodes"
+        )
+        self.memory.words[self.base : self.base + self.size] = NIL
+
+    @property
+    def work_offset(self) -> int:
+        """Additive offset from a head word to its label work word."""
+        return self.work_base - self.base
+
+    # -- charged initialisation -----------------------------------------
+    def reset_vector(self, vm: VectorMachine) -> None:
+        """Clear all chain heads with one vector fill (nodes are bump-
+        allocated, so clearing heads empties the table)."""
+        vm.mem.fill(self.base, self.size, NIL)
+
+    def reset_scalar(self, sp: ScalarProcessor) -> None:
+        """Clear all chain heads sequentially (charged per entry)."""
+        sp.fill_array(self.base, self.size, NIL)
+
+    # -- debug/verification (uncharged) ----------------------------------
+    def chain(self, slot: int) -> List[int]:
+        """Keys in slot's chain, head first (uncharged walk)."""
+        out: List[int] = []
+        ptr = self.memory.peek(self.base + slot)
+        while ptr != NIL:
+            out.append(self.nodes.peek_field(ptr, "key"))
+            ptr = self.nodes.peek_field(ptr, "next")
+        return out
+
+    def all_chains(self) -> List[List[int]]:
+        """Every chain's keys (uncharged)."""
+        return [self.chain(s) for s in range(self.size)]
+
+    def stored_keys(self) -> np.ndarray:
+        """Multiset of keys across all chains (uncharged)."""
+        keys: List[int] = []
+        for s in range(self.size):
+            keys.extend(self.chain(s))
+        return np.asarray(keys, dtype=np.int64)

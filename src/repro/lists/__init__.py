@@ -1,0 +1,30 @@
+"""Linked lists with shared tails (Figure 3a) and their parallel
+rewriting via FOL."""
+
+from .cells import ConsArena, decode_atom, encode_atom, is_atom
+from .ops import vector_list_lengths, vector_list_to_arrays, vector_reverse_lists
+from .ranking import RankingScratch, chase_to_tail, list_ranks, record_index
+from .rewrite import (
+    scalar_map_add_per_cell,
+    scalar_map_add_per_reference,
+    vector_map_add_per_cell,
+    vector_map_add_per_reference,
+)
+
+__all__ = [
+    "ConsArena",
+    "RankingScratch",
+    "list_ranks",
+    "chase_to_tail",
+    "record_index",
+    "vector_list_lengths",
+    "vector_list_to_arrays",
+    "vector_reverse_lists",
+    "encode_atom",
+    "decode_atom",
+    "is_atom",
+    "scalar_map_add_per_reference",
+    "vector_map_add_per_reference",
+    "scalar_map_add_per_cell",
+    "vector_map_add_per_cell",
+]

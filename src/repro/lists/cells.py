@@ -1,0 +1,127 @@
+"""Cons cells: linked lists with shared tails (Figure 3a's structures).
+
+A cell is a ``(car, cdr)`` record.  ``car`` holds either an **atom**
+(encoded integer) or a pointer to another cell; ``cdr`` holds a pointer
+or :data:`~repro.mem.arena.NIL`.  Atoms are encoded as ``-(value + 1)``
+so every atom is negative and every pointer positive — the tag bit of a
+1991 Lisp heap, flattened into the sign.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from ..errors import ReproError
+from ..mem.arena import NIL, BumpAllocator, RecordArena
+
+CELL_FIELDS = ("car", "cdr")
+
+
+def encode_atom(value: int) -> int:
+    """Encode an integer atom (sign-tagged, always negative)."""
+    if value < 0:
+        raise ReproError(f"atoms must be non-negative, got {value}")
+    return -(int(value) + 1)
+
+
+def decode_atom(word: int) -> int:
+    """Decode a sign-tagged atom."""
+    if word >= 0:
+        raise ReproError(f"word {word} is a pointer, not an atom")
+    return -int(word) - 1
+
+
+def is_atom(word: int) -> bool:
+    """True for atom encodings (negative words)."""
+    return word < 0
+
+
+class ConsArena:
+    """Cons-cell heap with list construction and inspection helpers."""
+
+    def __init__(self, allocator: BumpAllocator, capacity: int, name: str = "cons") -> None:
+        self.cells = RecordArena(allocator, CELL_FIELDS, capacity, name=name)
+        self.memory = allocator.memory
+        # Shadow regions (one word per cell word, constant offset from
+        # the cell): FOL label work area, and a visited-mark word used
+        # by the once-per-distinct-cell map.  Read-modify-write main
+        # processing *reads* the old car, so §3.2's share-the-storage
+        # trick does not apply and a real work area is needed.
+        self._work_base = allocator.alloc(
+            capacity * self.cells.record_size, f"{name}.fol_work"
+        )
+        self._mark_base = allocator.alloc(
+            capacity * self.cells.record_size, f"{name}.marks"
+        )
+
+    @property
+    def work_offset(self) -> int:
+        """Additive offset from a cell address to its FOL work word."""
+        return self._work_base - self.cells.base
+
+    @property
+    def mark_offset(self) -> int:
+        """Additive offset from a cell address to its visited-mark word."""
+        return self._mark_base - self.cells.base
+
+    def clear_marks(self) -> None:
+        """Reset all visited marks (uncharged test helper)."""
+        n = self.cells.capacity * self.cells.record_size
+        self.memory.words[self._mark_base : self._mark_base + n] = 0
+
+    # -- construction (uncharged; workload setup) ------------------------
+    def cons(self, car: int, cdr: int) -> int:
+        ptr = self.cells.alloc_one()
+        self.cells.poke_field(ptr, "car", int(car))
+        self.cells.poke_field(ptr, "cdr", int(cdr))
+        return ptr
+
+    def from_values(self, values: Iterable[int], tail: int = NIL) -> int:
+        """Build a list of atoms ending at ``tail`` (which may be a
+        shared suffix of another list)."""
+        head = tail
+        for v in reversed(list(values)):
+            head = self.cons(encode_atom(v), head)
+        return head
+
+    # -- inspection (uncharged) -------------------------------------------
+    def to_values(self, head: int, max_len: Optional[int] = None) -> List[int]:
+        """Atom values of a list (raises on cycles via the length cap)."""
+        limit = max_len if max_len is not None else self.cells.allocated + 1
+        out: List[int] = []
+        ptr = int(head)
+        while ptr != NIL:
+            if len(out) >= limit:
+                raise ReproError("list longer than heap — cycle?")
+            word = self.cells.peek_field(ptr, "car")
+            if not is_atom(word):
+                raise ReproError(f"cell {ptr} car is not an atom")
+            out.append(decode_atom(word))
+            ptr = self.cells.peek_field(ptr, "cdr")
+        return out
+
+    def cell_addresses(self, head: int) -> List[int]:
+        """Addresses of each cell along a list (uncharged walk)."""
+        out: List[int] = []
+        ptr = int(head)
+        while ptr != NIL:
+            if len(out) > self.cells.allocated:
+                raise ReproError("list longer than heap — cycle?")
+            out.append(ptr)
+            ptr = self.cells.peek_field(ptr, "cdr")
+        return out
+
+    def length(self, head: int) -> int:
+        """List length (uncharged)."""
+        return len(self.cell_addresses(head))
+
+    def shared_suffix_start(self, head_a: int, head_b: int) -> int:
+        """First cell shared by two lists, or NIL (uncharged; used by
+        tests to build Figure 3a scenarios deliberately)."""
+        cells_a = set(self.cell_addresses(head_a))
+        for ptr in self.cell_addresses(head_b):
+            if ptr in cells_a:
+                return ptr
+        return NIL

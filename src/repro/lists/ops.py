@@ -1,0 +1,145 @@
+"""Vector list operations built on list ranking.
+
+Bulk operations over many linked lists at once, each a constant or
+logarithmic number of vector rounds:
+
+* :func:`vector_list_lengths` — lengths of many lists from one global
+  ranking pass (shared suffixes fine).
+* :func:`vector_list_to_arrays` — serialise lists into contiguous
+  memory, positions computed from ranks (one scatter, no walking).
+* :func:`vector_reverse_lists` — destructive in-place reversal of many
+  lists at once: one scatter builds the predecessor map, one scatter
+  flips every ``cdr``; the new heads (old tails) come from a pointer
+  chase.  Reversal rewrites shared cells ambiguously, so sharing is
+  *detected* with an overwrite-and-check round (FOL as an assertion
+  mechanism) and rejected.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+from ..machine.vm import VectorMachine
+from ..mem.arena import NIL, BumpAllocator
+from .cells import ConsArena
+from .ranking import RankingScratch, chase_to_tail, list_ranks, record_index
+
+
+def vector_list_lengths(
+    vm: VectorMachine,
+    arena: ConsArena,
+    scratch: RankingScratch,
+    heads: Sequence[int],
+) -> np.ndarray:
+    """Lengths of the lists at ``heads`` (NIL heads have length 0).
+    One global ranking pass; shared suffixes are fine."""
+    heads_arr = np.asarray(list(heads), dtype=np.int64)
+    if heads_arr.size == 0:
+        return heads_arr
+    _, ranks = list_ranks(vm, scratch, "cdr")
+    idx = record_index(vm, arena.cells,
+                       vm.select(vm.ne(heads_arr, NIL), heads_arr, arena.cells.base))
+    # length = distance-to-tail + 1 for non-NIL heads
+    head_ranks = ranks[idx]
+    vm.counter.charge_vector(
+        vm.cost.vector_cost(heads_arr.size, vm.cost.chime_gather),
+        heads_arr.size, "v_gather",
+    )
+    return np.where(heads_arr != NIL, head_ranks + 1, 0).astype(np.int64)
+
+
+def vector_list_to_arrays(
+    vm: VectorMachine,
+    arena: ConsArena,
+    scratch: RankingScratch,
+    head: int,
+    out_base: int,
+) -> int:
+    """Serialise the (unshared) list at ``head`` into contiguous memory
+    at ``out_base``: position of each cell = rank(head) − rank(cell),
+    written with one scatter of the car words.  Returns the length.
+
+    Precondition: ``head``'s cells are not shared with other structures
+    in the arena (their ranks must be a contiguous run ending at the
+    tail); violated preconditions surface as a length/position check.
+    """
+    if head == NIL:
+        return 0
+    nodes, ranks = list_ranks(vm, scratch, "cdr")
+    idx_head = (head - arena.cells.base) // arena.cells.record_size
+    head_rank = int(ranks[idx_head])
+    length = head_rank + 1
+
+    # membership: exactly the cells whose tail equals head's tail and
+    # whose rank <= head's rank... for the unshared single-list case a
+    # cheaper filter suffices: cells on the path have ranks head_rank,
+    # head_rank-1, ..., 0 and are found by chasing is avoided — instead
+    # scatter *all* cells and let positions outside [0, length) be
+    # masked off; stray same-rank cells from other chains would collide,
+    # which the occupancy check below catches.
+    pos = vm.sub(vm.splat(nodes.size, head_rank), ranks)
+    in_range = vm.mask_and(vm.ge(pos, 0), vm.lt(pos, length))
+    cars = vm.gather(vm.add(nodes, arena.cells.offset("car")))
+    # overwrite-and-check occupancy: each position must be claimed once
+    labels = vm.iota(nodes.size)
+    vm.scatter_masked(vm.add(pos, out_base), labels, in_range)
+    readback = vm.gather(vm.add(vm.select(in_range, pos, 0), out_base))
+    winners = vm.mask_and(in_range, vm.eq(readback, labels))
+    lost = vm.mask_and(in_range, vm.mask_not(winners))
+    if vm.any_true(lost) or vm.count_true(winners) != length:
+        raise ReproError(
+            "list positions collide with another chain in the arena — "
+            "serialisation would be ambiguous"
+        )
+    vm.scatter_masked(vm.add(pos, out_base), cars, winners)
+    return length
+
+
+def vector_reverse_lists(
+    vm: VectorMachine,
+    arena: ConsArena,
+    scratch: RankingScratch,
+    heads: Sequence[int],
+) -> List[int]:
+    """Destructively reverse every list in ``heads`` in parallel;
+    returns the new head pointers (the old tails).
+
+    Sharing between the lists would make a cell's predecessor ambiguous;
+    it is detected by an overwrite-and-check round on the predecessor
+    map and rejected with :class:`ReproError`.
+    """
+    heads_arr = np.asarray(list(heads), dtype=np.int64)
+    live_heads = heads_arr[heads_arr != NIL]
+    if live_heads.size == 0:
+        return heads_arr.tolist()
+    cells = arena.cells
+    off_cdr = cells.offset("cdr")
+    nodes = cells.all_records()
+    idx = record_index(vm, cells, nodes)
+
+    # find the tails first (they become the new heads)
+    new_heads = chase_to_tail(vm, cells, "cdr", heads_arr, cells.allocated)
+
+    # predecessor map via one scatter through the cdr links, with an
+    # overwrite-and-check round detecting shared cells (two writers)
+    vm.mem.fill(scratch.succ_base, cells.capacity, NIL)
+    cdr = vm.gather(vm.add(nodes, off_cdr))
+    has_succ = vm.ne(cdr, NIL)
+    succ_idx = record_index(vm, cells, vm.select(has_succ, cdr, cells.base))
+    labels = vm.iota(nodes.size)
+    vm.scatter_masked(vm.add(succ_idx, scratch.rank_base), labels, has_succ)
+    readback = vm.gather(vm.add(succ_idx, scratch.rank_base))
+    lost = vm.mask_and(has_succ, vm.ne(readback, labels))
+    if vm.any_true(lost):
+        raise ReproError("lists share cells — reversal would be ambiguous")
+    vm.scatter_masked(vm.add(succ_idx, scratch.succ_base), nodes, has_succ)
+
+    # flip every cdr to its predecessor (old heads get NIL — they have
+    # no predecessor, and the fill above left their map entries NIL)
+    preds = vm.gather(vm.add(idx, scratch.succ_base))
+    vm.scatter(vm.add(nodes, off_cdr), preds, policy="arbitrary")
+
+    return [int(h) for h in new_heads]

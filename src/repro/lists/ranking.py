@@ -1,0 +1,122 @@
+"""Parallel list ranking by pointer jumping — the workhorse primitive
+for turning linked structures into arrays on a vector machine.
+
+``list_ranks`` computes, for *every* allocated record of an arena, its
+distance (number of ``next`` hops) to the end of its chain, in O(log n)
+vector rounds: each round every lane adds its successor's rank to its
+own and jumps to its successor's successor.  It is correct for any
+forest of in-trees over the records (shared tails are fine — sharing
+only merges chains toward a common tail), and detects cycles by
+non-convergence.
+
+This is the classic PRAM technique of the era; the paper's §5 citations
+(vectorized GC, maze routing) live in the same toolbox.  Here it backs
+:mod:`repro.trees.rebalance` (vine → array) and the vector list
+operations in :mod:`repro.lists.ops`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+from ..machine.vm import VectorMachine
+from ..mem.arena import NIL, BumpAllocator, RecordArena
+
+
+class RankingScratch:
+    """Rank + successor scratch regions for one arena (one word per
+    record each)."""
+
+    def __init__(self, allocator: BumpAllocator, arena: RecordArena,
+                 name: str = "rank") -> None:
+        self.arena = arena
+        cap = arena.capacity
+        self.rank_base = allocator.alloc(cap, f"{name}.rank")
+        self.succ_base = allocator.alloc(cap, f"{name}.succ")
+
+    @classmethod
+    def from_bases(cls, arena: RecordArena, rank_base: int,
+                   succ_base: int) -> "RankingScratch":
+        """Wrap pre-allocated regions (each ≥ arena.capacity words)."""
+        scratch = cls.__new__(cls)
+        scratch.arena = arena
+        scratch.rank_base = rank_base
+        scratch.succ_base = succ_base
+        return scratch
+
+
+def record_index(vm: VectorMachine, arena: RecordArena, ptrs: np.ndarray) -> np.ndarray:
+    """Record numbers of node pointers (pure vector arithmetic)."""
+    return vm.floordiv(vm.sub(ptrs, arena.base), arena.record_size)
+
+
+def list_ranks(
+    vm: VectorMachine,
+    scratch: RankingScratch,
+    next_field: str,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Distance-to-tail of every allocated record along ``next_field``
+    chains.  Returns ``(nodes, ranks)`` where ``nodes`` are the record
+    addresses and ``ranks[i]`` is node i's hop count to its chain tail.
+
+    Raises :class:`ReproError` if the chains do not converge (a cycle).
+    """
+    arena = scratch.arena
+    nodes = arena.all_records()
+    n = nodes.size
+    if n == 0:
+        return nodes, np.zeros(0, dtype=np.int64)
+    off_next = arena.offset(next_field)
+    idx = record_index(vm, arena, nodes)
+
+    succ = vm.gather(vm.add(nodes, off_next))
+    rank = vm.select(vm.ne(succ, NIL), 1, 0)
+    vm.scatter(vm.add(idx, scratch.succ_base), succ, policy="arbitrary")
+    vm.scatter(vm.add(idx, scratch.rank_base), rank, policy="arbitrary")
+
+    for _ in range(n.bit_length() + 2):
+        succ = vm.gather(vm.add(idx, scratch.succ_base))
+        live = vm.ne(succ, NIL)
+        if not vm.any_true(live):
+            ranks = vm.gather(vm.add(idx, scratch.rank_base))
+            return nodes, ranks
+        sidx = record_index(vm, arena, vm.select(live, succ, arena.base))
+        add_rank = vm.gather(vm.add(sidx, scratch.rank_base))
+        cur_rank = vm.gather(vm.add(idx, scratch.rank_base))
+        vm.scatter(
+            vm.add(idx, scratch.rank_base),
+            vm.add(cur_rank, vm.select(live, add_rank, 0)),
+            policy="arbitrary",
+        )
+        succ2 = vm.gather(vm.add(sidx, scratch.succ_base))
+        vm.scatter_masked(vm.add(idx, scratch.succ_base), succ2, live,
+                          policy="arbitrary")
+        vm.loop_overhead()
+
+    raise ReproError("list ranking did not converge — cycle in chains?")
+
+
+def chase_to_tail(
+    vm: VectorMachine,
+    arena: RecordArena,
+    next_field: str,
+    heads: np.ndarray,
+    max_hops: int,
+) -> np.ndarray:
+    """Pointer-jump each head to the tail of its chain (the last record
+    before NIL).  NIL heads stay NIL.  O(max chain length) gathers over
+    the heads vector only — used when just a few chains need resolving."""
+    off_next = arena.offset(next_field)
+    cur = np.asarray(heads, dtype=np.int64)
+    for _ in range(max_hops + 1):
+        live = vm.ne(cur, NIL)
+        nxt = vm.gather(vm.add(vm.select(live, cur, arena.base), off_next))
+        step = vm.mask_and(live, vm.ne(nxt, NIL))
+        if not vm.any_true(step):
+            return cur
+        cur = vm.select(step, nxt, cur)
+        vm.loop_overhead()
+    raise ReproError("tail chase did not converge — cycle in chains?")

@@ -1,0 +1,189 @@
+"""Parallel rewriting of lists with shared elements — Figure 3a.
+
+The workload: M list heads, where lists may share suffix cells, and a
+destructive elementwise update (here: add a delta to every atom).  Two
+semantic variants, both impossible for plain SIVP when cells are shared:
+
+* :func:`vector_map_add_per_reference` — the update applies **once per
+  list that reaches the cell** (a shared cell referenced by 3 lists is
+  incremented 3 times), i.e. "possibly rewriting the same data item
+  multiple times".  The lists advance in lock-step; at every step the
+  current-cell index vector may contain duplicates, so FOL1 decomposes
+  it and the sets are updated sequentially — each duplicate lands in a
+  different set, so each reference contributes exactly one update.
+* :func:`vector_map_add_per_cell` — the update applies **once per
+  distinct cell** (pure in-place map over the union of the lists).
+  Only FOL's *first* set is updated — S₁ contains every distinct
+  address exactly once (Lemma 3) — the same S₁-only specialisation the
+  paper credits to vectorized GC and maze routing (§5).
+
+Both return the number of lock-step waves for instrumentation, and both
+have sequential baselines charged on the scalar unit.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.fol1 import fol1
+from ..machine.scalar import ScalarProcessor
+from ..machine.vm import VectorMachine
+from ..mem.arena import NIL
+from .cells import ConsArena
+
+
+def scalar_map_add_per_reference(
+    sp: ScalarProcessor,
+    arena: ConsArena,
+    heads: Sequence[int],
+    delta: int,
+) -> None:
+    """Baseline: walk each list in turn, adding ``delta`` (encoded
+    atoms are negative, so adding to the value means subtracting from
+    the encoding) once per visit."""
+    off_car = arena.cells.offset("car")
+    off_cdr = arena.cells.offset("cdr")
+    for head in heads:
+        ptr = int(head)
+        while ptr != NIL:
+            sp.branch()
+            word = sp.load(ptr + off_car)
+            sp.store(ptr + off_car, word - delta)  # atom encoding is negated
+            sp.alu()
+            ptr = sp.load(ptr + off_cdr)
+            sp.loop_iter()
+        sp.branch()
+
+
+def vector_map_add_per_reference(
+    vm: VectorMachine,
+    arena: ConsArena,
+    heads: Sequence[int],
+    delta: int,
+    policy: str = "arbitrary",
+) -> int:
+    """All lists advance together; shared cells are updated once per
+    referencing list, serialised by FOL1.  Returns the wave count."""
+    off_car = arena.cells.offset("car")
+    off_cdr = arena.cells.offset("cdr")
+    ptrs = np.asarray(list(heads), dtype=np.int64)
+    waves = 0
+    while True:
+        live = vm.ne(ptrs, NIL)
+        if not vm.any_true(live):
+            return waves
+        waves += 1
+        cur = vm.compress(ptrs, live)
+        car_addrs = vm.add(cur, off_car)
+
+        def bump(positions: np.ndarray, _round: int) -> None:
+            addrs = car_addrs[positions]
+            words = vm.gather(addrs)
+            vm.scatter(addrs, vm.sub(words, delta), policy=policy)
+
+        # The car word itself is the work area: FOL labels scribble on
+        # it, but every labelled word belongs to some set and is then
+        # rewritten by that set's gather-modify-scatter... except the
+        # gather would read a label, so labels must NOT share the car
+        # word here (read-modify-write main processing *reads* the old
+        # value).  A shadow work area is required, as §3.2's sharing
+        # condition ("main processing always rewrites the work area")
+        # fails for read-modify-write.  We reuse the cdr word? No — it
+        # is live too.  Hence the dedicated work region below.
+        fol1(
+            vm,
+            car_addrs,
+            work_offset=arena.work_offset,
+            policy=policy,
+            on_set=bump,
+        )
+
+        nxt = vm.gather(vm.add(cur, off_cdr))
+        ptrs = vm.select(live, _expand(ptrs, live, nxt), ptrs)
+        vm.loop_overhead()
+
+
+def _expand(ptrs: np.ndarray, live: np.ndarray, packed: np.ndarray) -> np.ndarray:
+    """Scatter ``packed`` (values for the true lanes of ``live``) back
+    into a copy of ``ptrs`` — the inverse of compress (no cycle charge:
+    callers account for it via the surrounding select)."""
+    out = ptrs.copy()
+    out[live] = packed
+    return out
+
+
+def scalar_map_add_per_cell(
+    sp: ScalarProcessor,
+    arena: ConsArena,
+    heads: Sequence[int],
+    delta: int,
+) -> None:
+    """Baseline for once-per-distinct-cell semantics: walk every list,
+    tracking visited cells (modelled as a bitmap load/store per cell)."""
+    off_car = arena.cells.offset("car")
+    off_cdr = arena.cells.offset("cdr")
+    visited: set[int] = set()
+    for head in heads:
+        ptr = int(head)
+        while ptr != NIL:
+            sp.branch()
+            sp.load(ptr + off_car)  # bitmap probe stand-in
+            if ptr not in visited:
+                visited.add(ptr)
+                word = sp.load(ptr + off_car)
+                sp.store(ptr + off_car, word - delta)
+                sp.alu()
+            ptr = sp.load(ptr + off_cdr)
+            sp.loop_iter()
+        sp.branch()
+
+
+def vector_map_add_per_cell(
+    vm: VectorMachine,
+    arena: ConsArena,
+    heads: Sequence[int],
+    delta: int,
+    policy: str = "arbitrary",
+) -> int:
+    """Once-per-distinct-cell map: per wave, FOL's S₁ is exactly one
+    occurrence of each distinct current cell, so updating S₁ *only*
+    implements set semantics — but a cell shared between lists is
+    visited again on *later* waves when another list arrives later, so
+    a visited mark (stored in the cell's shadow work word between
+    waves) suppresses re-updates.  Returns the wave count."""
+    off_car = arena.cells.offset("car")
+    off_cdr = arena.cells.offset("cdr")
+    mark_offset = arena.mark_offset
+    ptrs = np.asarray(list(heads), dtype=np.int64)
+    waves = 0
+    while True:
+        live = vm.ne(ptrs, NIL)
+        if not vm.any_true(live):
+            return waves
+        waves += 1
+        cur = vm.compress(ptrs, live)
+
+        # Skip cells already updated in an earlier wave.
+        marks = vm.gather(vm.add(cur, mark_offset))
+        fresh_mask = vm.eq(marks, 0)
+        fresh = vm.compress(cur, fresh_mask)
+        if fresh.size:
+            car_addrs = vm.add(fresh, off_car)
+            dec = fol1(
+                vm,
+                car_addrs,
+                work_offset=arena.work_offset,
+                policy=policy,
+                stop_after=1,
+            )
+            s1 = dec.sets[0]
+            addrs = car_addrs[s1]
+            words = vm.gather(addrs)
+            vm.scatter(addrs, vm.sub(words, delta), policy=policy)
+            vm.scatter(vm.add(fresh, mark_offset), vm.splat(fresh.size, 1), policy=policy)
+
+        nxt = vm.gather(vm.add(cur, off_cdr))
+        ptrs = vm.select(live, _expand(ptrs, live, nxt), ptrs)
+        vm.loop_overhead()

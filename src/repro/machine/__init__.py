@@ -1,0 +1,31 @@
+"""Simulated pipelined vector machine (the S-810 stand-in substrate).
+
+Public surface:
+
+* :class:`~repro.machine.cost_model.CostModel` — cycle costs + presets.
+* :class:`~repro.machine.counter.CycleCounter` — the cycle ledger.
+* :class:`~repro.machine.memory.Memory` — word-addressable storage with
+  list-vector gather/scatter and ELS conflict policies.
+* :class:`~repro.machine.vm.VectorMachine` — data-parallel primitives.
+* :class:`~repro.machine.scalar.ScalarProcessor` — baseline charging.
+* :func:`~repro.machine.vm.make_machine` — one-call construction.
+"""
+
+from .cost_model import CostModel
+from .counter import CycleCounter
+from .memory import CONFLICT_POLICIES, Memory
+from .scalar import ScalarProcessor
+from .trace import TraceEvent, Tracer
+from .vm import VectorMachine, make_machine
+
+__all__ = [
+    "CostModel",
+    "CycleCounter",
+    "Memory",
+    "CONFLICT_POLICIES",
+    "ScalarProcessor",
+    "Tracer",
+    "TraceEvent",
+    "VectorMachine",
+    "make_machine",
+]

@@ -1,0 +1,177 @@
+"""Cycle cost model of a pipelined vector supercomputer.
+
+The paper evaluates FOL on a Hitachi S-810/20: a machine with a *weak*
+scalar unit and a deeply pipelined vector unit whose instructions pay a
+large start-up latency and then deliver results at one-or-few cycles per
+element ("chime").  List-vector (indirect / gather-scatter) accesses run
+at a slower chime than contiguous accesses.
+
+We do not have an S-810, so every algorithm in this library runs against
+a simulated machine that charges costs from a :class:`CostModel`.  The
+*shape* of every reproduced figure comes from the algorithms' operation
+counts; the cost model only sets the scalar:vector cost ratios, and is a
+documented, swappable parameter (see DESIGN.md §2 and the cost-model
+ablation bench).
+
+Cost formula for a vector instruction over ``n`` elements::
+
+    cycles = startup + chime * n
+
+Scalar instructions cost a flat per-operation amount.  The scalar unit of
+the S-810 era had no cache worth speaking of and a multi-cycle memory
+path, hence ``scalar_mem`` is much larger than ``vector_chime_*``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation cycle costs for the simulated machine.
+
+    Attributes
+    ----------
+    scalar_alu:
+        Cycles for a scalar register-register ALU op (add, compare, ...).
+    scalar_mem:
+        Cycles for a scalar load or store at a *data-dependent* address
+        (pointer chasing, hash probing): the full memory round trip with
+        no pipelining, the access pattern symbolic code is made of.
+    scalar_mem_seq:
+        Cycles for a scalar load or store in a *sequential* scan
+        (array initialisation, prefix sums): consecutive addresses
+        pipeline through the memory banks, so this is much cheaper than
+        ``scalar_mem`` — the S-810's scalar unit was slow at chasing
+        pointers, not at marching through an array.
+    scalar_branch:
+        Cycles for a conditional branch / loop-control step.
+    vector_startup:
+        Fixed pipeline fill cost paid by every vector instruction.
+    chime_contig:
+        Per-element cycles for contiguous vector load/store.
+    chime_gather:
+        Per-element cycles for list-vector (indirect) load/store.
+        On real hardware this is the slowest path; FOL leans on it.
+    chime_alu:
+        Per-element cycles for elementwise arithmetic/compare.
+    chime_compress:
+        Per-element cycles for compress/pack-under-mask operations.
+    chime_reduce:
+        Per-element cycles for reductions (count_true, sum, max).
+    chime_scan:
+        Per-element cycles for prefix-sum scans: a 1991 vector unit runs
+        a scan as a multi-pass recursive doubling, hence several chimes.
+    section_size:
+        Vector-register length.  0 (default) models arbitrarily long
+        vectors; a positive value strip-mines every vector instruction
+        into ceil(n / section_size) sections, each paying the start-up
+        cost — the realism knob for machines with short registers (see
+        the strip-mining ablation bench).
+    """
+
+    scalar_alu: float = 8.0
+    scalar_mem: float = 45.0
+    scalar_mem_seq: float = 6.0
+    scalar_branch: float = 10.0
+    vector_startup: float = 60.0
+    chime_contig: float = 1.0
+    chime_gather: float = 2.0
+    chime_alu: float = 0.3
+    chime_compress: float = 0.7
+    chime_reduce: float = 0.5
+    chime_scan: float = 2.5
+    section_size: int = 0
+
+    # ------------------------------------------------------------------
+    # presets
+    # ------------------------------------------------------------------
+    @classmethod
+    def s810(cls) -> "CostModel":
+        """Costs calibrated so the headline experiments land in the
+        paper's bands (peak hashing acceleration ≈5x at table size 521
+        and ≈12x at 4099; sorting acceleration ≈2.6–13x).
+
+        The numbers are in units of scalar-unit clock cycles.  They are
+        *not* microarchitecturally exact S-810 figures (those are not
+        public at this granularity); they encode the three ratios that
+        drive every result in the paper:
+
+        * scalar random-address op : vector gather chime ≈ 20 : 1
+          (a weak scalar unit chasing pointers vs. the IDP-heritage
+          list-vector pipe)
+        * scalar sequential op : vector contiguous chime ≈ 6 : 1
+          (even the weak scalar unit pipelines a straight array scan)
+        * vector ALU chime 0.3: dependent elementwise ops chain through
+          parallel arithmetic pipes, so a chain of K ops does not cost
+          K full passes
+        * vector start-up : contiguous chime ≈ 35 : 1 (short vectors
+          lose, which is what bends every load-factor curve)
+        """
+        return cls()
+
+    @classmethod
+    def uniform(cls) -> "CostModel":
+        """A flatter machine (modest vector advantage) for the
+        cost-model-sensitivity ablation: scalar ops cost the same as
+        vector chimes, so only start-up amortisation differentiates."""
+        return cls(
+            scalar_alu=1.0,
+            scalar_mem=2.0,
+            scalar_mem_seq=1.0,
+            scalar_branch=1.0,
+            vector_startup=40.0,
+            chime_contig=1.0,
+            chime_gather=2.0,
+            chime_alu=1.0,
+            chime_compress=1.0,
+            chime_reduce=1.0,
+            chime_scan=2.0,
+        )
+
+    @classmethod
+    def free(cls) -> "CostModel":
+        """Zero-cost model: use when only functional behaviour matters
+        (most unit tests).  Keeps the accounting code paths exercised
+        while making assertions about cycles trivially stable."""
+        return cls(
+            scalar_alu=0.0,
+            scalar_mem=0.0,
+            scalar_mem_seq=0.0,
+            scalar_branch=0.0,
+            vector_startup=0.0,
+            chime_contig=0.0,
+            chime_gather=0.0,
+            chime_alu=0.0,
+            chime_compress=0.0,
+            chime_reduce=0.0,
+            chime_scan=0.0,
+        )
+
+    # ------------------------------------------------------------------
+    # cost helpers
+    # ------------------------------------------------------------------
+    def vector_cost(self, n: int, chime: float) -> float:
+        """Cycles for one vector instruction over ``n`` elements
+        (strip-mined into sections when ``section_size`` is set)."""
+        if n <= 0:
+            # Zero-length vector ops still decode and fill the pipe.
+            return self.vector_startup
+        if self.section_size > 0:
+            sections = -(-n // self.section_size)  # ceil division
+            return sections * self.vector_startup + chime * n
+        return self.vector_startup + chime * n
+
+    @classmethod
+    def s810_sectioned(cls, section_size: int = 256) -> "CostModel":
+        """The calibrated model with finite vector registers: long
+        vectors pay start-up once per ``section_size`` elements, so the
+        acceleration curves saturate instead of growing with N — the
+        ablation showing how much of Table 1's growth is start-up
+        amortisation."""
+        return cls(section_size=section_size)
+
+    def with_overrides(self, **kwargs: float) -> "CostModel":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **kwargs)

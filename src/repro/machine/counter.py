@@ -1,0 +1,100 @@
+"""Cycle ledger for the simulated machine.
+
+A :class:`CycleCounter` is shared by the scalar unit, the vector unit and
+(optionally) several data structures living in the same :class:`~repro.machine.memory.Memory`.
+It keeps separate scalar/vector totals plus a per-category breakdown so
+benches can report *where* the cycles went (gathers vs. ALU vs. start-up),
+which is what the §4.1 discussion of the load-factor curve is about.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class CycleCounter:
+    """Accumulates simulated cycles, split by unit and category."""
+
+    scalar_cycles: float = 0.0
+    vector_cycles: float = 0.0
+    by_category: Dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    by_section: Dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    _section_stack: list = field(default_factory=list)
+    vector_instructions: int = 0
+    scalar_instructions: int = 0
+    vector_elements: int = 0
+
+    # ------------------------------------------------------------------
+    def charge_scalar(self, cycles: float, category: str = "scalar") -> None:
+        """Add ``cycles`` to the scalar unit's total."""
+        self.scalar_cycles += cycles
+        self.scalar_instructions += 1
+        self.by_category[category] += cycles
+        for name in self._section_stack:
+            self.by_section[name] += cycles
+
+    def charge_vector(self, cycles: float, n: int, category: str = "vector") -> None:
+        """Add ``cycles`` for one vector instruction over ``n`` elements."""
+        self.vector_cycles += cycles
+        self.vector_instructions += 1
+        self.vector_elements += max(n, 0)
+        self.by_category[category] += cycles
+        for name in self._section_stack:
+            self.by_section[name] += cycles
+
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> float:
+        """All cycles charged so far (scalar + vector)."""
+        return self.scalar_cycles + self.vector_cycles
+
+    def reset(self) -> None:
+        """Zero every ledger (totals, categories, sections)."""
+        self.scalar_cycles = 0.0
+        self.vector_cycles = 0.0
+        self.by_category.clear()
+        self.by_section.clear()
+        self.vector_instructions = 0
+        self.scalar_instructions = 0
+        self.vector_elements = 0
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        """Attribute all cycles charged inside the ``with`` block to
+        ``name`` (sections nest; each level receives the charge)."""
+        self._section_stack.append(name)
+        try:
+            yield
+        finally:
+            self._section_stack.pop()
+
+    def snapshot(self) -> float:
+        """Return the current total; use with :meth:`delta`."""
+        return self.total
+
+    def delta(self, snap: float) -> float:
+        """Cycles charged since ``snap`` was taken."""
+        return self.total - snap
+
+    # ------------------------------------------------------------------
+    def report(self) -> str:
+        """Human-readable multi-line summary of the ledger."""
+        lines = [
+            f"total cycles   : {self.total:,.0f}",
+            f"  scalar       : {self.scalar_cycles:,.0f} ({self.scalar_instructions} ops)",
+            f"  vector       : {self.vector_cycles:,.0f} "
+            f"({self.vector_instructions} instrs, {self.vector_elements} elems)",
+        ]
+        if self.by_category:
+            lines.append("by category:")
+            for name, cyc in sorted(self.by_category.items(), key=lambda kv: -kv[1]):
+                lines.append(f"  {name:<16s} {cyc:,.0f}")
+        if self.by_section:
+            lines.append("by section:")
+            for name, cyc in sorted(self.by_section.items(), key=lambda kv: -kv[1]):
+                lines.append(f"  {name:<16s} {cyc:,.0f}")
+        return "\n".join(lines)

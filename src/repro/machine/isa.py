@@ -1,0 +1,265 @@
+"""An instruction-level backend for the simulated vector machine.
+
+The paper's algorithms were ultimately *machine programs* (Fortran
+compiled for the S-810 with forced vectorization).  The facade in
+:mod:`repro.machine.vm` executes algorithms as Python calls; this module
+provides the other altitude: a register-machine ISA with an interpreter,
+so an algorithm can be written as an actual instruction sequence with
+labels and branches, executed against the same :class:`Memory` and
+charged through the same :class:`CostModel`.
+
+Register model
+--------------
+* ``S0..S15`` — scalar registers (Python ints),
+* ``V0..V15`` — vector registers (int64 arrays, variable length),
+* ``M0..M7``  — mask registers (bool arrays).
+
+Instruction set (a minimal S-810-flavoured subset)::
+
+    SLI   sd, imm          scalar load-immediate
+    SMOVE sd, sa           scalar copy
+    SADD/SSUB/SMUL sd,sa,sb   scalar ALU (charged)
+    VIOTA  vd, sa          vd := (0, 1, ..., S[sa]-1)
+    VSPLAT vd, sa, sn      vd := S[sa] repeated S[sn] times
+    VADDS/VSUBS/VMULS/VMODS/VANDS vd,va,sb   vector op scalar
+    VADDV/VSUBV vd,va,vb   vector op vector
+    VCMPES/VCMPNS md,va,sb  mask := (va == / != S[sb])
+    VCMPEV/VCMPNV md,va,vb  mask := (va == / != vb)
+    MNOT  md, ma           mask complement
+    MCNT  sd, ma           population count (charged as reduce)
+    VGATHER  vd, va        vd[i] := mem[va[i]]
+    VSCATTER va, vb [, ma]  mem[va[i]] := vb[i] under ELS (masked form)
+    VCOMPRESS vd, va, ma   pack true lanes
+    VLEN  sd, va           sd := lane count of va (free: register state)
+    JZ    sa, label        jump if S[sa] == 0 (charged as branch)
+    JNZ   sa, label
+    JMP   label
+    HALT
+
+Programs are lists of instruction tuples built by :class:`Assembler`
+(which resolves labels).  :class:`Interpreter` executes them, reusing
+the charged primitives of a :class:`VectorMachine` so ISA-level and
+facade-level implementations of one algorithm are directly comparable
+in cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..errors import MachineError
+from .vm import VectorMachine
+
+Operand = Union[int, str]
+
+
+class IsaError(MachineError):
+    """Malformed program or bad register/label reference."""
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One assembled instruction: opcode + integer operands (labels
+    already resolved to instruction indices)."""
+
+    op: str
+    args: Tuple[int, ...]
+
+
+#: opcode -> expected operand count (after label resolution)
+OPCODES: Dict[str, int] = {
+    "SLI": 2, "SMOVE": 2, "SADD": 3, "SSUB": 3, "SMUL": 3,
+    "VIOTA": 2, "VSPLAT": 3,
+    "VADDS": 3, "VSUBS": 3, "VMULS": 3, "VMODS": 3, "VANDS": 3,
+    "VADDV": 3, "VSUBV": 3,
+    "VCMPES": 3, "VCMPNS": 3, "VCMPEV": 3, "VCMPNV": 3,
+    "MNOT": 2, "MCNT": 2,
+    "VGATHER": 2, "VSCATTER": 2, "VSCATTERM": 3,
+    "VCOMPRESS": 3, "VLEN": 2,
+    "JZ": 2, "JNZ": 2, "JMP": 1, "HALT": 0,
+}
+
+N_SREGS = 16
+N_VREGS = 16
+N_MREGS = 8
+
+
+class Assembler:
+    """Builds a program: ``emit`` instructions, ``label`` positions,
+    then ``assemble`` resolves label references."""
+
+    def __init__(self) -> None:
+        self._items: List[Tuple[str, Tuple[Operand, ...]]] = []
+        self._labels: Dict[str, int] = {}
+
+    def label(self, name: str) -> "Assembler":
+        if name in self._labels:
+            raise IsaError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._items)
+        return self
+
+    def emit(self, op: str, *args: Operand) -> "Assembler":
+        if op not in OPCODES:
+            raise IsaError(f"unknown opcode {op!r}")
+        if len(args) != OPCODES[op]:
+            raise IsaError(
+                f"{op} expects {OPCODES[op]} operands, got {len(args)}"
+            )
+        self._items.append((op, args))
+        return self
+
+    def assemble(self) -> List[Instr]:
+        prog: List[Instr] = []
+        for op, args in self._items:
+            resolved = []
+            for a in args:
+                if isinstance(a, str):
+                    if a not in self._labels:
+                        raise IsaError(f"undefined label {a!r}")
+                    resolved.append(self._labels[a])
+                else:
+                    resolved.append(int(a))
+            prog.append(Instr(op, tuple(resolved)))
+        return prog
+
+
+class Interpreter:
+    """Executes an assembled program against one :class:`VectorMachine`.
+
+    All memory traffic and vector work is charged through the machine's
+    existing primitives; scalar ALU/branch work is charged per
+    instruction, so a program's cycle count is directly comparable with
+    a facade-level implementation of the same algorithm.
+    """
+
+    def __init__(self, vm: VectorMachine, max_steps: int = 1_000_000) -> None:
+        self.vm = vm
+        self.max_steps = max_steps
+        self.s = [0] * N_SREGS
+        self.v: List[np.ndarray] = [np.zeros(0, dtype=np.int64) for _ in range(N_VREGS)]
+        self.m: List[np.ndarray] = [np.zeros(0, dtype=bool) for _ in range(N_MREGS)]
+        self.steps = 0
+
+    # -- register checks -------------------------------------------------
+    @staticmethod
+    def _chk(idx: int, limit: int, kind: str) -> int:
+        if not 0 <= idx < limit:
+            raise IsaError(f"{kind} register {idx} out of range")
+        return idx
+
+    def run(self, program: List[Instr], scatter_policy: str = "arbitrary") -> int:
+        """Execute until HALT; returns the number of steps executed."""
+        vm = self.vm
+        pc = 0
+        n = len(program)
+        start_steps = self.steps
+        while True:
+            if pc < 0 or pc >= n:
+                raise IsaError(f"program counter {pc} outside program of {n}")
+            self.steps += 1
+            if self.steps - start_steps > self.max_steps:
+                raise IsaError(f"exceeded {self.max_steps} steps — runaway loop?")
+            ins = program[pc]
+            op, a = ins.op, ins.args
+            pc += 1
+
+            if op == "HALT":
+                return self.steps - start_steps
+            elif op == "SLI":
+                vm.counter.charge_scalar(vm.cost.scalar_alu, "scalar_alu")
+                self.s[self._chk(a[0], N_SREGS, "S")] = a[1]
+            elif op == "SMOVE":
+                vm.counter.charge_scalar(vm.cost.scalar_alu, "scalar_alu")
+                self.s[self._chk(a[0], N_SREGS, "S")] = self.s[self._chk(a[1], N_SREGS, "S")]
+            elif op in ("SADD", "SSUB", "SMUL"):
+                vm.counter.charge_scalar(vm.cost.scalar_alu, "scalar_alu")
+                x = self.s[self._chk(a[1], N_SREGS, "S")]
+                y = self.s[self._chk(a[2], N_SREGS, "S")]
+                self.s[self._chk(a[0], N_SREGS, "S")] = (
+                    x + y if op == "SADD" else x - y if op == "SSUB" else x * y
+                )
+            elif op == "VIOTA":
+                self.v[self._chk(a[0], N_VREGS, "V")] = vm.iota(
+                    self.s[self._chk(a[1], N_SREGS, "S")]
+                )
+            elif op == "VSPLAT":
+                self.v[self._chk(a[0], N_VREGS, "V")] = vm.splat(
+                    self.s[self._chk(a[2], N_SREGS, "S")],
+                    self.s[self._chk(a[1], N_SREGS, "S")],
+                )
+            elif op in ("VADDS", "VSUBS", "VMULS", "VMODS", "VANDS"):
+                fn = {"VADDS": vm.add, "VSUBS": vm.sub, "VMULS": vm.mul,
+                      "VMODS": vm.mod, "VANDS": vm.bitand}[op]
+                self.v[self._chk(a[0], N_VREGS, "V")] = fn(
+                    self.v[self._chk(a[1], N_VREGS, "V")],
+                    self.s[self._chk(a[2], N_SREGS, "S")],
+                )
+            elif op in ("VADDV", "VSUBV"):
+                fn = vm.add if op == "VADDV" else vm.sub
+                self.v[self._chk(a[0], N_VREGS, "V")] = fn(
+                    self.v[self._chk(a[1], N_VREGS, "V")],
+                    self.v[self._chk(a[2], N_VREGS, "V")],
+                )
+            elif op in ("VCMPES", "VCMPNS"):
+                fn = vm.eq if op == "VCMPES" else vm.ne
+                self.m[self._chk(a[0], N_MREGS, "M")] = fn(
+                    self.v[self._chk(a[1], N_VREGS, "V")],
+                    self.s[self._chk(a[2], N_SREGS, "S")],
+                )
+            elif op in ("VCMPEV", "VCMPNV"):
+                fn = vm.eq if op == "VCMPEV" else vm.ne
+                self.m[self._chk(a[0], N_MREGS, "M")] = fn(
+                    self.v[self._chk(a[1], N_VREGS, "V")],
+                    self.v[self._chk(a[2], N_VREGS, "V")],
+                )
+            elif op == "MNOT":
+                self.m[self._chk(a[0], N_MREGS, "M")] = vm.mask_not(
+                    self.m[self._chk(a[1], N_MREGS, "M")]
+                )
+            elif op == "MCNT":
+                self.s[self._chk(a[0], N_SREGS, "S")] = vm.count_true(
+                    self.m[self._chk(a[1], N_MREGS, "M")]
+                )
+            elif op == "VGATHER":
+                self.v[self._chk(a[0], N_VREGS, "V")] = vm.gather(
+                    self.v[self._chk(a[1], N_VREGS, "V")]
+                )
+            elif op == "VSCATTER":
+                vm.scatter(
+                    self.v[self._chk(a[0], N_VREGS, "V")],
+                    self.v[self._chk(a[1], N_VREGS, "V")],
+                    policy=scatter_policy,
+                )
+            elif op == "VSCATTERM":
+                vm.scatter_masked(
+                    self.v[self._chk(a[0], N_VREGS, "V")],
+                    self.v[self._chk(a[1], N_VREGS, "V")],
+                    self.m[self._chk(a[2], N_MREGS, "M")],
+                    policy=scatter_policy,
+                )
+            elif op == "VCOMPRESS":
+                self.v[self._chk(a[0], N_VREGS, "V")] = vm.compress(
+                    self.v[self._chk(a[1], N_VREGS, "V")],
+                    self.m[self._chk(a[2], N_MREGS, "M")],
+                )
+            elif op == "VLEN":
+                # register-state read, no charge (like reading VL)
+                self.s[self._chk(a[0], N_SREGS, "S")] = int(
+                    self.v[self._chk(a[1], N_VREGS, "V")].size
+                )
+            elif op == "JZ":
+                vm.counter.charge_scalar(vm.cost.scalar_branch, "scalar_branch")
+                if self.s[self._chk(a[0], N_SREGS, "S")] == 0:
+                    pc = a[1]
+            elif op == "JNZ":
+                vm.counter.charge_scalar(vm.cost.scalar_branch, "scalar_branch")
+                if self.s[self._chk(a[0], N_SREGS, "S")] != 0:
+                    pc = a[1]
+            elif op == "JMP":
+                vm.counter.charge_scalar(vm.cost.scalar_branch, "scalar_branch")
+                pc = a[0]
+            else:  # pragma: no cover — OPCODES guards this
+                raise IsaError(f"unimplemented opcode {op}")

@@ -1,0 +1,245 @@
+"""Word-addressable simulated main storage with list-vector access.
+
+The paper's algorithms manipulate *pointer-linked* symbolic structures:
+hash-table chains, cons cells, binary-tree nodes.  We model main storage
+as a flat array of 64-bit words; a "pointer" in this library is a word
+address (plain ``int``) into one :class:`Memory`.
+
+The two operations that make FOL possible are provided here:
+
+* :meth:`Memory.gather` — the list-vector *load* (``VLD`` indirect),
+* :meth:`Memory.scatter` — the list-vector *store* (``VIST``/``VSTX``),
+  with a pluggable **conflict policy** implementing the paper's
+  *exclusive label storing* (ELS) condition: when several lanes of one
+  scatter target the same address, exactly one lane's whole word
+  survives (never an amalgam), and *which* lane is arbitrary.
+
+Conflict policies
+-----------------
+``"arbitrary"``
+    A seeded random lane wins per address.  This models the S-3800
+    ``VIST`` instruction and parallel-pipe machines where the winning
+    lane is unpredictable.  FOL only assumes the ELS condition, so all
+    algorithms must be correct under this policy (property-tested).
+``"last"``
+    The highest-index lane wins — program order, modelling the slower
+    ``VSTX`` instruction the paper's footnote 7 discusses for
+    order-preserving variants.
+``"first"``
+    The lowest-index lane wins.  Useful in tests as the mirror image of
+    ``"last"``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import MemoryFault, VectorLengthError
+from .cost_model import CostModel
+from .counter import CycleCounter
+
+WORD_DTYPE = np.int64
+
+#: Valid scatter conflict policies (see module docstring).
+CONFLICT_POLICIES = ("arbitrary", "last", "first")
+
+
+class Memory:
+    """Flat, word-addressable simulated main storage.
+
+    Parameters
+    ----------
+    size:
+        Number of 64-bit words.
+    cost_model:
+        Cycle costs; defaults to :meth:`CostModel.s810`.
+    counter:
+        Shared cycle ledger; a fresh one is created if omitted.
+    seed:
+        Seed for the ``"arbitrary"`` scatter conflict policy.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        cost_model: Optional[CostModel] = None,
+        counter: Optional[CycleCounter] = None,
+        seed: int = 0,
+    ) -> None:
+        if size <= 0:
+            raise ValueError(f"memory size must be positive, got {size}")
+        self.size = int(size)
+        self.words = np.zeros(self.size, dtype=WORD_DTYPE)
+        self.cost = cost_model if cost_model is not None else CostModel.s810()
+        self.counter = counter if counter is not None else CycleCounter()
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # validation helpers
+    # ------------------------------------------------------------------
+    def _check_addr(self, addr: int) -> int:
+        addr = int(addr)
+        if not 0 <= addr < self.size:
+            raise MemoryFault(f"address {addr} outside memory of size {self.size}")
+        return addr
+
+    def _check_addrs(self, addrs: np.ndarray) -> np.ndarray:
+        addrs = np.asarray(addrs, dtype=np.int64)
+        if addrs.ndim != 1:
+            raise VectorLengthError(f"address vector must be 1-D, got shape {addrs.shape}")
+        if addrs.size:
+            lo = int(addrs.min())
+            hi = int(addrs.max())
+            if lo < 0 or hi >= self.size:
+                raise MemoryFault(
+                    f"address vector range [{lo}, {hi}] outside memory of size {self.size}"
+                )
+        return addrs
+
+    def _check_range(self, base: int, n: int) -> None:
+        if n < 0:
+            raise VectorLengthError(f"negative vector length {n}")
+        if not (0 <= base and base + n <= self.size):
+            raise MemoryFault(
+                f"range [{base}, {base + n}) outside memory of size {self.size}"
+            )
+
+    # ------------------------------------------------------------------
+    # scalar port (charged to the scalar unit)
+    # ------------------------------------------------------------------
+    def sload(self, addr: int) -> int:
+        """Scalar load of one word."""
+        addr = self._check_addr(addr)
+        self.counter.charge_scalar(self.cost.scalar_mem, "scalar_mem")
+        return int(self.words[addr])
+
+    def sstore(self, addr: int, value: int) -> None:
+        """Scalar store of one word."""
+        addr = self._check_addr(addr)
+        self.counter.charge_scalar(self.cost.scalar_mem, "scalar_mem")
+        self.words[addr] = value
+
+    # ------------------------------------------------------------------
+    # vector port (charged to the vector unit)
+    # ------------------------------------------------------------------
+    def vload(self, base: int, n: int) -> np.ndarray:
+        """Contiguous vector load of ``n`` words starting at ``base``."""
+        self._check_range(base, n)
+        self.counter.charge_vector(
+            self.cost.vector_cost(n, self.cost.chime_contig), n, "v_contig"
+        )
+        return self.words[base : base + n].copy()
+
+    def vstore(self, base: int, values: np.ndarray) -> None:
+        """Contiguous vector store."""
+        values = np.asarray(values, dtype=WORD_DTYPE)
+        self._check_range(base, values.size)
+        self.counter.charge_vector(
+            self.cost.vector_cost(values.size, self.cost.chime_contig),
+            values.size,
+            "v_contig",
+        )
+        self.words[base : base + values.size] = values
+
+    def fill(self, base: int, n: int, value: int) -> None:
+        """Contiguous vector fill (broadcast store)."""
+        self._check_range(base, n)
+        self.counter.charge_vector(
+            self.cost.vector_cost(n, self.cost.chime_contig), n, "v_contig"
+        )
+        self.words[base : base + n] = value
+
+    def gather(self, addrs: np.ndarray) -> np.ndarray:
+        """List-vector load: ``result[i] = mem[addrs[i]]``."""
+        addrs = self._check_addrs(addrs)
+        self.counter.charge_vector(
+            self.cost.vector_cost(addrs.size, self.cost.chime_gather),
+            addrs.size,
+            "v_gather",
+        )
+        return self.words[addrs].copy()
+
+    def scatter(
+        self,
+        addrs: np.ndarray,
+        values: np.ndarray,
+        policy: str = "arbitrary",
+    ) -> None:
+        """List-vector store: ``mem[addrs[i]] = values[i]`` under the ELS
+        condition — for duplicated addresses exactly one lane survives,
+        chosen by ``policy`` (see module docstring)."""
+        addrs = self._check_addrs(addrs)
+        values = np.asarray(values, dtype=WORD_DTYPE)
+        if values.shape != addrs.shape:
+            raise VectorLengthError(
+                f"scatter length mismatch: {addrs.size} addresses, {values.size} values"
+            )
+        self.counter.charge_vector(
+            self.cost.vector_cost(addrs.size, self.cost.chime_gather),
+            addrs.size,
+            "v_scatter",
+        )
+        self._raw_scatter(addrs, values, policy)
+
+    def _raw_scatter(self, addrs: np.ndarray, values: np.ndarray, policy: str) -> None:
+        """Scatter without charging (used by masked composites that have
+        already been charged as a single instruction)."""
+        if policy == "last":
+            # NumPy fancy-assignment keeps the last write per address.
+            self.words[addrs] = values
+        elif policy == "first":
+            self.words[addrs[::-1]] = values[::-1]
+        elif policy == "arbitrary":
+            order = self._rng.permutation(addrs.size)
+            self.words[addrs[order]] = values[order]
+        else:
+            raise ValueError(
+                f"unknown conflict policy {policy!r}; expected one of {CONFLICT_POLICIES}"
+            )
+
+    def scatter_masked(
+        self,
+        addrs: np.ndarray,
+        values: np.ndarray,
+        mask: np.ndarray,
+        policy: str = "arbitrary",
+    ) -> None:
+        """Masked list-vector store: lanes with ``mask[i]`` false are
+        suppressed.  Charged as one instruction over the full lane count
+        (masked-off lanes still flow through the pipe, as on real
+        hardware)."""
+        addrs = self._check_addrs(addrs)
+        values = np.asarray(values, dtype=WORD_DTYPE)
+        mask = np.asarray(mask, dtype=bool)
+        if not (addrs.shape == values.shape == mask.shape):
+            raise VectorLengthError(
+                "scatter_masked length mismatch: "
+                f"{addrs.size} addrs, {values.size} values, {mask.size} mask"
+            )
+        self.counter.charge_vector(
+            self.cost.vector_cost(addrs.size, self.cost.chime_gather),
+            addrs.size,
+            "v_scatter",
+        )
+        self._raw_scatter(addrs[mask], values[mask], policy)
+
+    # ------------------------------------------------------------------
+    # debug / test access (never charged)
+    # ------------------------------------------------------------------
+    def peek(self, addr: int) -> int:
+        """Read one word without charging cycles (test/debug only)."""
+        return int(self.words[self._check_addr(addr)])
+
+    def poke(self, addr: int, value: int) -> None:
+        """Write one word without charging cycles (test/debug only)."""
+        self.words[self._check_addr(addr)] = value
+
+    def peek_range(self, base: int, n: int) -> np.ndarray:
+        """Read a range without charging cycles (test/debug only)."""
+        self._check_range(base, n)
+        return self.words[base : base + n].copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Memory(size={self.size}, cycles={self.counter.total:,.0f})"

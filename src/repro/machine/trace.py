@@ -1,0 +1,131 @@
+"""Instruction tracing for the simulated machine.
+
+A :class:`Tracer` attaches to a :class:`~repro.machine.counter.CycleCounter`
+and records one event per charged instruction: unit, category, lane
+count and cycles.  Used by the instruction-mix ablation (what fraction
+of an algorithm's cycles are gathers vs. ALU vs. start-up — the §4.1
+discussion of *why* the load-factor curve bends) and by tests that
+assert an algorithm issues no unexpected operation kinds.
+
+Tracing works by interposition on the counter's charge methods, so it
+needs no cooperation from Memory/VectorMachine and can be attached to a
+machine mid-flight::
+
+    with Tracer(vm.counter) as tr:
+        vector_open_insert(vm, table, keys)
+    print(tr.mix_report())
+"""
+
+from __future__ import annotations
+
+from collections import Counter as MultiSet
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One charged instruction."""
+
+    unit: str  # "scalar" | "vector"
+    category: str
+    cycles: float
+    lanes: int  # 0 for scalar ops
+
+
+class Tracer:
+    """Records every instruction charged to a counter while attached.
+
+    Context-manager; re-entrant attachment is rejected to keep the
+    interposition unambiguous.
+    """
+
+    def __init__(self, counter, max_events: Optional[int] = None) -> None:
+        self.counter = counter
+        self.events: List[TraceEvent] = []
+        self.max_events = max_events
+        self._orig_scalar: Optional[Callable] = None
+        self._orig_vector: Optional[Callable] = None
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Tracer":
+        if self._orig_scalar is not None:
+            raise RuntimeError("tracer already attached")
+        self._orig_scalar = self.counter.charge_scalar
+        self._orig_vector = self.counter.charge_vector
+
+        def charge_scalar(cycles: float, category: str = "scalar") -> None:
+            self._record(TraceEvent("scalar", category, cycles, 0))
+            self._orig_scalar(cycles, category)
+
+        def charge_vector(cycles: float, n: int, category: str = "vector") -> None:
+            self._record(TraceEvent("vector", category, cycles, max(n, 0)))
+            self._orig_vector(cycles, n, category)
+
+        self.counter.charge_scalar = charge_scalar
+        self.counter.charge_vector = charge_vector
+        return self
+
+    def __exit__(self, *exc) -> None:
+        # Remove the instance overrides so lookup falls back to the
+        # class methods — leaves the counter exactly as found.
+        del self.counter.charge_scalar
+        del self.counter.charge_vector
+        self._orig_scalar = None
+        self._orig_vector = None
+
+    def _record(self, ev: TraceEvent) -> None:
+        if self.max_events is None or len(self.events) < self.max_events:
+            self.events.append(ev)
+
+    # ------------------------------------------------------------------
+    # analysis
+    # ------------------------------------------------------------------
+    def instruction_mix(self) -> dict[str, int]:
+        """Instruction counts by category."""
+        return dict(MultiSet(ev.category for ev in self.events))
+
+    def cycles_by_category(self) -> dict[str, float]:
+        """Cycles by category."""
+        out: dict[str, float] = {}
+        for ev in self.events:
+            out[ev.category] = out.get(ev.category, 0.0) + ev.cycles
+        return out
+
+    def total_cycles(self) -> float:
+        """Cycles recorded while attached."""
+        return sum(ev.cycles for ev in self.events)
+
+    def vector_lane_histogram(self, buckets=(1, 8, 64, 512, 4096)) -> dict[str, int]:
+        """How many vector instructions ran at each lane-count scale —
+        short vectors are where start-up dominates (Figure 10's rising
+        edge in one histogram)."""
+        out: dict[str, int] = {}
+        lanes = [ev.lanes for ev in self.events if ev.unit == "vector"]
+        lo = 0
+        for hi in buckets:
+            key = f"{lo + 1}-{hi}"
+            out[key] = sum(1 for n in lanes if lo < n <= hi)
+            lo = hi
+        out[f">{buckets[-1]}"] = sum(1 for n in lanes if n > buckets[-1])
+        return out
+
+    def startup_fraction(self, startup_cost: float) -> float:
+        """Fraction of recorded vector cycles that are pipeline fill
+        (start-up) rather than element work."""
+        vec = [ev for ev in self.events if ev.unit == "vector"]
+        if not vec:
+            return 0.0
+        total = sum(ev.cycles for ev in vec)
+        if total == 0:
+            return 0.0
+        return min(1.0, startup_cost * len(vec) / total)
+
+    def mix_report(self) -> str:
+        """Human-readable instruction-mix summary."""
+        lines = [f"{len(self.events)} instructions, {self.total_cycles():,.0f} cycles"]
+        mix = self.instruction_mix()
+        cyc = self.cycles_by_category()
+        for cat in sorted(cyc, key=lambda c: -cyc[c]):
+            lines.append(f"  {cat:<16s} {mix[cat]:>7d} instrs  {cyc[cat]:>12,.0f} cycles")
+        return "\n".join(lines)

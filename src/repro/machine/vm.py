@@ -1,0 +1,263 @@
+"""The vector-unit facade: Fortran-90-style data-parallel primitives.
+
+The paper's vectorized algorithms (Figures 8 and 12) are written in a
+notation with parallel array assignment, ``where`` masking, ``countTrue``
+and pack/compress (``A where M``).  :class:`VectorMachine` provides
+exactly those primitives over NumPy arrays ("vector registers"), charging
+every operation to the shared :class:`~repro.machine.counter.CycleCounter`
+according to the machine's :class:`~repro.machine.cost_model.CostModel`.
+
+Vectorized algorithms in this library are written **only** against this
+facade plus :class:`~repro.machine.memory.Memory`'s vector port — they
+contain no Python-level loops over data elements, mirroring the paper's
+constraint that all innermost loops vectorize.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..errors import VectorLengthError
+from .cost_model import CostModel
+from .counter import CycleCounter
+from .memory import Memory
+
+ArrayLike = Union[np.ndarray, int]
+
+
+class VectorMachine:
+    """Data-parallel primitive set bound to one :class:`Memory`.
+
+    All register-level operations accept NumPy arrays and plain ints
+    (ints broadcast, as vector-scalar instructions do on real hardware).
+    """
+
+    def __init__(self, memory: Memory) -> None:
+        self.mem = memory
+        self.cost: CostModel = memory.cost
+        self.counter: CycleCounter = memory.counter
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _lanes(*operands: ArrayLike) -> int:
+        """Lane count of an operation; validates operand agreement."""
+        n = None
+        for op in operands:
+            if isinstance(op, np.ndarray):
+                if op.ndim != 1:
+                    raise VectorLengthError(f"vector operand must be 1-D, got {op.shape}")
+                if n is None:
+                    n = op.size
+                elif op.size != n:
+                    raise VectorLengthError(
+                        f"vector length mismatch: {n} vs {op.size}"
+                    )
+        if n is None:
+            raise VectorLengthError("at least one operand must be a vector")
+        return n
+
+    def _charge_alu(self, n: int) -> None:
+        self.counter.charge_vector(self.cost.vector_cost(n, self.cost.chime_alu), n, "v_alu")
+
+    def _charge_compress(self, n: int) -> None:
+        self.counter.charge_vector(
+            self.cost.vector_cost(n, self.cost.chime_compress), n, "v_compress"
+        )
+
+    def _charge_reduce(self, n: int) -> None:
+        self.counter.charge_vector(
+            self.cost.vector_cost(n, self.cost.chime_reduce), n, "v_reduce"
+        )
+
+    # ------------------------------------------------------------------
+    # generation
+    # ------------------------------------------------------------------
+    def iota(self, n: int, start: int = 0, step: int = 1) -> np.ndarray:
+        """Index-generation instruction: ``(start, start+step, ...)``.
+
+        This is how FOL's default labels (the element subscripts,
+        footnote 6 of the paper) are produced."""
+        if n < 0:
+            raise VectorLengthError(f"negative vector length {n}")
+        self._charge_alu(n)
+        return np.arange(start, start + n * step, step, dtype=np.int64)[:n]
+
+    def splat(self, n: int, value: int) -> np.ndarray:
+        """Broadcast a scalar into an ``n``-lane vector register."""
+        if n < 0:
+            raise VectorLengthError(f"negative vector length {n}")
+        self._charge_alu(n)
+        return np.full(n, value, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # elementwise arithmetic (int64 registers)
+    # ------------------------------------------------------------------
+    def add(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        self._charge_alu(self._lanes(a, b))
+        return np.asarray(np.add(a, b), dtype=np.int64)
+
+    def sub(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        self._charge_alu(self._lanes(a, b))
+        return np.asarray(np.subtract(a, b), dtype=np.int64)
+
+    def mul(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        self._charge_alu(self._lanes(a, b))
+        return np.asarray(np.multiply(a, b), dtype=np.int64)
+
+    def floordiv(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        self._charge_alu(self._lanes(a, b))
+        return np.asarray(np.floor_divide(a, b), dtype=np.int64)
+
+    def mod(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        self._charge_alu(self._lanes(a, b))
+        return np.asarray(np.mod(a, b), dtype=np.int64)
+
+    def bitand(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        self._charge_alu(self._lanes(a, b))
+        return np.asarray(np.bitwise_and(a, b), dtype=np.int64)
+
+    def neg(self, a: np.ndarray) -> np.ndarray:
+        self._charge_alu(self._lanes(a))
+        return np.asarray(-a, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # elementwise comparison -> mask registers (bool arrays)
+    # ------------------------------------------------------------------
+    def eq(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        self._charge_alu(self._lanes(a, b))
+        return np.asarray(np.equal(a, b))
+
+    def ne(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        self._charge_alu(self._lanes(a, b))
+        return np.asarray(np.not_equal(a, b))
+
+    def lt(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        self._charge_alu(self._lanes(a, b))
+        return np.asarray(np.less(a, b))
+
+    def le(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        self._charge_alu(self._lanes(a, b))
+        return np.asarray(np.less_equal(a, b))
+
+    def gt(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        self._charge_alu(self._lanes(a, b))
+        return np.asarray(np.greater(a, b))
+
+    def ge(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        self._charge_alu(self._lanes(a, b))
+        return np.asarray(np.greater_equal(a, b))
+
+    # ------------------------------------------------------------------
+    # mask algebra
+    # ------------------------------------------------------------------
+    def mask_and(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        self._charge_alu(self._lanes(a, b))
+        return np.logical_and(a, b)
+
+    def mask_or(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        self._charge_alu(self._lanes(a, b))
+        return np.logical_or(a, b)
+
+    def mask_not(self, a: np.ndarray) -> np.ndarray:
+        self._charge_alu(self._lanes(a))
+        return np.logical_not(a)
+
+    # ------------------------------------------------------------------
+    # masked merge / compress / reductions (the Fortran-90 idioms)
+    # ------------------------------------------------------------------
+    def select(self, mask: np.ndarray, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        """Elementwise merge: ``mask ? a : b`` (the ``where`` statement
+        applied to register targets)."""
+        self._charge_alu(self._lanes(mask))
+        return np.asarray(np.where(mask, a, b), dtype=np.int64)
+
+    def compress(self, a: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """``A where M`` — pack the lanes of ``a`` whose mask is true."""
+        self._charge_compress(self._lanes(a, mask))
+        return a[mask].copy()
+
+    def count_true(self, mask: np.ndarray) -> int:
+        """``countTrue(M)`` — population count of a mask register."""
+        self._charge_reduce(self._lanes(mask))
+        return int(np.count_nonzero(mask))
+
+    def vsum(self, a: np.ndarray) -> int:
+        self._charge_reduce(self._lanes(a))
+        return int(a.sum())
+
+    def vmax(self, a: np.ndarray) -> int:
+        self._charge_reduce(self._lanes(a))
+        return int(a.max())
+
+    def vmin(self, a: np.ndarray) -> int:
+        self._charge_reduce(self._lanes(a))
+        return int(a.min())
+
+    def any_true(self, mask: np.ndarray) -> bool:
+        self._charge_reduce(self._lanes(mask))
+        return bool(mask.any())
+
+    def all_true(self, mask: np.ndarray) -> bool:
+        self._charge_reduce(self._lanes(mask))
+        return bool(mask.all())
+
+    def cumsum_exclusive(self, a: np.ndarray) -> np.ndarray:
+        """Exclusive prefix sum (used by the distribution counting
+        sort's offset computation).  Charged at the scan chime — a 1991
+        vector unit realises a scan as multiple recursive-doubling
+        passes, so it is several times dearer than one elementwise op."""
+        n = self._lanes(a)
+        self.counter.charge_vector(
+            self.cost.vector_cost(n, self.cost.chime_scan), n, "v_scan"
+        )
+        out = np.zeros(a.size, dtype=np.int64)
+        np.cumsum(a[:-1], out=out[1:])
+        return out
+
+    # ------------------------------------------------------------------
+    # memory-port conveniences (delegate to Memory, which charges)
+    # ------------------------------------------------------------------
+    def gather(self, addrs: np.ndarray) -> np.ndarray:
+        """List-vector load through the bound memory."""
+        return self.mem.gather(addrs)
+
+    def scatter(
+        self, addrs: np.ndarray, values: ArrayLike, policy: str = "arbitrary"
+    ) -> None:
+        """List-vector store (ELS condition) through the bound memory."""
+        if not isinstance(values, np.ndarray):
+            values = np.full(np.asarray(addrs).size, values, dtype=np.int64)
+        self.mem.scatter(np.asarray(addrs), values, policy)
+
+    def scatter_masked(
+        self,
+        addrs: np.ndarray,
+        values: ArrayLike,
+        mask: np.ndarray,
+        policy: str = "arbitrary",
+    ) -> None:
+        """Masked list-vector store (``where M do mem[addr] := v``)."""
+        if not isinstance(values, np.ndarray):
+            values = np.full(np.asarray(addrs).size, values, dtype=np.int64)
+        self.mem.scatter_masked(np.asarray(addrs), values, mask, policy)
+
+    # ------------------------------------------------------------------
+    def loop_overhead(self) -> None:
+        """Charge the scalar-unit cost of one round of vector-loop
+        control (the strip-mine / repeat-until bookkeeping between
+        vector instructions)."""
+        self.counter.charge_scalar(self.cost.scalar_branch, "scalar_branch")
+
+
+def make_machine(
+    mem_size: int,
+    cost_model: Optional[CostModel] = None,
+    seed: int = 0,
+) -> VectorMachine:
+    """Convenience constructor: memory + counter + vector unit in one call."""
+    memory = Memory(mem_size, cost_model=cost_model, seed=seed)
+    return VectorMachine(memory)

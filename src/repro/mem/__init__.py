@@ -1,0 +1,5 @@
+"""Heap layer: region allocation and typed record arenas."""
+
+from .arena import NIL, BumpAllocator, RecordArena
+
+__all__ = ["NIL", "BumpAllocator", "RecordArena"]

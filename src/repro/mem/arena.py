@@ -1,0 +1,191 @@
+"""Region allocation and typed record arenas over simulated memory.
+
+The paper's symbolic structures (hash chains, cons cells, tree nodes) are
+records linked by pointers.  Here a *pointer* is a word address into one
+:class:`~repro.machine.memory.Memory`; a :class:`RecordArena` carves a
+region of memory into fixed-size records and hands out addresses.
+
+Address ``0`` is reserved as :data:`NIL` (the null pointer): the
+:class:`BumpAllocator` never allocates word 0, so ``ptr == NIL`` is an
+unambiguous emptiness test and a stray gather through NIL still lands
+inside memory (reading the reserved word) rather than faulting — the
+same forgivingness real machines had, which the *phantom node* checks in
+:mod:`repro.trees.rewrite` deliberately tighten.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import AllocationError
+from ..machine.memory import Memory
+
+#: The null pointer. Word 0 of every memory is reserved for it.
+NIL = 0
+
+
+class BumpAllocator:
+    """Carves non-overlapping regions out of one :class:`Memory`.
+
+    Bookkeeping is free (it models the *static* layout a Fortran program
+    fixes at compile time), so no cycles are charged here.
+    """
+
+    def __init__(self, memory: Memory) -> None:
+        self.memory = memory
+        self._next = 1  # word 0 is NIL
+        self.regions: Dict[str, Tuple[int, int]] = {}
+
+    def alloc(self, n: int, name: str) -> int:
+        """Reserve ``n`` words; returns the base address."""
+        if n < 0:
+            raise AllocationError(f"negative region size {n}")
+        if name in self.regions:
+            raise AllocationError(f"region name {name!r} already allocated")
+        base = self._next
+        if base + n > self.memory.size:
+            raise AllocationError(
+                f"out of memory: need {n} words at {base}, size {self.memory.size}"
+            )
+        self._next = base + n
+        self.regions[name] = (base, n)
+        return base
+
+    @property
+    def used(self) -> int:
+        """Words allocated so far (including the NIL word)."""
+        return self._next
+
+    @property
+    def free(self) -> int:
+        """Words still available."""
+        return self.memory.size - self._next
+
+
+class RecordArena:
+    """Fixed-size-record arena: the heap for one node type.
+
+    Parameters
+    ----------
+    allocator:
+        Where to carve the backing region from.
+    fields:
+        Field names, one word each, in layout order.
+    capacity:
+        Maximum number of records.
+    name:
+        Region name for diagnostics.
+
+    Allocation is a bump pointer.  ``alloc_many`` returns a contiguous
+    block of record addresses, which is how the vectorized algorithms
+    allocate a node per key in one step (a single vector-length
+    address-generation instruction, charged by the caller through the
+    :class:`~repro.machine.vm.VectorMachine` it uses to build the iota).
+    """
+
+    def __init__(
+        self,
+        allocator: BumpAllocator,
+        fields: Sequence[str],
+        capacity: int,
+        name: str = "arena",
+    ) -> None:
+        if not fields:
+            raise AllocationError("record must have at least one field")
+        if capacity <= 0:
+            raise AllocationError(f"capacity must be positive, got {capacity}")
+        self.memory: Memory = allocator.memory
+        self.fields = tuple(fields)
+        self.record_size = len(self.fields)
+        self.capacity = capacity
+        self.name = name
+        self._offsets = {f: i for i, f in enumerate(self.fields)}
+        self.base = allocator.alloc(capacity * self.record_size, name)
+        self._next = 0
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    @property
+    def allocated(self) -> int:
+        """Number of records handed out so far."""
+        return self._next
+
+    @property
+    def remaining(self) -> int:
+        """Records still available."""
+        return self.capacity - self._next
+
+    def alloc_one(self) -> int:
+        """Allocate one record; returns its address (pointer)."""
+        if self._next >= self.capacity:
+            raise AllocationError(f"arena {self.name!r} exhausted ({self.capacity})")
+        ptr = self.base + self._next * self.record_size
+        self._next += 1
+        return ptr
+
+    def alloc_many(self, n: int) -> np.ndarray:
+        """Allocate ``n`` records; returns a vector of addresses."""
+        if n < 0:
+            raise AllocationError(f"negative allocation count {n}")
+        if self._next + n > self.capacity:
+            raise AllocationError(
+                f"arena {self.name!r} exhausted: want {n}, have {self.remaining}"
+            )
+        start = self.base + self._next * self.record_size
+        self._next += n
+        return np.arange(
+            start, start + n * self.record_size, self.record_size, dtype=np.int64
+        )
+
+    # ------------------------------------------------------------------
+    # addressing
+    # ------------------------------------------------------------------
+    def offset(self, field: str) -> int:
+        """Word offset of ``field`` within a record."""
+        try:
+            return self._offsets[field]
+        except KeyError:
+            raise AllocationError(
+                f"unknown field {field!r}; arena {self.name!r} has {self.fields}"
+            ) from None
+
+    def field_addr(self, ptr: int, field: str) -> int:
+        """Address of ``ptr->field`` (pure address arithmetic; callers
+        running on the scalar unit charge one ALU op themselves)."""
+        return int(ptr) + self.offset(field)
+
+    def field_addrs(self, ptrs: np.ndarray, field: str) -> np.ndarray:
+        """Vector of addresses of ``ptrs[i]->field``.  Pure address
+        arithmetic; vector callers charge it as one ALU instruction via
+        their :class:`VectorMachine` (see ``vm.add``)."""
+        return np.asarray(ptrs, dtype=np.int64) + self.offset(field)
+
+    def contains(self, ptr: int) -> bool:
+        """True if ``ptr`` is the address of an allocated record."""
+        off = int(ptr) - self.base
+        return (
+            0 <= off < self._next * self.record_size and off % self.record_size == 0
+        )
+
+    # ------------------------------------------------------------------
+    # debug access (never charged)
+    # ------------------------------------------------------------------
+    def peek_field(self, ptr: int, field: str) -> int:
+        """Debug read of ``ptr->field`` without charging cycles."""
+        return self.memory.peek(self.field_addr(ptr, field))
+
+    def poke_field(self, ptr: int, field: str, value: int) -> None:
+        """Debug write of ``ptr->field`` without charging cycles."""
+        self.memory.poke(self.field_addr(ptr, field), value)
+
+    def all_records(self) -> np.ndarray:
+        """Addresses of every allocated record (debug/verification)."""
+        return np.arange(
+            self.base,
+            self.base + self._next * self.record_size,
+            self.record_size,
+            dtype=np.int64,
+        )

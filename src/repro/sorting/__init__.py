@@ -1,0 +1,25 @@
+"""O(N) sorting algorithms vectorized with FOL (paper §4.2 / Table 1)."""
+
+from .address_calc import (
+    DEFAULT_VMAX,
+    AddressCalcWorkspace,
+    scalar_address_calc_sort,
+    vector_address_calc_sort,
+)
+from .distribution import (
+    DEFAULT_RANGE,
+    DistributionWorkspace,
+    scalar_distribution_sort,
+    vector_distribution_sort,
+)
+
+__all__ = [
+    "DEFAULT_VMAX",
+    "DEFAULT_RANGE",
+    "AddressCalcWorkspace",
+    "DistributionWorkspace",
+    "scalar_address_calc_sort",
+    "vector_address_calc_sort",
+    "scalar_distribution_sort",
+    "vector_distribution_sort",
+]

@@ -1,0 +1,36 @@
+"""Tree applications: BST multi-insertion (§4.3) and parallel operation-
+tree rewriting by the associative law (§2, §3.3)."""
+
+from .bst import BinarySearchTree, scalar_bst_insert, vector_bst_insert
+from .rebalance import (
+    RebalanceWorkspace,
+    minimal_height,
+    scalar_rebalance,
+    vector_rebalance,
+)
+from .rewrite import (
+    OP_LEAF,
+    OP_MUL,
+    OpTreeArena,
+    find_redexes,
+    fol_star_rewrite_all,
+    forced_rewrite_all,
+    sequential_rewrite_all,
+)
+
+__all__ = [
+    "BinarySearchTree",
+    "scalar_bst_insert",
+    "vector_bst_insert",
+    "RebalanceWorkspace",
+    "vector_rebalance",
+    "scalar_rebalance",
+    "minimal_height",
+    "OP_LEAF",
+    "OP_MUL",
+    "OpTreeArena",
+    "find_redexes",
+    "fol_star_rewrite_all",
+    "forced_rewrite_all",
+    "sequential_rewrite_all",
+]

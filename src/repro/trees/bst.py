@@ -1,0 +1,224 @@
+"""Multi-insertion into an unbalanced binary search tree — paper §4.3.
+
+Sequential baseline: standard BST insert, one key at a time, charged on
+the scalar unit.
+
+Vectorized algorithm (FOL1 specialisation): all keys descend the tree in
+lock-step.  Each step gathers the current nodes' keys, picks the left or
+right child slot, and descends where a child exists.  Keys that reach an
+empty (NIL) slot try to claim it: they scatter their unique subscript
+labels *into the slot word itself* (the slot is about to be overwritten
+by main processing, so it doubles as the FOL work area), gather back,
+and the surviving lane per slot allocates a node and stores its pointer
+there.  Filtered lanes simply keep descending — next step they gather
+the slot again and find the winner's freshly inserted node, exactly as
+if the winner had been processed "before" them in a sequential order.
+
+Duplicate keys descend right (``key >= node.key`` goes right), matching
+the baseline, so both implementations accept duplicate keys.
+
+The paper's benchmark (Figure 14) pre-builds a tree of ``Ni`` random
+keys because an empty tree makes every first-wave key collide at the
+root — "too disadvantageous for vector processing".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from ..errors import ReproError
+from ..machine.scalar import ScalarProcessor
+from ..machine.vm import VectorMachine
+from ..mem.arena import NIL, BumpAllocator, RecordArena
+
+#: Node layout: key, left-child pointer, right-child pointer.
+BST_FIELDS = ("key", "left", "right")
+
+
+class BinarySearchTree:
+    """Linked BST over a record arena; root held in a memory word so the
+    empty-tree case is also a pointer rewrite."""
+
+    def __init__(self, allocator: BumpAllocator, capacity: int, name: str = "bst") -> None:
+        self.nodes = RecordArena(allocator, BST_FIELDS, capacity, name=f"{name}.nodes")
+        self.root_addr = allocator.alloc(1, f"{name}.root")
+        self.memory = allocator.memory
+        self.memory.words[self.root_addr] = NIL
+
+    # ------------------------------------------------------------------
+    # uncharged helpers (test setup / verification)
+    # ------------------------------------------------------------------
+    def build(self, keys: Iterable[int]) -> None:
+        """Sequentially insert ``keys`` without charging cycles — used to
+        pre-build the initial Ni-node tree of Figure 14's setup."""
+        for key in keys:
+            key = int(key)
+            node = self.nodes.alloc_one()
+            self.nodes.poke_field(node, "key", key)
+            self.nodes.poke_field(node, "left", NIL)
+            self.nodes.poke_field(node, "right", NIL)
+            ptr = self.memory.peek(self.root_addr)
+            if ptr == NIL:
+                self.memory.poke(self.root_addr, node)
+                continue
+            while True:
+                nkey = self.nodes.peek_field(ptr, "key")
+                field = "left" if key < nkey else "right"
+                child = self.nodes.peek_field(ptr, field)
+                if child == NIL:
+                    self.nodes.poke_field(ptr, field, node)
+                    break
+                ptr = child
+
+    def inorder(self) -> List[int]:
+        """In-order key sequence (uncharged, iterative to spare the
+        Python recursion limit on degenerate trees)."""
+        out: List[int] = []
+        stack: List[int] = []
+        ptr = self.memory.peek(self.root_addr)
+        while ptr != NIL or stack:
+            while ptr != NIL:
+                stack.append(ptr)
+                ptr = self.nodes.peek_field(ptr, "left")
+            ptr = stack.pop()
+            out.append(self.nodes.peek_field(ptr, "key"))
+            ptr = self.nodes.peek_field(ptr, "right")
+        return out
+
+    def check_bst_invariant(self) -> None:
+        """Raise unless the in-order sequence is sorted."""
+        seq = self.inorder()
+        if any(a > b for a, b in zip(seq, seq[1:])):
+            raise ReproError("BST invariant violated: in-order sequence not sorted")
+
+    def size(self) -> int:
+        """Number of reachable nodes (uncharged)."""
+        return len(self.inorder())
+
+    def depth(self) -> int:
+        """Tree height (uncharged, iterative)."""
+        root = self.memory.peek(self.root_addr)
+        if root == NIL:
+            return 0
+        best = 0
+        stack = [(root, 1)]
+        while stack:
+            ptr, d = stack.pop()
+            best = max(best, d)
+            for f in ("left", "right"):
+                child = self.nodes.peek_field(ptr, f)
+                if child != NIL:
+                    stack.append((child, d + 1))
+        return best
+
+
+# ----------------------------------------------------------------------
+# sequential insertion (baseline)
+# ----------------------------------------------------------------------
+def scalar_bst_insert(
+    sp: ScalarProcessor,
+    tree: BinarySearchTree,
+    keys: Iterable[int],
+) -> None:
+    """Insert keys one at a time, charging scalar cycles per step."""
+    nodes = tree.nodes
+    off_left = nodes.offset("left")
+    off_right = nodes.offset("right")
+    off_key = nodes.offset("key")
+    for key in keys:
+        key = int(key)
+        node = nodes.alloc_one()
+        sp.alu()  # allocation bump
+        sp.store(node + off_key, key)
+        sp.store(node + off_left, NIL)
+        sp.store(node + off_right, NIL)
+        slot = tree.root_addr
+        while True:
+            ptr = sp.load(slot)
+            sp.branch()
+            if ptr == NIL:
+                sp.store(slot, node)
+                break
+            nkey = sp.load(ptr + off_key)
+            sp.alu(2)  # compare + slot address arithmetic
+            slot = ptr + (off_left if key < nkey else off_right)
+            sp.loop_iter()
+        sp.loop_iter()
+
+
+# ----------------------------------------------------------------------
+# vectorized multi-insertion (FOL1 specialisation)
+# ----------------------------------------------------------------------
+def vector_bst_insert(
+    vm: VectorMachine,
+    tree: BinarySearchTree,
+    keys: np.ndarray,
+    policy: str = "arbitrary",
+    max_steps: Optional[int] = None,
+) -> int:
+    """Insert all ``keys`` by vector operations; returns the number of
+    descend-and-claim steps executed."""
+    keys = np.asarray(keys, dtype=np.int64)
+    n = keys.size
+    if n == 0:
+        return 0
+    nodes = tree.nodes
+    off_left = nodes.offset("left")
+    off_right = nodes.offset("right")
+    off_key = nodes.offset("key")
+
+    # Fresh nodes for every key, fields initialised by vector stores.
+    new_nodes = nodes.alloc_many(n)
+    vm.iota(n)  # charge the address generation
+    vm.scatter(vm.add(new_nodes, off_key), keys, policy=policy)
+    vm.scatter(vm.add(new_nodes, off_left), vm.splat(n, NIL), policy=policy)
+    vm.scatter(vm.add(new_nodes, off_right), vm.splat(n, NIL), policy=policy)
+
+    # Every key starts at the root *slot* (the word holding the root
+    # pointer), so inserting into an empty tree needs no special case.
+    slots = vm.splat(n, tree.root_addr)
+    labels = vm.iota(n)
+    active = vm.iota(n)  # positions of keys not yet inserted
+
+    steps = 0
+    limit = max_steps if max_steps is not None else 2 * (tree.nodes.capacity + n) + 4
+    while active.size:
+        steps += 1
+        if steps > limit:
+            raise ReproError(f"vector BST insert exceeded {limit} steps")
+
+        cur_slots = slots[active]
+        ptrs = vm.gather(cur_slots)
+        at_nil = vm.eq(ptrs, NIL)
+
+        # -- claim phase: lanes standing on a NIL slot run one FOL round
+        #    (label write + read-back, masked to those lanes).
+        if vm.any_true(at_nil):
+            lb = labels[active]
+            vm.scatter_masked(cur_slots, lb, at_nil, policy=policy)
+            readback = vm.gather(cur_slots)
+            won = vm.mask_and(at_nil, vm.eq(readback, lb))
+            # One survivor per slot (ELS) — link its pre-built node in.
+            vm.scatter_masked(cur_slots, new_nodes[active], won, policy=policy)
+            if not vm.any_true(won):
+                raise ReproError("BST claim round made no progress")
+            # Winners are inserted and leave the active set; losers stay
+            # and will descend into the winner's fresh node next step.
+            remaining = vm.mask_not(won)
+            active = vm.compress(active, remaining)
+            if active.size == 0:
+                break
+            cur_slots = slots[active]
+            ptrs = vm.gather(cur_slots)
+
+        # -- descend phase: every touched slot now holds a node, so all
+        #    remaining lanes follow left/right by key comparison.
+        node_keys = vm.gather(vm.add(ptrs, off_key))
+        go_left = vm.lt(keys[active], node_keys)
+        child_slots = vm.add(ptrs, vm.select(go_left, off_left, off_right))
+        slots[active] = child_slots
+        vm.loop_overhead()
+
+    return steps

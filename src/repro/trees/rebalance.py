@@ -1,0 +1,287 @@
+r"""Vectorized BST rebalancing — the paper's §6 future work ("tree
+rebalancing"), built from three parallel phases:
+
+1. **Tree → vine** (parallel right rotations).  A right rotation at a
+   node ``n`` with left child ``l`` rewrites *three* cells — the slot
+   pointing at ``n``, ``l.right`` and ``n.left`` — so simultaneous
+   rotations on overlapping nodes conflict exactly the way §2's tree
+   rewriting does.  Each wave finds every rotation site, decomposes the
+   (slot, l.right-cell, n.left-cell) tuples with **FOL\*** (L = 3), and
+   applies each parallel-processable set with pure gathers/scatters
+   (re-validating later sets, since earlier rotations can restructure
+   them away).  When no node has a left child the tree is a right vine,
+   i.e. a sorted linked list.
+
+2. **Vine → array** (pointer jumping).  Each node's distance to the
+   vine tail is computed by the classic parallel list-ranking doubling
+   loop — O(log n) vector rounds of gather/add/scatter over a rank and
+   a successor region.
+
+3. **Array → balanced tree** (conflict-free linking).  The recursive
+   midpoint construction is run breadth-first: a wave holds a vector of
+   (lo, hi, slot) ranges; every range links ``order[(lo+hi)//2]`` into
+   its slot and emits its two sub-ranges.  All writes in a wave target
+   distinct cells, so no FOL is needed — O(log n) waves.
+
+The result is a height-minimal BST with the same key multiset, verified
+against a charged sequential rebuild baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.fol_star import fol_star
+from ..errors import ReproError
+from ..machine.scalar import ScalarProcessor
+from ..machine.vm import VectorMachine
+from ..mem.arena import NIL, BumpAllocator
+from .bst import BinarySearchTree
+
+
+class RebalanceWorkspace:
+    """Scratch regions for rebalancing trees of up to ``capacity``
+    nodes: FOL* work words, list-ranking rank/successor arrays, the
+    in-order node array, and the range worklist."""
+
+    def __init__(self, allocator: BumpAllocator, tree: BinarySearchTree,
+                 name: str = "rebal") -> None:
+        self.tree = tree
+        cap = tree.nodes.capacity
+        rs = tree.nodes.record_size
+        # FOL* work region shadows node cells AND the root slot, so any
+        # rewritten cell address maps to work at a fixed offset.  The
+        # shadow must span [nodes.base, root_addr] — allocate by extent.
+        lo = tree.nodes.base
+        hi = tree.root_addr + 1
+        self._work_base = allocator.alloc(hi - lo, f"{name}.fol_work")
+        self.work_offset = self._work_base - lo
+        # per-record regions (indexed by record number)
+        self.rank_base = allocator.alloc(cap, f"{name}.rank")
+        self.succ_base = allocator.alloc(cap, f"{name}.succ")
+        self.order_base = allocator.alloc(cap, f"{name}.order")
+        self.memory = allocator.memory
+
+
+def vector_rebalance(
+    vm: VectorMachine,
+    ws: RebalanceWorkspace,
+    policy: str = "arbitrary",
+    max_waves: Optional[int] = None,
+) -> Tuple[int, int]:
+    """Rebalance ``ws.tree`` in place; returns (rotations, waves)."""
+    tree = ws.tree
+    n = tree.nodes.allocated
+    if n == 0:
+        return 0, 0
+    rotations, waves = _tree_to_vine(vm, ws, policy, max_waves)
+    _vine_to_order(vm, ws)
+    _order_to_balanced(vm, ws, n, policy)
+    return rotations, waves
+
+
+# ----------------------------------------------------------------------
+# phase 1: parallel right rotations until no left children remain
+# ----------------------------------------------------------------------
+def _tree_to_vine(
+    vm: VectorMachine,
+    ws: RebalanceWorkspace,
+    policy: str,
+    max_waves: Optional[int],
+) -> Tuple[int, int]:
+    tree = ws.tree
+    nodes = tree.nodes
+    off_left = nodes.offset("left")
+    off_right = nodes.offset("right")
+    all_nodes = nodes.all_records()
+    # Every right rotation strictly decreases the sum of left-subtree
+    # sizes (bounded by n^2/2), and every wave applies at least one
+    # rotation, so n^2 waves always suffice.
+    limit = max_waves if max_waves is not None else nodes.allocated ** 2 + 8
+
+    rotations = 0
+    waves = 0
+    while True:
+        waves += 1
+        if waves > limit:
+            raise ReproError(f"tree-to-vine exceeded {limit} waves")
+
+        # rotation sites: every reachable node with a left child.  The
+        # slot map (cell pointing at each node) is recomputed per wave
+        # by scattering parent-cell addresses through the child links.
+        slot_of = _slot_map(vm, ws, all_nodes)
+        vm.iota(all_nodes.size)  # charge record-address generation
+        lefts = vm.gather(vm.add(all_nodes, off_left))
+        reachable = vm.ne(slot_of, NIL)
+        site = vm.mask_and(vm.ne(lefts, NIL), reachable)
+        n_sites = vm.count_true(site)
+        if n_sites == 0:
+            return rotations, waves - 1
+
+        ns = vm.compress(all_nodes, site)
+        ls = vm.compress(lefts, site)
+        slots = vm.compress(slot_of, site)
+
+        dec = fol_star(
+            vm,
+            [slots, vm.add(ls, off_right), vm.add(ns, off_left)],
+            work_offset=ws.work_offset,
+            policy=policy,
+        )
+        for s in dec.sets:
+            sn, sl, sslot = ns[s], ls[s], slots[s]
+            # re-validate: earlier sets may have rotated these away
+            still = vm.mask_and(
+                vm.eq(vm.gather(sslot), sn),
+                vm.eq(vm.gather(vm.add(sn, off_left)), sl),
+            )
+            sn = vm.compress(sn, still)
+            sl = vm.compress(sl, still)
+            sslot = vm.compress(sslot, still)
+            if sn.size == 0:
+                vm.loop_overhead()
+                continue
+            # rotate right:  slot := l ; n.left := l.right ; l.right := n
+            lr = vm.gather(vm.add(sl, off_right))
+            vm.scatter(sslot, sl, policy=policy)
+            vm.scatter(vm.add(sn, off_left), lr, policy=policy)
+            vm.scatter(vm.add(sl, off_right), sn, policy=policy)
+            rotations += int(sn.size)
+            vm.loop_overhead()
+
+
+def _slot_map(vm: VectorMachine, ws: RebalanceWorkspace,
+              all_nodes: np.ndarray) -> np.ndarray:
+    """For every allocated node, the address of the cell pointing at it
+    (NIL for unreachable nodes).  Built with two conflict-free scatters
+    through the child links plus the root entry."""
+    tree = ws.tree
+    nodes = tree.nodes
+    rs = nodes.record_size
+    base = nodes.base
+    off_left = nodes.offset("left")
+    off_right = nodes.offset("right")
+
+    # reuse the succ region as scratch for the map (indexed by record)
+    cap = nodes.capacity
+    vm.mem.fill(ws.succ_base, cap, NIL)
+
+    for off in (off_left, off_right):
+        child = vm.gather(vm.add(all_nodes, off))
+        has = vm.ne(child, NIL)
+        c = vm.compress(child, has)
+        parents = vm.compress(all_nodes, has)
+        if c.size:
+            idx = vm.floordiv(vm.sub(c, base), rs)
+            vm.scatter(vm.add(idx, ws.succ_base), vm.add(parents, off),
+                       policy="arbitrary")
+    root = vm.mem.sload(tree.root_addr)
+    if root != NIL:
+        ridx = (root - base) // rs
+        vm.mem.sstore(ws.succ_base + ridx, tree.root_addr)
+    idx_all = vm.floordiv(vm.sub(all_nodes, base), rs)
+    return vm.gather(vm.add(idx_all, ws.succ_base))
+
+
+# ----------------------------------------------------------------------
+# phase 2: list ranking by pointer jumping
+# ----------------------------------------------------------------------
+def _vine_to_order(vm: VectorMachine, ws: RebalanceWorkspace) -> None:
+    from ..lists.ranking import RankingScratch, list_ranks
+
+    tree = ws.tree
+    scratch = RankingScratch.from_bases(tree.nodes, ws.rank_base, ws.succ_base)
+    all_nodes, ranks = list_ranks(vm, scratch, "right")
+    n = all_nodes.size
+
+    # rank[i] is the distance to the vine tail; position from the head
+    # is (n-1) - rank.  Scatter node pointers into in-order slots —
+    # conflict-free because ranks are distinct along a list.
+    pos = vm.sub(vm.splat(n, n - 1), ranks)
+    vm.scatter(vm.add(pos, ws.order_base), all_nodes, policy="arbitrary")
+
+
+# ----------------------------------------------------------------------
+# phase 3: balanced linking, breadth-first over midpoint ranges
+# ----------------------------------------------------------------------
+def _order_to_balanced(
+    vm: VectorMachine, ws: RebalanceWorkspace, n: int, policy: str
+) -> None:
+    tree = ws.tree
+    nodes = tree.nodes
+    off_left = nodes.offset("left")
+    off_right = nodes.offset("right")
+
+    lo = np.zeros(1, dtype=np.int64)
+    hi = np.full(1, n, dtype=np.int64)
+    slots = np.full(1, tree.root_addr, dtype=np.int64)
+    vm.iota(1)  # charge worklist initialisation
+
+    waves = 0
+    while lo.size:
+        waves += 1
+        if waves > 2 * n + 4:
+            raise ReproError("balanced linking did not converge")
+        mid = vm.floordiv(vm.add(lo, hi), 2)
+        node = vm.gather(vm.add(mid, ws.order_base))
+        vm.scatter(slots, node, policy=policy)
+        # clear children; sub-ranges re-link them in later waves
+        vm.scatter(vm.add(node, off_left), vm.splat(node.size, NIL), policy=policy)
+        vm.scatter(vm.add(node, off_right), vm.splat(node.size, NIL), policy=policy)
+
+        l_lo, l_hi, l_slot = lo, mid, vm.add(node, off_left)
+        r_lo, r_hi, r_slot = vm.add(mid, 1), hi, vm.add(node, off_right)
+        new_lo = np.concatenate([l_lo, r_lo])
+        new_hi = np.concatenate([l_hi, r_hi])
+        new_slot = np.concatenate([l_slot, r_slot])
+        keep = vm.lt(new_lo, new_hi)
+        lo = vm.compress(new_lo, keep)
+        hi = vm.compress(new_hi, keep)
+        slots = vm.compress(new_slot, keep)
+        vm.loop_overhead()
+
+
+# ----------------------------------------------------------------------
+# sequential baseline
+# ----------------------------------------------------------------------
+def scalar_rebalance(sp: ScalarProcessor, tree: BinarySearchTree) -> None:
+    """Charged sequential rebuild: in-order walk collects the nodes,
+    then a recursive midpoint pass relinks them."""
+    off_key = tree.nodes.offset("key")
+    off_left = tree.nodes.offset("left")
+    off_right = tree.nodes.offset("right")
+
+    # in-order traversal collecting node pointers
+    order = []
+    stack = []
+    ptr = sp.load(tree.root_addr)
+    while ptr != NIL or stack:
+        sp.branch()
+        while ptr != NIL:
+            stack.append(ptr)
+            ptr = sp.load(ptr + off_left)
+            sp.loop_iter()
+        ptr = stack.pop()
+        order.append(ptr)
+        ptr = sp.load(ptr + off_right)
+        sp.loop_iter()
+
+    def build(lo: int, hi: int) -> int:
+        sp.branch()
+        if lo >= hi:
+            return NIL
+        mid = (lo + hi) // 2
+        sp.alu(2)
+        node = order[mid]
+        sp.store(node + off_left, build(lo, mid))
+        sp.store(node + off_right, build(mid + 1, hi))
+        return node
+
+    sp.store(tree.root_addr, build(0, len(order)))
+
+
+def minimal_height(n: int) -> int:
+    """Height of a perfectly balanced BST over n nodes."""
+    return n.bit_length()

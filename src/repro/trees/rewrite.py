@@ -1,0 +1,331 @@
+"""Parallel operation-tree rewriting by the associative law — paper §2
+and §3.3's FOL* application.
+
+Trees are built from ``(op, left, right, value)`` records: interior
+nodes carry ``OP_MUL`` and two children; leaves carry ``OP_LEAF`` and a
+value.  The rewriting rule is the associative law
+
+    X * (Y * Z)  →  (X * Y) * Z
+
+applied destructively and **in place**, reusing the two nodes of the
+redex (node ``n`` and its right child ``r``) exactly as Figure 5 reuses
+n1/n3:
+
+    before: n = (X, r),    r = (Y, Z)
+    after:  n = (r, Z),    r = (X, Y)
+
+One rewrite rewrites **two** nodes (L = 2), and overlapping redexes
+share a node (Figure 5's n3 sits in both (n1, n3) and (n3, n5)), so
+forced parallel application corrupts the tree.  Three drivers:
+
+* :func:`sequential_rewrite_all` — scalar baseline, one redex at a time.
+* :func:`fol_star_rewrite_all` — safe parallel rewriting: each round
+  finds all redexes with vector scans, decomposes them with FOL*
+  (V¹ = redex heads, V² = their right children), and applies each
+  parallel-processable set with pure vector gathers/scatters.
+* :func:`forced_rewrite_all` — the §2 strawman: applies *all* redexes of
+  a round in parallel with no filtering.  With overlapping redexes the
+  ELS-resolved writes interleave and the result is garbage (lost leaves,
+  duplicated subtrees, even cycles); :func:`check_tree` detects this.
+
+Repeated to a fixed point, the rule left-linearises the tree:
+``a*(b*(c*d))`` becomes ``((a*b)*c)*d``.  Associativity preserves the
+in-order leaf sequence, which is the correctness oracle.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.fol_star import fol_star
+from ..errors import PhantomNodeError, RewriteError
+from ..machine.scalar import ScalarProcessor
+from ..machine.vm import VectorMachine
+from ..mem.arena import NIL, BumpAllocator, RecordArena
+
+OP_LEAF = 0
+OP_MUL = 1
+
+TREE_FIELDS = ("op", "left", "right", "value")
+
+
+class OpTreeArena:
+    """Arena of operation-tree nodes plus construction helpers."""
+
+    def __init__(self, allocator: BumpAllocator, capacity: int, name: str = "optree") -> None:
+        self.nodes = RecordArena(allocator, TREE_FIELDS, capacity, name=name)
+        self.memory = allocator.memory
+        # Shadow work region for FOL* label traffic: one word per node
+        # word, at a constant offset from the node base, mirroring the
+        # paper's "work areas reserved for each storage area" (§3.3).
+        self._fol_work_base = allocator.alloc(
+            capacity * self.nodes.record_size, f"{name}.fol_work"
+        )
+
+    @property
+    def work_offset(self) -> int:
+        """Additive offset from a node address to its FOL work word."""
+        return self._fol_work_base - self.nodes.base
+
+    # -- construction (uncharged; workload setup) -----------------------
+    def leaf(self, value: int) -> int:
+        ptr = self.nodes.alloc_one()
+        self.nodes.poke_field(ptr, "op", OP_LEAF)
+        self.nodes.poke_field(ptr, "left", NIL)
+        self.nodes.poke_field(ptr, "right", NIL)
+        self.nodes.poke_field(ptr, "value", int(value))
+        return ptr
+
+    def mul(self, left: int, right: int) -> int:
+        ptr = self.nodes.alloc_one()
+        self.nodes.poke_field(ptr, "op", OP_MUL)
+        self.nodes.poke_field(ptr, "left", int(left))
+        self.nodes.poke_field(ptr, "right", int(right))
+        self.nodes.poke_field(ptr, "value", 0)
+        return ptr
+
+    def right_comb(self, values: Sequence[int]) -> int:
+        """Build ``v0 * (v1 * (v2 * (...)))`` — the §2 example shape with
+        the maximum density of overlapping redexes."""
+        if not values:
+            raise RewriteError("right_comb needs at least one value")
+        node = self.leaf(values[-1])
+        for v in reversed(values[:-1]):
+            node = self.mul(self.leaf(v), node)
+        return node
+
+    def random_tree(self, values: Sequence[int], rng: np.random.Generator) -> int:
+        """Random binary multiplication tree over ``values`` (in order)."""
+        if not values:
+            raise RewriteError("random_tree needs at least one value")
+        nodes = [self.leaf(v) for v in values]
+        while len(nodes) > 1:
+            i = int(rng.integers(0, len(nodes) - 1))
+            nodes[i : i + 2] = [self.mul(nodes[i], nodes[i + 1])]
+        return nodes[0]
+
+    # -- verification (uncharged) ----------------------------------------
+    def leaves_inorder(self, root: int, max_nodes: Optional[int] = None) -> List[int]:
+        """In-order leaf values; raises on cycles / phantom structure."""
+        limit = max_nodes if max_nodes is not None else self.nodes.allocated * 2 + 4
+        out: List[int] = []
+        visited = 0
+        stack = [int(root)]
+        while stack:
+            ptr = stack.pop()
+            visited += 1
+            if visited > limit:
+                raise PhantomNodeError("traversal exceeded node budget — cycle?")
+            if not self.nodes.contains(ptr):
+                raise PhantomNodeError(f"pointer {ptr} is not an allocated node")
+            op = self.nodes.peek_field(ptr, "op")
+            if op == OP_LEAF:
+                out.append(self.nodes.peek_field(ptr, "value"))
+            elif op == OP_MUL:
+                stack.append(self.nodes.peek_field(ptr, "right"))
+                stack.append(self.nodes.peek_field(ptr, "left"))
+            else:
+                raise PhantomNodeError(f"node {ptr} has invalid op {op}")
+        return out
+
+    def check_tree(self, root: int) -> None:
+        """Raise unless the structure from ``root`` is a proper tree:
+        acyclic, every interior node visited exactly once, all pointers
+        valid."""
+        seen: set[int] = set()
+        stack = [int(root)]
+        while stack:
+            ptr = stack.pop()
+            if not self.nodes.contains(ptr):
+                raise PhantomNodeError(f"pointer {ptr} is not an allocated node")
+            if ptr in seen:
+                raise PhantomNodeError(f"node {ptr} reachable twice — sharing/cycle")
+            seen.add(ptr)
+            if self.nodes.peek_field(ptr, "op") == OP_MUL:
+                stack.append(self.nodes.peek_field(ptr, "right"))
+                stack.append(self.nodes.peek_field(ptr, "left"))
+
+    def is_left_linear(self, root: int) -> bool:
+        """True if no redex remains (every right child is a leaf)."""
+        stack = [int(root)]
+        while stack:
+            ptr = stack.pop()
+            if self.nodes.peek_field(ptr, "op") != OP_MUL:
+                continue
+            right = self.nodes.peek_field(ptr, "right")
+            if self.nodes.peek_field(right, "op") == OP_MUL:
+                return False
+            stack.append(self.nodes.peek_field(ptr, "left"))
+        return True
+
+
+# ----------------------------------------------------------------------
+# redex discovery (vector scan over the allocated node block)
+# ----------------------------------------------------------------------
+def find_redexes(vm: VectorMachine, arena: OpTreeArena) -> Tuple[np.ndarray, np.ndarray]:
+    """Return (heads, right_children) of every redex: nodes ``n`` with
+    ``n.op = * `` whose right child is also a ``*`` node.  One pass of
+    vector gathers over the allocated records."""
+    all_nodes = arena.nodes.all_records()
+    if all_nodes.size == 0:
+        return all_nodes, all_nodes
+    off_op = arena.nodes.offset("op")
+    off_right = arena.nodes.offset("right")
+    vm.iota(all_nodes.size)  # charge the record-address generation
+    ops = vm.gather(vm.add(all_nodes, off_op))
+    rights = vm.gather(vm.add(all_nodes, off_right))
+    is_mul = vm.eq(ops, OP_MUL)
+    # NIL-guarded gather: leaves have right = NIL = 0, a valid (reserved)
+    # word, so the gather is safe and the mask discards the result.
+    right_ops = vm.gather(vm.add(rights, off_op))
+    redex = vm.mask_and(is_mul, vm.eq(right_ops, OP_MUL))
+    heads = vm.compress(all_nodes, redex)
+    right_children = vm.compress(rights, redex)
+    return heads, right_children
+
+
+def _apply_redex_set(
+    vm: VectorMachine,
+    arena: OpTreeArena,
+    heads: np.ndarray,
+    rights: np.ndarray,
+    policy: str,
+) -> None:
+    """Apply X*(Y*Z) → (X*Y)*Z to every (n, r) pair in parallel:
+    all gathers before all scatters, as one vector unit process."""
+    off_left = arena.nodes.offset("left")
+    off_right = arena.nodes.offset("right")
+    x = vm.gather(vm.add(heads, off_left))
+    y = vm.gather(vm.add(rights, off_left))
+    z = vm.gather(vm.add(rights, off_right))
+    vm.scatter(vm.add(heads, off_left), rights, policy=policy)   # n.left  := r
+    vm.scatter(vm.add(heads, off_right), z, policy=policy)       # n.right := Z
+    vm.scatter(vm.add(rights, off_left), x, policy=policy)       # r.left  := X
+    vm.scatter(vm.add(rights, off_right), y, policy=policy)      # r.right := Y
+
+
+# ----------------------------------------------------------------------
+# drivers
+# ----------------------------------------------------------------------
+def sequential_rewrite_all(
+    sp: ScalarProcessor,
+    arena: OpTreeArena,
+    root: int,
+    max_passes: Optional[int] = None,
+) -> int:
+    """Scalar baseline: repeatedly scan for a redex and rewrite it, until
+    left-linear.  Returns the number of rewrites applied."""
+    off_op = arena.nodes.offset("op")
+    off_left = arena.nodes.offset("left")
+    off_right = arena.nodes.offset("right")
+    rewrites = 0
+    limit = max_passes if max_passes is not None else arena.nodes.allocated ** 2 + 8
+    passes = 0
+    while True:
+        passes += 1
+        if passes > limit:
+            raise RewriteError("sequential rewriting did not reach a fixed point")
+        # depth-first search for one redex
+        stack = [int(root)]
+        found = None
+        while stack:
+            ptr = stack.pop()
+            sp.branch()
+            op = sp.load(ptr + off_op)
+            if op != OP_MUL:
+                continue
+            right = sp.load(ptr + off_right)
+            sp.alu()
+            r_op = sp.load(right + off_op)
+            sp.branch()
+            if r_op == OP_MUL:
+                found = (ptr, right)
+                break
+            stack.append(sp.load(ptr + off_left))
+            sp.alu()
+        if found is None:
+            return rewrites
+        n, r = found
+        x = sp.load(n + off_left)
+        y = sp.load(r + off_left)
+        z = sp.load(r + off_right)
+        sp.store(n + off_left, r)
+        sp.store(n + off_right, z)
+        sp.store(r + off_left, x)
+        sp.store(r + off_right, y)
+        sp.loop_iter()
+        rewrites += 1
+
+
+def fol_star_rewrite_all(
+    vm: VectorMachine,
+    arena: OpTreeArena,
+    root: int,
+    policy: str = "arbitrary",
+    max_waves: Optional[int] = None,
+) -> Tuple[int, int]:
+    """Safe parallel rewriting: per wave, find all redexes, decompose
+    with FOL* (L = 2), apply each parallel-processable set by vector
+    operations.  Returns ``(rewrites, waves)``.
+
+    FOL* labels travel through the arena's shadow work region (one word
+    per node at a constant offset): unlike hashing, the rewrite does not
+    overwrite every labelled word, so labels must not destroy live node
+    fields.
+    """
+    work_offset = arena.work_offset
+    rewrites = 0
+    waves = 0
+    limit = max_waves if max_waves is not None else arena.nodes.allocated + 4
+    while True:
+        waves += 1
+        if waves > limit:
+            raise RewriteError("FOL* rewriting did not reach a fixed point")
+        heads, rights = find_redexes(vm, arena)
+        if heads.size == 0:
+            return rewrites, waves - 1
+        dec = fol_star(
+            vm, [heads, rights], work_offset=work_offset, policy=policy
+        )
+        off_op = arena.nodes.offset("op")
+        off_right = arena.nodes.offset("right")
+        for s in dec.sets:
+            h, r = heads[s], rights[s]
+            # Rewriting an earlier set can *invalidate* a later set's
+            # redexes (rewriting (n1,n3) destroys the (n3,n5) redex of
+            # Figure 5), so each set is re-validated before application:
+            # the tuple must still match X*(Y*Z).  Filtered-out tuples
+            # are rediscovered by the next wave's scan if still live.
+            still = vm.mask_and(
+                vm.eq(vm.gather(vm.add(h, off_op)), OP_MUL),
+                vm.mask_and(
+                    vm.eq(vm.gather(vm.add(h, off_right)), r),
+                    vm.eq(vm.gather(vm.add(r, off_op)), OP_MUL),
+                ),
+            )
+            h = vm.compress(h, still)
+            r = vm.compress(r, still)
+            if h.size:
+                _apply_redex_set(vm, arena, h, r, policy)
+                rewrites += int(h.size)
+            vm.loop_overhead()
+
+
+def forced_rewrite_all(
+    vm: VectorMachine,
+    arena: OpTreeArena,
+    root: int,
+    policy: str = "arbitrary",
+) -> int:
+    """The §2 strawman: apply *every* redex of one wave in parallel with
+    no FOL filtering.  Overlapping redexes race; the ELS scatter keeps
+    one arbitrary write per cell and the result is generally corrupt
+    (use :meth:`OpTreeArena.check_tree` /
+    :meth:`OpTreeArena.leaves_inorder` to observe the damage).
+    Returns the number of redexes it *attempted* to rewrite."""
+    heads, rights = find_redexes(vm, arena)
+    if heads.size:
+        _apply_redex_set(vm, arena, heads, rights, policy)
+    return int(heads.size)

@@ -1,0 +1,59 @@
+"""Shared fixtures: machine construction at both cost models.
+
+Most functional tests run on the `free` cost model (zero cycle charges,
+same code paths) so assertions never depend on calibration constants;
+accounting tests use `s810` explicitly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine import CostModel, Memory, ScalarProcessor, VectorMachine
+from repro.mem import BumpAllocator
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def make_vm():
+    """Factory: make_vm(size, cost='free'|'s810'|CostModel, seed=0)."""
+
+    def _make(size: int = 4096, cost="free", seed: int = 0) -> VectorMachine:
+        if cost == "free":
+            cm = CostModel.free()
+        elif cost == "s810":
+            cm = CostModel.s810()
+        else:
+            cm = cost
+        return VectorMachine(Memory(size, cost_model=cm, seed=seed))
+
+    return _make
+
+
+@pytest.fixture
+def vm(make_vm) -> VectorMachine:
+    """Default free-cost machine."""
+    return make_vm()
+
+
+@pytest.fixture
+def s810_vm(make_vm) -> VectorMachine:
+    """Machine with the calibrated cost model (for accounting tests)."""
+    return make_vm(cost="s810")
+
+
+@pytest.fixture
+def sp(vm) -> ScalarProcessor:
+    """Scalar unit bound to the same memory as ``vm``."""
+    return ScalarProcessor(vm.mem)
+
+
+@pytest.fixture
+def alloc(vm) -> BumpAllocator:
+    """Allocator over ``vm``'s memory."""
+    return BumpAllocator(vm.mem)

@@ -1,0 +1,131 @@
+"""Tests for vectorized maze routing (§5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import MazeGrid, check_path, scalar_route, vector_route
+from repro.errors import ReproError
+from repro.machine import CONFLICT_POLICIES, CostModel, Memory, ScalarProcessor, VectorMachine
+from repro.mem import BumpAllocator
+
+
+def build(grid, seed=0):
+    grid = np.asarray(grid)
+    vm = VectorMachine(
+        Memory(4 * grid.size + 64, cost_model=CostModel.free(), seed=seed)
+    )
+    maze = MazeGrid(BumpAllocator(vm.mem), grid)
+    return vm, maze
+
+
+OPEN_3X3 = np.zeros((3, 3), dtype=int)
+
+
+class TestBasics:
+    def test_trivial_route(self):
+        vm, m = build(OPEN_3X3)
+        p = vector_route(vm, m, (0, 0), (2, 2))
+        check_path(m, p, (0, 0), (2, 2))
+        assert len(p) == 5  # manhattan distance + 1
+
+    def test_source_equals_target(self):
+        vm, m = build(OPEN_3X3)
+        p = vector_route(vm, m, (1, 1), (1, 1))
+        assert p == [(1, 1)]
+
+    def test_unreachable(self):
+        grid = np.zeros((3, 3), dtype=int)
+        grid[:, 1] = 1  # vertical wall
+        vm, m = build(grid)
+        assert vector_route(vm, m, (0, 0), (0, 2)) is None
+
+    def test_wall_endpoints_rejected(self):
+        grid = np.zeros((3, 3), dtype=int)
+        grid[1, 1] = 1
+        vm, m = build(grid)
+        with pytest.raises(ReproError):
+            vector_route(vm, m, (1, 1), (2, 2))
+        with pytest.raises(ReproError):
+            vector_route(vm, m, (0, 0), (1, 1))
+
+    def test_no_wraparound(self):
+        """Row boundaries must not leak: a wall column blocks even
+        though linear indices are adjacent across rows."""
+        grid = np.zeros((2, 3), dtype=int)
+        grid[0, 1] = 1
+        grid[1, 1] = 1
+        vm, m = build(grid)
+        assert vector_route(vm, m, (0, 0), (0, 2)) is None
+
+    def test_snake_corridor(self):
+        grid = np.array([
+            [0, 1, 0, 0, 0],
+            [0, 1, 0, 1, 0],
+            [0, 0, 0, 1, 0],
+        ])
+        vm, m = build(grid)
+        p = vector_route(vm, m, (0, 0), (0, 4))
+        check_path(m, p, (0, 0), (0, 4))
+        vm2, m2 = build(grid)
+        ps = scalar_route(ScalarProcessor(vm2.mem), m2, (0, 0), (0, 4))
+        assert len(p) == len(ps)
+
+    def test_distances_field(self):
+        vm, m = build(OPEN_3X3)
+        vector_route(vm, m, (0, 0), (2, 2))
+        d = m.distances()
+        assert d[0, 0] == 0
+        assert d[2, 2] == 4
+
+    def test_1d_grid_rejected(self, alloc):
+        with pytest.raises(ReproError):
+            MazeGrid(alloc, np.zeros(5, dtype=int))
+
+
+class TestCheckPath:
+    def test_rejects_wrong_endpoints(self):
+        _, m = build(OPEN_3X3)
+        with pytest.raises(ReproError):
+            check_path(m, [(0, 0)], (0, 0), (2, 2))
+
+    def test_rejects_disconnected(self):
+        _, m = build(OPEN_3X3)
+        with pytest.raises(ReproError):
+            check_path(m, [(0, 0), (2, 2)], (0, 0), (2, 2))
+
+    def test_rejects_wall_crossing(self):
+        grid = np.zeros((1, 3), dtype=int)
+        grid[0, 1] = 1
+        _, m = build(grid)
+        with pytest.raises(ReproError):
+            check_path(m, [(0, 0), (0, 1), (0, 2)], (0, 0), (0, 2))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    h=st.integers(2, 12),
+    w=st.integers(2, 12),
+    density=st.floats(0.0, 0.45),
+    seed=st.integers(0, 7),
+    policy=st.sampled_from(CONFLICT_POLICIES),
+)
+def test_vector_matches_scalar_bfs(h, w, density, seed, policy):
+    """Shortest-path lengths must equal sequential BFS on random grids;
+    if one says unreachable, so must the other."""
+    rng = np.random.default_rng(seed)
+    grid = (rng.random((h, w)) < density).astype(int)
+    grid[0, 0] = grid[h - 1, w - 1] = 0
+    src, dst = (0, 0), (h - 1, w - 1)
+
+    vm, m = build(grid, seed=seed)
+    pv = vector_route(vm, m, src, dst, policy=policy)
+    vm2, m2 = build(grid, seed=seed)
+    ps = scalar_route(ScalarProcessor(vm2.mem), m2, src, dst)
+
+    assert (pv is None) == (ps is None)
+    if pv is not None:
+        check_path(m, pv, src, dst)
+        check_path(m2, ps, src, dst)
+        assert len(pv) == len(ps)

@@ -1,0 +1,105 @@
+"""Unit tests for region allocation and record arenas."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AllocationError
+from repro.mem import NIL, BumpAllocator, RecordArena
+
+
+class TestBumpAllocator:
+    def test_word_zero_reserved_for_nil(self, vm):
+        alloc = BumpAllocator(vm.mem)
+        base = alloc.alloc(4, "r")
+        assert base == 1
+        assert NIL == 0
+
+    def test_regions_disjoint(self, vm):
+        alloc = BumpAllocator(vm.mem)
+        a = alloc.alloc(10, "a")
+        b = alloc.alloc(10, "b")
+        assert b >= a + 10
+
+    def test_duplicate_name_rejected(self, vm):
+        alloc = BumpAllocator(vm.mem)
+        alloc.alloc(1, "x")
+        with pytest.raises(AllocationError):
+            alloc.alloc(1, "x")
+
+    def test_out_of_memory(self, vm):
+        alloc = BumpAllocator(vm.mem)
+        with pytest.raises(AllocationError):
+            alloc.alloc(vm.mem.size, "big")
+
+    def test_negative_size(self, vm):
+        alloc = BumpAllocator(vm.mem)
+        with pytest.raises(AllocationError):
+            alloc.alloc(-1, "neg")
+
+    def test_used_free_accounting(self, vm):
+        alloc = BumpAllocator(vm.mem)
+        before = alloc.free
+        alloc.alloc(100, "r")
+        assert alloc.free == before - 100
+
+
+class TestRecordArena:
+    @pytest.fixture
+    def arena(self, vm) -> RecordArena:
+        return RecordArena(BumpAllocator(vm.mem), ("key", "next"), capacity=8)
+
+    def test_alloc_one_distinct(self, arena):
+        p1 = arena.alloc_one()
+        p2 = arena.alloc_one()
+        assert p1 != p2
+        assert arena.allocated == 2
+
+    def test_alloc_many_stride(self, arena):
+        ptrs = arena.alloc_many(3)
+        assert np.array_equal(np.diff(ptrs), [2, 2])
+
+    def test_exhaustion(self, arena):
+        arena.alloc_many(8)
+        with pytest.raises(AllocationError):
+            arena.alloc_one()
+        with pytest.raises(AllocationError):
+            arena.alloc_many(1)
+
+    def test_alloc_many_negative(self, arena):
+        with pytest.raises(AllocationError):
+            arena.alloc_many(-1)
+
+    def test_field_addressing(self, arena):
+        p = arena.alloc_one()
+        assert arena.field_addr(p, "key") == p
+        assert arena.field_addr(p, "next") == p + 1
+        with pytest.raises(AllocationError):
+            arena.offset("nope")
+
+    def test_field_addrs_vectorised(self, arena):
+        ptrs = arena.alloc_many(3)
+        assert np.array_equal(arena.field_addrs(ptrs, "next"), ptrs + 1)
+
+    def test_poke_peek_field(self, arena):
+        p = arena.alloc_one()
+        arena.poke_field(p, "key", 42)
+        assert arena.peek_field(p, "key") == 42
+
+    def test_contains(self, arena):
+        p = arena.alloc_one()
+        assert arena.contains(p)
+        assert not arena.contains(p + 1)  # mid-record
+        assert not arena.contains(p + 2)  # unallocated record
+        assert not arena.contains(NIL)
+
+    def test_all_records(self, arena):
+        ptrs = arena.alloc_many(4)
+        assert np.array_equal(arena.all_records(), ptrs)
+
+    def test_rejects_empty_fields(self, vm):
+        with pytest.raises(AllocationError):
+            RecordArena(BumpAllocator(vm.mem), (), capacity=4)
+
+    def test_rejects_bad_capacity(self, vm):
+        with pytest.raises(AllocationError):
+            RecordArena(BumpAllocator(vm.mem), ("a",), capacity=0)

@@ -1,0 +1,185 @@
+"""Tests for the bench harness: workloads, paired runners, figures."""
+
+import numpy as np
+import pytest
+
+from repro.bench import runner, workloads
+from repro.bench.figures import (
+    EXPERIMENTS,
+    ablation_conflict_policy,
+    ablation_fol_scaling,
+    fig9_10,
+    table1,
+)
+from repro.machine import CostModel
+
+FAST = CostModel.free()  # runners only need consistent counting for these tests
+
+
+class TestWorkloads:
+    def test_unique_keys_are_unique(self, rng):
+        k = workloads.unique_keys(rng, 100)
+        assert np.unique(k).size == 100
+        assert (k >= 0).all()
+
+    def test_unique_keys_bounds(self, rng):
+        with pytest.raises(ValueError):
+            workloads.unique_keys(rng, 10, key_max=5)
+
+    def test_keys_for_load_factor(self, rng):
+        k = workloads.keys_for_load_factor(rng, 100, 0.25)
+        assert k.size == 25
+        with pytest.raises(ValueError):
+            workloads.keys_for_load_factor(rng, 100, 1.5)
+
+    def test_duplicated_addresses(self, rng):
+        v = workloads.duplicated_addresses(rng, 50, 10)
+        assert v.size == 50
+        assert np.unique(v).size == 10
+        with pytest.raises(ValueError):
+            workloads.duplicated_addresses(rng, 10, 20)
+
+    def test_multiplicity_vector(self, rng):
+        v = workloads.multiplicity_vector(rng, 5, 3)
+        assert v.size == 15
+        _, counts = np.unique(v, return_counts=True)
+        assert (counts == 3).all()
+
+    def test_sort_values_duplicates_knob(self, rng):
+        v = workloads.sort_values(rng, 200, 10**6, duplicates=0.9)
+        assert np.unique(v).size <= 20 + 1
+
+    def test_random_maze_corners_open(self, rng):
+        g = workloads.random_maze(rng, 10, 12, 0.9)
+        assert g[0, 0] == 0 and g[9, 11] == 0
+
+    def test_bst_keys_shapes(self, rng):
+        init, ins = workloads.bst_keys(rng, 10, 20)
+        assert init.size == 10 and ins.size == 20
+
+    def test_comb_values(self):
+        assert list(workloads.comb_values(3)) == [1, 2, 3]
+
+
+class TestPairResult:
+    def test_acceleration(self):
+        r = runner.PairResult("x", 100.0, 25.0)
+        assert r.acceleration == 4.0
+
+    def test_zero_vector_cycles(self):
+        assert runner.PairResult("x", 1.0, 0.0).acceleration == float("inf")
+
+    def test_str_mentions_params(self):
+        r = runner.PairResult("x", 10.0, 5.0, {"n": 3})
+        assert "n=3" in str(r)
+
+
+class TestRunners:
+    """Each runner must verify scalar/vector result equivalence
+    internally and return positive cycle counts under s810 costs."""
+
+    def test_open_hashing(self):
+        r = runner.run_open_hashing_pair(67, 0.4, seed=1)
+        assert r.scalar_cycles > 0 and r.vector_cycles > 0
+        assert r.params["n_keys"] == 27
+
+    def test_chained_hashing(self):
+        r = runner.run_chained_hashing_pair(37, 64, seed=1)
+        assert r.acceleration > 0
+
+    def test_address_calc(self):
+        r = runner.run_address_calc_pair(64, seed=1)
+        assert r.scalar_cycles > r.vector_cycles  # vector wins even small
+
+    def test_address_calc_with_duplicates(self):
+        r = runner.run_address_calc_pair(64, seed=1, duplicates=0.8)
+        assert r.vector_cycles > 0
+
+    def test_distribution(self):
+        r = runner.run_distribution_pair(64, seed=1, key_range=256)
+        assert r.scalar_cycles > 0
+
+    def test_bst(self):
+        r = runner.run_bst_pair(16, 32, seed=1)
+        assert r.vector_cycles > 0
+
+    def test_rewrite_comb_and_random(self):
+        for shape in ("comb", "random"):
+            r = runner.run_rewrite_pair(12, seed=1, shape=shape)
+            assert r.vector_cycles > 0
+
+    def test_gc(self):
+        r = runner.run_gc_pair(64, seed=1)
+        assert r.params["copied"] > 0
+
+    def test_maze(self):
+        r = runner.run_maze_pair(8, 8, seed=1)
+        assert r.vector_cycles > 0
+
+    def test_lists(self):
+        r = runner.run_lists_pair(4, 6, 4, seed=1)
+        assert r.vector_cycles > 0
+
+    def test_lists_uniform_worst_case(self):
+        r = runner.run_lists_pair(4, 6, 4, seed=1, uniform_lengths=True)
+        assert r.vector_cycles > 0
+
+
+class TestFigures:
+    def test_fig9_10_small(self):
+        s = fig9_10(table_sizes=(67,), load_factors=(0.2, 0.5), seed=0)
+        assert len(s.rows) == 2
+        assert all(row[4] > 0 for row in s.rows)  # accel column
+
+    def test_table1_small(self):
+        s = table1(sizes=(64,), seed=0)
+        assert len(s.rows) == 2  # one per algorithm
+        assert {row[0] for row in s.rows} == {"address_calc", "distribution"}
+
+    def test_ablation_fol_scaling_shapes(self):
+        s = ablation_fol_scaling(sizes=(64, 256), seed=0)
+        per_n = {(r[0], r[1]): r[3] for r in s.rows}
+        # quadratic regime's per-element cost grows; linear regime's doesn't
+        assert per_n[(256, "all_shared")] > per_n[(64, "all_shared")] * 2
+        assert per_n[(256, "no_sharing")] < per_n[(64, "no_sharing")] * 1.5
+
+    def test_ablation_conflict_policy_runs(self):
+        s = ablation_conflict_policy(seed=0)
+        assert len(s.rows) == 6
+
+    def test_registry_complete(self):
+        assert {"fig9", "fig10", "table1", "fig14"} <= set(EXPERIMENTS)
+
+    def test_series_render(self):
+        s = table1(sizes=(64,), seed=0)
+        text = s.render()
+        assert "address_calc" in text
+        assert "paper_accel" in text
+
+
+class TestFigureSmoke:
+    def test_fig14_small(self):
+        from repro.bench.figures import fig14
+        s = fig14(ni_values=(8,), insert_counts=(25,), seed=0, n_seeds=1)
+        assert len(s.rows) == 1
+        assert s.rows[0][4] > 0
+
+    def test_fig9_10_seed_averaging(self):
+        from repro.bench.figures import fig9_10
+        s = fig9_10(table_sizes=(67,), load_factors=(0.4,), seed=0, n_seeds=2)
+        assert len(s.rows) == 1
+
+    def test_run_components_pair(self):
+        from repro.bench.runner import run_components_pair
+        r = run_components_pair(64, 96, seed=1)
+        assert r.vector_cycles > 0
+
+    def test_run_rebalance_pair(self):
+        from repro.bench.runner import run_rebalance_pair
+        r = run_rebalance_pair(32, seed=1)
+        assert r.params["depth"] == 6  # minimal height of 32 nodes
+
+    def test_run_join_pair(self):
+        from repro.bench.runner import run_join_pair
+        r = run_join_pair(32, 48, key_range=40, seed=1)
+        assert r.params["matches"] > 0

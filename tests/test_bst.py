@@ -1,0 +1,131 @@
+"""Tests for BST multi-insertion (§4.3 / Figure 14)."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import CONFLICT_POLICIES, CostModel, Memory, ScalarProcessor, VectorMachine
+from repro.mem import BumpAllocator
+from repro.trees import BinarySearchTree, scalar_bst_insert, vector_bst_insert
+
+
+def build(capacity=1024, seed=0):
+    vm = VectorMachine(
+        Memory(3 * capacity + 64, cost_model=CostModel.free(), seed=seed)
+    )
+    tree = BinarySearchTree(BumpAllocator(vm.mem), capacity)
+    return vm, tree
+
+
+class TestTreeStructure:
+    def test_build_and_inorder(self):
+        _, tree = build()
+        tree.build([5, 3, 8, 1])
+        assert tree.inorder() == [1, 3, 5, 8]
+        assert tree.size() == 4
+
+    def test_empty_tree(self):
+        _, tree = build()
+        assert tree.inorder() == []
+        assert tree.depth() == 0
+
+    def test_depth_degenerate(self):
+        _, tree = build()
+        tree.build(range(10))  # ascending -> right spine
+        assert tree.depth() == 10
+
+    def test_invariant_check(self):
+        _, tree = build()
+        tree.build([2, 1, 3])
+        tree.check_bst_invariant()
+
+
+class TestVectorInsert:
+    def test_into_empty_tree(self):
+        vm, tree = build()
+        vector_bst_insert(vm, tree, np.array([5, 3, 8]))
+        assert tree.inorder() == [3, 5, 8]
+        tree.check_bst_invariant()
+
+    def test_empty_key_vector(self):
+        vm, tree = build()
+        assert vector_bst_insert(vm, tree, np.array([], dtype=np.int64)) == 0
+
+    def test_single_key(self):
+        vm, tree = build()
+        vector_bst_insert(vm, tree, np.array([42]))
+        assert tree.inorder() == [42]
+
+    def test_all_identical_keys(self):
+        """Duplicates descend right; all must be inserted."""
+        vm, tree = build()
+        vector_bst_insert(vm, tree, np.full(16, 9, dtype=np.int64))
+        assert tree.inorder() == [9] * 16
+        tree.check_bst_invariant()
+
+    def test_into_prebuilt_tree(self):
+        vm, tree = build()
+        tree.build([50, 25, 75])
+        vector_bst_insert(vm, tree, np.array([10, 30, 60, 90]))
+        assert tree.inorder() == [10, 25, 30, 50, 60, 75, 90]
+
+    def test_ascending_keys(self):
+        vm, tree = build()
+        vector_bst_insert(vm, tree, np.arange(64, dtype=np.int64))
+        assert tree.inorder() == list(range(64))
+
+    @pytest.mark.parametrize("policy", CONFLICT_POLICIES)
+    def test_policies(self, policy):
+        vm, tree = build(seed=11)
+        keys = np.random.default_rng(2).integers(0, 100, size=120)
+        vector_bst_insert(vm, tree, keys, policy=policy)
+        tree.check_bst_invariant()
+        assert Counter(tree.inorder()) == Counter(keys.tolist())
+
+
+class TestScalarInsert:
+    def test_matches_build(self):
+        vm, t1 = build()
+        sp = ScalarProcessor(vm.mem)
+        scalar_bst_insert(sp, t1, [5, 3, 8, 3])
+        _, t2 = build()
+        t2.build([5, 3, 8, 3])
+        assert t1.inorder() == t2.inorder()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    initial=st.lists(st.integers(0, 200), min_size=0, max_size=40),
+    inserts=st.lists(st.integers(0, 200), min_size=0, max_size=60),
+    seed=st.integers(0, 5),
+)
+def test_vector_insert_property(initial, inserts, seed):
+    """BST invariant + exact key multiset after vector insertion into an
+    arbitrary pre-built tree, with arbitrary duplicate patterns."""
+    vm, tree = build(seed=seed)
+    tree.build(initial)
+    vector_bst_insert(vm, tree, np.asarray(inserts, dtype=np.int64))
+    tree.check_bst_invariant()
+    assert Counter(tree.inorder()) == Counter(initial + inserts)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    inserts=st.lists(st.integers(0, 50), min_size=1, max_size=50),
+    seed=st.integers(0, 5),
+)
+def test_scalar_vector_same_multiset(inserts, seed):
+    """Tree *shapes* may differ (insertion order differs) but the key
+    multisets and the BST invariant must both hold."""
+    vm, vt = build(seed=seed)
+    vector_bst_insert(vm, vt, np.asarray(inserts, dtype=np.int64))
+    vt.check_bst_invariant()
+
+    vm2, st_tree = build(seed=seed)
+    scalar_bst_insert(ScalarProcessor(vm2.mem), st_tree, inserts)
+    st_tree.check_bst_invariant()
+
+    assert Counter(vt.inorder()) == Counter(st_tree.inorder())

@@ -1,0 +1,34 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro 1.0.0" in out
+        assert "CostModel" in out
+        assert "fig10" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "M = 3" in out
+        assert "FOL rounds" in out
+
+    def test_figures_subset(self, capsys):
+        assert main(["figures", "ablation_conflict_policy"]) == 0
+        out = capsys.readouterr().out
+        assert "ablation_conflict_policy" in out
+        assert "arbitrary" in out
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 1
+        assert "figures" in capsys.readouterr().out
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            main(["figures", "not_an_experiment"])

@@ -1,0 +1,338 @@
+"""Tests for the vectorizing transformation layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import (
+    INDEPENDENT,
+    READ_ONLY_SHARED,
+    SHARED_FOL1,
+    SHARED_FOL_STAR,
+    CompileError,
+    Let,
+    Loop,
+    Store,
+    add,
+    affine,
+    classify,
+    const,
+    inp,
+    lane,
+    load,
+    mod,
+    mul,
+    run_sequential,
+    run_vectorized,
+    sub,
+    var,
+)
+from repro.compiler.ast import Affine, BinOp, Var, let_env_affine
+from repro.machine import CostModel, Memory, ScalarProcessor, VectorMachine
+
+
+def machines(size=2048, seed=0):
+    vm = VectorMachine(Memory(size, cost_model=CostModel.free(), seed=seed))
+    sm = Memory(size, cost_model=CostModel.free(), seed=seed)
+    return vm, ScalarProcessor(sm)
+
+
+def run_both(loop, n, inputs, regions, size=2048, seed=0, work_offset=None,
+             policy="arbitrary"):
+    """Run scalar and vector executors on twin machines; return both
+    memories for comparison plus the plan."""
+    vm, sp = machines(size, seed)
+    plan = run_vectorized(vm, loop, n, inputs, regions,
+                          work_offset=work_offset, policy=policy)
+    run_sequential(sp, loop, n, inputs, regions)
+    return vm.mem, sp.mem, plan
+
+
+# ----------------------------------------------------------------------
+# affine analysis
+# ----------------------------------------------------------------------
+class TestAffine:
+    def test_const(self):
+        assert affine(const(7)) == Affine(7, 0)
+
+    def test_lane(self):
+        assert affine(lane()) == Affine(0, 1)
+
+    def test_linear_combination(self):
+        e = add(const(10), mul(const(3), lane()))
+        assert affine(e) == Affine(10, 3)
+
+    def test_subtraction_cancels_stride(self):
+        e = sub(lane(), lane())
+        assert affine(e) == Affine(0, 0)
+        assert not affine(e).lane_distinct
+
+    def test_input_is_data_dependent(self):
+        assert affine(inp("k")) is None
+
+    def test_mod_is_data_dependent(self):
+        assert affine(mod(lane(), const(8))) is None
+
+    def test_lane_times_lane_rejected(self):
+        assert affine(mul(lane(), lane())) is None
+
+    def test_let_propagation(self):
+        body = [Let("x", mul(const(2), lane())),
+                Store("r", var("x"), const(1))]
+        env = let_env_affine(body)
+        assert env["x"] == Affine(0, 2)
+
+
+# ----------------------------------------------------------------------
+# loop validation
+# ----------------------------------------------------------------------
+class TestLoopValidation:
+    def test_undeclared_input_rejected(self):
+        with pytest.raises(CompileError):
+            Loop(body=[Store("r", lane(), inp("k"))], inputs=())
+
+    def test_unbound_var_rejected(self):
+        with pytest.raises(CompileError):
+            Loop(body=[Store("r", var("x"), const(1))])
+
+    def test_bad_operator_rejected(self):
+        with pytest.raises(CompileError):
+            BinOp("^", const(1), const(2))
+
+
+# ----------------------------------------------------------------------
+# classification (Figure 2)
+# ----------------------------------------------------------------------
+class TestClassify:
+    def test_affine_store_is_independent(self):
+        loop = Loop(body=[Store("out", lane(), const(5))])
+        assert classify(loop).kind == INDEPENDENT
+
+    def test_reversal_is_independent(self):
+        loop = Loop(body=[
+            Store("out", sub(const(99), lane()), load("src", lane()))
+        ])
+        assert classify(loop).kind == INDEPENDENT
+
+    def test_shared_read_is_read_only(self):
+        loop = Loop(
+            body=[Store("out", lane(), load("tbl", inp("k")))],
+            inputs=("k",),
+        )
+        assert classify(loop).kind == READ_ONLY_SHARED
+
+    def test_data_store_is_fol1(self):
+        loop = Loop(
+            body=[Store("out", inp("p"), inp("x"))],
+            inputs=("p", "x"),
+        )
+        plan = classify(loop)
+        assert plan.kind == SHARED_FOL1
+
+    def test_two_data_stores_need_commutative(self):
+        body = [Store("a", inp("p"), const(1)), Store("b", inp("q"), const(2))]
+        with pytest.raises(CompileError):
+            classify(Loop(body=body, inputs=("p", "q")))
+        plan = classify(Loop(body=body, inputs=("p", "q"), commutative=True))
+        assert plan.kind == SHARED_FOL_STAR
+
+    def test_zero_stride_store_is_shared(self):
+        """Every lane storing to one fixed cell is a shared update."""
+        loop = Loop(body=[Store("r", const(3), lane())])
+        assert classify(loop).kind == SHARED_FOL1
+
+    def test_load_through_stored_region_requires_rmw_form(self):
+        loop = Loop(
+            body=[Store("r", inp("p"), load("r", inp("q")))],
+            inputs=("p", "q"),
+        )
+        with pytest.raises(CompileError):
+            classify(loop)
+
+    def test_rmw_form_accepted(self):
+        loop = Loop(
+            body=[Store("r", inp("k"), add(load("r", inp("k")), const(1)))],
+            inputs=("k",),
+        )
+        assert classify(loop).kind == SHARED_FOL1
+
+    def test_load_in_store_address_rejected(self):
+        loop = Loop(body=[Store("r", load("idx", lane()), const(1))])
+        with pytest.raises(CompileError):
+            classify(loop)
+
+
+# ----------------------------------------------------------------------
+# end-to-end scalar/vector equivalence
+# ----------------------------------------------------------------------
+class TestIndependentExecution:
+    def test_fill(self):
+        loop = Loop(body=[Store("out", lane(), const(9))])
+        vmem, smem, plan = run_both(loop, 16, {}, {"out": 100})
+        assert plan.kind == INDEPENDENT
+        assert np.array_equal(vmem.peek_range(100, 16), smem.peek_range(100, 16))
+
+    def test_reversal(self):
+        n = 20
+        loop = Loop(body=[
+            Store("out", sub(const(n - 1), lane()), load("src", lane()))
+        ])
+        vm, sp = machines()
+        for i in range(n):
+            vm.mem.poke(300 + i, i * i)
+            sp.mem.poke(300 + i, i * i)
+        run_vectorized(vm, loop, n, {}, {"out": 100, "src": 300})
+        run_sequential(sp, loop, n, {}, {"out": 100, "src": 300})
+        assert np.array_equal(vm.mem.peek_range(100, n), sp.mem.peek_range(100, n))
+        assert vm.mem.peek(100) == (n - 1) ** 2
+
+
+class TestFol1Execution:
+    def test_permutation_store_last_wins(self):
+        """Duplicate targets: sequential semantics = last write wins;
+        the ordered-FOL1 plan must reproduce it exactly."""
+        p = np.array([3, 1, 3, 0, 3], dtype=np.int64)
+        x = np.array([10, 20, 30, 40, 50], dtype=np.int64)
+        loop = Loop(body=[Store("out", inp("p"), inp("x"))], inputs=("p", "x"))
+        vmem, smem, plan = run_both(
+            loop, 5, {"p": p, "x": x}, {"out": 100}, work_offset=800
+        )
+        assert plan.kind == SHARED_FOL1
+        assert np.array_equal(vmem.peek_range(100, 4), smem.peek_range(100, 4))
+        assert vmem.peek(103) == 50  # the *last* store to cell 3
+
+    def test_histogram_rmw(self):
+        k = np.array([2, 5, 2, 2, 0, 5], dtype=np.int64)
+        loop = Loop(
+            body=[Store("h", inp("k"), add(load("h", inp("k")), const(1)))],
+            inputs=("k",),
+        )
+        vmem, smem, plan = run_both(loop, 6, {"k": k}, {"h": 100}, work_offset=800)
+        assert plan.kind == SHARED_FOL1
+        hist = vmem.peek_range(100, 8)
+        assert hist[2] == 3 and hist[5] == 2 and hist[0] == 1
+        assert np.array_equal(hist, smem.peek_range(100, 8))
+
+    def test_guarded_store(self):
+        """Guards: only even lanes store."""
+        p = np.array([1, 1, 1, 1], dtype=np.int64)
+        loop = Loop(
+            body=[
+                Let("even", sub(const(1), mod(lane(), const(2)))),
+                Store("out", inp("p"), lane(), guard=var("even")),
+            ],
+            inputs=("p",),
+        )
+        vmem, smem, plan = run_both(loop, 4, {"p": p}, {"out": 100}, work_offset=800)
+        assert vmem.peek(101) == smem.peek(101) == 2  # last even lane
+
+    def test_missing_work_offset_rejected(self):
+        loop = Loop(body=[Store("out", inp("p"), const(1))], inputs=("p",))
+        vm, _ = machines()
+        with pytest.raises(CompileError):
+            run_vectorized(vm, loop, 2, {"p": np.array([0, 0])}, {"out": 100})
+
+
+class TestFolStarExecution:
+    def test_two_store_commutative_loop(self):
+        """Mark both endpoints of each edge (order-free)."""
+        u = np.array([0, 1, 0, 2], dtype=np.int64)
+        v = np.array([3, 3, 1, 0], dtype=np.int64)
+        loop = Loop(
+            body=[
+                Store("m", inp("u"), const(1)),
+                Store("m", inp("v"), const(1)),
+            ],
+            inputs=("u", "v"),
+            commutative=True,
+        )
+        vmem, smem, plan = run_both(
+            loop, 4, {"u": u, "v": v}, {"m": 100}, work_offset=800
+        )
+        assert plan.kind == SHARED_FOL_STAR
+        assert np.array_equal(vmem.peek_range(100, 4), smem.peek_range(100, 4))
+
+    def test_internally_duplicated_tuple_isolated(self):
+        """A lane whose two stores hit the same cell (u == v) must still
+        execute both in statement order."""
+        u = np.array([2, 2], dtype=np.int64)
+        v = np.array([2, 3], dtype=np.int64)
+        loop = Loop(
+            body=[
+                Store("m", inp("u"), const(7)),
+                Store("m", inp("v"), const(9)),
+            ],
+            inputs=("u", "v"),
+            commutative=True,
+        )
+        vm, sp = machines()
+        run_vectorized(vm, loop, 2, {"u": u, "v": v}, {"m": 100}, work_offset=800)
+        # lane 1's second store is unshared: always 9
+        assert vm.mem.peek(103) == 9
+        # cell 2 is written by both lanes; the loop is commutative, so
+        # either lane may finish last — but within a lane the statement
+        # order held, so the value is one of the *final* per-lane writes
+        # (9 from lane 0's second store, or 7 from lane 1's first),
+        # never a stale intermediate from a broken interleaving.
+        assert vm.mem.peek(102) in (7, 9)
+
+
+class TestRunArgChecks:
+    def test_missing_input(self):
+        loop = Loop(body=[Store("o", lane(), inp("x"))], inputs=("x",))
+        vm, _ = machines()
+        with pytest.raises(CompileError):
+            run_vectorized(vm, loop, 4, {}, {"o": 100})
+
+    def test_short_input(self):
+        loop = Loop(body=[Store("o", lane(), inp("x"))], inputs=("x",))
+        vm, _ = machines()
+        with pytest.raises(CompileError):
+            run_vectorized(vm, loop, 4, {"x": np.array([1])}, {"o": 100})
+
+    def test_n_zero_noop(self):
+        loop = Loop(body=[Store("o", lane(), const(1))])
+        vm, _ = machines()
+        plan = run_vectorized(vm, loop, 0, {}, {"o": 100})
+        assert plan.kind == INDEPENDENT
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    p=st.lists(st.integers(0, 15), min_size=1, max_size=40),
+    x=st.data(),
+    seed=st.integers(0, 5),
+)
+def test_scatter_loop_matches_sequential(p, x, seed):
+    """Property: the FOL1 plan reproduces sequential last-write-wins
+    semantics for arbitrary duplicate patterns."""
+    n = len(p)
+    xs = x.draw(st.lists(st.integers(0, 999), min_size=n, max_size=n))
+    loop = Loop(body=[Store("out", inp("p"), inp("x"))], inputs=("p", "x"))
+    vmem, smem, _ = run_both(
+        loop, n,
+        {"p": np.asarray(p, dtype=np.int64), "x": np.asarray(xs, dtype=np.int64)},
+        {"out": 100}, seed=seed, work_offset=800,
+    )
+    assert np.array_equal(vmem.peek_range(100, 16), smem.peek_range(100, 16))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    k=st.lists(st.integers(0, 9), min_size=0, max_size=50),
+    seed=st.integers(0, 5),
+)
+def test_histogram_matches_sequential(k, seed):
+    n = len(k)
+    loop = Loop(
+        body=[Store("h", inp("k"), add(load("h", inp("k")), const(1)))],
+        inputs=("k",),
+    )
+    vmem, smem, _ = run_both(
+        loop, n, {"k": np.asarray(k, dtype=np.int64)}, {"h": 100},
+        seed=seed, work_offset=800,
+    )
+    assert np.array_equal(vmem.peek_range(100, 10), smem.peek_range(100, 10))
+    expected = np.bincount(np.asarray(k, dtype=np.int64), minlength=10) if n else np.zeros(10)
+    assert np.array_equal(vmem.peek_range(100, 10), expected)

@@ -1,0 +1,96 @@
+"""Unit tests for the cycle cost model."""
+
+import pytest
+
+from repro.machine import CostModel
+
+
+class TestPresets:
+    def test_s810_is_default(self):
+        assert CostModel.s810() == CostModel()
+
+    def test_free_is_all_zero(self):
+        cm = CostModel.free()
+        assert cm.scalar_alu == 0
+        assert cm.scalar_mem == 0
+        assert cm.scalar_mem_seq == 0
+        assert cm.scalar_branch == 0
+        assert cm.vector_startup == 0
+        assert cm.chime_contig == cm.chime_gather == cm.chime_alu == 0
+        assert cm.chime_compress == cm.chime_reduce == cm.chime_scan == 0
+
+    def test_s810_encodes_weak_scalar(self):
+        """The calibration invariant everything rests on: random scalar
+        memory ops are much dearer than vector gather chimes."""
+        cm = CostModel.s810()
+        assert cm.scalar_mem / cm.chime_gather > 10
+        assert cm.scalar_mem > cm.scalar_mem_seq
+
+    def test_uniform_is_flat(self):
+        cm = CostModel.uniform()
+        assert cm.scalar_mem <= 2 * cm.chime_contig
+
+    def test_presets_are_frozen(self):
+        with pytest.raises(Exception):
+            CostModel.s810().scalar_mem = 1.0
+
+
+class TestVectorCost:
+    def test_linear_in_length(self):
+        cm = CostModel(vector_startup=10.0, chime_contig=2.0)
+        assert cm.vector_cost(5, 2.0) == 10.0 + 2.0 * 5
+        assert cm.vector_cost(100, 2.0) == 10.0 + 2.0 * 100
+
+    def test_zero_length_still_pays_startup(self):
+        cm = CostModel(vector_startup=10.0)
+        assert cm.vector_cost(0, 3.0) == 10.0
+        assert cm.vector_cost(-1, 3.0) == 10.0
+
+    def test_startup_amortisation(self):
+        """Per-element cost must fall with vector length — the effect
+        behind the rising half of Figure 10's curves."""
+        cm = CostModel.s810()
+        per_short = cm.vector_cost(10, cm.chime_gather) / 10
+        per_long = cm.vector_cost(1000, cm.chime_gather) / 1000
+        assert per_long < per_short / 2
+
+
+class TestOverrides:
+    def test_with_overrides_replaces_field(self):
+        cm = CostModel.s810().with_overrides(scalar_mem=99.0)
+        assert cm.scalar_mem == 99.0
+        assert cm.scalar_alu == CostModel.s810().scalar_alu
+
+    def test_with_overrides_does_not_mutate(self):
+        base = CostModel.s810()
+        base.with_overrides(scalar_mem=99.0)
+        assert base.scalar_mem == CostModel.s810().scalar_mem
+
+    def test_with_overrides_rejects_unknown_field(self):
+        with pytest.raises(TypeError):
+            CostModel.s810().with_overrides(not_a_field=1.0)
+
+
+class TestSectioning:
+    def test_default_unsectioned(self):
+        assert CostModel.s810().section_size == 0
+
+    def test_sectioned_cost(self):
+        cm = CostModel(vector_startup=10.0, section_size=4)
+        assert cm.vector_cost(4, 1.0) == 10.0 + 4.0
+        assert cm.vector_cost(5, 1.0) == 20.0 + 5.0   # two sections
+        assert cm.vector_cost(12, 1.0) == 30.0 + 12.0
+
+    def test_sectioned_matches_unsectioned_below_section(self):
+        a = CostModel.s810()
+        b = CostModel.s810_sectioned(256)
+        for n in (1, 100, 256):
+            assert a.vector_cost(n, 2.0) == b.vector_cost(n, 2.0)
+
+    def test_sectioned_amortisation_saturates(self):
+        """Per-element cost stops falling once vectors exceed one
+        section — the mechanism behind the strip-mining ablation."""
+        cm = CostModel.s810_sectioned(256)
+        per_256 = cm.vector_cost(256, 1.0) / 256
+        per_4096 = cm.vector_cost(4096, 1.0) / 4096
+        assert abs(per_256 - per_4096) < 1e-9

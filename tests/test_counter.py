@@ -1,0 +1,102 @@
+"""Unit tests for the cycle ledger."""
+
+from repro.machine import CycleCounter
+
+
+class TestCharging:
+    def test_scalar_charge_accumulates(self):
+        c = CycleCounter()
+        c.charge_scalar(10.0)
+        c.charge_scalar(5.0)
+        assert c.scalar_cycles == 15.0
+        assert c.scalar_instructions == 2
+        assert c.total == 15.0
+
+    def test_vector_charge_tracks_elements(self):
+        c = CycleCounter()
+        c.charge_vector(100.0, 32)
+        c.charge_vector(50.0, 8)
+        assert c.vector_cycles == 150.0
+        assert c.vector_instructions == 2
+        assert c.vector_elements == 40
+
+    def test_negative_element_count_clamped(self):
+        c = CycleCounter()
+        c.charge_vector(10.0, -5)
+        assert c.vector_elements == 0
+
+    def test_total_sums_both_units(self):
+        c = CycleCounter()
+        c.charge_scalar(1.0)
+        c.charge_vector(2.0, 1)
+        assert c.total == 3.0
+
+    def test_categories(self):
+        c = CycleCounter()
+        c.charge_scalar(10.0, "scalar_mem")
+        c.charge_scalar(4.0, "scalar_mem")
+        c.charge_vector(7.0, 2, "v_gather")
+        assert c.by_category["scalar_mem"] == 14.0
+        assert c.by_category["v_gather"] == 7.0
+
+
+class TestSections:
+    def test_section_attribution(self):
+        c = CycleCounter()
+        with c.section("phase1"):
+            c.charge_scalar(5.0)
+        c.charge_scalar(3.0)
+        assert c.by_section["phase1"] == 5.0
+
+    def test_nested_sections_both_charged(self):
+        c = CycleCounter()
+        with c.section("outer"):
+            c.charge_vector(2.0, 1)
+            with c.section("inner"):
+                c.charge_vector(4.0, 1)
+        assert c.by_section["outer"] == 6.0
+        assert c.by_section["inner"] == 4.0
+
+    def test_section_stack_unwound_on_error(self):
+        c = CycleCounter()
+        try:
+            with c.section("s"):
+                raise ValueError()
+        except ValueError:
+            pass
+        c.charge_scalar(1.0)
+        assert c.by_section.get("s", 0.0) == 0.0
+
+
+class TestSnapshots:
+    def test_snapshot_delta(self):
+        c = CycleCounter()
+        c.charge_scalar(10.0)
+        snap = c.snapshot()
+        c.charge_vector(7.0, 3)
+        assert c.delta(snap) == 7.0
+
+    def test_reset_clears_everything(self):
+        c = CycleCounter()
+        c.charge_scalar(10.0, "x")
+        with c.section("s"):
+            c.charge_vector(5.0, 2, "y")
+        c.reset()
+        assert c.total == 0.0
+        assert not c.by_category
+        assert not c.by_section
+        assert c.vector_instructions == 0
+        assert c.scalar_instructions == 0
+        assert c.vector_elements == 0
+
+
+class TestReport:
+    def test_report_mentions_units_and_categories(self):
+        c = CycleCounter()
+        c.charge_scalar(10.0, "scalar_mem")
+        c.charge_vector(20.0, 4, "v_alu")
+        text = c.report()
+        assert "scalar" in text
+        assert "vector" in text
+        assert "scalar_mem" in text
+        assert "v_alu" in text

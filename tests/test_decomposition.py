@@ -1,0 +1,111 @@
+"""Unit tests for the decomposition result type and its validators."""
+
+import numpy as np
+import pytest
+
+from repro.core.decomposition import (
+    Decomposition,
+    max_multiplicity,
+    reference_decomposition,
+)
+from repro.errors import DecompositionError
+
+
+def make(v, sets):
+    return Decomposition(
+        index_vector=np.asarray(v, dtype=np.int64),
+        sets=[np.asarray(s, dtype=np.int64) for s in sets],
+    )
+
+
+class TestMaxMultiplicity:
+    def test_empty(self):
+        assert max_multiplicity(np.array([], dtype=np.int64)) == 0
+
+    def test_no_duplicates(self):
+        assert max_multiplicity(np.array([3, 1, 2])) == 1
+
+    def test_counts_max(self):
+        assert max_multiplicity(np.array([5, 5, 5, 7, 7])) == 3
+
+
+class TestValidators:
+    def test_good_decomposition_passes(self):
+        make([5, 9, 5], [[0, 1], [2]]).validate()
+
+    def test_missing_position(self):
+        with pytest.raises(DecompositionError):
+            make([5, 9, 5], [[0, 1]]).check_partition()
+
+    def test_duplicated_position(self):
+        with pytest.raises(DecompositionError):
+            make([5, 9, 5], [[0, 1], [1, 2]]).check_partition()
+
+    def test_out_of_range_position(self):
+        with pytest.raises(DecompositionError):
+            make([5, 9], [[0, 5]]).check_partition()
+
+    def test_set_with_shared_address(self):
+        with pytest.raises(DecompositionError):
+            make([5, 9, 5], [[0, 2], [1]]).check_parallel_processable()
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(DecompositionError):
+            make([5], [[], [0]]).check_nonempty_sets()
+
+    def test_increasing_cardinalities_rejected(self):
+        """Theorem 3 check."""
+        with pytest.raises(DecompositionError):
+            make([5, 9, 5, 7], [[0], [1, 2, 3]]).check_monotone_cardinalities()
+
+    def test_non_minimal_rejected(self):
+        """Theorem 5 check: 3 sets for max multiplicity 2."""
+        with pytest.raises(DecompositionError):
+            make([5, 9, 5], [[0], [1], [2]]).check_minimal()
+
+    def test_empty_input(self):
+        make([], []).validate()
+
+    def test_empty_input_with_sets_rejected(self):
+        with pytest.raises(DecompositionError):
+            make([], [[0]]).check_partition()
+
+
+class TestAccessors:
+    def test_m_n_cardinalities(self):
+        d = make([5, 9, 5], [[0, 1], [2]])
+        assert d.m == 2
+        assert d.n == 3
+        assert d.cardinalities() == [2, 1]
+
+    def test_addresses(self):
+        d = make([5, 9, 5], [[0, 1], [2]])
+        assert np.array_equal(d.addresses(0), [5, 9])
+        assert np.array_equal(d.addresses(1), [5])
+
+    def test_iter(self):
+        d = make([5, 9, 5], [[0, 1], [2]])
+        assert len(list(d)) == 2
+
+
+class TestReferenceDecomposition:
+    def test_empty(self):
+        assert reference_decomposition(np.array([], dtype=np.int64)).m == 0
+
+    def test_no_duplicates_single_set(self):
+        d = reference_decomposition(np.array([4, 2, 7]))
+        assert d.m == 1
+        d.validate()
+
+    def test_by_occurrence_rank(self):
+        d = reference_decomposition(np.array([5, 9, 5, 5]))
+        assert d.m == 3
+        assert np.array_equal(d.sets[0], [0, 1])  # first occurrences
+        assert np.array_equal(d.sets[1], [2])
+        assert np.array_equal(d.sets[2], [3])
+        d.validate()
+
+    def test_validates_on_random_input(self, rng):
+        for _ in range(10):
+            v = rng.integers(0, 20, size=rng.integers(1, 100))
+            reference_decomposition(v).validate()

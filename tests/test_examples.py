@@ -1,0 +1,60 @@
+"""Smoke tests keeping the runnable examples honest: each cheap example
+main() must execute without error (the figure-sweep examples are
+exercised through their underlying `repro.bench.figures` functions in
+test_bench.py instead — their full sweeps are too slow for unit tests)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv=()):
+    old_argv = sys.argv
+    sys.argv = [name, *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "all theorem checks passed" in out
+
+    def test_tree_rewrite(self, capsys):
+        run_example("tree_rewrite.py")
+        out = capsys.readouterr().out
+        assert "FOL*-filtered parallel rewriting" in out
+        assert "corrupted in" in out
+
+    def test_auto_vectorize(self, capsys):
+        run_example("auto_vectorize.py")
+        out = capsys.readouterr().out
+        assert "shared_fol1" in out
+        assert "results agree" in out
+
+    def test_gc_and_maze(self, capsys):
+        run_example("gc_and_maze.py")
+        out = capsys.readouterr().out
+        assert "structure intact  : True" in out
+        assert "path length" in out
+
+    def test_graph_components(self, capsys):
+        run_example("graph_components.py")
+        out = capsys.readouterr().out
+        assert "networkx agrees" in out
+
+    @pytest.mark.parametrize("name", [
+        "hashing_load_factor.py",
+        "sorting_table1.py",
+        "bst_fig14.py",
+    ])
+    def test_figure_examples_quick_mode(self, name, capsys):
+        run_example(name, argv=["--quick"])
+        assert capsys.readouterr().out  # produced a report

@@ -1,0 +1,102 @@
+"""Failure injection: what happens when the hardware contract breaks.
+
+FOL's correctness rests entirely on the ELS condition.  These tests
+inject faulty scatter behaviours (amalgamated words, lost writes) and
+verify the library fails *loudly* — FOL detects a round that makes no
+progress and raises :class:`DeadlockError` instead of looping forever or
+silently corrupting data."""
+
+import numpy as np
+import pytest
+
+from repro.core import fol1, fol_star
+from repro.errors import DeadlockError
+from repro.machine import CostModel, Memory, VectorMachine
+
+
+class AmalgamMemory(Memory):
+    """Violates ELS: conflicting writes to one word are OR-combined into
+    an amalgam that equals none of the written values (what word-tearing
+    across parallel pipes would look like)."""
+
+    def _raw_scatter(self, addrs, values, policy):
+        for a in np.unique(addrs):
+            vs = values[addrs == a]
+            if vs.size == 1:
+                self.words[a] = vs[0]
+            else:
+                # an amalgam: bitwise OR plus a poisoned high bit so it
+                # can never equal any single written label
+                self.words[a] = int(np.bitwise_or.reduce(vs)) | (1 << 40)
+
+
+class LostWriteMemory(Memory):
+    """Violates ELS differently: conflicting writes are all *dropped*
+    (the word keeps its old contents)."""
+
+    def _raw_scatter(self, addrs, values, policy):
+        for a in np.unique(addrs):
+            vs = values[addrs == a]
+            if vs.size == 1:
+                self.words[a] = vs[0]
+            # else: drop every write
+
+
+def make_vm(mem_cls, seed=0, size=512):
+    return VectorMachine(mem_cls(size, cost_model=CostModel.free(), seed=seed))
+
+
+class TestFol1UnderBrokenEls:
+    def test_amalgam_raises_deadlock(self):
+        vm = make_vm(AmalgamMemory)
+        with pytest.raises(DeadlockError):
+            fol1(vm, np.array([5, 5, 5]))
+
+    def test_lost_writes_raise_deadlock(self):
+        vm = make_vm(LostWriteMemory)
+        with pytest.raises(DeadlockError):
+            fol1(vm, np.array([5, 5, 5]))
+
+    def test_conflict_free_input_unaffected(self):
+        """Without duplicates the broken paths never trigger, so the
+        degraded hardware still yields a correct single-set answer."""
+        vm = make_vm(AmalgamMemory)
+        dec = fol1(vm, np.array([3, 4, 5]))
+        assert dec.m == 1
+        dec.validate()
+
+
+class TestFolStarUnderBrokenEls:
+    def test_scalar_tail_rescues_progress(self):
+        """FOL* is *robust* to a broken vector scatter: the footnote's
+        scalar-tail writes bypass the vector pipes, so the last tuple
+        always survives — the decomposition degrades to singleton sets
+        (no parallelism) but stays valid rather than deadlocking."""
+        vm = make_vm(AmalgamMemory)
+        v1 = np.full(3, 7, dtype=np.int64)
+        v2 = np.array([20, 21, 22], dtype=np.int64)
+        dec = fol_star(vm, [v1, v2])
+        dec.validate()
+        assert dec.cardinalities() == [1, 1, 1]
+
+
+class TestApplicationsUnderBrokenEls:
+    def test_chained_hashing_fails_loudly(self):
+        from repro.hashing import ChainedHashTable, vector_chained_insert
+        from repro.mem import BumpAllocator
+
+        vm = make_vm(LostWriteMemory, size=4096)
+        table = ChainedHashTable(BumpAllocator(vm.mem), 13, 64)
+        keys = np.full(8, 3, dtype=np.int64)  # all collide
+        with pytest.raises(DeadlockError):
+            vector_chained_insert(vm, table, keys)
+
+    def test_bst_insert_fails_loudly(self):
+        from repro.errors import ReproError
+        from repro.mem import BumpAllocator
+        from repro.trees import BinarySearchTree, vector_bst_insert
+
+        vm = make_vm(LostWriteMemory, size=4096)
+        tree = BinarySearchTree(BumpAllocator(vm.mem), 64)
+        with pytest.raises(ReproError):
+            vector_bst_insert(vm, tree, np.full(4, 9, dtype=np.int64))

@@ -1,0 +1,159 @@
+"""Unit tests for FOL1 — the paper's core algorithm (§3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import fol1, fol1_sets_of_addresses
+from repro.core.theorems import check_all
+from repro.errors import DeadlockError, LabelError, VectorLengthError
+
+
+class TestBasics:
+    def test_empty_input(self, vm):
+        dec = fol1(vm, np.array([], dtype=np.int64))
+        assert dec.m == 0
+
+    def test_single_element(self, vm):
+        dec = fol1(vm, np.array([7]))
+        assert dec.m == 1
+        assert np.array_equal(dec.sets[0], [0])
+
+    def test_no_duplicates_one_round(self, vm):
+        """Theorem 3: M = 1 without duplicates."""
+        dec = fol1(vm, np.array([3, 1, 4, 15, 9, 2, 6]))
+        assert dec.m == 1
+        dec.validate()
+
+    def test_all_identical_n_rounds(self, vm):
+        """Lemma 3: M' identical elements -> M = M' singleton sets."""
+        dec = fol1(vm, np.full(6, 13, dtype=np.int64))
+        assert dec.m == 6
+        assert all(s.size == 1 for s in dec.sets)
+        dec.validate()
+
+    def test_paper_figure6_shape(self, vm):
+        """Figure 6: {a,b,a,c,c,a,a,b,c} decomposes into sets of sizes
+        4+3+2 = (a,b,c),(a,b,c)... with M = multiplicity of 'a' = 4."""
+        a, b, c = 10, 20, 30
+        v = np.array([a, b, a, c, c, a, a, b, c])
+        dec = fol1(vm, v)
+        assert dec.m == 4
+        assert sum(dec.cardinalities()) == 9
+        dec.validate()
+
+    def test_rejects_2d_input(self, vm):
+        with pytest.raises(VectorLengthError):
+            fol1(vm, np.zeros((2, 2), dtype=np.int64))
+
+
+class TestLabels:
+    def test_custom_labels(self, vm):
+        dec = fol1(vm, np.array([5, 5, 9]), labels=np.array([100, 200, 300]))
+        dec.validate()
+
+    def test_duplicate_labels_rejected(self, vm):
+        with pytest.raises(LabelError):
+            fol1(vm, np.array([5, 5]), labels=np.array([1, 1]))
+
+    def test_wrong_label_count_rejected(self, vm):
+        with pytest.raises(VectorLengthError):
+            fol1(vm, np.array([5, 5]), labels=np.array([1, 2, 3]))
+
+
+class TestWorkArea:
+    def test_shared_work_area_scribbles_targets(self, vm):
+        """With work_offset=0 the labels land in the target words —
+        allowed because main processing rewrites them (§3.2)."""
+        v = np.array([10, 11, 12])
+        fol1(vm, v)
+        written = {vm.mem.peek(a) for a in (10, 11, 12)}
+        assert written == {0, 1, 2}  # the subscript labels
+
+    def test_separate_work_area_preserves_targets(self, vm):
+        vm.mem.poke(10, 777)
+        fol1(vm, np.array([10, 11]), work_offset=100)
+        assert vm.mem.peek(10) == 777
+        assert vm.mem.peek(110) in (0, 1)
+
+
+class TestOnSetCallback:
+    def test_callback_sees_every_set_in_order(self, vm):
+        v = np.array([5, 9, 5, 9, 5])
+        seen = []
+        fol1(vm, v, on_set=lambda s, j: seen.append((j, s.copy())))
+        assert [j for j, _ in seen] == [0, 1, 2]
+        all_positions = np.concatenate([s for _, s in seen])
+        assert sorted(all_positions.tolist()) == [0, 1, 2, 3, 4]
+
+    def test_callback_positions_index_original_vector(self, vm):
+        v = np.array([5, 9, 5])
+        def check(s, j):
+            addrs = v[s]
+            assert np.unique(addrs).size == addrs.size
+        fol1(vm, v, on_set=check)
+
+
+class TestStopAfter:
+    def test_s1_only(self, vm):
+        """stop_after=1 returns S1: one occurrence of each distinct
+        address (the §5 GC/maze specialisation)."""
+        v = np.array([5, 9, 5, 7, 5])
+        dec = fol1(vm, v, stop_after=1)
+        assert dec.m == 1
+        s1_addrs = np.sort(v[dec.sets[0]])
+        assert np.array_equal(s1_addrs, [5, 7, 9])
+
+    def test_stop_after_two(self, vm):
+        dec = fol1(vm, np.array([5, 5, 5]), stop_after=2)
+        assert dec.m == 2
+
+
+class TestPolicies:
+    @pytest.mark.parametrize("policy", ["arbitrary", "last", "first"])
+    def test_correct_under_all_policies(self, make_vm, policy):
+        vm = make_vm(seed=3)
+        rng = np.random.default_rng(0)
+        v = rng.integers(1, 30, size=100)
+        dec = fol1(vm, v, policy=policy)
+        check_all(dec)
+
+    def test_first_policy_matches_reference(self, vm, rng):
+        from repro.core import reference_decomposition
+        v = rng.integers(1, 20, size=60)
+        dec = fol1(vm, v, policy="first")
+        ref = reference_decomposition(v)
+        assert dec.m == ref.m
+        for a, b in zip(dec.sets, ref.sets):
+            assert np.array_equal(np.sort(a), np.sort(b))
+
+
+class TestSafetyValves:
+    def test_max_rounds_guard(self, vm):
+        with pytest.raises(DeadlockError):
+            fol1(vm, np.full(10, 5, dtype=np.int64), max_rounds=3)
+
+
+class TestAddressSets:
+    def test_fol1_sets_of_addresses(self, vm):
+        sets = fol1_sets_of_addresses(vm, np.array([5, 9, 5]))
+        assert len(sets) == 2
+        assert sorted(sets[0].tolist()) == [5, 9]
+        assert sets[1].tolist() == [5]
+
+
+class TestCycleAccounting:
+    def test_charges_something_on_s810(self, make_vm):
+        vm = make_vm(cost="s810")
+        fol1(vm, np.array([5, 9, 5]))
+        assert vm.counter.vector_cycles > 0
+
+    def test_linear_regime_cheaper_than_quadratic(self, make_vm):
+        """Theorems 4 vs 6, in cycles."""
+        n = 200
+        vm1 = make_vm(size=2048, cost="s810")
+        fol1(vm1, np.arange(1, n + 1, dtype=np.int64))
+        linear = vm1.counter.total
+        vm2 = make_vm(size=2048, cost="s810")
+        fol1(vm2, np.full(n, 1, dtype=np.int64))
+        quadratic = vm2.counter.total
+        assert quadratic > 10 * linear

@@ -1,0 +1,104 @@
+"""Property-based tests: FOL1 honours the paper's theorems on arbitrary
+inputs under every conflict policy."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import fol1, max_multiplicity, reference_decomposition
+from repro.core.theorems import (
+    check_all,
+    check_theorem6_quadratic,
+    fol1_element_work,
+)
+from repro.machine import CONFLICT_POLICIES, CostModel, Memory, VectorMachine
+
+
+def fresh_vm(seed: int, size: int = 4096) -> VectorMachine:
+    return VectorMachine(Memory(size, cost_model=CostModel.free(), seed=seed))
+
+
+index_vectors = st.lists(
+    st.integers(min_value=1, max_value=200), min_size=0, max_size=150
+).map(lambda xs: np.asarray(xs, dtype=np.int64))
+
+
+@settings(max_examples=60, deadline=None)
+@given(v=index_vectors, seed=st.integers(0, 7), policy=st.sampled_from(CONFLICT_POLICIES))
+def test_all_theorems_hold(v, seed, policy):
+    """Theorems 1, 2, 3, 5 on arbitrary inputs and policies."""
+    dec = fol1(fresh_vm(seed, size=256 + 8), v, policy=policy)
+    if v.size:
+        check_all(dec)
+    else:
+        assert dec.m == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(v=index_vectors, seed=st.integers(0, 7))
+def test_m_equals_max_multiplicity(v, seed):
+    """Lemma 3 / Theorem 5 in their sharpest form: the number of rounds
+    is exactly the maximum address multiplicity."""
+    dec = fol1(fresh_vm(seed, size=256 + 8), v)
+    assert dec.m == max_multiplicity(v)
+
+
+@settings(max_examples=40, deadline=None)
+@given(v=index_vectors, seed=st.integers(0, 7), policy=st.sampled_from(CONFLICT_POLICIES))
+def test_cardinalities_invariant_across_policies(v, seed, policy):
+    """Which lane survives is policy-dependent, but |S_j| is not:
+    |S_j| = #addresses with multiplicity >= j, independent of winners."""
+    dec = fol1(fresh_vm(seed, size=256 + 8), v, policy=policy)
+    ref = reference_decomposition(v)
+    assert dec.cardinalities() == ref.cardinalities()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_distinct=st.integers(1, 40),
+    multiplicity=st.integers(1, 6),
+    seed=st.integers(0, 7),
+)
+def test_uniform_multiplicity_structure(n_distinct, multiplicity, seed):
+    """Every address repeated k times -> exactly k sets of n_distinct."""
+    rng = np.random.default_rng(seed)
+    v = rng.permutation(np.repeat(np.arange(1, n_distinct + 1), multiplicity))
+    dec = fol1(fresh_vm(seed, size=256), v)
+    assert dec.m == multiplicity
+    assert dec.cardinalities() == [n_distinct] * multiplicity
+    dec.validate()
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(1, 60), seed=st.integers(0, 5))
+def test_theorem6_exact_element_work(n, seed):
+    """All-identical input: element work is exactly N(N+1)/2."""
+    dec = fol1(fresh_vm(seed, size=256), np.full(n, 3, dtype=np.int64))
+    check_theorem6_quadratic(dec)
+    assert fol1_element_work(dec) == n * (n + 1) // 2
+
+
+@settings(max_examples=30, deadline=None)
+@given(v=index_vectors.filter(lambda v: v.size > 0), seed=st.integers(0, 7))
+def test_on_set_interleaving_equals_batch(v, seed):
+    """Processing sets via on_set (Figure 7 amalgamation) yields the
+    same decomposition as consuming the returned object."""
+    collected = []
+    dec = fol1(
+        fresh_vm(seed, size=256 + 8),
+        v,
+        on_set=lambda s, j: collected.append(s.copy()),
+    )
+    assert len(collected) == dec.m
+    for a, b in zip(collected, dec.sets):
+        assert np.array_equal(a, b)
+
+
+@settings(max_examples=30, deadline=None)
+@given(v=index_vectors.filter(lambda v: v.size > 0), seed=st.integers(0, 7))
+def test_work_offset_equivalence(v, seed):
+    """A disjoint work area yields the same decomposition structure as
+    the shared-storage work area."""
+    d1 = fol1(fresh_vm(seed, size=600), v)
+    d2 = fol1(fresh_vm(seed, size=600), v, work_offset=300)
+    assert d1.cardinalities() == d2.cardinalities()

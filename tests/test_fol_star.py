@@ -1,0 +1,164 @@
+"""Unit and property tests for FOL* (§3.3) — multiple rewritten items
+per unit process, with the scalar-tail deadlock avoidance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import fol_star, fol_star_lower_bound, internal_duplicate_mask
+from repro.errors import DeadlockError, LabelError, VectorLengthError
+from repro.machine import CONFLICT_POLICIES, CostModel, Memory, VectorMachine
+
+
+def fresh_vm(seed: int, size: int = 4096) -> VectorMachine:
+    return VectorMachine(Memory(size, cost_model=CostModel.free(), seed=seed))
+
+
+class TestBasics:
+    def test_empty(self, vm):
+        dec = fol_star(vm, [np.array([], dtype=np.int64)])
+        assert dec.m == 0
+
+    def test_l1_behaves_like_fol1(self, vm):
+        dec = fol_star(vm, [np.array([5, 9, 5])])
+        dec.validate()
+        assert dec.m == 2
+
+    def test_disjoint_tuples_one_round(self, vm):
+        v1 = np.array([1, 2, 3])
+        v2 = np.array([11, 12, 13])
+        dec = fol_star(vm, [v1, v2])
+        assert dec.m == 1
+        dec.validate()
+
+    def test_figure5_overlap(self, vm):
+        """The §2 tree example: redexes (n1,n3) and (n3,n5) share n3, so
+        they must land in different sets."""
+        v1 = np.array([1, 3])   # heads n1, n3
+        v2 = np.array([3, 5])   # right children n3, n5
+        dec = fol_star(vm, [v1, v2])
+        assert dec.m == 2
+        dec.validate()
+
+    def test_needs_at_least_one_vector(self, vm):
+        with pytest.raises(VectorLengthError):
+            fol_star(vm, [])
+
+    def test_unequal_lengths_rejected(self, vm):
+        with pytest.raises(VectorLengthError):
+            fol_star(vm, [np.array([1, 2]), np.array([1])])
+
+
+class TestInternalDuplicates:
+    def test_mask_detection(self):
+        v1 = np.array([1, 2, 3])
+        v2 = np.array([1, 9, 3])
+        assert np.array_equal(internal_duplicate_mask([v1, v2]),
+                              [True, False, True])
+
+    def test_error_mode(self, vm):
+        with pytest.raises(LabelError):
+            fol_star(vm, [np.array([4]), np.array([4])])
+
+    def test_isolate_mode(self, vm):
+        v1 = np.array([4, 1, 2])
+        v2 = np.array([4, 2, 9])   # tuple 0 internally duplicated
+        dec = fol_star(vm, [v1, v2], internal="isolate")
+        dec.check_partition()
+        # tuple 0 must be alone in its set
+        for s in dec.sets:
+            if 0 in s:
+                assert s.size == 1
+
+    def test_bad_mode_rejected(self, vm):
+        with pytest.raises(ValueError):
+            fol_star(vm, [np.array([4]), np.array([4])], internal="nope")
+
+
+class TestLabels:
+    def test_cross_vector_duplicate_labels_rejected(self, vm):
+        with pytest.raises(LabelError):
+            fol_star(
+                vm,
+                [np.array([1]), np.array([2])],
+                labels=[np.array([7]), np.array([7])],
+            )
+
+    def test_wrong_label_shape_rejected(self, vm):
+        with pytest.raises(VectorLengthError):
+            fol_star(
+                vm,
+                [np.array([1, 2]), np.array([3, 4])],
+                labels=[np.array([0, 1])],
+            )
+
+
+class TestDeadlockAvoidance:
+    def test_cross_overlap_makes_progress(self, vm):
+        """Pattern engineered so every tuple shares a cell with another
+        (cyclic overlap): without the scalar tail this can deadlock."""
+        v1 = np.array([1, 2, 3, 4])
+        v2 = np.array([2, 3, 4, 1])
+        dec = fol_star(vm, [v1, v2])
+        dec.validate()
+
+    def test_max_rounds_guard(self, vm):
+        with pytest.raises(DeadlockError):
+            fol_star(
+                vm,
+                [np.array([1, 1, 1]), np.array([2, 3, 4])],
+                max_rounds=1,
+            )
+
+
+class TestLowerBound:
+    def test_lower_bound(self):
+        v1 = np.array([1, 1, 2])
+        v2 = np.array([3, 4, 1])
+        assert fol_star_lower_bound([v1, v2]) == 3  # address 1 appears 3x
+
+    def test_m_at_least_lower_bound(self, vm, rng):
+        v1 = rng.integers(1, 10, size=40)
+        v2 = rng.integers(10, 20, size=40)
+        dec = fol_star(vm, [v1, v2])
+        assert dec.m >= fol_star_lower_bound([v1, v2])
+
+
+tuple_vectors = st.integers(2, 4).flatmap(
+    lambda l: st.integers(1, 40).flatmap(
+        lambda n: st.lists(
+            st.lists(st.integers(1, 30), min_size=n, max_size=n),
+            min_size=l, max_size=l,
+        )
+    )
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(vs=tuple_vectors, seed=st.integers(0, 5),
+       policy=st.sampled_from(CONFLICT_POLICIES))
+def test_fol_star_output_conditions(vs, seed, policy):
+    """Partition + within-set address distinctness on arbitrary tuple
+    workloads (internally-duplicated tuples isolated)."""
+    arrs = []
+    for k, v in enumerate(vs):
+        # keep each vector in its own address range except for vector 0
+        # and 1 which may collide (cross-vector sharing)
+        base = 0 if k < 2 else 40 * k
+        arrs.append(np.asarray(v, dtype=np.int64) + base)
+    dec = fol_star(fresh_vm(seed, size=2048), arrs, internal="isolate",
+                   policy=policy)
+    dec.validate()
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(1, 30), seed=st.integers(0, 5))
+def test_fully_overlapping_tuples_serialise(n, seed):
+    """Every tuple identical -> n singleton sets."""
+    v1 = np.full(n, 3, dtype=np.int64)
+    v2 = np.full(n, 7, dtype=np.int64)
+    dec = fol_star(fresh_vm(seed, size=128), [v1, v2])
+    assert dec.m == n
+    assert all(s.size == 1 for s in dec.sets)
+    dec.validate()

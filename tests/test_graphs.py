@@ -1,0 +1,146 @@
+"""Tests for FOL-based connected components, cross-checked against
+networkx (installed oracle)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.graphs import ParentForest, scalar_components, vector_components
+from repro.machine import CONFLICT_POLICIES, CostModel, Memory, ScalarProcessor, VectorMachine
+from repro.mem import BumpAllocator
+
+
+def build(n_nodes, seed=0):
+    vm = VectorMachine(
+        Memory(2 * n_nodes + 64, cost_model=CostModel.free(), seed=seed)
+    )
+    forest = ParentForest(BumpAllocator(vm.mem), n_nodes)
+    return vm, forest
+
+
+def nx_components(n, u, v):
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    g.add_edges_from(zip(u.tolist(), v.tolist()))
+    return sorted(sorted(c) for c in nx.connected_components(g))
+
+
+def forest_components(forest):
+    roots = forest.roots()
+    groups = {}
+    for node, r in enumerate(roots):
+        groups.setdefault(int(r), []).append(node)
+    return sorted(sorted(g) for g in groups.values())
+
+
+class TestParentForest:
+    def test_initial_singletons(self):
+        _, f = build(5)
+        assert f.component_count() == 5
+
+    def test_rejects_empty(self, alloc):
+        with pytest.raises(ReproError):
+            ParentForest(alloc, 0)
+
+    def test_cycle_detection(self):
+        _, f = build(3)
+        f.memory.poke(f.base + 0, 1)
+        f.memory.poke(f.base + 1, 0)
+        with pytest.raises(ReproError):
+            f.roots()
+
+
+class TestVectorComponents:
+    def test_no_edges(self):
+        vm, f = build(4)
+        out = vector_components(vm, f, np.array([], dtype=np.int64),
+                                np.array([], dtype=np.int64))
+        assert out.size == 0
+        assert f.component_count() == 4
+
+    def test_single_edge(self):
+        vm, f = build(4)
+        chosen = vector_components(vm, f, np.array([0]), np.array([3]))
+        assert chosen.tolist() == [0]
+        assert f.component_count() == 3
+
+    def test_chain(self):
+        vm, f = build(5)
+        u = np.array([0, 1, 2, 3])
+        v = np.array([1, 2, 3, 4])
+        chosen = vector_components(vm, f, u, v)
+        assert f.component_count() == 1
+        assert chosen.size == 4  # all tree edges
+
+    def test_parallel_conflicting_edges(self):
+        """Many edges targeting node 0: the FOL election serialises."""
+        vm, f = build(9)
+        u = np.zeros(8, dtype=np.int64)
+        v = np.arange(1, 9, dtype=np.int64)
+        chosen = vector_components(vm, f, u, v)
+        assert f.component_count() == 1
+        assert chosen.size == 8
+
+    def test_duplicate_and_self_edges(self):
+        vm, f = build(4)
+        u = np.array([0, 0, 1, 2, 2])
+        v = np.array([1, 1, 1, 2, 3])  # dup edge, self loop
+        chosen = vector_components(vm, f, u, v)
+        assert f.component_count() == 2  # {0,1} and {2,3}
+        assert chosen.size == 2  # spanning forest has exactly 2 edges
+
+    def test_complete_graph(self):
+        vm, f = build(8)
+        uu, vv = np.triu_indices(8, k=1)
+        chosen = vector_components(vm, f, uu.astype(np.int64), vv.astype(np.int64))
+        assert f.component_count() == 1
+        assert chosen.size == 7  # spanning tree of K8
+
+    def test_edge_bounds(self):
+        vm, f = build(3)
+        with pytest.raises(ReproError):
+            vector_components(vm, f, np.array([0]), np.array([3]))
+
+    @pytest.mark.parametrize("policy", CONFLICT_POLICIES)
+    def test_policies(self, policy):
+        rng = np.random.default_rng(2)
+        n = 40
+        u = rng.integers(0, n, size=80)
+        v = rng.integers(0, n, size=80)
+        vm, f = build(n, seed=5)
+        vector_components(vm, f, u, v, policy=policy)
+        assert forest_components(f) == nx_components(n, u, v)
+
+
+class TestScalarComponents:
+    def test_matches_networkx(self):
+        rng = np.random.default_rng(1)
+        n = 30
+        u = rng.integers(0, n, size=50)
+        v = rng.integers(0, n, size=50)
+        vm, f = build(n)
+        scalar_components(ScalarProcessor(vm.mem), f, u, v)
+        assert forest_components(f) == nx_components(n, u, v)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(1, 50),
+    edges=st.lists(st.tuples(st.integers(0, 49), st.integers(0, 49)),
+                   max_size=120),
+    seed=st.integers(0, 5),
+)
+def test_components_match_networkx_property(n, edges, seed):
+    u = np.array([a % n for a, _ in edges], dtype=np.int64)
+    v = np.array([b % n for _, b in edges], dtype=np.int64)
+    vm, f = build(n, seed=seed)
+    chosen = vector_components(vm, f, u, v)
+    assert forest_components(f) == nx_components(n, u, v)
+    # chosen edges form a forest with (n - #components) edges
+    expected_tree_edges = n - f.component_count()
+    assert chosen.size == expected_tree_edges
+    # and none of them is a self loop
+    assert (u[chosen] != v[chosen]).all()

@@ -1,0 +1,119 @@
+"""Tests for chained multiple hashing (Figure 7, FOL1-based)."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing import (
+    ChainedHashTable,
+    scalar_chained_insert,
+    scalar_chained_lookup,
+    vector_chained_insert,
+)
+from repro.machine import CONFLICT_POLICIES, CostModel, Memory, ScalarProcessor, VectorMachine
+from repro.mem import BumpAllocator
+
+
+def build(size=13, capacity=256, seed=0):
+    vm = VectorMachine(
+        Memory(2 * size + 2 * capacity + 64, cost_model=CostModel.free(), seed=seed)
+    )
+    table = ChainedHashTable(BumpAllocator(vm.mem), size, capacity)
+    return vm, table
+
+
+class TestVectorInsert:
+    def test_empty(self):
+        vm, t = build()
+        assert vector_chained_insert(vm, t, np.array([], dtype=np.int64)) == 0
+
+    def test_no_collisions_single_round(self):
+        vm, t = build()
+        m = vector_chained_insert(vm, t, np.array([0, 1, 2, 3]))
+        assert m == 1
+        assert sorted(t.stored_keys().tolist()) == [0, 1, 2, 3]
+
+    def test_paper_figure4_keys(self):
+        """Keys 353 and 911 hash to the same entry (mod 13 both = 2 and
+        1... pick mod where they collide: 353 % 31 = 12, 911 % 31 = 12)
+        and must both be chained from that entry."""
+        vm, t = build(size=31)
+        vector_chained_insert(vm, t, np.array([353, 911]))
+        chain = t.chain(353 % 31)
+        assert sorted(chain) == [353, 911]
+
+    def test_duplicate_keys_both_stored(self):
+        vm, t = build()
+        vector_chained_insert(vm, t, np.array([7, 7, 7]))
+        assert t.chain(7 % 13) == [7, 7, 7]
+
+    def test_m_equals_max_slot_multiplicity(self):
+        vm, t = build(size=13)
+        keys = np.array([0, 13, 26, 1, 14, 2])  # slot 0 x3, slot 1 x2, slot 2 x1
+        m = vector_chained_insert(vm, t, keys)
+        assert m == 3
+
+    def test_chain_membership_per_slot(self):
+        vm, t = build(size=13, seed=3)
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 1000, size=100)
+        vector_chained_insert(vm, t, keys)
+        for slot in range(13):
+            expected = sorted(int(k) for k in keys if k % 13 == slot)
+            assert sorted(t.chain(slot)) == expected
+
+    @pytest.mark.parametrize("policy", CONFLICT_POLICIES)
+    def test_policies(self, policy):
+        vm, t = build(seed=9)
+        rng = np.random.default_rng(4)
+        keys = rng.integers(0, 200, size=80)
+        vector_chained_insert(vm, t, keys, policy=policy)
+        assert Counter(t.stored_keys().tolist()) == Counter(keys.tolist())
+
+    def test_heads_not_corrupted_by_labels(self):
+        """Regression: FOL labels must go to the work area, not the
+        chain-head words (the heads hold live pointers)."""
+        vm, t = build()
+        vector_chained_insert(vm, t, np.array([1, 1]))
+        vector_chained_insert(vm, t, np.array([1]))  # second batch
+        assert t.chain(1) == [1, 1, 1]
+
+
+class TestScalarBaseline:
+    def test_insert_and_lookup(self):
+        vm, t = build()
+        sp = ScalarProcessor(vm.mem)
+        scalar_chained_insert(sp, t, [5, 18, 5])
+        assert t.chain(5) == [5, 18, 5]
+        assert scalar_chained_lookup(sp, t, 18)
+        assert not scalar_chained_lookup(sp, t, 31)
+
+    def test_chain_order_is_lifo(self):
+        vm, t = build()
+        sp = ScalarProcessor(vm.mem)
+        scalar_chained_insert(sp, t, [1, 14, 27])
+        assert t.chain(1) == [27, 14, 1]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    keys=st.lists(st.integers(0, 500), min_size=0, max_size=100),
+    seed=st.integers(0, 5),
+)
+def test_scalar_vector_same_multiset_per_chain(keys, seed):
+    """The chain *contents* (as multisets) must agree between the
+    sequential and FOL implementations; order within a chain may differ
+    (paper footnote 5)."""
+    keys = np.asarray(keys, dtype=np.int64)
+    vm, vt = build(seed=seed)
+    vector_chained_insert(vm, vt, keys)
+
+    sm = Memory(2 * 13 + 2 * 256 + 64, cost_model=CostModel.free(), seed=seed)
+    st_ = ChainedHashTable(BumpAllocator(sm), 13, 256)
+    scalar_chained_insert(ScalarProcessor(sm), st_, keys)
+
+    for slot in range(13):
+        assert Counter(vt.chain(slot)) == Counter(st_.chain(slot))

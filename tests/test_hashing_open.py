@@ -1,0 +1,229 @@
+"""Tests for open-addressing multiple hashing (Figure 8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TableFullError
+from repro.hashing import (
+    OpenHashTable,
+    UNENTERED,
+    get_probe,
+    optimized_scalar,
+    optimized_vector,
+    original_vector,
+    scalar_open_insert,
+    scalar_open_lookup,
+    vector_open_insert,
+)
+from repro.machine import CONFLICT_POLICIES, CostModel, Memory, ScalarProcessor, VectorMachine
+from repro.mem import BumpAllocator
+
+
+def build(size=67, seed=0):
+    vm = VectorMachine(Memory(size + 64, cost_model=CostModel.free(), seed=seed))
+    table = OpenHashTable(BumpAllocator(vm.mem), size)
+    return vm, table
+
+
+class TestTable:
+    def test_initialised_to_unentered(self):
+        _, t = build()
+        assert (t.entries() == UNENTERED).all()
+        assert t.load_factor() == 0.0
+
+    def test_size_must_exceed_32(self, alloc):
+        with pytest.raises(ValueError):
+            OpenHashTable(alloc, 32)
+
+
+class TestVectorInsert:
+    def test_no_collisions(self):
+        vm, t = build()
+        keys = np.array([1, 2, 3, 4])  # all hash to distinct slots
+        rounds = vector_open_insert(vm, t, keys)
+        assert rounds == 1
+        assert np.array_equal(np.sort(t.stored_keys()), keys)
+
+    def test_colliding_keys_all_enter(self):
+        vm, t = build(size=67)
+        keys = np.array([5, 72, 139, 206])  # all ≡ 5 mod 67
+        vector_open_insert(vm, t, keys)
+        assert np.array_equal(np.sort(t.stored_keys()), np.sort(keys))
+
+    def test_paper_keys_353_911(self):
+        """The Figure 4 example keys collide (both hash to 5 mod size
+        for a suitable size) and must both enter."""
+        vm, t = build(size=58)  # 353 % 58 = 5, 911 % 58 = 41... use mod value
+        keys = np.array([353, 911])
+        vector_open_insert(vm, t, keys)
+        assert np.array_equal(np.sort(t.stored_keys()), [353, 911])
+
+    def test_empty_key_vector(self):
+        vm, t = build()
+        assert vector_open_insert(vm, t, np.array([], dtype=np.int64)) == 0
+
+    def test_duplicate_keys_rejected(self):
+        vm, t = build()
+        with pytest.raises(ValueError):
+            vector_open_insert(vm, t, np.array([3, 3]))
+
+    def test_negative_keys_rejected(self):
+        vm, t = build()
+        with pytest.raises(ValueError):
+            vector_open_insert(vm, t, np.array([-1, 2]))
+
+    def test_more_keys_than_slots_rejected(self):
+        vm, t = build(size=33)
+        with pytest.raises(TableFullError):
+            vector_open_insert(vm, t, np.arange(34, dtype=np.int64))
+
+    def test_completely_full_table(self):
+        vm, t = build(size=67)
+        keys = np.arange(0, 67, dtype=np.int64) * 67 + 3  # all ≡ 3 (mod 67)
+        vector_open_insert(vm, t, keys)
+        assert t.load_factor() == 1.0
+        assert np.array_equal(np.sort(t.stored_keys()), np.sort(keys))
+
+    @pytest.mark.parametrize("policy", CONFLICT_POLICIES)
+    def test_policies(self, policy):
+        vm, t = build(seed=5)
+        rng = np.random.default_rng(1)
+        keys = rng.choice(10_000, size=40, replace=False)
+        vector_open_insert(vm, t, keys, policy=policy)
+        assert np.array_equal(np.sort(t.stored_keys()), np.sort(keys))
+
+    def test_original_probe_also_correct(self):
+        vm, t = build(seed=2)
+        rng = np.random.default_rng(2)
+        keys = rng.choice(10_000, size=50, replace=False)
+        vector_open_insert(vm, t, keys, probe=original_vector)
+        assert np.array_equal(np.sort(t.stored_keys()), np.sort(keys))
+
+
+class TestScalarVectorAgreement:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        keys=st.lists(st.integers(0, 100_000), min_size=0, max_size=50,
+                      unique=True),
+        seed=st.integers(0, 5),
+        probe=st.sampled_from(["original", "optimized"]),
+    )
+    def test_same_key_multiset(self, keys, seed, probe):
+        keys = np.asarray(keys, dtype=np.int64)
+        sprobe, vprobe = get_probe(probe)
+
+        vm, vt = build(seed=seed)
+        vector_open_insert(vm, vt, keys, probe=vprobe)
+
+        sm = Memory(67 + 64, cost_model=CostModel.free(), seed=seed)
+        st_ = OpenHashTable(BumpAllocator(sm), 67)
+        scalar_open_insert(ScalarProcessor(sm), st_, keys, probe=sprobe)
+
+        assert np.array_equal(np.sort(vt.stored_keys()), np.sort(st_.stored_keys()))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        keys=st.lists(st.integers(0, 100_000), min_size=1, max_size=40,
+                      unique=True),
+        seed=st.integers(0, 5),
+    )
+    def test_every_key_findable_by_probe_sequence(self, keys, seed):
+        """Lookup must succeed for every entered key: the table the
+        vector algorithm builds is a *valid* open-addressing table."""
+        keys = np.asarray(keys, dtype=np.int64)
+        vm, t = build(seed=seed)
+        vector_open_insert(vm, t, keys)
+        sp = ScalarProcessor(vm.mem)
+        for k in keys:
+            slot = scalar_open_lookup(sp, t, int(k), probe=optimized_scalar)
+            assert slot is not None
+            assert t.memory.peek(t.base + slot) == k
+
+
+class TestLookup:
+    def test_absent_key(self):
+        vm, t = build()
+        vector_open_insert(vm, t, np.array([5, 6]))
+        sp = ScalarProcessor(vm.mem)
+        assert scalar_open_lookup(sp, t, 999) is None
+
+    def test_lookup_in_full_table_terminates(self):
+        vm, t = build(size=67)
+        keys = np.arange(67, dtype=np.int64)
+        vector_open_insert(vm, t, keys)
+        sp = ScalarProcessor(vm.mem)
+        assert scalar_open_lookup(sp, t, 1_000_003) is None
+
+
+class TestProbeStrategies:
+    def test_optimized_breaks_collision_groups(self):
+        """Keys that collide at the same slot scatter on the next probe
+        iff their low-5 bits differ — the whole point of §4.1's fix."""
+        vm, _ = build()
+        h = np.array([5, 5, 5], dtype=np.int64)
+        keys = np.array([64, 65, 66], dtype=np.int64)  # low bits 0,1,2
+        nxt = optimized_vector(vm, h, keys, 67)
+        assert np.unique(nxt).size == 3
+
+    def test_original_keeps_collision_groups_together(self):
+        vm, _ = build()
+        h = np.array([5, 5, 5], dtype=np.int64)
+        keys = np.array([64, 65, 66], dtype=np.int64)
+        nxt = original_vector(vm, h, keys, 67)
+        assert np.unique(nxt).size == 1
+
+    def test_get_probe_unknown(self):
+        with pytest.raises(KeyError):
+            get_probe("nope")
+
+
+class TestUnfusedVariant:
+    """The §3.2 simplification ablation: generic FOL1 with a separate
+    work area must match Figure 8's fused result, at higher cost."""
+
+    def _machines(self, size=67, seed=0, cost=CostModel.free()):
+        vm = VectorMachine(Memory(2 * size + 128, cost_model=cost, seed=seed))
+        alloc = BumpAllocator(vm.mem)
+        table = OpenHashTable(alloc, size)
+        work = alloc.alloc(size, "fol_work")
+        return vm, table, work
+
+    def test_same_key_multiset_as_fused(self):
+        from repro.hashing.open_addressing import vector_open_insert_unfused
+        rng = np.random.default_rng(1)
+        keys = rng.choice(10_000, size=40, replace=False)
+        vm, t, work = self._machines(seed=4)
+        vector_open_insert_unfused(vm, t, keys, work)
+        assert np.array_equal(np.sort(t.stored_keys()), np.sort(keys))
+        for k in keys:
+            sp = ScalarProcessor(vm.mem)
+            assert scalar_open_lookup(sp, t, int(k)) is not None
+
+    def test_empty_and_errors(self):
+        from repro.hashing.open_addressing import vector_open_insert_unfused
+        vm, t, work = self._machines()
+        assert vector_open_insert_unfused(vm, t, np.array([], dtype=np.int64), work) == 0
+        with pytest.raises(ValueError):
+            vector_open_insert_unfused(vm, t, np.array([3, 3]), work)
+
+    def test_full_table(self):
+        from repro.hashing.open_addressing import vector_open_insert_unfused
+        vm, t, work = self._machines(size=67)
+        keys = np.arange(0, 67, dtype=np.int64) * 67 + 3  # all collide
+        vector_open_insert_unfused(vm, t, keys, work)
+        assert t.load_factor() == 1.0
+
+    def test_fused_is_cheaper(self):
+        """The point of the §3.2 simplification, in cycles."""
+        from repro.hashing.open_addressing import vector_open_insert_unfused
+        rng = np.random.default_rng(2)
+        keys = rng.choice(100_000, size=260, replace=False)
+
+        vm1, t1, work = self._machines(size=521, seed=3, cost=CostModel.s810())
+        vector_open_insert_unfused(vm1, t1, keys, work)
+
+        vm2, t2, _ = self._machines(size=521, seed=3, cost=CostModel.s810())
+        vector_open_insert(vm2, t2, keys)
+        assert vm2.counter.total < vm1.counter.total

@@ -1,0 +1,133 @@
+"""Tests for vectorized set operations over the hashing substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.sets import VectorHashSet, vector_member, vector_unique
+from repro.hashing.table import OpenHashTable
+from repro.machine import CONFLICT_POLICIES, CostModel, Memory, VectorMachine
+from repro.mem import BumpAllocator
+
+
+def build(size=67, seed=0):
+    vm = VectorMachine(Memory(size + 64, cost_model=CostModel.free(), seed=seed))
+    table = OpenHashTable(BumpAllocator(vm.mem), size)
+    return vm, table
+
+
+class TestVectorUnique:
+    def test_empty(self):
+        vm, t = build()
+        assert vector_unique(vm, t, np.array([], dtype=np.int64)).size == 0
+
+    def test_no_duplicates_passthrough(self):
+        vm, t = build()
+        keys = np.array([5, 9, 200])
+        out = vector_unique(vm, t, keys)
+        assert np.array_equal(out, keys)
+
+    def test_duplicates_removed_first_occurrence_order(self):
+        vm, t = build()
+        keys = np.array([9, 5, 9, 7, 5, 9])
+        out = vector_unique(vm, t, keys, policy="first")
+        assert np.array_equal(out, [9, 5, 7])
+
+    def test_all_identical(self):
+        vm, t = build()
+        out = vector_unique(vm, t, np.full(30, 4, dtype=np.int64))
+        assert np.array_equal(out, [4])
+
+    def test_colliding_distinct_keys_kept(self):
+        vm, t = build(size=67)
+        keys = np.array([5, 72, 139, 72, 5])  # all ≡ 5 (mod 67)
+        out = vector_unique(vm, t, keys)
+        assert np.array_equal(out, [5, 72, 139])
+
+    def test_incremental_batches(self):
+        vm, t = build()
+        out1 = vector_unique(vm, t, np.array([1, 2, 3]))
+        out2 = vector_unique(vm, t, np.array([2, 3, 4]))
+        assert np.array_equal(out1, [1, 2, 3])
+        assert np.array_equal(out2, [4])
+
+    def test_negative_rejected(self):
+        vm, t = build()
+        with pytest.raises(ValueError):
+            vector_unique(vm, t, np.array([-3]))
+
+    @pytest.mark.parametrize("policy", CONFLICT_POLICIES)
+    def test_policies_set_semantics(self, policy):
+        vm, t = build(seed=6)
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 100, size=60)
+        out = vector_unique(vm, t, keys, policy=policy)
+        assert sorted(out.tolist()) == sorted(set(keys.tolist()))
+
+    def test_first_policy_gives_first_occurrence_order(self):
+        vm, t = build(seed=6)
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 100, size=60)
+        out = vector_unique(vm, t, keys, policy="first")
+        _, first_idx = np.unique(keys, return_index=True)
+        expected = keys[np.sort(first_idx)]
+        assert np.array_equal(out, expected)
+
+
+class TestVectorMember:
+    def test_empty_query(self):
+        vm, t = build()
+        assert vector_member(vm, t, np.array([], dtype=np.int64)).size == 0
+
+    def test_hits_and_misses(self):
+        vm, t = build()
+        vector_unique(vm, t, np.array([5, 72, 200]))
+        mask = vector_member(vm, t, np.array([5, 6, 72, 201, 200]))
+        assert mask.tolist() == [True, False, True, False, True]
+
+    def test_miss_on_colliding_probe_chain(self):
+        vm, t = build(size=67)
+        vector_unique(vm, t, np.array([5, 72, 139]))  # a collision chain
+        mask = vector_member(vm, t, np.array([206]))  # also ≡ 5, absent
+        assert not mask[0]
+
+    def test_duplicate_queries(self):
+        vm, t = build()
+        vector_unique(vm, t, np.array([9]))
+        mask = vector_member(vm, t, np.array([9, 9, 9]))
+        assert mask.all()
+
+
+class TestVectorHashSet:
+    def test_add_and_contains(self):
+        vm, _ = build()
+        s = VectorHashSet(vm, BumpAllocator(vm.mem), 67, name="s2")
+        added = s.add_all(np.array([3, 3, 8]))
+        assert np.array_equal(added, [3, 8])
+        assert len(s) == 2
+        assert s.contains_all(np.array([3, 8, 9])).tolist() == [True, True, False]
+
+    def test_keys_snapshot(self):
+        vm, _ = build()
+        s = VectorHashSet(vm, BumpAllocator(vm.mem), 67, name="s3")
+        s.add_all(np.array([1, 2]))
+        assert sorted(s.keys().tolist()) == [1, 2]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    keys=st.lists(st.integers(0, 300), min_size=0, max_size=60),
+    queries=st.lists(st.integers(0, 300), min_size=0, max_size=40),
+    seed=st.integers(0, 5),
+)
+def test_set_semantics_property(keys, queries, seed):
+    """unique + member must agree with Python's set."""
+    keys = np.asarray(keys, dtype=np.int64)
+    queries = np.asarray(queries, dtype=np.int64)
+    vm, t = build(size=127, seed=seed)
+    uniq = vector_unique(vm, t, keys)
+    assert sorted(uniq.tolist()) == sorted(set(keys.tolist()))
+    mask = vector_member(vm, t, queries)
+    pyset = set(keys.tolist())
+    assert mask.tolist() == [q in pyset for q in queries.tolist()]

@@ -1,0 +1,113 @@
+"""Integration tests: several subsystems composed on one machine, plus
+end-to-end checks of the public package surface."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    BumpAllocator,
+    CostModel,
+    Memory,
+    ScalarProcessor,
+    VectorMachine,
+    fol1,
+    make_machine,
+)
+from repro.hashing import ChainedHashTable, OpenHashTable, vector_chained_insert, vector_open_insert
+from repro.sorting import AddressCalcWorkspace, vector_address_calc_sort
+from repro.trees import BinarySearchTree, vector_bst_insert
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_docstring_example(self):
+        """The example in repro.__doc__ must actually work."""
+        vm = make_machine(1024)
+        dec = fol1(vm, np.array([5, 9, 5, 7, 5]))
+        assert dec.m == 3
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None
+
+
+class TestSharedMachine:
+    """Multiple data structures on ONE memory: the layout must not
+    interfere, and the single cycle ledger sums all of them."""
+
+    def test_table_tree_and_sorter_coexist(self):
+        vm = make_machine(200_000, cost_model=CostModel.free(), seed=1)
+        alloc = BumpAllocator(vm.mem)
+        table = OpenHashTable(alloc, 67)
+        tree = BinarySearchTree(alloc, 128)
+        ws = AddressCalcWorkspace(alloc, 64)
+
+        rng = np.random.default_rng(0)
+        keys = rng.choice(10_000, size=30, replace=False)
+        vector_open_insert(vm, table, keys)
+
+        tkeys = rng.integers(0, 1000, size=100)
+        vector_bst_insert(vm, tree, tkeys)
+
+        data = rng.integers(0, 2**30, size=64)
+        out = vector_address_calc_sort(vm, ws, data, vmax=2**30)
+
+        assert np.array_equal(np.sort(table.stored_keys()), np.sort(keys))
+        tree.check_bst_invariant()
+        assert Counter(tree.inorder()) == Counter(tkeys.tolist())
+        assert np.array_equal(out, np.sort(data))
+
+    def test_cycle_ledger_accumulates_across_structures(self):
+        vm = make_machine(100_000, cost_model=CostModel.s810(), seed=1)
+        alloc = BumpAllocator(vm.mem)
+        table = ChainedHashTable(alloc, 37, 64)
+        before = vm.counter.total
+        vector_chained_insert(vm, table, np.arange(64, dtype=np.int64))
+        assert vm.counter.total > before
+
+
+class TestScalarVectorOnSameMemory:
+    def test_scalar_reads_vector_writes(self):
+        vm = make_machine(4096, cost_model=CostModel.free())
+        sp = ScalarProcessor(vm.mem)
+        alloc = BumpAllocator(vm.mem)
+        table = OpenHashTable(alloc, 67)
+        vector_open_insert(vm, table, np.array([5, 72]))
+        # the scalar unit sees the vector unit's writes immediately
+        from repro.hashing import scalar_open_lookup
+        assert scalar_open_lookup(sp, table, 5) is not None
+        assert scalar_open_lookup(sp, table, 72) is not None
+
+
+class TestMakeMachine:
+    def test_default_cost_model_is_s810(self):
+        vm = make_machine(64)
+        assert vm.cost == CostModel.s810()
+
+    def test_seed_controls_conflict_winners(self):
+        winners = set()
+        for seed in range(10):
+            vm = make_machine(64, seed=seed)
+            vm.scatter(np.full(6, 7, dtype=np.int64), np.arange(6, dtype=np.int64))
+            winners.add(vm.mem.peek(7))
+        assert len(winners) > 1
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        from repro import errors
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) and obj is not Exception:
+                assert issubclass(obj, errors.ReproError)
+
+    def test_memory_fault_catchable_as_machine_error(self):
+        from repro import MachineError
+        vm = make_machine(16)
+        with pytest.raises(MachineError):
+            vm.mem.sload(100)

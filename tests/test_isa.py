@@ -1,0 +1,345 @@
+"""Tests for the ISA-level backend and the Figure 8 machine program."""
+
+import numpy as np
+import pytest
+
+from repro.hashing import OpenHashTable, vector_open_insert
+from repro.hashing.isa_program import build_figure8_program, isa_open_insert
+from repro.machine import CostModel, Memory, VectorMachine
+from repro.machine.isa import Assembler, Interpreter, IsaError
+from repro.mem import BumpAllocator
+
+
+def fresh(size=1024, cost="free", seed=0):
+    cm = CostModel.free() if cost == "free" else CostModel.s810()
+    vm = VectorMachine(Memory(size, cost_model=cm, seed=seed))
+    return vm, Interpreter(vm)
+
+
+class TestAssembler:
+    def test_label_resolution(self):
+        a = Assembler()
+        a.emit("JMP", "end")
+        a.label("end")
+        a.emit("HALT")
+        prog = a.assemble()
+        assert prog[0].args == (1,)
+
+    def test_unknown_opcode(self):
+        with pytest.raises(IsaError):
+            Assembler().emit("FROB", 1)
+
+    def test_wrong_arity(self):
+        with pytest.raises(IsaError):
+            Assembler().emit("SLI", 1)
+
+    def test_undefined_label(self):
+        a = Assembler()
+        a.emit("JMP", "nowhere")
+        with pytest.raises(IsaError):
+            a.assemble()
+
+    def test_duplicate_label(self):
+        a = Assembler()
+        a.label("x")
+        with pytest.raises(IsaError):
+            a.label("x")
+
+
+class TestInterpreterBasics:
+    def test_scalar_arithmetic(self):
+        vm, it = fresh()
+        prog = (Assembler()
+                .emit("SLI", 1, 7).emit("SLI", 2, 5)
+                .emit("SADD", 3, 1, 2)
+                .emit("SSUB", 4, 1, 2)
+                .emit("SMUL", 5, 1, 2)
+                .emit("HALT").assemble())
+        it.run(prog)
+        assert it.s[3] == 12 and it.s[4] == 2 and it.s[5] == 35
+
+    def test_vector_pipeline(self):
+        vm, it = fresh()
+        prog = (Assembler()
+                .emit("SLI", 1, 5)
+                .emit("VIOTA", 0, 1)       # V0 = 0..4
+                .emit("SLI", 2, 3)
+                .emit("VMULS", 1, 0, 2)    # V1 = 0,3,6,9,12
+                .emit("VADDV", 2, 0, 1)    # V2 = 0,4,8,12,16
+                .emit("HALT").assemble())
+        it.run(prog)
+        assert np.array_equal(it.v[2], [0, 4, 8, 12, 16])
+
+    def test_gather_scatter_roundtrip(self):
+        vm, it = fresh()
+        vm.mem.words[100:105] = [9, 8, 7, 6, 5]
+        prog = (Assembler()
+                .emit("SLI", 1, 5)
+                .emit("VIOTA", 0, 1)
+                .emit("SLI", 2, 100)
+                .emit("VADDS", 0, 0, 2)     # addresses 100..104
+                .emit("VGATHER", 1, 0)
+                .emit("SLI", 3, 200)
+                .emit("VIOTA", 2, 1)
+                .emit("VADDS", 2, 2, 3)     # addresses 200..204
+                .emit("VSCATTER", 2, 1)
+                .emit("HALT").assemble())
+        it.run(prog)
+        assert np.array_equal(vm.mem.peek_range(200, 5), [9, 8, 7, 6, 5])
+
+    def test_masked_flow(self):
+        vm, it = fresh()
+        prog = (Assembler()
+                .emit("SLI", 1, 6)
+                .emit("VIOTA", 0, 1)       # 0..5
+                .emit("SLI", 2, 2)
+                .emit("VMODS", 1, 0, 2)    # 0,1,0,1,0,1
+                .emit("SLI", 3, 0)
+                .emit("VCMPES", 0, 1, 3)   # even mask
+                .emit("VCOMPRESS", 2, 0, 0)
+                .emit("MCNT", 4, 0)
+                .emit("MNOT", 1, 0)
+                .emit("MCNT", 5, 1)
+                .emit("HALT").assemble())
+        it.run(prog)
+        assert np.array_equal(it.v[2], [0, 2, 4])
+        assert it.s[4] == 3 and it.s[5] == 3
+
+    def test_loop_with_branches(self):
+        """Sum 1..10 with a scalar loop."""
+        vm, it = fresh()
+        a = Assembler()
+        a.emit("SLI", 1, 10)   # counter
+        a.emit("SLI", 2, 0)    # acc
+        a.emit("SLI", 3, 1)    # const 1
+        a.label("loop")
+        a.emit("JZ", 1, "done")
+        a.emit("SADD", 2, 2, 1)
+        a.emit("SSUB", 1, 1, 3)
+        a.emit("JMP", "loop")
+        a.label("done")
+        a.emit("HALT")
+        it.run(a.assemble())
+        assert it.s[2] == 55
+
+    def test_runaway_loop_detected(self):
+        vm, it = fresh()
+        it.max_steps = 100
+        a = Assembler()
+        a.label("spin")
+        a.emit("JMP", "spin")
+        a.emit("HALT")
+        with pytest.raises(IsaError):
+            it.run(a.assemble())
+
+    def test_bad_register_index(self):
+        vm, it = fresh()
+        prog = Assembler().emit("SLI", 99, 1).emit("HALT").assemble()
+        with pytest.raises(IsaError):
+            it.run(prog)
+
+    def test_pc_out_of_range(self):
+        vm, it = fresh()
+        prog = Assembler().emit("SLI", 1, 1).assemble()  # no HALT
+        with pytest.raises(IsaError):
+            it.run(prog)
+
+    def test_charges_cycles(self):
+        vm, it = fresh(cost="s810")
+        prog = (Assembler()
+                .emit("SLI", 1, 8)
+                .emit("VIOTA", 0, 1)
+                .emit("HALT").assemble())
+        it.run(prog)
+        assert vm.counter.total > 0
+
+
+class TestFigure8Program:
+    def test_matches_facade_contents(self):
+        rng = np.random.default_rng(3)
+        keys = rng.choice(100_000, size=40, replace=False)
+
+        vm1 = VectorMachine(Memory(512, cost_model=CostModel.free(), seed=1))
+        t1 = OpenHashTable(BumpAllocator(vm1.mem), 67)
+        isa_open_insert(vm1, t1, keys, staging_base=200)
+
+        vm2 = VectorMachine(Memory(512, cost_model=CostModel.free(), seed=1))
+        t2 = OpenHashTable(BumpAllocator(vm2.mem), 67)
+        vector_open_insert(vm2, t2, keys)
+
+        assert np.array_equal(np.sort(t1.stored_keys()), np.sort(t2.stored_keys()))
+        assert np.array_equal(np.sort(t1.stored_keys()), np.sort(keys))
+
+    def test_same_seed_same_layout(self):
+        """With identical conflict seeds the ISA program and the facade
+        produce the *same table image*, not just the same multiset."""
+        rng = np.random.default_rng(4)
+        keys = rng.choice(10_000, size=30, replace=False)
+        vm1 = VectorMachine(Memory(512, cost_model=CostModel.free(), seed=9))
+        t1 = OpenHashTable(BumpAllocator(vm1.mem), 67)
+        isa_open_insert(vm1, t1, keys, staging_base=200)
+        vm2 = VectorMachine(Memory(512, cost_model=CostModel.free(), seed=9))
+        t2 = OpenHashTable(BumpAllocator(vm2.mem), 67)
+        vector_open_insert(vm2, t2, keys)
+        assert np.array_equal(t1.entries(), t2.entries())
+
+    def test_cycle_count_comparable_to_facade(self):
+        """Same algorithm, two backends: cycles within 2x of each other."""
+        rng = np.random.default_rng(5)
+        keys = rng.choice(100_000, size=200, replace=False)
+        vm1 = VectorMachine(Memory(1024, cost_model=CostModel.s810(), seed=2))
+        t1 = OpenHashTable(BumpAllocator(vm1.mem), 521)
+        isa_open_insert(vm1, t1, keys, staging_base=600)
+        vm2 = VectorMachine(Memory(1024, cost_model=CostModel.s810(), seed=2))
+        t2 = OpenHashTable(BumpAllocator(vm2.mem), 521)
+        vector_open_insert(vm2, t2, keys)
+        ratio = vm1.counter.total / vm2.counter.total
+        assert 0.5 < ratio < 2.0
+
+    def test_empty_keys(self):
+        vm = VectorMachine(Memory(512, cost_model=CostModel.free()))
+        t = OpenHashTable(BumpAllocator(vm.mem), 67)
+        assert isa_open_insert(vm, t, np.array([], dtype=np.int64), 200) == 0
+
+    def test_duplicate_keys_rejected(self):
+        vm = VectorMachine(Memory(512, cost_model=CostModel.free()))
+        t = OpenHashTable(BumpAllocator(vm.mem), 67)
+        with pytest.raises(ValueError):
+            isa_open_insert(vm, t, np.array([3, 3]), 200)
+
+    def test_program_is_static(self):
+        """The program assembles once and contains a real loop."""
+        prog = build_figure8_program()
+        ops = [i.op for i in prog]
+        assert "JMP" in ops and "JZ" in ops and ops[-1] == "HALT"
+
+
+class TestRemainingInstructions:
+    def test_vsplat(self):
+        vm, it = fresh()
+        prog = (Assembler()
+                .emit("SLI", 1, 7)   # value
+                .emit("SLI", 2, 4)   # count
+                .emit("VSPLAT", 0, 1, 2)
+                .emit("HALT").assemble())
+        it.run(prog)
+        assert np.array_equal(it.v[0], [7, 7, 7, 7])
+
+    def test_vsubv_vmods_vands(self):
+        vm, it = fresh()
+        prog = (Assembler()
+                .emit("SLI", 1, 6)
+                .emit("VIOTA", 0, 1)       # 0..5
+                .emit("SLI", 2, 3)
+                .emit("VMODS", 1, 0, 2)    # 0,1,2,0,1,2
+                .emit("VSUBV", 2, 0, 1)    # 0,0,0,3,3,3
+                .emit("SLI", 3, 1)
+                .emit("VANDS", 3, 0, 3)    # parity 0,1,0,1,0,1
+                .emit("HALT").assemble())
+        it.run(prog)
+        assert np.array_equal(it.v[2], [0, 0, 0, 3, 3, 3])
+        assert np.array_equal(it.v[3], [0, 1, 0, 1, 0, 1])
+
+    def test_vcmpns_and_vcmpnv(self):
+        vm, it = fresh()
+        prog = (Assembler()
+                .emit("SLI", 1, 4)
+                .emit("VIOTA", 0, 1)      # 0..3
+                .emit("SLI", 2, 2)
+                .emit("VCMPNS", 0, 0, 2)  # != 2
+                .emit("VIOTA", 1, 1)
+                .emit("VCMPNV", 1, 0, 1)  # elementwise != itself -> all false
+                .emit("HALT").assemble())
+        it.run(prog)
+        assert it.m[0].tolist() == [True, True, False, True]
+        assert not it.m[1].any()
+
+    def test_smove_and_vlen(self):
+        vm, it = fresh()
+        prog = (Assembler()
+                .emit("SLI", 1, 9)
+                .emit("SMOVE", 2, 1)
+                .emit("VIOTA", 0, 1)
+                .emit("VLEN", 3, 0)
+                .emit("HALT").assemble())
+        it.run(prog)
+        assert it.s[2] == 9
+        assert it.s[3] == 9
+
+    def test_jnz(self):
+        vm, it = fresh()
+        a = Assembler()
+        a.emit("SLI", 1, 1)
+        a.emit("JNZ", 1, "skip")
+        a.emit("SLI", 2, 99)  # must be skipped
+        a.label("skip")
+        a.emit("HALT")
+        it.run(a.assemble())
+        assert it.s[2] == 0
+
+    def test_vscatter_els_policy(self):
+        """Unmasked scatter honours the run-time conflict policy."""
+        vm, it = fresh()
+        prog = (Assembler()
+                .emit("SLI", 1, 3)
+                .emit("VIOTA", 0, 1)
+                .emit("SLI", 2, 0)
+                .emit("VMULS", 0, 0, 2)   # addresses (0,0,0) -> all collide
+                .emit("SLI", 3, 50)
+                .emit("VADDS", 0, 0, 3)   # addresses (50,50,50)
+                .emit("VIOTA", 1, 1)      # values 0,1,2
+                .emit("VSCATTER", 0, 1)
+                .emit("HALT").assemble())
+        it.run(prog, scatter_policy="last")
+        assert vm.mem.peek(50) == 2
+
+
+class TestFol1Program:
+    """FOL1 as a machine program (repro.core.isa_fol)."""
+
+    def _run(self, v, seed=0, policy="first"):
+        from repro.core.isa_fol import isa_fol1
+        vm = VectorMachine(Memory(1024, cost_model=CostModel.free(), seed=seed))
+        v = np.asarray(v, dtype=np.int64)
+        return vm, isa_fol1(vm, v, staging_base=400, out_base=600, policy=policy)
+
+    def test_empty(self):
+        _, dec = self._run([])
+        assert dec.m == 0
+
+    def test_no_duplicates_single_round(self):
+        _, dec = self._run([3, 7, 11])
+        assert dec.m == 1
+        dec.validate()
+
+    def test_duplicates_decomposed_minimally(self):
+        _, dec = self._run([5, 9, 5, 7, 5])
+        assert dec.m == 3
+        dec.validate()
+
+    def test_matches_facade_under_first_policy(self):
+        """Deterministic policy: the machine program and the Python
+        facade produce the *same* decomposition."""
+        from repro.core import fol1
+        rng = np.random.default_rng(6)
+        v = rng.integers(100, 140, size=80)
+        _, dec_isa = self._run(v, policy="first")
+        vm2 = VectorMachine(Memory(1024, cost_model=CostModel.free(), seed=0))
+        dec_py = fol1(vm2, v, policy="first")
+        assert dec_isa.m == dec_py.m
+        for a, b in zip(dec_isa.sets, dec_py.sets):
+            assert np.array_equal(np.sort(a), np.sort(b))
+
+    def test_theorems_hold_under_arbitrary_policy(self):
+        from repro.core.theorems import check_all
+        rng = np.random.default_rng(7)
+        for seed in range(5):
+            v = rng.integers(100, 130, size=60)
+            _, dec = self._run(v, seed=seed, policy="arbitrary")
+            check_all(dec)
+
+    def test_charges_cycles(self):
+        from repro.core.isa_fol import isa_fol1
+        vm = VectorMachine(Memory(1024, cost_model=CostModel.s810(), seed=0))
+        isa_fol1(vm, np.array([5, 5, 9]), staging_base=400, out_base=600)
+        assert vm.counter.vector_cycles > 0

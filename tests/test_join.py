@@ -1,0 +1,122 @@
+"""Tests for the vectorized hash join."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.join import (
+    JoinWorkspace,
+    join_multiset,
+    scalar_hash_join,
+    vector_hash_join,
+)
+from repro.errors import ReproError
+from repro.machine import CONFLICT_POLICIES, CostModel, Memory, ScalarProcessor, VectorMachine
+from repro.mem import BumpAllocator
+
+
+def build(table_size=13, capacity=256, seed=0):
+    vm = VectorMachine(
+        Memory(2 * table_size + 2 * capacity + 64,
+               cost_model=CostModel.free(), seed=seed)
+    )
+    ws = JoinWorkspace(BumpAllocator(vm.mem), table_size, capacity)
+    return vm, ws
+
+
+def oracle_join(build_keys, probe_keys):
+    """Dictionary-based reference join."""
+    index = {}
+    for i, k in enumerate(build_keys):
+        index.setdefault(int(k), []).append(i)
+    pairs = []
+    for j, k in enumerate(probe_keys):
+        for i in index.get(int(k), []):
+            pairs.append((i, j))
+    return sorted(pairs)
+
+
+class TestVectorJoin:
+    def test_empty_both(self):
+        vm, ws = build()
+        r, s = vector_hash_join(vm, ws, np.array([], dtype=np.int64),
+                                np.array([], dtype=np.int64))
+        assert r.size == 0 and s.size == 0
+
+    def test_empty_probe(self):
+        vm, ws = build()
+        r, s = vector_hash_join(vm, ws, np.array([1, 2]), np.array([], dtype=np.int64))
+        assert r.size == 0
+
+    def test_empty_build(self):
+        vm, ws = build()
+        r, s = vector_hash_join(vm, ws, np.array([], dtype=np.int64), np.array([1, 2]))
+        assert r.size == 0
+
+    def test_one_to_one(self):
+        vm, ws = build()
+        r, s = vector_hash_join(vm, ws, np.array([10, 20, 30]), np.array([20]))
+        assert join_multiset(r, s) == [(1, 0)]
+
+    def test_no_matches(self):
+        vm, ws = build()
+        r, s = vector_hash_join(vm, ws, np.array([1, 2]), np.array([3, 4]))
+        assert r.size == 0
+
+    def test_many_to_many(self):
+        """Duplicate keys on both sides -> cross product per key."""
+        vm, ws = build()
+        r, s = vector_hash_join(vm, ws, np.array([7, 7, 9]), np.array([7, 7]))
+        assert join_multiset(r, s) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_colliding_nonmatching_keys(self):
+        """Keys in one chain but unequal (13 and 26 collide mod 13)."""
+        vm, ws = build()
+        r, s = vector_hash_join(vm, ws, np.array([13, 26]), np.array([26, 39]))
+        assert join_multiset(r, s) == [(1, 0)]
+
+    def test_capacity_guard(self):
+        vm, ws = build(capacity=4)
+        with pytest.raises(ReproError):
+            vector_hash_join(vm, ws, np.arange(5, dtype=np.int64),
+                             np.array([], dtype=np.int64))
+
+    @pytest.mark.parametrize("policy", CONFLICT_POLICIES)
+    def test_policies(self, policy):
+        rng = np.random.default_rng(1)
+        bk = rng.integers(0, 40, size=60)
+        pk = rng.integers(0, 40, size=50)
+        vm, ws = build(seed=5)
+        r, s = vector_hash_join(vm, ws, bk, pk, policy=policy)
+        assert join_multiset(r, s) == oracle_join(bk, pk)
+
+
+class TestScalarJoin:
+    def test_matches_oracle(self):
+        rng = np.random.default_rng(2)
+        bk = rng.integers(0, 30, size=40)
+        pk = rng.integers(0, 30, size=35)
+        vm, ws = build()
+        sp = ScalarProcessor(vm.mem)
+        r, s = scalar_hash_join(sp, ws, bk, pk)
+        assert join_multiset(r, s) == oracle_join(bk, pk)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    bk=st.lists(st.integers(0, 60), max_size=60),
+    pk=st.lists(st.integers(0, 60), max_size=60),
+    seed=st.integers(0, 5),
+)
+def test_join_property(bk, pk, seed):
+    """Vector join == scalar join == dictionary oracle, any duplication."""
+    bk = np.asarray(bk, dtype=np.int64)
+    pk = np.asarray(pk, dtype=np.int64)
+    vm, ws = build(seed=seed)
+    r, s = vector_hash_join(vm, ws, bk, pk)
+    assert join_multiset(r, s) == oracle_join(bk, pk)
+
+    vm2, ws2 = build(seed=seed)
+    r2, s2 = scalar_hash_join(ScalarProcessor(vm2.mem), ws2, bk, pk)
+    assert join_multiset(r2, s2) == oracle_join(bk, pk)

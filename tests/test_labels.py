@@ -1,0 +1,79 @@
+"""Unit tests for FOL label strategies (§3.2 step 0, footnote 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.labels import (
+    displacement_labels,
+    index_labels,
+    key_labels,
+    min_label_bits,
+    negated_index_labels,
+    tuple_labels,
+    validate_unique,
+)
+from repro.errors import LabelError
+
+
+class TestIndexLabels:
+    def test_subscripts(self, vm):
+        assert np.array_equal(index_labels(vm, 4), [0, 1, 2, 3])
+
+    def test_negated(self, vm):
+        """Figure 12's -iota labels: -1, -2, ..., -n."""
+        assert np.array_equal(negated_index_labels(vm, 3), [-1, -2, -3])
+
+    def test_negated_all_negative(self, vm):
+        assert (negated_index_labels(vm, 10) < 0).all()
+
+
+class TestDisplacementLabels:
+    def test_stride(self, vm):
+        assert np.array_equal(displacement_labels(vm, 3, base=100, stride=8),
+                              [100, 108, 116])
+
+    def test_rejects_nonpositive_stride(self, vm):
+        with pytest.raises(LabelError):
+            displacement_labels(vm, 3, base=0, stride=0)
+
+
+class TestKeyLabels:
+    def test_accepts_unique(self):
+        out = key_labels(np.array([5, 3, 9]))
+        assert np.array_equal(out, [5, 3, 9])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(LabelError):
+            key_labels(np.array([5, 3, 5]))
+
+
+class TestTupleLabels:
+    def test_unique_across_vectors(self, vm):
+        labs = tuple_labels(vm, 4, 3)
+        flat = np.concatenate(labs)
+        assert np.unique(flat).size == flat.size
+
+    def test_rejects_zero_vectors(self, vm):
+        with pytest.raises(LabelError):
+            tuple_labels(vm, 4, 0)
+
+
+class TestValidateUnique:
+    def test_passes_unique(self):
+        validate_unique(np.array([1, 2, 3]))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(LabelError):
+            validate_unique(np.array([1, 1]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(LabelError):
+            validate_unique(np.zeros((2, 2), dtype=np.int64))
+
+
+class TestMinLabelBits:
+    @pytest.mark.parametrize("n,bits", [(1, 1), (2, 1), (3, 2), (4, 2),
+                                        (5, 3), (1024, 10), (1025, 11)])
+    def test_log2_bound(self, n, bits):
+        """Paper: the work area needs >= log2(N) bits."""
+        assert min_label_bits(n) == bits

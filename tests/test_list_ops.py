@@ -1,0 +1,157 @@
+"""Tests for list ranking and the vector list operations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.lists import ConsArena
+from repro.lists.ops import (
+    vector_list_lengths,
+    vector_list_to_arrays,
+    vector_reverse_lists,
+)
+from repro.lists.ranking import RankingScratch, chase_to_tail, list_ranks
+from repro.machine import CostModel, Memory, VectorMachine
+from repro.mem import NIL, BumpAllocator
+
+
+def build(capacity=128, seed=0):
+    vm = VectorMachine(
+        Memory(16 * capacity + 256, cost_model=CostModel.free(), seed=seed)
+    )
+    alloc = BumpAllocator(vm.mem)
+    arena = ConsArena(alloc, capacity)
+    scratch = RankingScratch(alloc, arena.cells)
+    return vm, arena, scratch, alloc
+
+
+class TestListRanks:
+    def test_empty_arena(self):
+        vm, arena, scratch, _ = build()
+        nodes, ranks = list_ranks(vm, scratch, "cdr")
+        assert nodes.size == 0
+
+    def test_single_chain(self):
+        vm, arena, scratch, _ = build()
+        arena.from_values([1, 2, 3, 4])
+        nodes, ranks = list_ranks(vm, scratch, "cdr")
+        # cells were allocated tail-first by from_values
+        assert sorted(ranks.tolist()) == [0, 1, 2, 3]
+
+    def test_multiple_chains(self):
+        vm, arena, scratch, _ = build()
+        arena.from_values([1, 2])
+        arena.from_values([3, 4, 5])
+        _, ranks = list_ranks(vm, scratch, "cdr")
+        assert sorted(ranks.tolist()) == [0, 0, 1, 1, 2]
+
+    def test_shared_tail_ranks(self):
+        vm, arena, scratch, _ = build()
+        s = arena.from_values([9, 9])          # ranks 1, 0
+        arena.from_values([1], tail=s)         # rank 2
+        arena.from_values([2, 3], tail=s)      # ranks 3, 2
+        _, ranks = list_ranks(vm, scratch, "cdr")
+        assert sorted(ranks.tolist()) == [0, 1, 2, 2, 3]
+
+    def test_cycle_detected(self):
+        vm, arena, scratch, _ = build()
+        h = arena.from_values([1, 2])
+        cells = arena.cell_addresses(h)
+        arena.cells.poke_field(cells[-1], "cdr", h)
+        with pytest.raises(ReproError):
+            list_ranks(vm, scratch, "cdr")
+
+
+class TestChaseToTail:
+    def test_finds_tails(self):
+        vm, arena, scratch, _ = build()
+        h = arena.from_values([1, 2, 3])
+        tail = arena.cell_addresses(h)[-1]
+        out = chase_to_tail(vm, arena.cells, "cdr", np.array([h, NIL]), 8)
+        assert out[0] == tail
+        assert out[1] == NIL
+
+
+class TestLengths:
+    def test_mixed_lengths(self):
+        vm, arena, scratch, _ = build()
+        h1 = arena.from_values([1])
+        h2 = arena.from_values([1, 2, 3, 4, 5])
+        out = vector_list_lengths(vm, arena, scratch, [h1, NIL, h2])
+        assert out.tolist() == [1, 0, 5]
+
+    def test_shared_suffix_lengths(self):
+        vm, arena, scratch, _ = build()
+        s = arena.from_values([7, 8])
+        h1 = arena.from_values([1], tail=s)
+        h2 = arena.from_values([2, 3, 4], tail=s)
+        out = vector_list_lengths(vm, arena, scratch, [h1, h2, s])
+        assert out.tolist() == [3, 5, 2]
+
+    def test_empty_heads(self):
+        vm, arena, scratch, _ = build()
+        assert vector_list_lengths(vm, arena, scratch, []).size == 0
+
+
+class TestToArrays:
+    def test_serialises_in_order(self):
+        vm, arena, scratch, alloc = build()
+        h = arena.from_values([10, 20, 30, 40])
+        out_base = alloc.alloc(16, "out")
+        n = vector_list_to_arrays(vm, arena, scratch, h, out_base)
+        assert n == 4
+        assert vm.mem.peek_range(out_base, 4).tolist() == [
+            -(10 + 1), -(20 + 1), -(30 + 1), -(40 + 1)
+        ]  # car words are sign-tagged atoms
+
+    def test_nil_head(self):
+        vm, arena, scratch, alloc = build()
+        out_base = alloc.alloc(4, "out")
+        assert vector_list_to_arrays(vm, arena, scratch, NIL, out_base) == 0
+
+    def test_ambiguous_arena_rejected(self):
+        """A second chain with overlapping rank range collides."""
+        vm, arena, scratch, alloc = build()
+        h = arena.from_values([1, 2, 3])
+        arena.from_values([9, 9, 9])  # same ranks -> same positions
+        out_base = alloc.alloc(8, "out")
+        with pytest.raises(ReproError):
+            vector_list_to_arrays(vm, arena, scratch, h, out_base)
+
+
+class TestReverse:
+    def test_single_list(self):
+        vm, arena, scratch, _ = build()
+        h = arena.from_values([1, 2, 3, 4])
+        (new_h,) = vector_reverse_lists(vm, arena, scratch, [h])
+        assert arena.to_values(new_h) == [4, 3, 2, 1]
+
+    def test_many_lists_at_once(self):
+        vm, arena, scratch, _ = build()
+        h1 = arena.from_values([1, 2])
+        h2 = arena.from_values([3, 4, 5])
+        h3 = arena.from_values([6])
+        new = vector_reverse_lists(vm, arena, scratch, [h1, h2, h3])
+        assert arena.to_values(new[0]) == [2, 1]
+        assert arena.to_values(new[1]) == [5, 4, 3]
+        assert arena.to_values(new[2]) == [6]
+
+    def test_nil_head_passthrough(self):
+        vm, arena, scratch, _ = build()
+        assert vector_reverse_lists(vm, arena, scratch, [NIL]) == [NIL]
+
+    def test_shared_cells_rejected(self):
+        vm, arena, scratch, _ = build()
+        s = arena.from_values([9])
+        h1 = arena.from_values([1], tail=s)
+        h2 = arena.from_values([2], tail=s)
+        with pytest.raises(ReproError):
+            vector_reverse_lists(vm, arena, scratch, [h1, h2])
+
+    def test_double_reverse_is_identity(self):
+        vm, arena, scratch, _ = build()
+        h = arena.from_values([5, 6, 7])
+        (r,) = vector_reverse_lists(vm, arena, scratch, [h])
+        (rr,) = vector_reverse_lists(vm, arena, scratch, [r])
+        assert rr == h
+        assert arena.to_values(rr) == [5, 6, 7]

@@ -1,0 +1,189 @@
+"""Tests for cons cells and parallel list rewriting (Figure 3a)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.lists import (
+    ConsArena,
+    decode_atom,
+    encode_atom,
+    is_atom,
+    scalar_map_add_per_cell,
+    scalar_map_add_per_reference,
+    vector_map_add_per_cell,
+    vector_map_add_per_reference,
+)
+from repro.machine import CONFLICT_POLICIES, CostModel, Memory, ScalarProcessor, VectorMachine
+from repro.mem import NIL, BumpAllocator
+
+
+def build(capacity=512, seed=0):
+    vm = VectorMachine(
+        Memory(8 * capacity + 64, cost_model=CostModel.free(), seed=seed)
+    )
+    arena = ConsArena(BumpAllocator(vm.mem), capacity)
+    return vm, arena
+
+
+class TestAtoms:
+    def test_roundtrip(self):
+        for v in (0, 1, 1000):
+            assert decode_atom(encode_atom(v)) == v
+
+    def test_atoms_are_negative(self):
+        assert is_atom(encode_atom(0))
+        assert not is_atom(1)
+        assert not is_atom(NIL)
+
+    def test_negative_atom_rejected(self):
+        with pytest.raises(ReproError):
+            encode_atom(-1)
+
+    def test_decode_pointer_rejected(self):
+        with pytest.raises(ReproError):
+            decode_atom(5)
+
+
+class TestConstruction:
+    def test_from_to_values(self):
+        _, a = build()
+        head = a.from_values([1, 2, 3])
+        assert a.to_values(head) == [1, 2, 3]
+        assert a.length(head) == 3
+
+    def test_empty_list_is_nil(self):
+        _, a = build()
+        assert a.from_values([]) == NIL
+        assert a.to_values(NIL) == []
+
+    def test_shared_suffix(self):
+        """Figure 3a: two lists sharing a tail."""
+        _, a = build()
+        s = a.from_values([10, 11])
+        l1 = a.from_values([1], tail=s)
+        l2 = a.from_values([2, 3], tail=s)
+        assert a.to_values(l1) == [1, 10, 11]
+        assert a.to_values(l2) == [2, 3, 10, 11]
+        assert a.shared_suffix_start(l1, l2) == s
+
+    def test_no_shared_suffix(self):
+        _, a = build()
+        l1 = a.from_values([1])
+        l2 = a.from_values([2])
+        assert a.shared_suffix_start(l1, l2) == NIL
+
+    def test_cycle_detection(self):
+        _, a = build()
+        head = a.from_values([1, 2])
+        cells = a.cell_addresses(head)
+        a.cells.poke_field(cells[-1], "cdr", head)  # make it cyclic
+        with pytest.raises(ReproError):
+            a.to_values(head)
+
+
+class TestPerReferenceSemantics:
+    def test_shared_cells_updated_once_per_list(self):
+        vm, a = build()
+        s = a.from_values([100])
+        l1 = a.from_values([1], tail=s)
+        l2 = a.from_values([2], tail=s)
+        l3 = s
+        vector_map_add_per_reference(vm, a, [l1, l2, l3], delta=10)
+        # cell 100 referenced by 3 lists -> +30
+        assert a.to_values(s) == [130]
+        assert a.to_values(l1) == [11, 130]
+
+    def test_empty_heads(self):
+        vm, a = build()
+        assert vector_map_add_per_reference(vm, a, [], delta=5) == 0
+
+    def test_nil_list_among_heads(self):
+        vm, a = build()
+        l1 = a.from_values([7])
+        vector_map_add_per_reference(vm, a, [NIL, l1], delta=1)
+        assert a.to_values(l1) == [8]
+
+    @pytest.mark.parametrize("policy", CONFLICT_POLICIES)
+    def test_policies(self, policy):
+        vm, a = build(seed=4)
+        s = a.from_values([5, 6])
+        heads = [a.from_values([i], tail=s) for i in range(6)]
+        vector_map_add_per_reference(vm, a, heads, delta=1, policy=policy)
+        assert a.to_values(s) == [11, 12]  # 6 references each
+
+
+class TestPerCellSemantics:
+    def test_shared_cells_updated_once_total(self):
+        vm, a = build()
+        s = a.from_values([100])
+        l1 = a.from_values([1], tail=s)
+        l2 = a.from_values([2], tail=s)
+        vector_map_add_per_cell(vm, a, [l1, l2, s], delta=10)
+        assert a.to_values(s) == [110]
+
+    def test_disjoint_lists_behave_like_map(self):
+        vm, a = build()
+        l1 = a.from_values([1, 2])
+        l2 = a.from_values([3])
+        vector_map_add_per_cell(vm, a, [l1, l2], delta=5)
+        assert a.to_values(l1) == [6, 7]
+        assert a.to_values(l2) == [8]
+
+    def test_same_head_listed_twice(self):
+        vm, a = build()
+        l1 = a.from_values([1, 2])
+        vector_map_add_per_cell(vm, a, [l1, l1], delta=5)
+        assert a.to_values(l1) == [6, 7]
+
+
+@st.composite
+def shared_list_scenarios(draw):
+    """Random Figure-3a scenarios: k lists, random private prefixes,
+    one optional shared suffix."""
+    n_lists = draw(st.integers(1, 5))
+    shared = draw(st.lists(st.integers(0, 50), max_size=6))
+    prefixes = [
+        draw(st.lists(st.integers(0, 50), max_size=6)) for _ in range(n_lists)
+    ]
+    attach = [draw(st.booleans()) for _ in range(n_lists)]
+    return shared, prefixes, attach
+
+
+def _build_scenario(arena, scenario):
+    shared, prefixes, attach = scenario
+    s = arena.from_values(shared)
+    heads = []
+    for pfx, att in zip(prefixes, attach):
+        heads.append(arena.from_values(pfx, tail=s if att else NIL))
+    return heads
+
+
+@settings(max_examples=40, deadline=None)
+@given(scenario=shared_list_scenarios(), seed=st.integers(0, 5))
+def test_per_reference_scalar_vector_agree(scenario, seed):
+    vm, va = build(seed=seed)
+    vh = _build_scenario(va, scenario)
+    vector_map_add_per_reference(vm, va, vh, delta=3)
+
+    vm2, sa = build(seed=seed)
+    sh = _build_scenario(sa, scenario)
+    scalar_map_add_per_reference(ScalarProcessor(vm2.mem), sa, sh, delta=3)
+
+    assert [va.to_values(h) for h in vh] == [sa.to_values(h) for h in sh]
+
+
+@settings(max_examples=40, deadline=None)
+@given(scenario=shared_list_scenarios(), seed=st.integers(0, 5))
+def test_per_cell_scalar_vector_agree(scenario, seed):
+    vm, va = build(seed=seed)
+    vh = _build_scenario(va, scenario)
+    vector_map_add_per_cell(vm, va, vh, delta=3)
+
+    vm2, sa = build(seed=seed)
+    sh = _build_scenario(sa, scenario)
+    scalar_map_add_per_cell(ScalarProcessor(vm2.mem), sa, sh, delta=3)
+
+    assert [va.to_values(h) for h in vh] == [sa.to_values(h) for h in sh]

@@ -1,0 +1,132 @@
+"""Tests for order-preserving FOL (footnote 7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decomposition import Decomposition
+from repro.core.ordered import (
+    check_program_order,
+    fol1_ordered,
+    ordered_rmw_add,
+    ordered_scatter,
+)
+from repro.errors import DecompositionError
+from repro.machine import CostModel, Memory, VectorMachine
+
+
+def fresh_vm(seed: int = 0, size: int = 4096) -> VectorMachine:
+    return VectorMachine(Memory(size, cost_model=CostModel.free(), seed=seed))
+
+
+class TestFol1Ordered:
+    def test_no_duplicates_single_set(self, vm):
+        dec = fol1_ordered(vm, np.array([3, 7, 11]))
+        assert dec.m == 1
+        check_program_order(dec)
+
+    def test_same_address_positions_in_program_order(self, vm):
+        v = np.array([5, 5, 5, 5])
+        dec = fol1_ordered(vm, v)
+        assert dec.m == 4
+        # each singleton set, earliest position first
+        assert [int(s[0]) for s in dec.sets] == [0, 1, 2, 3]
+
+    def test_footnote7_relation(self, vm):
+        """i < j with same address => set(i) < set(j)."""
+        v = np.array([9, 4, 9, 4, 9])
+        dec = fol1_ordered(vm, v)
+        check_program_order(dec)
+
+    def test_partition_still_holds(self, vm, rng):
+        v = rng.integers(1, 20, size=80)
+        dec = fol1_ordered(vm, v)
+        dec.check_partition()
+        dec.check_parallel_processable()
+        check_program_order(dec)
+
+
+class TestCheckProgramOrder:
+    def test_detects_violation(self):
+        dec = Decomposition(
+            index_vector=np.array([5, 5], dtype=np.int64),
+            sets=[np.array([1], dtype=np.int64), np.array([0], dtype=np.int64)],
+        )
+        with pytest.raises(DecompositionError):
+            check_program_order(dec)
+
+
+class TestOrderedScatter:
+    def test_last_value_wins_per_address(self, vm):
+        addrs = np.array([10, 11, 10, 11, 10])
+        values = np.array([1, 2, 3, 4, 5])
+        ordered_scatter(vm, addrs, values)
+        assert vm.mem.peek(10) == 5  # last program-order write to 10
+        assert vm.mem.peek(11) == 4
+
+    def test_equivalent_to_sequential_loop(self, rng):
+        for trial in range(5):
+            addrs = rng.integers(10, 20, size=30)
+            values = rng.integers(0, 1000, size=30)
+            vm = fresh_vm(seed=trial)
+            ordered_scatter(vm, addrs, values)
+            expected = {}
+            for a, x in zip(addrs, values):
+                expected[int(a)] = int(x)
+            for a, x in expected.items():
+                assert vm.mem.peek(a) == x
+
+
+class TestOrderedRmwAdd:
+    def test_accumulates_all_deltas(self, vm):
+        addrs = np.array([10, 10, 11, 10])
+        deltas = np.array([1, 2, 5, 4])
+        rounds = ordered_rmw_add(vm, addrs, deltas, work_offset=100)
+        assert vm.mem.peek(10) == 7
+        assert vm.mem.peek(11) == 5
+        assert rounds == 3
+
+    def test_matches_numpy_add_at(self, rng):
+        addrs = rng.integers(10, 30, size=100)
+        deltas = rng.integers(-5, 6, size=100)
+        vm = fresh_vm()
+        ordered_rmw_add(vm, addrs, deltas, work_offset=200)
+        expected = np.zeros(40, dtype=np.int64)
+        np.add.at(expected, addrs, deltas)
+        got = vm.mem.peek_range(0, 40)
+        assert np.array_equal(got[10:30], expected[10:30])
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    v=st.lists(st.integers(1, 30), min_size=1, max_size=80),
+    seed=st.integers(0, 7),
+)
+def test_program_order_property(v, seed):
+    """footnote 7's relation holds on arbitrary inputs."""
+    v = np.asarray(v, dtype=np.int64)
+    dec = fol1_ordered(fresh_vm(seed, size=256), v)
+    dec.check_partition()
+    dec.check_parallel_processable()
+    check_program_order(dec)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(st.integers(10, 25), st.integers(0, 99)),
+        min_size=1, max_size=60,
+    ),
+    seed=st.integers(0, 7),
+)
+def test_ordered_scatter_sequential_semantics(pairs, seed):
+    addrs = np.array([p[0] for p in pairs], dtype=np.int64)
+    values = np.array([p[1] for p in pairs], dtype=np.int64)
+    vm = fresh_vm(seed, size=256)
+    ordered_scatter(vm, addrs, values)
+    expected = {}
+    for a, x in pairs:
+        expected[a] = x
+    for a, x in expected.items():
+        assert vm.mem.peek(a) == x

@@ -1,0 +1,143 @@
+"""Tests for vectorized BST rebalancing (§6 future work)."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import CONFLICT_POLICIES, CostModel, Memory, ScalarProcessor, VectorMachine
+from repro.mem import BumpAllocator
+from repro.trees import BinarySearchTree
+from repro.trees.rebalance import (
+    RebalanceWorkspace,
+    minimal_height,
+    scalar_rebalance,
+    vector_rebalance,
+)
+
+
+def build(keys, capacity=512, seed=0):
+    vm = VectorMachine(
+        Memory(16 * capacity + 64, cost_model=CostModel.free(), seed=seed)
+    )
+    alloc = BumpAllocator(vm.mem)
+    tree = BinarySearchTree(alloc, capacity)
+    tree.build(keys)
+    ws = RebalanceWorkspace(alloc, tree)
+    return vm, tree, ws
+
+
+class TestVectorRebalance:
+    def test_empty_tree(self):
+        vm, tree, ws = build([])
+        assert vector_rebalance(vm, ws) == (0, 0)
+
+    def test_single_node(self):
+        vm, tree, ws = build([5])
+        vector_rebalance(vm, ws)
+        assert tree.inorder() == [5]
+        assert tree.depth() == 1
+
+    def test_degenerate_ascending_chain(self):
+        """The worst input: a pure right vine (already a vine, zero
+        rotations) still gets balanced."""
+        keys = list(range(31))
+        vm, tree, ws = build(keys)
+        assert tree.depth() == 31
+        rotations, waves = vector_rebalance(vm, ws)
+        assert rotations == 0  # ascending build = right vine already
+        assert tree.inorder() == keys
+        assert tree.depth() == minimal_height(31)  # 5
+
+    def test_degenerate_descending_chain(self):
+        """A pure left vine needs n-1 right rotations."""
+        keys = list(range(31, 0, -1))
+        vm, tree, ws = build(keys)
+        rotations, _ = vector_rebalance(vm, ws)
+        # rotating *every* site per wave does extra work compared to the
+        # spine-walking DSW (which needs exactly n-1 = 30): later
+        # rotations re-create left edges that must be rotated again.
+        # 30 is still the lower bound.
+        assert rotations >= 30
+        assert tree.inorder() == sorted(keys)
+        assert tree.depth() == minimal_height(31)
+
+    def test_random_tree_height_minimal(self):
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, 10**6, size=100).tolist()
+        vm, tree, ws = build(keys)
+        vector_rebalance(vm, ws)
+        tree.check_bst_invariant()
+        assert Counter(tree.inorder()) == Counter(keys)
+        assert tree.depth() == minimal_height(100)  # 7
+
+    def test_duplicate_keys(self):
+        keys = [5, 5, 5, 3, 3, 9]
+        vm, tree, ws = build(keys)
+        vector_rebalance(vm, ws)
+        tree.check_bst_invariant()
+        assert Counter(tree.inorder()) == Counter(keys)
+
+    @pytest.mark.parametrize("policy", CONFLICT_POLICIES)
+    def test_policies(self, policy):
+        rng = np.random.default_rng(2)
+        keys = rng.integers(0, 1000, size=60).tolist()
+        vm, tree, ws = build(keys, seed=7)
+        vector_rebalance(vm, ws, policy=policy)
+        tree.check_bst_invariant()
+        assert tree.depth() == minimal_height(60)
+
+    def test_rebalance_twice_is_stable(self):
+        keys = list(range(20, 0, -1))
+        vm, tree, ws = build(keys)
+        vector_rebalance(vm, ws)
+        d1 = tree.depth()
+        vector_rebalance(vm, ws)
+        assert tree.depth() == d1
+        assert tree.inorder() == sorted(keys)
+
+
+class TestScalarRebalance:
+    def test_matches_vector_height(self):
+        rng = np.random.default_rng(3)
+        keys = rng.integers(0, 10**6, size=75).tolist()
+        vm, tree, ws = build(keys)
+        vector_rebalance(vm, ws)
+
+        vm2 = VectorMachine(Memory(8192, cost_model=CostModel.free(), seed=0))
+        tree2 = BinarySearchTree(BumpAllocator(vm2.mem), 512)
+        tree2.build(keys)
+        scalar_rebalance(ScalarProcessor(vm2.mem), tree2)
+        tree2.check_bst_invariant()
+        assert tree2.depth() == tree.depth()
+        assert tree2.inorder() == tree.inorder()
+
+    def test_empty(self):
+        vm = VectorMachine(Memory(1024, cost_model=CostModel.free()))
+        tree = BinarySearchTree(BumpAllocator(vm.mem), 8)
+        scalar_rebalance(ScalarProcessor(vm.mem), tree)
+        assert tree.inorder() == []
+
+
+class TestMinimalHeight:
+    @pytest.mark.parametrize("n,h", [(1, 1), (2, 2), (3, 2), (4, 3),
+                                     (7, 3), (8, 4), (100, 7)])
+    def test_values(self, n, h):
+        assert minimal_height(n) == h
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    keys=st.lists(st.integers(0, 500), min_size=1, max_size=80),
+    seed=st.integers(0, 5),
+)
+def test_rebalance_property(keys, seed):
+    """Any build order, any duplicates: rebalancing preserves the key
+    multiset, keeps the BST invariant, and reaches minimal height."""
+    vm, tree, ws = build(keys, seed=seed)
+    vector_rebalance(vm, ws)
+    tree.check_bst_invariant()
+    assert Counter(tree.inorder()) == Counter(keys)
+    assert tree.depth() == minimal_height(len(keys))

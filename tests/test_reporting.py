@@ -1,0 +1,43 @@
+"""Tests for the plain-text reporting helpers."""
+
+from repro.bench.reporting import banner, format_table, sparkline
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 12345]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "12,345" in lines[3]
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[3.14159], [1234.5]])
+        assert "3.14" in text
+        assert "1,234" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_series_ends_high(self):
+        s = sparkline([0, 1, 2, 3, 4])
+        assert s[0] == " "
+        assert s[-1] == "@"
+
+    def test_constant_series(self):
+        s = sparkline([5, 5, 5])
+        assert len(s) == 3
+
+    def test_length_matches_input(self):
+        assert len(sparkline(list(range(17)))) == 17
+
+
+class TestBanner:
+    def test_contains_title(self):
+        assert "hello" in banner("hello")

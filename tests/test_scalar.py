@@ -1,0 +1,69 @@
+"""Unit tests for the scalar-unit facade used by all baselines."""
+
+import pytest
+
+from repro.machine import CostModel, Memory, ScalarProcessor
+
+
+@pytest.fixture
+def charged_sp() -> ScalarProcessor:
+    cm = CostModel(
+        scalar_alu=3.0, scalar_mem=10.0, scalar_mem_seq=2.0, scalar_branch=5.0
+    )
+    return ScalarProcessor(Memory(128, cost_model=cm))
+
+
+class TestMemoryOps:
+    def test_load_store(self, charged_sp):
+        charged_sp.store(4, 77)
+        assert charged_sp.load(4) == 77
+        assert charged_sp.counter.scalar_cycles == 20.0  # two mem ops
+
+    def test_seq_ops_cheaper(self, charged_sp):
+        charged_sp.seq_store(4, 1)
+        charged_sp.seq_load(4)
+        assert charged_sp.counter.scalar_cycles == 4.0  # two seq ops
+
+
+class TestRegisterOps:
+    def test_alu_count(self, charged_sp):
+        charged_sp.alu(3)
+        assert charged_sp.counter.scalar_cycles == 9.0
+
+    def test_alu_zero_is_free(self, charged_sp):
+        charged_sp.alu(0)
+        assert charged_sp.counter.scalar_cycles == 0.0
+
+    def test_branch(self, charged_sp):
+        charged_sp.branch(2)
+        assert charged_sp.counter.scalar_cycles == 10.0
+
+    def test_loop_iter_is_alu_plus_branch(self, charged_sp):
+        charged_sp.loop_iter()
+        assert charged_sp.counter.scalar_cycles == 8.0
+
+
+class TestSugar:
+    def test_add(self, charged_sp):
+        assert charged_sp.add(2, 3) == 5
+        assert charged_sp.counter.scalar_cycles == 3.0
+
+    def test_compare(self, charged_sp):
+        assert charged_sp.compare(4, 4)
+        assert not charged_sp.compare(4, 5)
+
+    def test_less_equal(self, charged_sp):
+        assert charged_sp.less_equal(3, 3)
+        assert not charged_sp.less_equal(4, 3)
+
+    def test_hash_mod(self, charged_sp):
+        assert charged_sp.hash_mod(353, 100) == 53
+        assert charged_sp.counter.scalar_cycles == 3.0
+
+
+class TestFillArray:
+    def test_fills_and_charges_per_element(self, charged_sp):
+        charged_sp.fill_array(10, 5, -1)
+        assert all(charged_sp.mem.peek(10 + i) == -1 for i in range(5))
+        # (seq mem + alu) per element
+        assert charged_sp.counter.scalar_cycles == 5 * (2.0 + 3.0)

@@ -1,0 +1,151 @@
+"""Tests for address-calculation sorting (Figures 11–13)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.machine import CONFLICT_POLICIES, CostModel, Memory, ScalarProcessor, VectorMachine
+from repro.mem import BumpAllocator
+from repro.sorting import (
+    AddressCalcWorkspace,
+    scalar_address_calc_sort,
+    vector_address_calc_sort,
+)
+
+VMAX = 100  # small range so hypothesis hits heavy duplication
+
+
+def build(n_max=64, seed=0):
+    vm = VectorMachine(
+        Memory(3 * n_max + 64, cost_model=CostModel.free(), seed=seed)
+    )
+    ws = AddressCalcWorkspace(BumpAllocator(vm.mem), n_max)
+    return vm, ws
+
+
+class TestFigure13Example:
+    """The paper's worked example: sort [38, 11, 42, 39] with keys in
+    [0, 100) — scalar and vector must both give [11, 38, 39, 42]."""
+
+    DATA = np.array([38, 11, 42, 39], dtype=np.int64)
+
+    def test_scalar(self):
+        vm, ws = build()
+        sp = ScalarProcessor(vm.mem)
+        out = scalar_address_calc_sort(sp, ws, self.DATA, vmax=VMAX)
+        assert np.array_equal(out, [11, 38, 39, 42])
+
+    def test_vector(self):
+        vm, ws = build()
+        out = vector_address_calc_sort(vm, ws, self.DATA, vmax=VMAX)
+        assert np.array_equal(out, [11, 38, 39, 42])
+
+    def test_hash_is_order_preserving(self):
+        """The §4.2 property: data[i] <= data[j] => hash(i) <= hash(j)."""
+        n = 4
+        h = (2 * n * np.sort(self.DATA)) // VMAX
+        assert (np.diff(h) >= 0).all()
+
+
+class TestEdgeCases:
+    def test_empty(self):
+        vm, ws = build()
+        out = vector_address_calc_sort(vm, ws, np.array([], dtype=np.int64), vmax=VMAX)
+        assert out.size == 0
+
+    def test_single(self):
+        vm, ws = build()
+        assert np.array_equal(
+            vector_address_calc_sort(vm, ws, np.array([42]), vmax=VMAX), [42]
+        )
+
+    def test_all_equal(self):
+        vm, ws = build()
+        a = np.full(20, 55, dtype=np.int64)
+        assert np.array_equal(
+            vector_address_calc_sort(vm, ws, a, vmax=VMAX), a
+        )
+
+    def test_all_max_value(self):
+        """Every element at vmax-1: the hash puts them all in the last
+        spread slot; the overflow third of C must absorb them."""
+        vm, ws = build()
+        a = np.full(16, VMAX - 1, dtype=np.int64)
+        assert np.array_equal(vector_address_calc_sort(vm, ws, a, vmax=VMAX), a)
+
+    def test_all_zero(self):
+        vm, ws = build()
+        a = np.zeros(16, dtype=np.int64)
+        assert np.array_equal(vector_address_calc_sort(vm, ws, a, vmax=VMAX), a)
+
+    def test_reverse_sorted(self):
+        vm, ws = build()
+        a = np.arange(50, dtype=np.int64)[::-1].copy()
+        out = vector_address_calc_sort(vm, ws, a, vmax=VMAX)
+        assert np.array_equal(out, np.arange(50))
+
+    def test_out_of_range_rejected(self):
+        vm, ws = build()
+        with pytest.raises(ReproError):
+            vector_address_calc_sort(vm, ws, np.array([-1]), vmax=VMAX)
+        with pytest.raises(ReproError):
+            vector_address_calc_sort(vm, ws, np.array([VMAX]), vmax=VMAX)
+
+    def test_capacity_exceeded_rejected(self):
+        vm, ws = build(n_max=8)
+        with pytest.raises(ReproError):
+            vector_address_calc_sort(vm, ws, np.zeros(9, dtype=np.int64), vmax=VMAX)
+
+    def test_2d_rejected(self):
+        vm, ws = build()
+        with pytest.raises(ReproError):
+            vector_address_calc_sort(vm, ws, np.zeros((2, 2), dtype=np.int64), vmax=VMAX)
+
+
+class TestWorkspaceReuse:
+    def test_two_sorts_same_workspace(self):
+        vm, ws = build()
+        a1 = np.array([9, 3, 7], dtype=np.int64)
+        a2 = np.array([50, 2, 2, 80], dtype=np.int64)
+        assert np.array_equal(vector_address_calc_sort(vm, ws, a1, vmax=VMAX), [3, 7, 9])
+        assert np.array_equal(vector_address_calc_sort(vm, ws, a2, vmax=VMAX), [2, 2, 50, 80])
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    a=st.lists(st.integers(0, VMAX - 1), min_size=0, max_size=64),
+    seed=st.integers(0, 5),
+    policy=st.sampled_from(CONFLICT_POLICIES),
+)
+def test_vector_sorts_correctly(a, seed, policy):
+    """Property: output is sorted and a permutation of the input, for
+    arbitrary duplication patterns and conflict policies."""
+    a = np.asarray(a, dtype=np.int64)
+    vm, ws = build(seed=seed)
+    out = vector_address_calc_sort(vm, ws, a, vmax=VMAX, policy=policy)
+    assert np.array_equal(out, np.sort(a))
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=st.lists(st.integers(0, VMAX - 1), min_size=0, max_size=48))
+def test_scalar_sorts_correctly(a):
+    a = np.asarray(a, dtype=np.int64)
+    vm, ws = build()
+    sp = ScalarProcessor(vm.mem)
+    out = scalar_address_calc_sort(sp, ws, a, vmax=VMAX)
+    assert np.array_equal(out, np.sort(a))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    a=st.lists(st.integers(0, 2**40 - 1), min_size=1, max_size=32),
+    seed=st.integers(0, 3),
+)
+def test_large_value_range(a, seed):
+    """Default Vmax (2^40) — exercises the overflow-safe hash."""
+    a = np.asarray(a, dtype=np.int64)
+    vm, ws = build(seed=seed)
+    out = vector_address_calc_sort(vm, ws, a)
+    assert np.array_equal(out, np.sort(a))

@@ -1,0 +1,115 @@
+"""Tests for distribution counting sort (§4.2 / Table 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.machine import CONFLICT_POLICIES, CostModel, Memory, ScalarProcessor, VectorMachine
+from repro.mem import BumpAllocator
+from repro.sorting import (
+    DistributionWorkspace,
+    scalar_distribution_sort,
+    vector_distribution_sort,
+)
+
+RANGE = 64  # small range -> heavy duplication under hypothesis
+
+
+def build(key_range=RANGE, n_max=128, seed=0):
+    vm = VectorMachine(
+        Memory(2 * key_range + n_max + 64, cost_model=CostModel.free(), seed=seed)
+    )
+    ws = DistributionWorkspace(BumpAllocator(vm.mem), key_range, n_max=n_max)
+    return vm, ws
+
+
+class TestBasics:
+    def test_empty(self):
+        vm, ws = build()
+        out = vector_distribution_sort(vm, ws, np.array([], dtype=np.int64))
+        assert out.size == 0
+
+    def test_simple(self):
+        vm, ws = build()
+        out = vector_distribution_sort(vm, ws, np.array([5, 1, 3, 1]))
+        assert np.array_equal(out, [1, 1, 3, 5])
+
+    def test_all_identical(self):
+        vm, ws = build()
+        a = np.full(30, 7, dtype=np.int64)
+        assert np.array_equal(vector_distribution_sort(vm, ws, a), a)
+
+    def test_full_range_permutation(self):
+        vm, ws = build(n_max=RANGE)
+        a = np.random.default_rng(0).permutation(RANGE).astype(np.int64)
+        assert np.array_equal(vector_distribution_sort(vm, ws, a), np.arange(RANGE))
+
+    def test_boundary_keys(self):
+        vm, ws = build()
+        out = vector_distribution_sort(vm, ws, np.array([RANGE - 1, 0, RANGE - 1]))
+        assert np.array_equal(out, [0, RANGE - 1, RANGE - 1])
+
+    def test_out_of_range_rejected(self):
+        vm, ws = build()
+        with pytest.raises(ReproError):
+            vector_distribution_sort(vm, ws, np.array([RANGE]))
+        with pytest.raises(ReproError):
+            vector_distribution_sort(vm, ws, np.array([-1]))
+
+    def test_capacity_rejected(self):
+        vm, ws = build(n_max=4)
+        with pytest.raises(ReproError):
+            vector_distribution_sort(vm, ws, np.zeros(5, dtype=np.int64))
+
+
+class TestScalar:
+    def test_simple(self):
+        vm, ws = build()
+        sp = ScalarProcessor(vm.mem)
+        out = scalar_distribution_sort(sp, ws, np.array([5, 1, 3, 1]))
+        assert np.array_equal(out, [1, 1, 3, 5])
+
+    def test_counts_consistency_check(self):
+        """The internal count-total check must pass on valid input."""
+        vm, ws = build()
+        sp = ScalarProcessor(vm.mem)
+        a = np.random.default_rng(1).integers(0, RANGE, size=100)
+        out = scalar_distribution_sort(sp, ws, a)
+        assert np.array_equal(out, np.sort(a))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    a=st.lists(st.integers(0, RANGE - 1), min_size=0, max_size=100),
+    seed=st.integers(0, 5),
+    policy=st.sampled_from(CONFLICT_POLICIES),
+)
+def test_vector_property(a, seed, policy):
+    """Sorted output, exact multiset, any duplication pattern/policy."""
+    a = np.asarray(a, dtype=np.int64)
+    vm, ws = build(seed=seed)
+    out = vector_distribution_sort(vm, ws, a, policy=policy)
+    assert np.array_equal(out, np.sort(a))
+
+
+@settings(max_examples=25, deadline=None)
+@given(a=st.lists(st.integers(0, RANGE - 1), min_size=0, max_size=80))
+def test_scalar_vector_agree(a):
+    a = np.asarray(a, dtype=np.int64)
+    vm, ws = build()
+    out_v = vector_distribution_sort(vm, ws, a)
+    vm2, ws2 = build()
+    out_s = scalar_distribution_sort(ScalarProcessor(vm2.mem), ws2, a)
+    assert np.array_equal(out_v, out_s)
+
+
+class TestWorkspaceValidation:
+    def test_bad_range(self, alloc):
+        with pytest.raises(ValueError):
+            DistributionWorkspace(alloc, key_range=0)
+
+    def test_bad_capacity(self, alloc):
+        with pytest.raises(ValueError):
+            DistributionWorkspace(alloc, key_range=8, n_max=0)

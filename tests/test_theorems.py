@@ -1,0 +1,95 @@
+"""Tests for the executable theorem checkers themselves — both that
+correct runs pass and that corrupted decompositions are caught."""
+
+import numpy as np
+import pytest
+
+from repro.core import fol1
+from repro.core.decomposition import Decomposition
+from repro.core.theorems import (
+    check_all,
+    check_theorem1_termination,
+    check_theorem2_correctness,
+    check_theorem3_monotone,
+    check_theorem4_linear,
+    check_theorem5_minimality,
+    check_theorem6_quadratic,
+    fol1_element_work,
+    multiplicity_histogram,
+)
+from repro.errors import DecompositionError
+
+
+def bad(v, sets):
+    return Decomposition(
+        index_vector=np.asarray(v, dtype=np.int64),
+        sets=[np.asarray(s, dtype=np.int64) for s in sets],
+    )
+
+
+class TestPositive:
+    def test_real_run_passes_all(self, vm, rng):
+        v = rng.integers(1, 50, size=300)
+        check_all(fol1(vm, v))
+
+    def test_theorem4_linear_when_no_sharing(self, vm):
+        dec = fol1(vm, np.arange(1, 101, dtype=np.int64))
+        check_theorem4_linear(dec)
+
+    def test_theorem6_quadratic_exact(self, vm):
+        dec = fol1(vm, np.full(10, 5, dtype=np.int64))
+        check_theorem6_quadratic(dec)
+
+
+class TestNegative:
+    def test_termination_catches_empty_set(self):
+        with pytest.raises(DecompositionError):
+            check_theorem1_termination(bad([5], [[], [0]]))
+
+    def test_correctness_catches_shared_set(self):
+        with pytest.raises(DecompositionError):
+            check_theorem2_correctness(bad([5, 5], [[0, 1]]))
+
+    def test_monotone_catches_growth(self):
+        with pytest.raises(DecompositionError):
+            check_theorem3_monotone(bad([5, 9, 5, 9], [[0], [1, 2, 3]]))
+
+    def test_monotone_catches_m_gt_1_without_duplicates(self):
+        with pytest.raises(DecompositionError):
+            check_theorem3_monotone(bad([5, 9], [[0], [1]]))
+
+    def test_minimality_catches_extra_sets(self):
+        with pytest.raises(DecompositionError):
+            check_theorem5_minimality(bad([5, 9], [[0], [1]]))
+
+    def test_theorem4_catches_quadratic_work(self):
+        dec = bad([5] * 50, [[i] for i in range(50)])
+        with pytest.raises(DecompositionError):
+            check_theorem4_linear(dec)
+
+    def test_theorem6_rejects_non_singleton_runs(self):
+        with pytest.raises(DecompositionError):
+            check_theorem6_quadratic(bad([5, 9], [[0, 1]]))
+
+
+class TestElementWork:
+    def test_single_set(self):
+        assert fol1_element_work(bad([1, 2, 3], [[0, 1, 2]])) == 3
+
+    def test_two_rounds(self):
+        # round 1 sees 3 elements, round 2 sees 1 -> 4
+        assert fol1_element_work(bad([5, 9, 5], [[0, 1], [2]])) == 4
+
+    def test_worst_case_formula(self):
+        n = 7
+        dec = bad([1] * n, [[i] for i in range(n)])
+        assert fol1_element_work(dec) == n * (n + 1) // 2
+
+
+class TestHistogram:
+    def test_empty(self):
+        assert multiplicity_histogram(np.array([], dtype=np.int64)) == {}
+
+    def test_mixed(self):
+        h = multiplicity_histogram(np.array([1, 1, 1, 2, 2, 3]))
+        assert h == {3: 1, 2: 1, 1: 1}

@@ -1,0 +1,99 @@
+"""Tests for instruction tracing."""
+
+import numpy as np
+import pytest
+
+from repro.hashing import OpenHashTable, vector_open_insert
+from repro.machine import CostModel, Memory, VectorMachine
+from repro.machine.trace import Tracer
+from repro.mem import BumpAllocator
+
+
+@pytest.fixture
+def traced_vm():
+    return VectorMachine(Memory(256, cost_model=CostModel.s810(), seed=0))
+
+
+class TestAttachment:
+    def test_records_only_while_attached(self, traced_vm):
+        traced_vm.iota(4)
+        with Tracer(traced_vm.counter) as tr:
+            traced_vm.iota(4)
+        traced_vm.iota(4)
+        assert len(tr.events) == 1
+
+    def test_counter_still_charged(self, traced_vm):
+        with Tracer(traced_vm.counter):
+            traced_vm.iota(8)
+        cm = CostModel.s810()
+        assert traced_vm.counter.vector_cycles == cm.vector_cost(8, cm.chime_alu)
+
+    def test_double_attach_rejected(self, traced_vm):
+        tr = Tracer(traced_vm.counter)
+        with tr:
+            with pytest.raises(RuntimeError):
+                tr.__enter__()
+
+    def test_detach_restores_methods(self, traced_vm):
+        orig = traced_vm.counter.charge_vector
+        with Tracer(traced_vm.counter):
+            pass
+        assert traced_vm.counter.charge_vector == orig
+        assert "charge_vector" not in vars(traced_vm.counter)
+
+    def test_max_events_cap(self, traced_vm):
+        with Tracer(traced_vm.counter, max_events=2) as tr:
+            for _ in range(5):
+                traced_vm.iota(1)
+        assert len(tr.events) == 2
+
+
+class TestAnalysis:
+    def test_instruction_mix_categories(self, traced_vm):
+        with Tracer(traced_vm.counter) as tr:
+            traced_vm.iota(4)                      # v_alu
+            traced_vm.gather(np.array([1, 2]))     # v_gather
+            traced_vm.loop_overhead()              # scalar_branch
+        mix = tr.instruction_mix()
+        assert mix["v_alu"] == 1
+        assert mix["v_gather"] == 1
+        assert mix["scalar_branch"] == 1
+
+    def test_cycles_by_category_sums_to_total(self, traced_vm):
+        with Tracer(traced_vm.counter) as tr:
+            traced_vm.iota(4)
+            traced_vm.gather(np.array([0, 1, 2]))
+        assert sum(tr.cycles_by_category().values()) == tr.total_cycles()
+
+    def test_lane_histogram(self, traced_vm):
+        with Tracer(traced_vm.counter) as tr:
+            traced_vm.iota(4)
+            traced_vm.iota(100)
+        hist = tr.vector_lane_histogram()
+        assert hist["2-8"] == 1
+        assert hist["65-512"] == 1
+
+    def test_startup_fraction_bounds(self, traced_vm):
+        with Tracer(traced_vm.counter) as tr:
+            traced_vm.iota(1)  # tiny vector: startup-dominated
+        frac = tr.startup_fraction(CostModel.s810().vector_startup)
+        assert 0.9 < frac <= 1.0
+
+    def test_mix_report_text(self, traced_vm):
+        with Tracer(traced_vm.counter) as tr:
+            traced_vm.iota(4)
+        assert "v_alu" in tr.mix_report()
+
+
+class TestOnRealAlgorithm:
+    def test_hashing_is_gather_scatter_heavy(self):
+        """The §4.1 structural fact: overwrite-and-check hashing spends
+        its vector element work in the list-vector (gather/scatter)
+        category more than in contiguous accesses."""
+        vm = VectorMachine(Memory(256, cost_model=CostModel.s810(), seed=0))
+        table = OpenHashTable(BumpAllocator(vm.mem), 67)
+        keys = np.random.default_rng(0).choice(10_000, size=40, replace=False)
+        with Tracer(vm.counter) as tr:
+            vector_open_insert(vm, table, keys)
+        cyc = tr.cycles_by_category()
+        assert cyc["v_gather"] + cyc["v_scatter"] > cyc.get("v_contig", 0.0)

@@ -1,0 +1,199 @@
+"""Tests for parallel operation-tree rewriting (§2, §3.3, Figure 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PhantomNodeError, RewriteError
+from repro.machine import CONFLICT_POLICIES, CostModel, Memory, ScalarProcessor, VectorMachine
+from repro.mem import BumpAllocator
+from repro.trees import (
+    OpTreeArena,
+    find_redexes,
+    fol_star_rewrite_all,
+    forced_rewrite_all,
+    sequential_rewrite_all,
+)
+
+
+def build(capacity=512, seed=0):
+    vm = VectorMachine(
+        Memory(8 * capacity + 64, cost_model=CostModel.free(), seed=seed)
+    )
+    arena = OpTreeArena(BumpAllocator(vm.mem), capacity)
+    return vm, arena
+
+
+class TestConstruction:
+    def test_leaf_and_mul(self):
+        _, a = build()
+        l1, l2 = a.leaf(5), a.leaf(7)
+        m = a.mul(l1, l2)
+        assert a.leaves_inorder(m) == [5, 7]
+
+    def test_right_comb(self):
+        _, a = build()
+        root = a.right_comb([1, 2, 3, 4])
+        assert a.leaves_inorder(root) == [1, 2, 3, 4]
+        assert not a.is_left_linear(root)
+
+    def test_single_leaf_comb(self):
+        _, a = build()
+        root = a.right_comb([9])
+        assert a.leaves_inorder(root) == [9]
+        assert a.is_left_linear(root)
+
+    def test_empty_comb_rejected(self):
+        _, a = build()
+        with pytest.raises(RewriteError):
+            a.right_comb([])
+
+    def test_random_tree_preserves_leaf_order(self, rng):
+        _, a = build()
+        vals = list(range(20))
+        root = a.random_tree(vals, rng)
+        assert a.leaves_inorder(root) == vals
+
+
+class TestValidators:
+    def test_check_tree_detects_sharing(self):
+        _, a = build()
+        leaf = a.leaf(1)
+        root = a.mul(leaf, leaf)  # DAG, not a tree
+        with pytest.raises(PhantomNodeError):
+            a.check_tree(root)
+
+    def test_check_tree_detects_cycle(self):
+        _, a = build()
+        l1, l2 = a.leaf(1), a.leaf(2)
+        m = a.mul(l1, l2)
+        a.nodes.poke_field(m, "right", m)  # self-cycle
+        with pytest.raises(PhantomNodeError):
+            a.check_tree(m)
+
+    def test_leaves_detects_invalid_pointer(self):
+        _, a = build()
+        m = a.mul(a.leaf(1), a.leaf(2))
+        a.nodes.poke_field(m, "left", 999_999 % a.memory.size)
+        with pytest.raises(PhantomNodeError):
+            a.leaves_inorder(m)
+
+
+class TestFindRedexes:
+    def test_comb_redex_count(self):
+        """A right comb over k leaves has k-2 redexes (every interior
+        node whose right child is interior)."""
+        vm, a = build()
+        a.right_comb([1, 2, 3, 4, 5])
+        heads, rights = find_redexes(vm, a)
+        assert heads.size == 3
+
+    def test_left_linear_has_none(self):
+        vm, a = build()
+        root = a.mul(a.mul(a.leaf(1), a.leaf(2)), a.leaf(3))
+        heads, _ = find_redexes(vm, a)
+        assert heads.size == 0
+        assert a.is_left_linear(root)
+
+
+class TestSequentialRewrite:
+    def test_small_comb(self):
+        vm, a = build()
+        sp = ScalarProcessor(vm.mem)
+        root = a.right_comb([1, 2, 3])
+        n = sequential_rewrite_all(sp, a, root)
+        assert n == 1
+        assert a.leaves_inorder(root) == [1, 2, 3]
+        assert a.is_left_linear(root)
+
+    def test_comb_rewrite_count(self):
+        """Root-first sequential rewriting left-linearises a k-leaf comb
+        in exactly k-2 rewrites."""
+        vm, a = build()
+        sp = ScalarProcessor(vm.mem)
+        root = a.right_comb(list(range(12)))
+        assert sequential_rewrite_all(sp, a, root) == 10
+
+
+class TestFolStarRewrite:
+    @pytest.mark.parametrize("policy", CONFLICT_POLICIES)
+    def test_comb_safe_under_all_policies(self, policy):
+        vm, a = build(seed=3)
+        vals = list(range(1, 25))
+        root = a.right_comb(vals)
+        fol_star_rewrite_all(vm, a, root, policy=policy)
+        a.check_tree(root)
+        assert a.leaves_inorder(root) == vals
+        assert a.is_left_linear(root)
+
+    def test_already_linear_zero_waves(self):
+        vm, a = build()
+        root = a.mul(a.mul(a.leaf(1), a.leaf(2)), a.leaf(3))
+        rewrites, waves = fol_star_rewrite_all(vm, a, root)
+        assert rewrites == 0
+        assert waves == 0
+
+    def test_figure5_example(self):
+        """a*(b*(c*d)) must become the left-linear ((a*b)*c)*d shape
+        with the same leaf order."""
+        vm, a = build()
+        root = a.right_comb([10, 20, 30, 40])
+        fol_star_rewrite_all(vm, a, root)
+        assert a.leaves_inorder(root) == [10, 20, 30, 40]
+        assert a.is_left_linear(root)
+        # left-linear: the right child of every * is a leaf
+        a.check_tree(root)
+
+
+class TestForcedRewrite:
+    def test_forced_corrupts_overlapping_redexes(self):
+        """§2's claim: forced parallel rewriting of a shared node breaks
+        the tree for at least some lane-winning orders.  We scan seeds
+        until corruption appears (one seed is enough to prove unsafety;
+        the loop makes the test robust to lucky orders)."""
+        vals = list(range(1, 10))
+        corrupted = 0
+        for seed in range(12):
+            vm, a = build(seed=seed)
+            root = a.right_comb(vals)
+            forced_rewrite_all(vm, a, root, policy="arbitrary")
+            try:
+                a.check_tree(root)
+                if a.leaves_inorder(root) != vals:
+                    corrupted += 1
+            except PhantomNodeError:
+                corrupted += 1
+        assert corrupted > 0
+
+    def test_forced_safe_when_no_overlap(self):
+        """Disjoint redexes are fine even without FOL — the §2 problem
+        is *sharing*, not parallelism.  Two separate 3-leaf combs have
+        one redex each and share no node."""
+        vm, a = build()
+        r1 = a.right_comb([1, 2, 3])
+        r2 = a.right_comb([4, 5, 6])
+        forced_rewrite_all(vm, a, r1)
+        for root, vals in ((r1, [1, 2, 3]), (r2, [4, 5, 6])):
+            a.check_tree(root)
+            assert a.leaves_inorder(root) == vals
+            assert a.is_left_linear(root)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    vals=st.lists(st.integers(0, 99), min_size=1, max_size=24),
+    seed=st.integers(0, 5),
+    shape_seed=st.integers(0, 5),
+)
+def test_fol_star_rewrite_property(vals, seed, shape_seed):
+    """Any tree shape, any seed: FOL* rewriting preserves the leaf
+    sequence, keeps the structure a proper tree, and reaches the
+    left-linear normal form."""
+    vm, a = build(seed=seed)
+    rng = np.random.default_rng(shape_seed)
+    root = a.random_tree(vals, rng)
+    fol_star_rewrite_all(vm, a, root)
+    a.check_tree(root)
+    assert a.leaves_inorder(root) == list(vals)
+    assert a.is_left_linear(root)

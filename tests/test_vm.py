@@ -1,0 +1,158 @@
+"""Unit tests for the vector-unit facade (Fortran-90-style primitives)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VectorLengthError
+from repro.machine import CostModel, Memory, VectorMachine
+
+
+class TestGeneration:
+    def test_iota(self, vm):
+        assert np.array_equal(vm.iota(5), np.arange(5))
+
+    def test_iota_start_step(self, vm):
+        assert np.array_equal(vm.iota(4, start=10, step=3), [10, 13, 16, 19])
+
+    def test_iota_empty(self, vm):
+        assert vm.iota(0).size == 0
+
+    def test_iota_negative_length(self, vm):
+        with pytest.raises(VectorLengthError):
+            vm.iota(-1)
+
+    def test_splat(self, vm):
+        assert np.array_equal(vm.splat(3, 7), [7, 7, 7])
+
+
+class TestArithmetic:
+    def test_add_sub_mul(self, vm):
+        a = np.array([1, 2, 3], dtype=np.int64)
+        assert np.array_equal(vm.add(a, 1), [2, 3, 4])
+        assert np.array_equal(vm.sub(a, a), [0, 0, 0])
+        assert np.array_equal(vm.mul(a, 2), [2, 4, 6])
+
+    def test_floordiv_mod(self, vm):
+        a = np.array([7, 8, 9], dtype=np.int64)
+        assert np.array_equal(vm.floordiv(a, 2), [3, 4, 4])
+        assert np.array_equal(vm.mod(a, 3), [1, 2, 0])
+
+    def test_bitand(self, vm):
+        assert np.array_equal(vm.bitand(np.array([5, 6]), 3), [1, 2])
+
+    def test_neg(self, vm):
+        assert np.array_equal(vm.neg(np.array([1, -2])), [-1, 2])
+
+    def test_length_mismatch_raises(self, vm):
+        with pytest.raises(VectorLengthError):
+            vm.add(np.arange(3), np.arange(4))
+
+    def test_scalar_scalar_rejected(self, vm):
+        with pytest.raises(VectorLengthError):
+            vm.add(1, 2)
+
+
+class TestComparisons:
+    def test_all_six(self, vm):
+        a = np.array([1, 2, 3], dtype=np.int64)
+        b = np.array([2, 2, 2], dtype=np.int64)
+        assert np.array_equal(vm.eq(a, b), [False, True, False])
+        assert np.array_equal(vm.ne(a, b), [True, False, True])
+        assert np.array_equal(vm.lt(a, b), [True, False, False])
+        assert np.array_equal(vm.le(a, b), [True, True, False])
+        assert np.array_equal(vm.gt(a, b), [False, False, True])
+        assert np.array_equal(vm.ge(a, b), [False, True, True])
+
+
+class TestMasks:
+    def test_mask_algebra(self, vm):
+        a = np.array([True, True, False])
+        b = np.array([True, False, False])
+        assert np.array_equal(vm.mask_and(a, b), [True, False, False])
+        assert np.array_equal(vm.mask_or(a, b), [True, True, False])
+        assert np.array_equal(vm.mask_not(a), [False, False, True])
+
+    def test_select(self, vm):
+        m = np.array([True, False, True])
+        assert np.array_equal(vm.select(m, 1, 0), [1, 0, 1])
+
+    def test_select_paper_example(self, vm):
+        """The paper's where-statement example: A=(1,2,3), B=(10,11,12),
+        M=(T,F,T) => A becomes (10,2,12)."""
+        a = np.array([1, 2, 3], dtype=np.int64)
+        b = np.array([10, 11, 12], dtype=np.int64)
+        m = np.array([True, False, True])
+        assert np.array_equal(vm.select(m, b, a), [10, 2, 12])
+
+
+class TestCompressReduce:
+    def test_compress_paper_example(self, vm):
+        """A where M: A=(1,2,3), M=(T,F,T) => (1,3)."""
+        out = vm.compress(np.array([1, 2, 3]), np.array([True, False, True]))
+        assert np.array_equal(out, [1, 3])
+
+    def test_compress_returns_copy(self, vm):
+        a = np.array([1, 2, 3], dtype=np.int64)
+        out = vm.compress(a, np.array([True, True, True]))
+        out[0] = 99
+        assert a[0] == 1
+
+    def test_count_true_paper_example(self, vm):
+        """countTrue((T,F,T)) = 2."""
+        assert vm.count_true(np.array([True, False, True])) == 2
+
+    def test_reductions(self, vm):
+        a = np.array([3, 1, 2], dtype=np.int64)
+        assert vm.vsum(a) == 6
+        assert vm.vmax(a) == 3
+        assert vm.vmin(a) == 1
+
+    def test_any_all(self, vm):
+        assert vm.any_true(np.array([False, True]))
+        assert not vm.all_true(np.array([False, True]))
+
+    def test_cumsum_exclusive(self, vm):
+        out = vm.cumsum_exclusive(np.array([3, 1, 4], dtype=np.int64))
+        assert np.array_equal(out, [0, 3, 4])
+
+    def test_cumsum_single(self, vm):
+        assert np.array_equal(vm.cumsum_exclusive(np.array([5])), [0])
+
+
+class TestMemoryConveniences:
+    def test_scatter_broadcasts_scalar_values(self, vm):
+        vm.scatter(np.array([2, 4]), 7)
+        assert vm.mem.peek(2) == 7
+        assert vm.mem.peek(4) == 7
+
+    def test_scatter_masked_broadcasts(self, vm):
+        vm.scatter_masked(np.array([2, 4]), 9, np.array([False, True]))
+        assert vm.mem.peek(2) == 0
+        assert vm.mem.peek(4) == 9
+
+
+class TestCharging:
+    def test_alu_cost(self):
+        cm = CostModel(vector_startup=5.0, chime_alu=1.0)
+        vm = VectorMachine(Memory(64, cost_model=cm))
+        vm.add(np.arange(8, dtype=np.int64), 1)
+        assert vm.counter.vector_cycles == 5.0 + 8.0
+
+    def test_compress_cost_charged_on_input_width(self):
+        cm = CostModel(vector_startup=0.0, chime_compress=2.0)
+        vm = VectorMachine(Memory(64, cost_model=cm))
+        vm.compress(np.arange(10, dtype=np.int64), np.zeros(10, dtype=bool))
+        assert vm.counter.vector_cycles == 20.0
+
+    def test_scan_uses_scan_chime(self):
+        cm = CostModel(vector_startup=0.0, chime_scan=4.0, chime_reduce=1.0)
+        vm = VectorMachine(Memory(64, cost_model=cm))
+        vm.cumsum_exclusive(np.arange(10, dtype=np.int64))
+        assert vm.counter.vector_cycles == 40.0
+
+    def test_loop_overhead_is_scalar(self):
+        cm = CostModel(scalar_branch=7.0)
+        vm = VectorMachine(Memory(64, cost_model=cm))
+        vm.loop_overhead()
+        assert vm.counter.scalar_cycles == 7.0
+        assert vm.counter.vector_cycles == 0.0
