@@ -16,6 +16,9 @@ Layers
 * :mod:`repro.apps` — §5 related-work reproductions (vectorized GC,
   maze routing).
 * :mod:`repro.bench` — paired runners + regeneration of every figure.
+* :mod:`repro.runtime` — streaming micro-batch service: bounded
+  admission queue, pluggable batch sizing, cross-batch carryover of
+  filtered lanes, per-batch metrics.
 
 Quickstart
 ----------
@@ -51,6 +54,8 @@ from .machine import (
     CycleCounter,
     Memory,
     ScalarProcessor,
+    TraceEvent,
+    Tracer,
     VectorMachine,
     make_machine,
 )
@@ -65,6 +70,8 @@ __all__ = [
     "CycleCounter",
     "Memory",
     "ScalarProcessor",
+    "Tracer",
+    "TraceEvent",
     "VectorMachine",
     "make_machine",
     # heap

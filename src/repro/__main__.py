@@ -8,9 +8,14 @@ Subcommands
 ``demo``
     One-screen tour: FOL1 on a shared index vector, the theorem checks,
     and a chained multiple-hashing run with its cycle breakdown.
+``stream``
+    Run the streaming micro-batch FOL service (:mod:`repro.runtime`)
+    over a generated workload and print per-batch metrics.
 ``info``
     Print the library version, the calibrated cost model, and the
     experiment registry.
+
+An unknown or missing subcommand prints help and exits with status 2.
 """
 
 from __future__ import annotations
@@ -20,7 +25,7 @@ import sys
 from typing import Optional, Sequence
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command")
 
@@ -31,7 +36,54 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     sub.add_parser("demo", help="one-screen FOL tour")
     sub.add_parser("info", help="version, cost model, experiment registry")
 
-    args = parser.parse_args(argv)
+    stream = sub.add_parser(
+        "stream", help="run the streaming micro-batch FOL service"
+    )
+    stream.add_argument("--requests", type=int, default=5000,
+                        help="number of requests in the workload")
+    stream.add_argument("--policy", choices=("fixed", "deadline", "adaptive"),
+                        default="adaptive", help="batch-sizing policy")
+    stream.add_argument("--batch-size", type=int, default=256,
+                        help="fixed/initial batch size (max size for deadline)")
+    stream.add_argument("--deadline", type=float, default=2000.0,
+                        help="deadline policy: max head-of-line wait in cycles")
+    stream.add_argument("--skew", type=float, default=0.0,
+                        help="Zipf key skew (0 = uniform)")
+    stream.add_argument("--kinds", default="hash",
+                        help="comma-separated request kinds: hash,bst,list")
+    stream.add_argument("--queue-capacity", type=int, default=4096)
+    stream.add_argument("--admission", choices=("block", "reject"),
+                        default="block", help="full-queue policy")
+    stream.add_argument("--no-carryover", action="store_true",
+                        help="retry filtered lanes in-batch (paper §3.2) "
+                             "instead of carrying them to the next batch")
+    stream.add_argument("--closed-loop", action="store_true",
+                        help="all requests ready at t=0 (throughput mode)")
+    stream.add_argument("--mean-gap", type=float, default=40.0,
+                        help="open loop: mean inter-arrival gap in cycles")
+    stream.add_argument("--table-size", type=int, default=509)
+    stream.add_argument("--key-space", type=int, default=4096)
+    stream.add_argument("--print-batches", type=int, default=20,
+                        help="per-batch rows to print (subsampled)")
+    stream.add_argument("--trace", action="store_true",
+                        help="record and print the instruction mix")
+    stream.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits 2 on bad input (e.g. an unknown subcommand) and
+        # 0 for --help; normalise the error path to help + status 2 so
+        # the CLI never silently falls through.
+        code = exc.code if isinstance(exc.code, int) else 2
+        if code == 0:
+            return 0
+        parser.print_help()
+        return 2
 
     if args.command == "figures":
         from .bench.figures import main as figures_main
@@ -43,12 +95,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         _demo()
         return 0
 
+    if args.command == "stream":
+        from .errors import ReproError
+
+        try:
+            _stream(args)
+        except ReproError as exc:
+            print(f"repro stream: {exc}", file=sys.stderr)
+            return 2
+        return 0
+
     if args.command == "info":
         _info()
         return 0
 
     parser.print_help()
-    return 1
+    return 2
 
 
 def _demo() -> None:
@@ -72,6 +134,71 @@ def _demo() -> None:
     print(f"chained multiple hashing: 1000 keys in {rounds} FOL rounds, "
           f"{vm.counter.total:,.0f} simulated cycles")
     print(vm.counter.report())
+
+
+def _stream(args) -> None:
+    import numpy as np
+
+    from .errors import ReproError
+    from .runtime import (
+        REQUEST_KINDS,
+        BoundedQueue,
+        StreamService,
+        closed_loop_workload,
+        make_batcher,
+        open_loop_workload,
+    )
+
+    kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
+    for kind in kinds:
+        if kind not in REQUEST_KINDS:
+            raise ReproError(
+                f"unknown request kind {kind!r}; expected from {REQUEST_KINDS}"
+            )
+    rng = np.random.default_rng(args.seed)
+    common = dict(kinds=kinds, skew=args.skew, key_space=args.key_space)
+    if args.closed_loop:
+        requests = closed_loop_workload(rng, args.requests, **common)
+    else:
+        requests = open_loop_workload(
+            rng, args.requests, mean_gap=args.mean_gap, **common
+        )
+
+    if args.policy == "fixed":
+        batcher = make_batcher("fixed", batch_size=args.batch_size)
+    elif args.policy == "deadline":
+        batcher = make_batcher(
+            "deadline", deadline=args.deadline, max_size=args.batch_size
+        )
+    else:
+        batcher = make_batcher("adaptive", initial=args.batch_size)
+
+    service = StreamService.for_workload(
+        requests,
+        batcher=batcher,
+        queue=BoundedQueue(args.queue_capacity, admission=args.admission),
+        table_size=args.table_size,
+        carryover=not args.no_carryover,
+        trace=args.trace,
+        seed=args.seed,
+    )
+    metrics = service.run(requests)
+
+    mode = "retry-in-batch" if args.no_carryover else "carryover"
+    loop = "closed" if args.closed_loop else "open"
+    print(f"stream: {args.requests} requests, kinds={','.join(kinds)}, "
+          f"skew={args.skew}, policy={batcher.name}, {mode}, {loop} loop")
+    print()
+    print(metrics.batch_table(max_rows=args.print_batches))
+    print()
+    print(metrics.summary_table())
+    if metrics.instruction_mix is not None:
+        print()
+        print("instruction mix (cycles by category):")
+        for cat, cyc in sorted(
+            metrics.instruction_mix.items(), key=lambda kv: -kv[1]
+        ):
+            print(f"  {cat:<16s} {cyc:>14,.0f}")
 
 
 def _info() -> None:

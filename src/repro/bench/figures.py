@@ -325,6 +325,41 @@ def extensions(seed: int = 0, cost: Optional[CostModel] = None) -> Series:
     return s
 
 
+# ----------------------------------------------------------------------
+# streaming runtime: batch policies under key skew
+# ----------------------------------------------------------------------
+def stream_policies(seed: int = 0) -> Series:
+    """Batch-sizing policy comparison for the streaming FOL service
+    (`repro.runtime`): cycles/request by policy and Zipf key skew.
+    A compact cut of ``benchmarks/bench_runtime_stream.py``."""
+    import numpy as np
+
+    from ..runtime import StreamService, closed_loop_workload, make_batcher
+
+    s = Series(
+        "stream_policies",
+        ["policy", "skew", "cyc/request", "p99_latency", "batches"],
+    )
+    n = 1500
+    for policy in ("fixed", "adaptive"):
+        for skew in (0.0, 1.1):
+            rng = np.random.default_rng(seed)
+            requests = closed_loop_workload(rng, n, skew=skew)
+            batcher = (make_batcher("fixed", batch_size=512) if policy == "fixed"
+                       else make_batcher("adaptive", initial=256))
+            service = StreamService.for_workload(
+                requests, batcher=batcher, carryover=False, seed=seed
+            )
+            m = service.run(requests).summary()
+            s.rows.append([
+                policy, skew, round(m["cycles_per_request"], 1),
+                round(m["p99_latency"], 0), m["batches"],
+            ])
+    s.notes.append("closed loop, in-batch retry; adaptive shrinks its batch "
+                   "under skew to cut FOL rounds per batch (Theorem 5)")
+    return s
+
+
 #: Experiment registry for the CLI.
 EXPERIMENTS: Dict[str, Callable[..., Series]] = {
     "fig9": fig9_10,
@@ -337,6 +372,7 @@ EXPERIMENTS: Dict[str, Callable[..., Series]] = {
     "ablation_cost_model": ablation_cost_model,
     "ablation_conflict_policy": ablation_conflict_policy,
     "extensions": extensions,
+    "stream_policies": stream_policies,
 }
 
 

@@ -1,0 +1,79 @@
+"""repro.runtime — streaming micro-batch execution of FOL workloads.
+
+The paper vectorizes a *fixed* index vector; this package turns the
+same kernels into a continuously running service: requests stream into
+a bounded admission queue (:mod:`~repro.runtime.queue`), a pluggable
+policy slices them into micro-batches (:mod:`~repro.runtime.batcher`),
+each batch runs through FOL against shared hash/tree/list state
+(:mod:`~repro.runtime.executor`), and — instead of retrying filtered
+lanes in-batch — overwritten lanes recirculate into the next batch
+(:mod:`~repro.runtime.carryover`).  Every batch is metered
+(:mod:`~repro.runtime.metrics`) in simulated cycles.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro.runtime import StreamService, AdaptiveBatcher, open_loop_workload
+>>> rng = np.random.default_rng(0)
+>>> reqs = open_loop_workload(rng, 2000, kinds=("hash",), skew=1.1)
+>>> svc = StreamService.for_workload(reqs, batcher=AdaptiveBatcher())
+>>> m = svc.run(reqs)
+>>> print(m.summary_table())          # doctest: +SKIP
+"""
+
+from .batcher import (
+    BATCH_POLICIES,
+    AdaptiveBatcher,
+    BatchPolicy,
+    DeadlineBatcher,
+    FixedBatcher,
+    make_batcher,
+)
+from .carryover import CarryoverBuffer, fol_round
+from .executor import BatchResult, StreamExecutor
+from .metrics import BatchRecord, StreamMetrics
+from .queue import (
+    ADMISSION_POLICIES,
+    REQUEST_KINDS,
+    BoundedQueue,
+    QueueStats,
+    Request,
+)
+from .service import (
+    StreamService,
+    closed_loop_workload,
+    open_loop_workload,
+    requests_from_keys,
+    zipf_keys,
+)
+
+__all__ = [
+    # queue
+    "ADMISSION_POLICIES",
+    "REQUEST_KINDS",
+    "BoundedQueue",
+    "QueueStats",
+    "Request",
+    # batcher
+    "BATCH_POLICIES",
+    "BatchPolicy",
+    "FixedBatcher",
+    "DeadlineBatcher",
+    "AdaptiveBatcher",
+    "make_batcher",
+    # carryover
+    "CarryoverBuffer",
+    "fol_round",
+    # executor
+    "BatchResult",
+    "StreamExecutor",
+    # metrics
+    "BatchRecord",
+    "StreamMetrics",
+    # service
+    "StreamService",
+    "open_loop_workload",
+    "closed_loop_workload",
+    "requests_from_keys",
+    "zipf_keys",
+]

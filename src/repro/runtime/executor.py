@@ -1,0 +1,338 @@
+"""Micro-batch execution of symbolic updates against shared state.
+
+One :class:`StreamExecutor` owns the per-application state every batch
+mutates — a :class:`~repro.hashing.table.ChainedHashTable`, a
+:class:`~repro.trees.bst.BinarySearchTree` and a bank of shared list
+cells in a :class:`~repro.lists.cells.ConsArena` — plus the
+:class:`~repro.machine.vm.VectorMachine` all vector work is charged to.
+
+Each batch is split by request kind and driven through FOL:
+
+* **carryover mode** (default) — one :func:`~repro.runtime.carryover.fol_round`
+  per kind per batch; surviving lanes get their main processing, the
+  filtered lanes come back in the :class:`BatchResult` for the service
+  to re-enqueue (see :mod:`repro.runtime.carryover` for why).
+* **retry mode** (``carryover=False``) — the paper's §3.2 loop: FOL1
+  retries filtered lanes within the batch until all lanes complete, so
+  the batch performs M full rounds.  This is the one-shot semantics the
+  equivalence tests compare against, available per-service for
+  benchmarking the two designs.
+
+BST insertion is intrinsically multi-round (lanes descend, then claim a
+NIL slot — `repro.trees.bst`); in carryover mode a lane gets *one* claim
+attempt per batch: it descends to its NIL slot, scatters its label, and
+if overwritten it records the slot and carries over, resuming the
+descent next batch from the very slot the winning lane just filled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.fol1 import fol1
+from ..errors import ReproError
+from ..hashing.table import ChainedHashTable
+from ..lists.cells import ConsArena, encode_atom
+from ..machine.vm import VectorMachine, make_machine
+from ..mem.arena import NIL, BumpAllocator
+from ..trees.bst import BST_FIELDS, BinarySearchTree
+from .carryover import fol_round
+from .queue import FRESH_SLOT, Request
+
+
+@dataclass
+class BatchResult:
+    """What one executed micro-batch did."""
+
+    completed: List[Request] = field(default_factory=list)
+    carried: List[Request] = field(default_factory=list)
+    rounds: int = 0
+    multiplicity: int = 1
+    cycles: float = 0.0
+
+    @property
+    def size(self) -> int:
+        return len(self.completed) + len(self.carried)
+
+    @property
+    def filtered(self) -> int:
+        return len(self.carried)
+
+
+def _max_multiplicity(addrs: np.ndarray) -> int:
+    """Uncharged diagnostic: the batch's observed M (Theorem 5)."""
+    if addrs.size == 0:
+        return 0
+    _, counts = np.unique(addrs, return_counts=True)
+    return int(counts.max())
+
+
+class StreamExecutor:
+    """Executes micro-batches of symbolic updates on shared state."""
+
+    def __init__(
+        self,
+        vm: VectorMachine,
+        *,
+        table_size: int = 509,
+        hash_capacity: int = 4096,
+        bst_capacity: int = 4096,
+        n_cells: int = 64,
+        carryover: bool = True,
+        conflict_policy: str = "arbitrary",
+    ) -> None:
+        self.vm = vm
+        self.carryover = carryover
+        self.policy = conflict_policy
+        alloc = BumpAllocator(vm.mem)
+        self.table = ChainedHashTable(alloc, table_size, max(hash_capacity, 1))
+        self.tree = BinarySearchTree(alloc, max(bst_capacity, 1))
+        self.cells = ConsArena(alloc, max(n_cells, 1))
+        self.n_cells = n_cells
+        # The shared list cells every "list" request targets, value 0.
+        self._cell_ptrs = np.asarray(
+            [self.cells.cons(encode_atom(0), NIL) for _ in range(n_cells)],
+            dtype=np.int64,
+        )
+
+    # ------------------------------------------------------------------
+    # convenient construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_workload(
+        cls,
+        requests: Sequence[Request],
+        *,
+        table_size: int = 509,
+        n_cells: int = 64,
+        carryover: bool = True,
+        conflict_policy: str = "arbitrary",
+        cost_model=None,
+        seed: int = 0,
+    ) -> "StreamExecutor":
+        """Build an executor (and its machine) sized for ``requests``."""
+        n_hash = sum(1 for r in requests if r.kind == "hash")
+        n_bst = sum(1 for r in requests if r.kind == "bst")
+        words = (
+            1  # NIL
+            + 2 * table_size  # heads + label work area
+            + 2 * max(n_hash, 1)  # (key, next) nodes
+            + 1 + 3 * max(n_bst, 1)  # root word + (key, left, right) nodes
+            + 6 * max(n_cells, 1)  # cells + shadow work + marks
+            + 4096  # slack
+        )
+        vm = make_machine(words, cost_model=cost_model, seed=seed)
+        return cls(
+            vm,
+            table_size=table_size,
+            hash_capacity=max(n_hash, 1),
+            bst_capacity=max(n_bst, 1),
+            n_cells=n_cells,
+            carryover=carryover,
+            conflict_policy=conflict_policy,
+        )
+
+    # ------------------------------------------------------------------
+    # uncharged state inspection (verification/tests)
+    # ------------------------------------------------------------------
+    def list_values(self) -> List[int]:
+        """Current decoded value of every shared list cell."""
+        off_car = self.cells.cells.offset("car")
+        return [
+            -int(self.vm.mem.peek(int(p) + off_car)) - 1 for p in self._cell_ptrs
+        ]
+
+    # ------------------------------------------------------------------
+    # batch execution
+    # ------------------------------------------------------------------
+    def execute(self, batch: Sequence[Request]) -> BatchResult:
+        """Run one micro-batch; returns completions, carryovers and the
+        batch's cycle/round/multiplicity accounting."""
+        result = BatchResult()
+        if not batch:
+            return result
+        start = self.vm.counter.snapshot()
+        by_kind: Dict[str, List[Request]] = {}
+        for req in batch:
+            by_kind.setdefault(req.kind, []).append(req)
+        mults = [1]
+        for kind, reqs in by_kind.items():
+            if kind == "hash":
+                m = self._run_hash(reqs, result)
+            elif kind == "bst":
+                m = self._run_bst(reqs, result)
+            else:
+                m = self._run_list(reqs, result)
+            mults.append(m)
+        result.multiplicity = max(mults)
+        result.cycles = self.vm.counter.delta(start)
+        return result
+
+    # -- chained hash inserts ------------------------------------------
+    def _hash_head_addrs(self, keys: np.ndarray) -> np.ndarray:
+        hashed = self.vm.mod(keys, self.table.size)
+        return self.vm.add(hashed, self.table.base)
+
+    def _hash_enter(
+        self, head_addrs: np.ndarray, keys: np.ndarray, positions: np.ndarray
+    ) -> None:
+        """Figure 7 main processing for one parallel-processable set:
+        allocate a node per lane and link it at its chain head."""
+        vm = self.vm
+        nodes = self.table.nodes.alloc_many(positions.size)
+        vm.iota(positions.size)  # charge the address generation
+        key_field = self.table.nodes.offset("key")
+        next_field = self.table.nodes.offset("next")
+        heads = head_addrs[positions]
+        vm.scatter(vm.add(nodes, key_field), keys[positions], policy=self.policy)
+        old_heads = vm.gather(heads)
+        vm.scatter(vm.add(nodes, next_field), old_heads, policy=self.policy)
+        vm.scatter(heads, nodes, policy=self.policy)
+
+    def _run_hash(self, reqs: List[Request], result: BatchResult) -> int:
+        vm = self.vm
+        keys = np.asarray([r.key for r in reqs], dtype=np.int64)
+        head_addrs = self._hash_head_addrs(keys)
+        if self.carryover:
+            labels = vm.iota(keys.size)
+            winners, losers = fol_round(
+                vm, head_addrs, labels,
+                work_offset=self.table.work_offset, policy=self.policy,
+            )
+            self._hash_enter(head_addrs, keys, winners)
+            result.completed.extend(reqs[i] for i in winners)
+            for i in losers:
+                reqs[i].group = int(head_addrs[i])
+                result.carried.append(reqs[i])
+            result.rounds += 1
+        else:
+            dec = fol1(
+                vm, head_addrs,
+                work_offset=self.table.work_offset, policy=self.policy,
+                on_set=lambda s, _j: self._hash_enter(head_addrs, keys, s),
+            )
+            result.completed.extend(reqs)
+            result.rounds += dec.m
+        return _max_multiplicity(head_addrs)
+
+    # -- BST inserts ----------------------------------------------------
+    def _run_bst(self, reqs: List[Request], result: BatchResult) -> int:
+        vm = self.vm
+        tree = self.tree
+        nodes = tree.nodes
+        off_key = nodes.offset("key")
+        off_left = nodes.offset("left")
+        off_right = nodes.offset("right")
+        n = len(reqs)
+        keys = np.asarray([r.key for r in reqs], dtype=np.int64)
+
+        # Pre-build a node per *fresh* lane; carried lanes already own one.
+        fresh = [i for i, r in enumerate(reqs) if r.node == NIL]
+        if fresh:
+            built = nodes.alloc_many(len(fresh))
+            vm.iota(len(fresh))  # charge the address generation
+            vm.scatter(vm.add(built, off_key), keys[fresh], policy=self.policy)
+            vm.scatter(vm.add(built, off_left), vm.splat(len(fresh), NIL), policy=self.policy)
+            vm.scatter(vm.add(built, off_right), vm.splat(len(fresh), NIL), policy=self.policy)
+            for i, ptr in zip(fresh, built):
+                reqs[i].node = int(ptr)
+        node_ptrs = np.asarray([r.node for r in reqs], dtype=np.int64)
+
+        slots = np.asarray(
+            [tree.root_addr if r.slot == FRESH_SLOT else r.slot for r in reqs],
+            dtype=np.int64,
+        )
+        labels = vm.iota(n)
+        active = vm.iota(n)
+        claim_rounds = 0
+        limit = 2 * (nodes.capacity + n) + 4
+        steps = 0
+        while active.size:
+            steps += 1
+            if steps > limit:
+                raise ReproError(f"stream BST insert exceeded {limit} steps")
+            cur_slots = slots[active]
+            ptrs = vm.gather(cur_slots)
+            at_nil = vm.eq(ptrs, NIL)
+
+            if vm.any_true(at_nil):
+                claim_rounds += 1
+                lb = labels[active]
+                vm.scatter_masked(cur_slots, lb, at_nil, policy=self.policy)
+                readback = vm.gather(cur_slots)
+                won = vm.mask_and(at_nil, vm.eq(readback, lb))
+                vm.scatter_masked(cur_slots, node_ptrs[active], won, policy=self.policy)
+                if not vm.any_true(won):
+                    raise ReproError("stream BST claim round made no progress")
+                result.completed.extend(reqs[i] for i in active[won])
+                if self.carryover:
+                    # Filtered claimants defer to the next batch, resuming
+                    # at the slot the winner just filled.
+                    lost = vm.mask_and(at_nil, vm.mask_not(won))
+                    for i, slot in zip(active[lost], cur_slots[lost]):
+                        reqs[i].slot = int(slot)
+                        reqs[i].group = int(slot)
+                        result.carried.append(reqs[i])
+                    active = vm.compress(active, vm.mask_not(at_nil))
+                else:
+                    # Paper semantics: losers keep descending in-batch —
+                    # next step they find the winner's node in the slot.
+                    active = vm.compress(active, vm.mask_not(won))
+                if active.size == 0:
+                    break
+                cur_slots = slots[active]
+                ptrs = vm.gather(cur_slots)
+
+            node_keys = vm.gather(vm.add(ptrs, off_key))
+            go_left = vm.lt(keys[active], node_keys)
+            child = vm.add(ptrs, vm.select(go_left, off_left, off_right))
+            slots[active] = child
+            vm.loop_overhead()
+
+        result.rounds += claim_rounds
+        return max(claim_rounds, 1)
+
+    # -- shared list cell bumps ----------------------------------------
+    def _run_list(self, reqs: List[Request], result: BatchResult) -> int:
+        vm = self.vm
+        for r in reqs:
+            if not 0 <= r.key < self.n_cells:
+                raise ReproError(
+                    f"list request {r.rid} targets cell {r.key}, "
+                    f"but only {self.n_cells} cells exist"
+                )
+        cell_addrs = self._cell_ptrs[[r.key for r in reqs]]
+        deltas = np.asarray([r.delta for r in reqs], dtype=np.int64)
+        off_car = self.cells.cells.offset("car")
+        car_addrs = vm.add(cell_addrs, off_car)
+
+        def bump(positions: np.ndarray) -> None:
+            addrs = car_addrs[positions]
+            words = vm.gather(addrs)
+            # Atoms are sign-tagged negated, so value += d is word -= d.
+            vm.scatter(addrs, vm.sub(words, deltas[positions]), policy=self.policy)
+
+        if self.carryover:
+            labels = vm.iota(car_addrs.size)
+            winners, losers = fol_round(
+                vm, car_addrs, labels,
+                work_offset=self.cells.work_offset, policy=self.policy,
+            )
+            bump(winners)
+            result.completed.extend(reqs[i] for i in winners)
+            for i in losers:
+                reqs[i].group = int(car_addrs[i])
+                result.carried.append(reqs[i])
+            result.rounds += 1
+        else:
+            dec = fol1(
+                vm, car_addrs,
+                work_offset=self.cells.work_offset, policy=self.policy,
+                on_set=lambda s, _j: bump(s),
+            )
+            result.completed.extend(reqs)
+            result.rounds += dec.m
+        return _max_multiplicity(car_addrs)

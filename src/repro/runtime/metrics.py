@@ -1,0 +1,158 @@
+"""Per-batch counters and latency accounting for the stream service.
+
+Every executed micro-batch appends one :class:`BatchRecord`; request
+completions append their simulated arrival-to-completion latency.  The
+aggregate view (:meth:`StreamMetrics.summary`) exports plain dicts so
+benches and tests can assert on them, and the pretty-printers reuse
+:func:`repro.bench.reporting.format_table` so CLI output matches the
+figure tables.
+
+An optional :class:`~repro.machine.trace.Tracer` can be folded in
+(:meth:`StreamMetrics.attach_trace`), adding the run's instruction mix —
+what fraction of the service's cycles went to gathers vs. ALU vs.
+compress — to the summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..bench.reporting import format_table
+from ..machine.trace import Tracer
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """Counters for one executed micro-batch."""
+
+    index: int
+    size: int  # lanes in the batch (fresh + carried)
+    carried_in: int  # lanes recirculated from the previous batch
+    queue_depth: int  # admission-queue depth when the batch launched
+    rounds: int  # FOL rounds issued
+    multiplicity: int  # observed max pointer multiplicity M
+    filtered: int  # lanes filtered out (carried to the next batch)
+    completed: int  # requests retired by this batch
+    cycles: float  # simulated cycles charged
+
+    @property
+    def filtered_ratio(self) -> float:
+        """Fraction of the batch's lanes that were overwritten."""
+        return self.filtered / self.size if self.size else 0.0
+
+    @property
+    def cycles_per_lane(self) -> float:
+        return self.cycles / self.size if self.size else 0.0
+
+
+class StreamMetrics:
+    """Accumulates batch records and completion latencies for one run."""
+
+    def __init__(self) -> None:
+        self.batches: List[BatchRecord] = []
+        self.latencies: List[float] = []
+        self.rejected = 0
+        self.blocked = 0
+        self.max_queue_depth = 0
+        self.instruction_mix: Optional[Dict[str, float]] = None
+
+    # ------------------------------------------------------------------
+    def record_batch(self, record: BatchRecord) -> None:
+        self.batches.append(record)
+        self.max_queue_depth = max(self.max_queue_depth, record.queue_depth)
+
+    def record_completion(self, latency: float) -> None:
+        self.latencies.append(latency)
+
+    def attach_trace(self, tracer: Tracer) -> None:
+        """Fold a tracer's cycles-by-category mix into the summary."""
+        self.instruction_mix = tracer.cycles_by_category()
+
+    # ------------------------------------------------------------------
+    # aggregates
+    # ------------------------------------------------------------------
+    def latency_percentile(self, q: float) -> float:
+        """Simulated-latency percentile over completed requests."""
+        if not self.latencies:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies), q))
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(b.cycles for b in self.batches)
+
+    @property
+    def total_completed(self) -> int:
+        return sum(b.completed for b in self.batches)
+
+    @property
+    def total_rounds(self) -> int:
+        return sum(b.rounds for b in self.batches)
+
+    @property
+    def cycles_per_request(self) -> float:
+        done = self.total_completed
+        return self.total_cycles / done if done else 0.0
+
+    def summary(self) -> Dict[str, object]:
+        """Aggregate counters as a plain dict (the bench interface)."""
+        sizes = [b.size for b in self.batches]
+        filtered = sum(b.filtered for b in self.batches)
+        lanes = sum(sizes)
+        out: Dict[str, object] = {
+            "batches": len(self.batches),
+            "completed": self.total_completed,
+            "rejected": self.rejected,
+            "blocked": self.blocked,
+            "mean_batch_size": float(np.mean(sizes)) if sizes else 0.0,
+            "fol_rounds": self.total_rounds,
+            "filtered_ratio": filtered / lanes if lanes else 0.0,
+            "max_multiplicity": max((b.multiplicity for b in self.batches), default=0),
+            "max_queue_depth": self.max_queue_depth,
+            "total_cycles": self.total_cycles,
+            "cycles_per_request": self.cycles_per_request,
+            "p50_latency": self.latency_percentile(50),
+            "p99_latency": self.latency_percentile(99),
+        }
+        if self.instruction_mix is not None:
+            out["instruction_mix"] = dict(self.instruction_mix)
+        return out
+
+    # ------------------------------------------------------------------
+    # pretty-printing
+    # ------------------------------------------------------------------
+    def batch_table(self, max_rows: Optional[int] = None) -> str:
+        """Per-batch metrics table; evenly subsamples when the run has
+        more batches than ``max_rows``."""
+        headers = [
+            "batch", "size", "carried", "depth",
+            "rounds", "M", "filt%", "cyc/lane",
+        ]
+        records = self.batches
+        if max_rows is not None and len(records) > max_rows:
+            idx = np.linspace(0, len(records) - 1, max_rows).astype(int)
+            records = [records[i] for i in sorted(set(idx))]
+        rows = [
+            [
+                b.index, b.size, b.carried_in, b.queue_depth,
+                b.rounds, b.multiplicity,
+                f"{100 * b.filtered_ratio:.1f}", f"{b.cycles_per_lane:.1f}",
+            ]
+            for b in records
+        ]
+        return format_table(headers, rows)
+
+    def summary_table(self) -> str:
+        """Aggregate metrics rendered as a two-column table."""
+        s = self.summary()
+        rows = [[k, _fmt_value(v)] for k, v in s.items() if k != "instruction_mix"]
+        return format_table(["metric", "value"], rows)
+
+
+def _fmt_value(v: object) -> str:
+    if isinstance(v, float):
+        return f"{v:,.2f}"
+    return str(v)

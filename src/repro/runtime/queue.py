@@ -1,0 +1,148 @@
+"""Bounded admission queue for streaming symbolic-update requests.
+
+The runtime's front door: producers *offer* :class:`Request` objects and
+the queue either admits them or pushes back.  Two admission policies:
+
+* ``"block"`` — a full queue refuses the offer and the producer must
+  retry later; in the simulated service loop this models closed-loop
+  backpressure (arrivals stall and their latency grows, nothing is
+  lost).
+* ``"reject"`` — a full queue drops the request and counts it; the
+  open-loop load-shedding policy of a service that prefers bounded
+  latency over completeness.
+
+Timestamps are *simulated cycles* (the same clock the
+:class:`~repro.machine.counter.CycleCounter` advances), so queueing
+delay and service time are directly comparable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional
+
+from ..errors import ReproError
+from ..mem.arena import NIL
+
+#: Admission policies understood by :class:`BoundedQueue`.
+ADMISSION_POLICIES = ("block", "reject")
+
+#: Request kinds the executor knows how to run.
+REQUEST_KINDS = ("hash", "bst", "list")
+
+#: Sentinel for "BST descent not started" (root slot resolved lazily so
+#: requests can be built before the executor exists).
+FRESH_SLOT = -1
+
+
+@dataclass
+class Request:
+    """One symbolic update travelling through the stream.
+
+    ``kind`` selects the main processing: ``"hash"`` inserts ``key``
+    into the chained hash table, ``"bst"`` inserts ``key`` into the
+    binary search tree, ``"list"`` adds ``delta`` to the shared list
+    cell indexed by ``key``.
+
+    The mutable tail fields are per-request execution state the
+    carryover loop threads across micro-batches: how many FOL rounds
+    the request has been filtered out of (``attempts``), where a BST
+    descent should resume (``slot``) and which pre-built tree node the
+    request owns (``node``).
+    """
+
+    rid: int
+    kind: str
+    key: int
+    delta: int = 1
+    arrival: float = 0.0
+    enqueued: float = 0.0
+    completed: float = 0.0
+    attempts: int = 0
+    slot: int = FRESH_SLOT
+    node: int = NIL
+    group: int = -1  # conflict group (target address) set when carried
+
+    def __post_init__(self) -> None:
+        if self.kind not in REQUEST_KINDS:
+            raise ReproError(
+                f"unknown request kind {self.kind!r}; expected one of {REQUEST_KINDS}"
+            )
+
+    @property
+    def latency(self) -> float:
+        """Arrival-to-completion simulated latency."""
+        return self.completed - self.arrival
+
+
+@dataclass
+class QueueStats:
+    """Counters the admission queue keeps for the metrics layer."""
+
+    offered: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    blocked: int = 0
+    max_depth: int = 0
+
+
+class BoundedQueue:
+    """FIFO request queue with a hard capacity and an admission policy."""
+
+    def __init__(self, capacity: int, admission: str = "block") -> None:
+        if capacity <= 0:
+            raise ReproError(f"queue capacity must be positive, got {capacity}")
+        if admission not in ADMISSION_POLICIES:
+            raise ReproError(
+                f"unknown admission policy {admission!r}; "
+                f"expected one of {ADMISSION_POLICIES}"
+            )
+        self.capacity = capacity
+        self.admission = admission
+        self.stats = QueueStats()
+        self._items: Deque[Request] = deque()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def depth(self) -> int:
+        """Requests currently waiting."""
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def oldest_enqueued(self) -> Optional[float]:
+        """Enqueue timestamp of the head request (None when empty)."""
+        return self._items[0].enqueued if self._items else None
+
+    # ------------------------------------------------------------------
+    def offer(self, req: Request, now: float) -> bool:
+        """Try to admit ``req`` at simulated time ``now``.
+
+        Returns True on admission.  On a full queue the request is
+        either dropped (``reject``) or left with the producer
+        (``block``); both return False and the caller distinguishes via
+        :attr:`admission`.
+        """
+        self.stats.offered += 1
+        if self.full:
+            if self.admission == "reject":
+                self.stats.rejected += 1
+            else:
+                self.stats.blocked += 1
+            return False
+        req.enqueued = now
+        self._items.append(req)
+        self.stats.admitted += 1
+        self.stats.max_depth = max(self.stats.max_depth, len(self._items))
+        return True
+
+    def take(self, n: int) -> List[Request]:
+        """Dequeue up to ``n`` requests in FIFO order."""
+        n = min(n, len(self._items))
+        return [self._items.popleft() for _ in range(n)]

@@ -26,9 +26,27 @@ class TestCli:
         assert "arbitrary" in out
 
     def test_no_command_prints_help(self, capsys):
-        assert main([]) == 1
-        assert "figures" in capsys.readouterr().out
+        assert main([]) == 2
+        out = capsys.readouterr().out
+        assert "figures" in out
+        assert "stream" in out
+
+    def test_unknown_command_prints_help(self, capsys):
+        assert main(["not-a-command"]) == 2
+        captured = capsys.readouterr()
+        assert "figures" in captured.out
+        assert "stream" in captured.out
+
+    def test_help_flag_exits_zero(self):
+        assert main(["--help"]) == 0
 
     def test_unknown_experiment_errors(self):
         with pytest.raises(SystemExit):
             main(["figures", "not_an_experiment"])
+
+    def test_stream(self, capsys):
+        assert main(["stream", "--requests", "50", "--policy", "fixed",
+                     "--batch-size", "16", "--closed-loop"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles_per_request" in out
+        assert "p50_latency" in out
