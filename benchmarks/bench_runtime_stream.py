@@ -18,10 +18,12 @@ Run with::
     pytest benchmarks/bench_runtime_stream.py --benchmark-only -s
 """
 
+from pathlib import Path
+
 import numpy as np
 import pytest
 
-from repro.bench.reporting import format_table
+from repro.bench.reporting import format_table, write_json
 from repro.runtime import (
     BoundedQueue,
     StreamService,
@@ -33,6 +35,19 @@ from repro.runtime import (
 N_REQUESTS = 4000
 SKEWS = (0.0, 0.8, 1.1, 1.4)
 POLICIES = ("fixed", "deadline", "adaptive")
+
+STREAM_JSON = Path(__file__).resolve().parent.parent / "BENCH_stream.json"
+
+#: Sections accumulated by the tests; flushed to ``BENCH_stream.json``
+#: once the module's last test has run (see ``_flush_stream_json``).
+RESULTS = {"bench": "runtime_stream", "config": {"n_requests": N_REQUESTS}}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _flush_stream_json():
+    yield
+    if len(RESULTS) > 2:  # only if at least one test contributed
+        write_json(STREAM_JSON, RESULTS)
 
 
 def _batcher(policy):
@@ -85,6 +100,13 @@ def test_policy_comparison_under_skew(benchmark):
                 s["cycles_per_request"], 2
             )
         rows.append(row)
+    RESULTS["policy_comparison"] = {
+        f"{policy}_skew{skew}": round(
+            results[(policy, skew)]["cycles_per_request"], 2
+        )
+        for policy in POLICIES
+        for skew in SKEWS
+    }
     print()
     print(f"cycles/request by batch policy x Zipf skew "
           f"({N_REQUESTS} hash inserts, closed loop, in-batch retry)")
@@ -112,6 +134,10 @@ def test_adaptive_latency_not_pathological(benchmark):
     adaptive, fixed = benchmark.pedantic(run, rounds=1, iterations=1)
     benchmark.extra_info["adaptive_p99"] = round(adaptive["p99_latency"], 1)
     benchmark.extra_info["fixed_p99"] = round(fixed["p99_latency"], 1)
+    RESULTS["latency_skew1.1"] = {
+        "adaptive_p99": round(adaptive["p99_latency"], 1),
+        "fixed_p99": round(fixed["p99_latency"], 1),
+    }
     assert adaptive["p99_latency"] < fixed["p99_latency"]
 
 
@@ -142,6 +168,9 @@ def test_carryover_vs_retry_open_loop(benchmark):
     print(format_table(["mode", "cyc/req", "p99", "rounds", "batches"], rows))
     for mode, s in results.items():
         benchmark.extra_info[f"{mode}_cpr"] = round(s["cycles_per_request"], 2)
+    RESULTS["carryover_vs_retry"] = {
+        mode: round(s["cycles_per_request"], 2) for mode, s in results.items()
+    }
 
     assert (results["carryover"]["cycles_per_request"]
             < results["retry"]["cycles_per_request"])

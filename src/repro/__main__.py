@@ -25,6 +25,39 @@ import sys
 from typing import Optional, Sequence
 
 
+def _positive_int(text: str) -> int:
+    """argparse type: an int >= 1 (clean exit 2 on 0/negative input)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type: a float > 0."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
+
+
+def _nonneg_float(text: str) -> float:
+    """argparse type: a float >= 0."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be non-negative, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command")
@@ -39,19 +72,19 @@ def build_parser() -> argparse.ArgumentParser:
     stream = sub.add_parser(
         "stream", help="run the streaming micro-batch FOL service"
     )
-    stream.add_argument("--requests", type=int, default=5000,
+    stream.add_argument("--requests", type=_positive_int, default=5000,
                         help="number of requests in the workload")
     stream.add_argument("--policy", choices=("fixed", "deadline", "adaptive"),
                         default="adaptive", help="batch-sizing policy")
-    stream.add_argument("--batch-size", type=int, default=256,
+    stream.add_argument("--batch-size", type=_positive_int, default=256,
                         help="fixed/initial batch size (max size for deadline)")
-    stream.add_argument("--deadline", type=float, default=2000.0,
+    stream.add_argument("--deadline", type=_positive_float, default=2000.0,
                         help="deadline policy: max head-of-line wait in cycles")
-    stream.add_argument("--skew", type=float, default=0.0,
+    stream.add_argument("--skew", type=_nonneg_float, default=0.0,
                         help="Zipf key skew (0 = uniform)")
     stream.add_argument("--kinds", default="hash",
-                        help="comma-separated request kinds: hash,bst,list")
-    stream.add_argument("--queue-capacity", type=int, default=4096)
+                        help="comma-separated request kinds: hash,bst,list,xfer")
+    stream.add_argument("--queue-capacity", type=_positive_int, default=4096)
     stream.add_argument("--admission", choices=("block", "reject"),
                         default="block", help="full-queue policy")
     stream.add_argument("--no-carryover", action="store_true",
@@ -59,11 +92,19 @@ def build_parser() -> argparse.ArgumentParser:
                              "instead of carrying them to the next batch")
     stream.add_argument("--closed-loop", action="store_true",
                         help="all requests ready at t=0 (throughput mode)")
-    stream.add_argument("--mean-gap", type=float, default=40.0,
+    stream.add_argument("--mean-gap", type=_positive_float, default=40.0,
                         help="open loop: mean inter-arrival gap in cycles")
-    stream.add_argument("--table-size", type=int, default=509)
-    stream.add_argument("--key-space", type=int, default=4096)
-    stream.add_argument("--print-batches", type=int, default=20,
+    stream.add_argument("--table-size", type=_positive_int, default=509)
+    stream.add_argument("--key-space", type=_positive_int, default=4096)
+    stream.add_argument("--shards", type=_positive_int, default=1,
+                        help="partition the address space across K workers "
+                             "(owner-computes; batch cost = max over shards)")
+    stream.add_argument("--partitioner", choices=("hash", "range"),
+                        default="hash", help="initial shard assignment")
+    stream.add_argument("--rebalance", action="store_true",
+                        help="migrate hot key ranges between micro-batches "
+                             "(Megaphone-style; needs --shards > 1)")
+    stream.add_argument("--print-batches", type=_positive_int, default=20,
                         help="per-batch rows to print (subsampled)")
     stream.add_argument("--trace", action="store_true",
                         help="record and print the instruction mix")
@@ -173,23 +214,48 @@ def _stream(args) -> None:
     else:
         batcher = make_batcher("adaptive", initial=args.batch_size)
 
-    service = StreamService.for_workload(
-        requests,
-        batcher=batcher,
-        queue=BoundedQueue(args.queue_capacity, admission=args.admission),
-        table_size=args.table_size,
-        carryover=not args.no_carryover,
-        trace=args.trace,
-        seed=args.seed,
-    )
+    queue = BoundedQueue(args.queue_capacity, admission=args.admission)
+    if args.shards > 1:
+        from .shard import ShardCoordinator
+
+        coordinator = ShardCoordinator.for_workload(
+            requests,
+            shards=args.shards,
+            partitioner=args.partitioner,
+            rebalance=args.rebalance,
+            table_size=args.table_size,
+            key_space=args.key_space,
+            carryover=not args.no_carryover,
+            seed=args.seed,
+        )
+        service = StreamService(coordinator, batcher=batcher, queue=queue)
+    else:
+        service = StreamService.for_workload(
+            requests,
+            batcher=batcher,
+            queue=queue,
+            table_size=args.table_size,
+            carryover=not args.no_carryover,
+            trace=args.trace,
+            seed=args.seed,
+        )
     metrics = service.run(requests)
 
     mode = "retry-in-batch" if args.no_carryover else "carryover"
     loop = "closed" if args.closed_loop else "open"
+    shard_note = (
+        f", shards={args.shards} ({args.partitioner}"
+        f"{', rebalance' if args.rebalance else ''})"
+        if args.shards > 1 else ""
+    )
     print(f"stream: {args.requests} requests, kinds={','.join(kinds)}, "
-          f"skew={args.skew}, policy={batcher.name}, {mode}, {loop} loop")
+          f"skew={args.skew}, policy={batcher.name}, {mode}, {loop} loop"
+          f"{shard_note}")
     print()
     print(metrics.batch_table(max_rows=args.print_batches))
+    if args.shards > 1:
+        print()
+        print(metrics.shard_table(max_rows=args.print_batches))
     print()
     print(metrics.summary_table())
     if metrics.instruction_mix is not None:

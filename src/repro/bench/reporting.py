@@ -1,8 +1,11 @@
-"""Plain-text tables and series for the regenerated figures."""
+"""Plain-text tables and series for the regenerated figures, plus the
+machine-readable bench-result writer (``BENCH_*.json`` at repo root)."""
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+import json
+from pathlib import Path
+from typing import Iterable, List, Mapping, Sequence, Union
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
@@ -41,6 +44,20 @@ def sparkline(values: Sequence[float], width: int = 40) -> str:
     cells = [blocks[min(int((v - lo) / span * (len(blocks) - 1)), len(blocks) - 1)]
              for v in values]
     return "".join(cells)
+
+
+def write_json(path: Union[str, Path], payload: Mapping) -> Path:
+    """Write one bench's results as deterministic, diff-friendly JSON.
+
+    The perf trajectory of this repo accumulates in ``BENCH_*.json``
+    files at the repo root (one per bench, overwritten per run, CI
+    uploads them as artifacts), so keys are sorted and floats should be
+    pre-rounded by the caller to keep diffs meaningful.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def banner(title: str) -> str:

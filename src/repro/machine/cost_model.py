@@ -69,6 +69,19 @@ class CostModel:
         into ceil(n / section_size) sections, each paying the start-up
         cost — the realism knob for machines with short registers (see
         the strip-mining ablation bench).
+    shard_claim_rtt:
+        Cycles for one inter-shard control message round trip in the
+        sharded engine (:mod:`repro.shard`): a claim or commit exchange
+        between the coordinator and one owning worker.  Modelled on the
+        latency of a processor-to-processor transfer on an early
+        shared-nothing multi-vector machine — several memory round
+        trips, so cross-shard unit processes are only worth it when the
+        alternative is serialising a whole shard.
+    shard_transfer_per_word:
+        Per-word cycles for bulk inter-shard state transfer (migrating
+        a key range's storage between workers, or carrying a cross-shard
+        unit's operands).  Cheaper per word than a claim RTT because
+        transfers stream/pipeline.
     """
 
     scalar_alu: float = 8.0
@@ -83,6 +96,8 @@ class CostModel:
     chime_reduce: float = 0.5
     chime_scan: float = 2.5
     section_size: int = 0
+    shard_claim_rtt: float = 180.0
+    shard_transfer_per_word: float = 4.0
 
     # ------------------------------------------------------------------
     # presets
@@ -128,6 +143,8 @@ class CostModel:
             chime_compress=1.0,
             chime_reduce=1.0,
             chime_scan=2.0,
+            shard_claim_rtt=4.0,
+            shard_transfer_per_word=1.0,
         )
 
     @classmethod
@@ -147,6 +164,8 @@ class CostModel:
             chime_compress=0.0,
             chime_reduce=0.0,
             chime_scan=0.0,
+            shard_claim_rtt=0.0,
+            shard_transfer_per_word=0.0,
         )
 
     # ------------------------------------------------------------------

@@ -29,7 +29,7 @@ from .batcher import (
     FixedBatcher,
     make_batcher,
 )
-from .carryover import CarryoverBuffer, fol_round
+from .carryover import CarryoverBuffer, fol_round, tuple_round
 from .executor import BatchResult, StreamExecutor
 from .metrics import BatchRecord, StreamMetrics
 from .queue import (
@@ -64,6 +64,7 @@ __all__ = [
     # carryover
     "CarryoverBuffer",
     "fol_round",
+    "tuple_round",
     # executor
     "BatchResult",
     "StreamExecutor",

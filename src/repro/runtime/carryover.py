@@ -70,6 +70,56 @@ def fol_round(
     return winners, losers
 
 
+def tuple_round(
+    vm: VectorMachine,
+    addr_vectors: List[np.ndarray],
+    label_vectors: List[np.ndarray],
+    *,
+    work_offset: int = 0,
+    policy: str = "arbitrary",
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One FOL* filtering round over L index vectors (§3.3): a tuple
+    survives only if *all* of its L labels read back intact.
+
+    Unlike :func:`fol_round`, a single round of parallel tuple label
+    writing can produce **zero** survivors (tuple A beats B on one cell
+    while B beats A on another), so the paper's deadlock remedy is
+    applied per round: the last tuple's labels are written with scalar
+    stores *after* the vector scatters, guaranteeing at least one
+    winner.  Used by the ``"xfer"`` request kind, whose unit process
+    rewrites two shared list cells.
+
+    Labels must be unique across all L vectors (use
+    :func:`repro.core.labels.tuple_labels`).
+    """
+    n = addr_vectors[0].size
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    works = [
+        vm.add(v, work_offset) if work_offset else v for v in addr_vectors
+    ]
+    # Step 1: vector label writes for all tuples but the last, then the
+    # last tuple's labels by scalar stores (always survives).
+    for wa, lb in zip(works, label_vectors):
+        vm.scatter(wa[:-1], lb[:-1], policy=policy)
+    for wa, lb in zip(works, label_vectors):
+        vm.mem.sstore(int(wa[-1]), int(lb[-1]))
+    # Step 2: read back through every vector and AND the survival masks.
+    survived = None
+    for wa, lb in zip(works, label_vectors):
+        mask = vm.eq(vm.gather(wa), lb)
+        survived = mask if survived is None else vm.mask_and(survived, mask)
+    positions = vm.iota(n)
+    winners = vm.compress(positions, survived)
+    if winners.size == 0:
+        raise DeadlockError(
+            "tuple FOL round produced no survivors despite the scalar tail"
+        )
+    losers = vm.compress(positions, vm.mask_not(survived))
+    return winners, losers
+
+
 class CarryoverBuffer:
     """Filtered requests waiting for the next micro-batch.
 

@@ -28,30 +28,43 @@ descent next batch from the very slot the winning lane just filled.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.fol1 import fol1
+from ..core.fol_star import fol_star
+from ..core.labels import tuple_labels
 from ..errors import ReproError
 from ..hashing.table import ChainedHashTable
 from ..lists.cells import ConsArena, encode_atom
 from ..machine.vm import VectorMachine, make_machine
 from ..mem.arena import NIL, BumpAllocator
 from ..trees.bst import BST_FIELDS, BinarySearchTree
-from .carryover import fol_round
+from .carryover import fol_round, tuple_round
 from .queue import FRESH_SLOT, Request
 
 
 @dataclass
 class BatchResult:
-    """What one executed micro-batch did."""
+    """What one executed micro-batch did.
+
+    The shard fields stay at their empty defaults for single-pipeline
+    execution; the sharded coordinator (:mod:`repro.shard.coordinator`)
+    fills them in so the metrics layer can report per-shard occupancy,
+    concurrent rounds, cross-shard traffic and migrations.
+    """
 
     completed: List[Request] = field(default_factory=list)
     carried: List[Request] = field(default_factory=list)
     rounds: int = 0
     multiplicity: int = 1
     cycles: float = 0.0
+    shard_sizes: Tuple[int, ...] = ()
+    shard_cycles: Tuple[float, ...] = ()
+    shard_rounds: Tuple[int, ...] = ()
+    cross_units: int = 0
+    migrations: int = 0
 
     @property
     def size(self) -> int:
@@ -164,6 +177,8 @@ class StreamExecutor:
                 m = self._run_hash(reqs, result)
             elif kind == "bst":
                 m = self._run_bst(reqs, result)
+            elif kind == "xfer":
+                m = self._run_xfer(reqs, result)
             else:
                 m = self._run_list(reqs, result)
             mults.append(m)
@@ -295,19 +310,79 @@ class StreamExecutor:
         result.rounds += claim_rounds
         return max(claim_rounds, 1)
 
+    # -- two-cell transfers (the L = 2 FOL* unit process) --------------
+    def _cell_car_addrs(self, cells: List[int], what: str) -> np.ndarray:
+        for c in cells:
+            if not 0 <= c < self.n_cells:
+                raise ReproError(
+                    f"{what} targets cell {c}, but only {self.n_cells} cells exist"
+                )
+        off_car = self.cells.cells.offset("car")
+        return self.vm.add(self._cell_ptrs[cells], off_car)
+
+    def _run_xfer(self, reqs: List[Request], result: BatchResult) -> int:
+        """Move ``delta`` from cell ``key`` to cell ``key2``: each unit
+        process rewrites a *tuple* of two storage areas, so filtering is
+        FOL* (§3.3), not FOL1 — a tuple completes only when both of its
+        labels survive, and each round's last tuple is written with
+        scalar stores so the round cannot deadlock."""
+        vm = self.vm
+        src_addrs = self._cell_car_addrs([r.key for r in reqs], "xfer source")
+        dst_addrs = self._cell_car_addrs([r.key2 for r in reqs], "xfer target")
+        deltas = np.asarray([r.delta for r in reqs], dtype=np.int64)
+
+        # Atoms are sign-tagged negated: value -= d is word += d and
+        # value += d is word -= d.  Gathers/scatters run sequentially
+        # per round, so read-modify-write per parallel-processable set
+        # is safe (no two tuples in a set share a cell).
+        def apply(positions: np.ndarray) -> None:
+            if positions.size == 0:
+                return
+            a_src = src_addrs[positions]
+            a_dst = dst_addrs[positions]
+            d = deltas[positions]
+            vm.scatter(a_src, vm.add(vm.gather(a_src), d), policy=self.policy)
+            vm.scatter(a_dst, vm.sub(vm.gather(a_dst), d), policy=self.policy)
+
+        # Self-transfers (key == key2) are net no-ops and internally
+        # duplicated tuples in the §3.3 sense; retire them up front.
+        loop_idx = [i for i, r in enumerate(reqs) if r.key == r.key2]
+        live_idx = np.asarray(
+            [i for i, r in enumerate(reqs) if r.key != r.key2], dtype=np.int64
+        )
+        result.completed.extend(reqs[i] for i in loop_idx)
+
+        if live_idx.size:
+            v1 = src_addrs[live_idx]
+            v2 = dst_addrs[live_idx]
+            if self.carryover:
+                labels = tuple_labels(vm, live_idx.size, 2)
+                winners, losers = tuple_round(
+                    vm, [v1, v2], labels,
+                    work_offset=self.cells.work_offset, policy=self.policy,
+                )
+                apply(live_idx[winners])
+                result.completed.extend(reqs[i] for i in live_idx[winners])
+                for i in live_idx[losers]:
+                    reqs[i].group = int(src_addrs[i])
+                    result.carried.append(reqs[i])
+                result.rounds += 1
+            else:
+                dec = fol_star(
+                    vm, [v1, v2],
+                    work_offset=self.cells.work_offset, policy=self.policy,
+                )
+                for s in dec.sets:
+                    apply(live_idx[s])
+                result.completed.extend(reqs[i] for i in live_idx)
+                result.rounds += dec.m
+        return _max_multiplicity(np.concatenate([src_addrs, dst_addrs]))
+
     # -- shared list cell bumps ----------------------------------------
     def _run_list(self, reqs: List[Request], result: BatchResult) -> int:
         vm = self.vm
-        for r in reqs:
-            if not 0 <= r.key < self.n_cells:
-                raise ReproError(
-                    f"list request {r.rid} targets cell {r.key}, "
-                    f"but only {self.n_cells} cells exist"
-                )
-        cell_addrs = self._cell_ptrs[[r.key for r in reqs]]
+        car_addrs = self._cell_car_addrs([r.key for r in reqs], "list request")
         deltas = np.asarray([r.delta for r in reqs], dtype=np.int64)
-        off_car = self.cells.cells.offset("car")
-        car_addrs = vm.add(cell_addrs, off_car)
 
         def bump(positions: np.ndarray) -> None:
             addrs = car_addrs[positions]

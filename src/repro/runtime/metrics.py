@@ -16,7 +16,7 @@ compress — to the summary.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -26,7 +26,13 @@ from ..machine.trace import Tracer
 
 @dataclass(frozen=True)
 class BatchRecord:
-    """Counters for one executed micro-batch."""
+    """Counters for one executed micro-batch.
+
+    The shard fields stay at their empty defaults on a single-pipeline
+    run; under :class:`~repro.shard.coordinator.ShardCoordinator` they
+    carry the per-shard occupancy/rounds split plus the batch's
+    cross-shard and migration traffic.
+    """
 
     index: int
     size: int  # lanes in the batch (fresh + carried)
@@ -37,6 +43,10 @@ class BatchRecord:
     filtered: int  # lanes filtered out (carried to the next batch)
     completed: int  # requests retired by this batch
     cycles: float  # simulated cycles charged
+    shard_sizes: Tuple[int, ...] = ()  # lanes routed per shard
+    shard_rounds: Tuple[int, ...] = ()  # concurrent FOL rounds per shard
+    cross_units: int = 0  # cross-shard tuples claimed this batch
+    migrations: int = 0  # routing indices migrated after this batch
 
     @property
     def filtered_ratio(self) -> float:
@@ -46,6 +56,22 @@ class BatchRecord:
     @property
     def cycles_per_lane(self) -> float:
         return self.cycles / self.size if self.size else 0.0
+
+    @property
+    def shard_occupancy(self) -> float:
+        """Fraction of shards this batch kept busy (1.0 = all)."""
+        if not self.shard_sizes:
+            return 1.0
+        return sum(1 for s in self.shard_sizes if s) / len(self.shard_sizes)
+
+    @property
+    def shard_imbalance(self) -> float:
+        """Max over mean per-shard lanes: 1.0 is perfectly balanced,
+        K means one shard carried the whole batch."""
+        if not self.shard_sizes or not self.size:
+            return 1.0
+        mean = self.size / len(self.shard_sizes)
+        return max(self.shard_sizes) / mean if mean else 1.0
 
 
 class StreamMetrics:
@@ -119,7 +145,25 @@ class StreamMetrics:
         }
         if self.instruction_mix is not None:
             out["instruction_mix"] = dict(self.instruction_mix)
+        out.update(self.shard_summary())
         return out
+
+    def shard_summary(self) -> Dict[str, object]:
+        """Shard-level aggregates (empty dict on single-pipeline runs)."""
+        sharded = [b for b in self.batches if b.shard_sizes]
+        if not sharded:
+            return {}
+        return {
+            "shards": len(sharded[0].shard_sizes),
+            "mean_shard_occupancy": float(
+                np.mean([b.shard_occupancy for b in sharded])
+            ),
+            "mean_shard_imbalance": float(
+                np.mean([b.shard_imbalance for b in sharded])
+            ),
+            "cross_shard_units": sum(b.cross_units for b in sharded),
+            "migrations": sum(b.migrations for b in sharded),
+        }
 
     # ------------------------------------------------------------------
     # pretty-printing
@@ -150,6 +194,28 @@ class StreamMetrics:
         s = self.summary()
         rows = [[k, _fmt_value(v)] for k, v in s.items() if k != "instruction_mix"]
         return format_table(["metric", "value"], rows)
+
+    def shard_table(self, max_rows: Optional[int] = None) -> str:
+        """Per-batch shard split (sharded runs only): lanes per shard,
+        concurrent rounds, cross-shard units and migrations."""
+        records = [b for b in self.batches if b.shard_sizes]
+        if max_rows is not None and len(records) > max_rows:
+            idx = np.linspace(0, len(records) - 1, max_rows).astype(int)
+            records = [records[i] for i in sorted(set(idx))]
+        headers = ["batch", "lanes/shard", "rounds/shard", "occ", "imbal", "cross", "moves"]
+        rows = [
+            [
+                b.index,
+                ":".join(str(s) for s in b.shard_sizes),
+                ":".join(str(r) for r in b.shard_rounds),
+                f"{b.shard_occupancy:.2f}",
+                f"{b.shard_imbalance:.2f}",
+                b.cross_units,
+                b.migrations,
+            ]
+            for b in records
+        ]
+        return format_table(headers, rows)
 
 
 def _fmt_value(v: object) -> str:

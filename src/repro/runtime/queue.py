@@ -29,7 +29,7 @@ from ..mem.arena import NIL
 ADMISSION_POLICIES = ("block", "reject")
 
 #: Request kinds the executor knows how to run.
-REQUEST_KINDS = ("hash", "bst", "list")
+REQUEST_KINDS = ("hash", "bst", "list", "xfer")
 
 #: Sentinel for "BST descent not started" (root slot resolved lazily so
 #: requests can be built before the executor exists).
@@ -43,7 +43,12 @@ class Request:
     ``kind`` selects the main processing: ``"hash"`` inserts ``key``
     into the chained hash table, ``"bst"`` inserts ``key`` into the
     binary search tree, ``"list"`` adds ``delta`` to the shared list
-    cell indexed by ``key``.
+    cell indexed by ``key``, and ``"xfer"`` atomically moves ``delta``
+    from cell ``key`` to cell ``key2`` — the one kind whose unit
+    process rewrites *two* storage areas (an L = 2 tuple in the sense
+    of FOL*, §3.3), which is what exercises the multi-item filtering
+    path and, in the sharded engine, the cross-shard claim/commit
+    protocol.
 
     The mutable tail fields are per-request execution state the
     carryover loop threads across micro-batches: how many FOL rounds
@@ -56,6 +61,7 @@ class Request:
     kind: str
     key: int
     delta: int = 1
+    key2: int = -1  # second target cell, "xfer" requests only
     arrival: float = 0.0
     enqueued: float = 0.0
     completed: float = 0.0
@@ -63,11 +69,16 @@ class Request:
     slot: int = FRESH_SLOT
     node: int = NIL
     group: int = -1  # conflict group (target address) set when carried
+    home: int = -1  # shard whose memory holds this lane's state (sharded engine)
 
     def __post_init__(self) -> None:
         if self.kind not in REQUEST_KINDS:
             raise ReproError(
                 f"unknown request kind {self.kind!r}; expected one of {REQUEST_KINDS}"
+            )
+        if self.kind == "xfer" and self.key2 < 0:
+            raise ReproError(
+                f"xfer request {self.rid} needs a non-negative key2, got {self.key2}"
             )
 
     @property

@@ -153,6 +153,10 @@ class StreamService:
                     filtered=result.filtered,
                     completed=len(result.completed),
                     cycles=result.cycles,
+                    shard_sizes=result.shard_sizes,
+                    shard_rounds=result.shard_rounds,
+                    cross_units=result.cross_units,
+                    migrations=result.migrations,
                 )
             )
             self.batcher.observe(
@@ -197,18 +201,25 @@ def _build_requests(
     keys = zipf_keys(rng, n, skew, key_space)
     kind_choices = rng.integers(0, len(kinds), size=n)
     deltas = rng.integers(1, max_delta + 1, size=n)
+    # Transfer targets follow the *same* skew as sources, so a hot rank
+    # is hot on both ends of the tuple — the worst case for sharding.
+    keys2 = zipf_keys(rng, n, skew, key_space)
     out: List[Request] = []
     for idx in range(n):
         kind = kinds[kind_choices[idx]]
         key = int(keys[idx])
-        if kind == "list":
+        key2 = -1
+        if kind in ("list", "xfer"):
             key %= n_cells
+        if kind == "xfer":
+            key2 = int(keys2[idx]) % n_cells
         out.append(
             Request(
                 rid=idx,
                 kind=kind,
                 key=key,
                 delta=int(deltas[idx]),
+                key2=key2,
                 arrival=float(arrivals[idx]),
             )
         )

@@ -1,0 +1,50 @@
+"""Sharded multi-worker FOL engine (owner-computes partitioning).
+
+The paper's FOL decomposition is single-pipeline: one index vector, one
+work area, M sequential rounds (§3.2).  This package scales it out by
+partitioning the *address space* across K simulated workers so that
+every storage address has exactly one owning shard:
+
+* ELS conflicts become shard-local — each worker runs its own FOL
+  rounds over only the lanes it owns, concurrently with the others, so
+  a micro-batch's cycle cost is the **max** over shards instead of the
+  sum (:mod:`repro.shard.coordinator`);
+* units whose L index vectors span shards (the FOL* ``"xfer"`` kind)
+  are resolved by a two-phase claim/commit exchange charged as
+  inter-shard cycles (:mod:`repro.shard.router`);
+* hot shards are detected from per-shard metrics and their hottest key
+  ranges migrated between micro-batches, Megaphone-style
+  (:mod:`repro.shard.rebalance`).
+
+Equivalence with one-shot FOL1 is property-tested in
+``tests/test_shard_equivalence.py``; ``docs/sharding.md`` has the
+correctness argument.
+"""
+
+from .coordinator import ShardCoordinator
+from .partition import (
+    PARTITIONERS,
+    PartitionMap,
+    RoutingTable,
+    hash_partition,
+    make_partition_map,
+    range_partition,
+)
+from .rebalance import Migration, Rebalancer
+from .router import CrossUnit, Router
+from .worker import ShardWorker
+
+__all__ = [
+    "PARTITIONERS",
+    "CrossUnit",
+    "Migration",
+    "PartitionMap",
+    "Rebalancer",
+    "Router",
+    "RoutingTable",
+    "ShardCoordinator",
+    "ShardWorker",
+    "hash_partition",
+    "make_partition_map",
+    "range_partition",
+]

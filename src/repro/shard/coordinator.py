@@ -1,0 +1,301 @@
+"""The K-shard engine behind the single-executor interface.
+
+:class:`ShardCoordinator` exposes the same ``execute(batch) ->
+BatchResult`` surface as :class:`~repro.runtime.executor.StreamExecutor`,
+so :class:`~repro.runtime.service.StreamService` drives it unchanged —
+the admission queue, batching policy and coordinator-level carryover
+buffer all work exactly as in the single-pipeline runtime.  Inside one
+``execute`` call:
+
+1. **route** — the :class:`~repro.shard.router.Router` splits the batch
+   into per-shard sub-batches plus cross-shard ``"xfer"`` units;
+2. **local execution** — each busy worker runs its slice through its
+   own FOL pipeline.  The workers are independent machines over
+   disjoint address sets, so the batch's local cost is
+   ``max`` over per-shard cycle deltas — the makespan of K concurrent
+   pipelines — not their sum;
+3. **claim/commit** — cross-shard units that won their first-come
+   claims commit (the coordinator applies both cell updates on the
+   owners' memories); losers are carried like any filtered lane.
+   The exchange is charged explicitly: one overlapped claim RTT and
+   one commit RTT (``shard_claim_rtt``) per batch that has cross
+   units, plus ``shard_transfer_per_word`` for the claim (2 words) and
+   commit (3 words: delta + two cell addresses) payloads;
+4. **rebalance** (optional) — between batches the
+   :class:`~repro.shard.rebalance.Rebalancer` may migrate hot routing
+   indices; the coordinator performs the physical moves (chain
+   re-link, cell delta transfer, BST re-route) and charges one control
+   RTT per move plus the per-word transfer cost of the moved state.
+   The migration cycles are attributed to the batch that just
+   finished, i.e. the inter-batch gap they occupy.
+
+Merged state accessors (:meth:`list_values`, :meth:`chain_multisets`,
+:meth:`bst_inorder`) define the global state a K-shard engine
+represents: per-cell values are *sums* of the shards' contributions,
+chains are per-slot multiset unions, and the BST is the sorted merge
+of per-shard inorders.  The equivalence property tests compare these
+against one-shot FOL1 on a single pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+from ..machine.cost_model import CostModel
+from ..runtime.executor import BatchResult
+from ..runtime.queue import Request
+from .partition import make_partition_map
+from .rebalance import Migration, Rebalancer
+from .router import Router
+from .worker import ShardWorker
+
+#: Claim/commit payload sizes in words (see docs/sharding.md §3).
+_CLAIM_WORDS = 2
+_COMMIT_WORDS = 3
+
+
+class ShardCoordinator:
+    """Owner-computes execution of micro-batches across K workers."""
+
+    def __init__(
+        self,
+        workers: List[ShardWorker],
+        router: Router,
+        *,
+        cost_model: Optional[CostModel] = None,
+        rebalancer: Optional[Rebalancer] = None,
+    ) -> None:
+        if not workers:
+            raise ReproError("shard coordinator needs at least one worker")
+        self.workers = workers
+        self.router = router
+        self.shards = len(workers)
+        self.cost = cost_model if cost_model is not None else CostModel.s810()
+        self.rebalancer = rebalancer
+        # Cycles charged outside any single worker's counter (cross-shard
+        # exchanges and migrations); the per-worker counters hold only
+        # shard-local pipeline work.
+        self.exchange_cycles = 0.0
+        self.migration_cycles = 0.0
+        self.total_cross = 0
+        self.total_migrations = 0
+        self.migration_skips = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_workload(
+        cls,
+        requests: Sequence[Request],
+        *,
+        shards: int,
+        partitioner: str = "hash",
+        rebalance: bool = False,
+        table_size: int = 509,
+        n_cells: int = 64,
+        key_space: int = 4096,
+        carryover: bool = True,
+        conflict_policy: str = "arbitrary",
+        cost_model: Optional[CostModel] = None,
+        seed: int = 0,
+        rebalance_threshold: float = 1.8,
+        rebalance_cooldown: int = 4,
+        rebalance_max_moves: int = 8,
+    ) -> "ShardCoordinator":
+        """Build a K-shard engine sized for ``requests``.
+
+        Workers get identical layouts (a requirement — see
+        :mod:`repro.shard.worker`): every worker's arenas are sized for
+        the *whole* workload, since routing skew or migration can land
+        any fraction of it on one shard.  Hash node arenas get extra
+        headroom because chain migration re-allocates nodes at the
+        destination (bump arenas never reclaim the source's records).
+        """
+        if shards <= 0:
+            raise ReproError(f"shard count must be positive, got {shards}")
+        n_hash = sum(1 for r in requests if r.kind == "hash")
+        n_bst = sum(1 for r in requests if r.kind == "bst")
+        hash_capacity = 3 * max(n_hash, 1) + 64
+        workers = [
+            ShardWorker(
+                s,
+                table_size=table_size,
+                hash_capacity=hash_capacity,
+                bst_capacity=max(n_bst, 1),
+                n_cells=n_cells,
+                carryover=carryover,
+                conflict_policy=conflict_policy,
+                cost_model=cost_model,
+                seed=seed,
+            )
+            for s in range(shards)
+        ]
+        partition = make_partition_map(
+            partitioner,
+            shards,
+            table_size=table_size,
+            n_cells=n_cells,
+            key_space=key_space,
+        )
+        rebalancer = (
+            Rebalancer(
+                partition,
+                threshold=rebalance_threshold,
+                cooldown=rebalance_cooldown,
+                max_moves=rebalance_max_moves,
+            )
+            if rebalance
+            else None
+        )
+        return cls(
+            workers,
+            Router(partition),
+            cost_model=cost_model,
+            rebalancer=rebalancer,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def vm(self):
+        """Worker 0's machine (interface compatibility; per-shard cycle
+        ledgers live on each worker, coordinator overheads on
+        :attr:`exchange_cycles` / :attr:`migration_cycles`)."""
+        return self.workers[0].vm
+
+    # ------------------------------------------------------------------
+    # batch execution
+    # ------------------------------------------------------------------
+    def execute(self, batch: Sequence[Request]) -> BatchResult:
+        result = BatchResult()
+        if not batch:
+            return result
+        per_shard, cross = self.router.split(batch)
+
+        # -- concurrent shard-local execution --------------------------
+        local_cycles = [0.0] * self.shards
+        local_rounds = [0] * self.shards
+        mults = [1]
+        for s, sub in enumerate(per_shard):
+            if not sub:
+                continue
+            r = self.workers[s].execute(sub)
+            result.completed.extend(r.completed)
+            result.carried.extend(r.carried)
+            local_cycles[s] = r.cycles
+            local_rounds[s] = r.rounds
+            mults.append(r.multiplicity)
+
+        # -- two-phase claim/commit for cross-shard tuples -------------
+        exchange = 0.0
+        if cross:
+            winners, losers = self.router.resolve_claims(cross)
+            for unit in winners:
+                self._commit(unit)
+                result.completed.append(unit.request)
+            for unit in losers:
+                req = unit.request
+                req.group = self.workers[0].cell_addr(unit.src_index)
+                result.carried.append(req)
+            exchange = 2 * self.cost.shard_claim_rtt
+            exchange += self.cost.shard_transfer_per_word * (
+                _CLAIM_WORDS * len(cross) + _COMMIT_WORDS * len(winners)
+            )
+            self.exchange_cycles += exchange
+            self.total_cross += len(cross)
+
+        # -- inter-batch live migration --------------------------------
+        migration = 0.0
+        n_moves = 0
+        if self.rebalancer is not None:
+            migration, n_moves = self._apply_migrations(self.rebalancer.plan())
+            self.migration_cycles += migration
+            self.total_migrations += n_moves
+
+        result.rounds = max(local_rounds)
+        result.multiplicity = max(mults)
+        result.cycles = max(local_cycles) + exchange + migration
+        result.shard_sizes = tuple(len(sub) for sub in per_shard)
+        result.shard_cycles = tuple(local_cycles)
+        result.shard_rounds = tuple(local_rounds)
+        result.cross_units = len(cross)
+        result.migrations = n_moves
+        return result
+
+    def _commit(self, unit) -> None:
+        """Apply one winning cross-shard transfer on both owners' cells
+        (value -= delta at source, += delta at destination).  The cell
+        words hold sign-tagged negated atoms, so value moves are word
+        moves with flipped sign.  Applied with uncharged stores: the
+        simulated cost is the commit payload charged in ``execute``."""
+        d = unit.request.delta
+        src_w = self.workers[unit.src_shard]
+        dst_w = self.workers[unit.dst_shard]
+        a_src = src_w.cell_addr(unit.src_index)
+        a_dst = dst_w.cell_addr(unit.dst_index)
+        src_w.vm.mem.poke(a_src, int(src_w.vm.mem.peek(a_src)) + d)
+        dst_w.vm.mem.poke(a_dst, int(dst_w.vm.mem.peek(a_dst)) - d)
+
+    # ------------------------------------------------------------------
+    # migration
+    # ------------------------------------------------------------------
+    def _apply_migrations(self, moves: List[Migration]) -> "tuple[float, int]":
+        """Perform planned moves; returns (cycles charged, moves done).
+
+        A hash move that would overflow the destination's node arena is
+        skipped (routing untouched) — bump arenas never reclaim the
+        source's records, so repeated migration spends headroom and the
+        engine degrades to a frozen partition rather than failing.
+        """
+        cycles = 0.0
+        done = 0
+        for mv in moves:
+            src_w = self.workers[mv.src]
+            dst_w = self.workers[mv.dst]
+            if mv.domain == "hash":
+                keys = src_w.executor.table.chain(mv.index)
+                if not dst_w.can_import_chain(len(keys)):
+                    self.migration_skips += 1
+                    continue
+                src_w.export_chain(mv.index)
+                dst_w.import_chain(mv.index, keys)
+                words = 2 * len(keys) + 1  # (key, next) records + head
+            elif mv.domain == "list":
+                value = src_w.export_cell(mv.index)
+                dst_w.import_cell(mv.index, value)
+                words = 1
+            else:  # "bst": routing-only (merge-on-read, docs §4)
+                words = 0
+            self.router.partition.domain(mv.domain).move(mv.index, mv.dst)
+            cycles += self.cost.shard_claim_rtt
+            cycles += self.cost.shard_transfer_per_word * words
+            done += 1
+        return cycles, done
+
+    # ------------------------------------------------------------------
+    # merged state (uncharged; equivalence tests and verification)
+    # ------------------------------------------------------------------
+    def list_values(self) -> List[int]:
+        """Global cell values: per-cell sum of shard contributions."""
+        totals = np.zeros(self.workers[0].executor.n_cells, dtype=np.int64)
+        for w in self.workers:
+            totals += np.asarray(w.cell_values(), dtype=np.int64)
+        return [int(v) for v in totals]
+
+    def chain_multisets(self) -> Dict[int, List[int]]:
+        """Global chains: per-slot sorted multiset union over shards."""
+        merged: Dict[int, List[int]] = {}
+        for w in self.workers:
+            for slot, keys in w.chain_multisets().items():
+                merged.setdefault(slot, []).extend(keys)
+        return {slot: sorted(keys) for slot, keys in merged.items()}
+
+    def bst_inorder(self) -> List[int]:
+        """Global BST contents: sorted merge of per-shard inorders.
+        Also validates every shard's tree along the way."""
+        out: List[int] = []
+        for w in self.workers:
+            w.check_bst()
+            out.extend(w.bst_inorder())
+        return sorted(out)

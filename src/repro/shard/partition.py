@@ -1,0 +1,188 @@
+"""Address-space partitioning: which shard owns which conflict address.
+
+Owner-computes sharding needs a *total* map from every address a unit
+process can touch to the single worker that owns it.  The conflict
+addresses in this codebase fall into three independent **domains**,
+each a small dense index space:
+
+``"hash"``
+    chained-hash chain heads, indexed by slot ``key % table_size``;
+``"list"``
+    shared list cells, indexed by cell number (``"list"`` bumps and
+    both ends of an ``"xfer"`` tuple route here);
+``"bst"``
+    BST inserts, indexed by ``key % key_space``.  BST ownership routes
+    whole key residues, not tree nodes: each shard grows its own tree
+    over the keys it owns, and the global inorder is the sorted merge
+    of the per-shard inorders (see ``docs/sharding.md``).
+
+A :class:`RoutingTable` is the explicit per-domain owner array — not a
+pure function — so that live migration can retarget individual indices
+(:meth:`RoutingTable.move`) without touching the rest of the map.  The
+two initial assignments are :func:`hash_partition` (round-robin
+interleave: balanced under uniform *and* most skewed workloads, since
+adjacent hot ranks land on different shards) and
+:func:`range_partition` (contiguous blocks: the locality-friendly
+layout real systems prefer, and the one a Zipf-hot prefix turns into a
+hot shard — the regime :mod:`repro.shard.rebalance` exists for).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+
+#: Domains a :class:`PartitionMap` routes, in a fixed order.
+DOMAINS = ("hash", "list", "bst")
+
+
+def hash_partition(size: int, shards: int) -> np.ndarray:
+    """Round-robin owners: index ``i`` belongs to shard ``i % shards``."""
+    _check(size, shards)
+    return (np.arange(size, dtype=np.int64) % shards).astype(np.int64)
+
+
+def range_partition(size: int, shards: int) -> np.ndarray:
+    """Contiguous owners: the index space is cut into ``shards`` blocks
+    of near-equal length (first ``size % shards`` blocks one longer)."""
+    _check(size, shards)
+    base, extra = divmod(size, shards)
+    lengths = [base + (1 if s < extra else 0) for s in range(shards)]
+    return np.repeat(np.arange(shards, dtype=np.int64), lengths)
+
+
+def _check(size: int, shards: int) -> None:
+    if size <= 0:
+        raise ReproError(f"partition domain size must be positive, got {size}")
+    if shards <= 0:
+        raise ReproError(f"shard count must be positive, got {shards}")
+
+
+#: Named initial-assignment strategies (CLI ``--partitioner`` choices).
+PARTITIONERS: Dict[str, Callable[[int, int], np.ndarray]] = {
+    "hash": hash_partition,
+    "range": range_partition,
+}
+
+
+class RoutingTable:
+    """Explicit owner array for one domain, supporting live re-routing.
+
+    ``owner[i]`` is the shard that owns index ``i``.  Alongside the
+    owners the table keeps an exponentially-decayed per-index traffic
+    count (updated by the router, decayed by the rebalancer), which is
+    what hot-range detection reads.
+    """
+
+    def __init__(self, owners: np.ndarray, shards: int) -> None:
+        owners = np.asarray(owners, dtype=np.int64)
+        if owners.ndim != 1 or owners.size == 0:
+            raise ReproError("routing table needs a non-empty 1-D owner array")
+        if owners.min() < 0 or owners.max() >= shards:
+            raise ReproError(
+                f"owner array references shards outside [0, {shards})"
+            )
+        self.owners = owners
+        self.shards = shards
+        self.traffic = np.zeros(owners.size, dtype=np.float64)
+        self.moves = 0
+
+    @property
+    def size(self) -> int:
+        return self.owners.size
+
+    def owner_of(self, index: int) -> int:
+        """Owning shard of ``index`` (callers pre-fold keys into range)."""
+        return int(self.owners[index])
+
+    def fold(self, key: int) -> int:
+        """Fold an arbitrary key into this domain's index range."""
+        return int(key) % self.size
+
+    def record(self, index: int, weight: float = 1.0) -> None:
+        """Count routed traffic against ``index`` (rebalancer input)."""
+        self.traffic[index] += weight
+
+    def decay(self, alpha: float) -> None:
+        """Geometrically age the traffic counts (``alpha`` in (0, 1])."""
+        self.traffic *= 1.0 - alpha
+
+    def move(self, index: int, dest: int) -> int:
+        """Retarget ``index`` to shard ``dest``; returns the old owner."""
+        if not 0 <= dest < self.shards:
+            raise ReproError(f"cannot move index to unknown shard {dest}")
+        old = int(self.owners[index])
+        self.owners[index] = dest
+        if old != dest:
+            self.moves += 1
+        return old
+
+    def shard_load(self) -> np.ndarray:
+        """Current per-shard traffic totals (length ``shards``)."""
+        return np.bincount(
+            self.owners, weights=self.traffic, minlength=self.shards
+        )
+
+    def indices_of(self, shard: int) -> np.ndarray:
+        """Indices currently owned by ``shard``."""
+        return np.nonzero(self.owners == shard)[0]
+
+
+@dataclass
+class PartitionMap:
+    """The three per-domain routing tables, built by one partitioner."""
+
+    hash: RoutingTable
+    list: RoutingTable
+    bst: RoutingTable
+
+    @property
+    def shards(self) -> int:
+        return self.hash.shards
+
+    def domain(self, name: str) -> RoutingTable:
+        if name not in DOMAINS:
+            raise ReproError(
+                f"unknown routing domain {name!r}; expected one of {DOMAINS}"
+            )
+        return getattr(self, name)
+
+    def items(self) -> Iterable[Tuple[str, RoutingTable]]:
+        for name in DOMAINS:
+            yield name, getattr(self, name)
+
+    def shard_load(self) -> np.ndarray:
+        """Per-shard decayed traffic summed over all domains."""
+        total = np.zeros(self.shards, dtype=np.float64)
+        for _, table in self.items():
+            total += table.shard_load()
+        return total
+
+    def total_moves(self) -> int:
+        return sum(table.moves for _, table in self.items())
+
+
+def make_partition_map(
+    partitioner: str,
+    shards: int,
+    *,
+    table_size: int,
+    n_cells: int,
+    key_space: int,
+) -> PartitionMap:
+    """Build the initial :class:`PartitionMap` for a K-shard engine."""
+    if partitioner not in PARTITIONERS:
+        raise ReproError(
+            f"unknown partitioner {partitioner!r}; "
+            f"expected one of {tuple(PARTITIONERS)}"
+        )
+    assign = PARTITIONERS[partitioner]
+    return PartitionMap(
+        hash=RoutingTable(assign(table_size, shards), shards),
+        list=RoutingTable(assign(n_cells, shards), shards),
+        bst=RoutingTable(assign(key_space, shards), shards),
+    )

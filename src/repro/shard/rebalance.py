@@ -1,0 +1,138 @@
+"""Megaphone-style live migration: move hot key ranges off hot shards.
+
+Owner-computes sharding is only as good as its partition.  Under a
+skewed (Zipf) key stream a contiguous range partition concentrates the
+hot ranks on one shard, and because a batch's cycle cost is the *max*
+over shards, one hot shard sets the pace for all K — throughput decays
+toward the single-shard level.  The fix, following the Megaphone design
+in the related file set (`/root/related/LorenzSelv__megaphone/`), is to
+re-partition *live*: detect the hot shard from per-shard load metrics
+and move individual routing indices (chain-head slots, list cells, BST
+key residues) to colder shards **between micro-batches**, while
+in-flight carryover lanes keep flowing.
+
+Detection and planning (:class:`Rebalancer`):
+
+* the router records exponentially-decayed per-index traffic in each
+  :class:`~repro.shard.partition.RoutingTable`; per-shard sums of those
+  counts are the load signal (decay keeps it reactive after the
+  workload shifts);
+* a shard is *hot* when its load exceeds ``threshold`` x the mean and
+  the planner is off cooldown;
+* the plan greedily moves the hot shard's hottest indices to the
+  currently coldest shard, stopping at half the hot-cold gap.  An
+  index whose own traffic exceeds the remaining gap is skipped — moving
+  it would just relocate the hotspot and the next plan would move it
+  back (oscillation), the one pathology a single dominant key forces on
+  *any* range re-assignment scheme;
+* ``cooldown`` batches must pass between plans so a migration's effect
+  is observed before the next one is sized.
+
+Physical movement is the coordinator's job (it owns both workers and
+the cycle ledger); this module only decides *what* moves.  Per domain:
+hash chains are re-linked into the destination's node arena, list cells
+transfer their accumulated delta, and BST indices are re-routed without
+moving nodes — the destination grows its own subtree for future inserts
+and the global inorder stays the sorted merge of per-shard inorders
+(``docs/sharding.md`` §4 has the correctness argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..errors import ReproError
+from .partition import DOMAINS, PartitionMap
+
+
+@dataclass(frozen=True)
+class Migration:
+    """One planned index move: ``domain[index]`` from ``src`` to ``dst``."""
+
+    domain: str
+    index: int
+    src: int
+    dst: int
+    traffic: float  # decayed traffic the index carried when planned
+
+
+class Rebalancer:
+    """Detects hot shards and plans index migrations between batches."""
+
+    def __init__(
+        self,
+        partition: PartitionMap,
+        *,
+        threshold: float = 1.8,
+        cooldown: int = 4,
+        decay: float = 0.3,
+        max_moves: int = 8,
+    ) -> None:
+        if threshold <= 1.0:
+            raise ReproError(f"rebalance threshold must exceed 1, got {threshold}")
+        if not 0.0 < decay <= 1.0:
+            raise ReproError(f"traffic decay must be in (0, 1], got {decay}")
+        self.partition = partition
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.decay = decay
+        self.max_moves = max_moves
+        self._cool = 0
+        self.plans = 0
+        self.total_moves = 0
+
+    # ------------------------------------------------------------------
+    def plan(self) -> List[Migration]:
+        """Inspect the decayed load and plan this inter-batch gap's
+        migrations (empty most of the time).  Call once per micro-batch,
+        after execution; traffic decay is applied here."""
+        part = self.partition
+        load = part.shard_load()
+        moves: List[Migration] = []
+        if self._cool > 0:
+            self._cool -= 1
+        elif part.shards > 1 and load.sum() > 0:
+            mean = load.sum() / part.shards
+            hot = int(np.argmax(load))
+            cold = int(np.argmin(load))
+            if load[hot] > self.threshold * mean and load[hot] > load[cold]:
+                moves = self._plan_moves(hot, cold, float(load[hot] - load[cold]))
+                if moves:
+                    self.plans += 1
+                    self.total_moves += len(moves)
+                    self._cool = self.cooldown
+        for _, table in part.items():
+            table.decay(self.decay)
+        return moves
+
+    def _plan_moves(self, hot: int, cold: int, gap: float) -> List[Migration]:
+        """Greedy: hot shard's hottest indices, largest first, until half
+        the load gap has moved (moving more would overshoot and invert)."""
+        budget = gap / 2.0
+        candidates = []
+        for name in DOMAINS:
+            table = self.partition.domain(name)
+            for idx in table.indices_of(hot):
+                t = float(table.traffic[idx])
+                if t > 0:
+                    candidates.append((t, name, int(idx)))
+        candidates.sort(reverse=True)
+        moves: List[Migration] = []
+        for t, name, idx in candidates:
+            if len(moves) >= self.max_moves or budget <= 0:
+                break
+            if t > budget and moves:
+                continue  # would overshoot; smaller candidates may fit
+            if t > gap / 2.0 + 1e-9 and not moves:
+                # A single index hotter than half the gap: moving it just
+                # relocates the hotspot.  FOL still serialises that one
+                # address's conflicts on whichever shard owns it, so skew
+                # this extreme is not migratable (Megaphone has the same
+                # floor: one key is the unit of re-assignment).
+                continue
+            moves.append(Migration(name, idx, hot, cold, t))
+            budget -= t
+        return moves

@@ -1,0 +1,132 @@
+"""Batch routing: split each micro-batch by owning shard.
+
+The router turns one micro-batch into K shard-local sub-batches plus a
+(usually short) list of **cross-shard units** — ``"xfer"`` tuples whose
+two cells live on different owners.  Everything else is single-address
+and lands wholly inside one shard, which is the point of
+owner-computes: the FOL rounds a shard runs over its sub-batch touch
+only addresses it owns, so no two shards can conflict and the rounds
+run concurrently.
+
+Routing rules per request kind:
+
+* ``"hash"`` — domain ``"hash"``, index ``key % table_size`` (the chain
+  head is the conflict address, so ownership follows slots, not keys);
+* ``"list"`` — domain ``"list"``, index ``key`` (cell number);
+* ``"bst"`` — domain ``"bst"``, index ``key % key_space`` **unless**
+  the lane was carried by a shard in a previous batch: a carried BST
+  lane owns a pre-built node and a descent slot in that shard's memory
+  (``Request.home``), so it stays pinned there even if a migration has
+  since re-routed its key residue.  Hash and list carryovers hold no
+  shard-resident state (their ``group`` is a layout address, identical
+  across the uniformly-built workers) and re-route freely.
+* ``"xfer"`` — domain ``"list"`` twice (``key`` and ``key2``).  Same
+  owner: a shard-local L = 2 tuple, executed by the worker's FOL*
+  round.  Different owners: a :class:`CrossUnit`, resolved by the
+  coordinator's two-phase claim/commit (see
+  :meth:`Router.resolve_claims` and ``docs/sharding.md`` §3).
+
+The claim phase is first-come over this batch's cross-unit cell set:
+of the cross units competing for a cell, the earliest in batch order
+wins both of its claims or is carried to the next micro-batch — the
+same one-winner-per-address-per-round discipline FOL's filtering gives
+shard-local lanes (losers recirculate through the carryover buffer and
+retry against fresh arrivals).  Claim/commit cycles are charged from
+the :class:`~repro.machine.cost_model.CostModel`'s ``shard_claim_rtt``
+/ ``shard_transfer_per_word`` fields by the coordinator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..errors import ReproError
+from ..mem.arena import NIL
+from ..runtime.queue import Request
+from .partition import PartitionMap
+
+
+@dataclass
+class CrossUnit:
+    """An ``"xfer"`` tuple whose two cells have different owners."""
+
+    request: Request
+    src_index: int  # list-domain index of ``key``
+    dst_index: int  # list-domain index of ``key2``
+    src_shard: int
+    dst_shard: int
+
+
+class Router:
+    """Splits micro-batches by owner and resolves cross-shard claims."""
+
+    def __init__(self, partition: PartitionMap) -> None:
+        self.partition = partition
+        self.shards = partition.shards
+        self.cross_routed = 0
+        self.cross_won = 0
+        self.cross_carried = 0
+
+    # ------------------------------------------------------------------
+    def split(
+        self, batch: Sequence[Request]
+    ) -> Tuple[List[List[Request]], List[CrossUnit]]:
+        """Partition ``batch`` into per-shard sub-batches (batch order
+        preserved within each shard) plus the cross-shard units."""
+        per_shard: List[List[Request]] = [[] for _ in range(self.shards)]
+        cross: List[CrossUnit] = []
+        for req in batch:
+            if req.kind == "hash":
+                table = self.partition.hash
+                idx = table.fold(req.key)
+                table.record(idx)
+                per_shard[table.owner_of(idx)].append(req)
+            elif req.kind == "bst":
+                table = self.partition.bst
+                idx = table.fold(req.key)
+                table.record(idx)
+                if req.node != NIL and req.home >= 0:
+                    per_shard[req.home].append(req)  # pinned carryover
+                else:
+                    per_shard[table.owner_of(idx)].append(req)
+            elif req.kind == "list":
+                table = self.partition.list
+                idx = table.fold(req.key)
+                table.record(idx)
+                per_shard[table.owner_of(idx)].append(req)
+            elif req.kind == "xfer":
+                table = self.partition.list
+                si, di = table.fold(req.key), table.fold(req.key2)
+                table.record(si)
+                table.record(di)
+                so, do = table.owner_of(si), table.owner_of(di)
+                if so == do:
+                    per_shard[so].append(req)
+                else:
+                    self.cross_routed += 1
+                    cross.append(CrossUnit(req, si, di, so, do))
+            else:  # pragma: no cover - Request.__post_init__ rejects these
+                raise ReproError(f"router cannot place request kind {req.kind!r}")
+        return per_shard, cross
+
+    # ------------------------------------------------------------------
+    def resolve_claims(
+        self, cross: Sequence[CrossUnit]
+    ) -> Tuple[List[CrossUnit], List[CrossUnit]]:
+        """Phase one of the cross-shard exchange: first-come claims over
+        the batch's cross-unit cells.  Returns ``(winners, losers)``;
+        winners hold both cells and may commit, losers are carried."""
+        taken: set = set()
+        winners: List[CrossUnit] = []
+        losers: List[CrossUnit] = []
+        for unit in cross:
+            if unit.src_index in taken or unit.dst_index in taken:
+                losers.append(unit)
+            else:
+                taken.add(unit.src_index)
+                taken.add(unit.dst_index)
+                winners.append(unit)
+        self.cross_won += len(winners)
+        self.cross_carried += len(losers)
+        return winners, losers

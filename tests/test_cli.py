@@ -50,3 +50,48 @@ class TestCli:
         out = capsys.readouterr().out
         assert "cycles_per_request" in out
         assert "p50_latency" in out
+
+    def test_stream_sharded(self, capsys):
+        assert main(["stream", "--requests", "60", "--closed-loop",
+                     "--policy", "fixed", "--batch-size", "16",
+                     "--shards", "4", "--kinds", "hash,list"]) == 0
+        out = capsys.readouterr().out
+        assert "shards=4" in out
+        assert "lanes/shard" in out
+        assert "mean_shard_occupancy" in out
+
+    def test_stream_sharded_rebalance(self, capsys):
+        assert main(["stream", "--requests", "80", "--closed-loop",
+                     "--policy", "fixed", "--batch-size", "16",
+                     "--shards", "2", "--partitioner", "range",
+                     "--rebalance", "--skew", "1.2",
+                     "--kinds", "hash,list"]) == 0
+        out = capsys.readouterr().out
+        assert "migrations" in out
+
+
+class TestCliBadInput:
+    """Invalid sizes must exit 2 with usage help, not crash (ISSUE 2)."""
+
+    @pytest.mark.parametrize("argv", [
+        ["stream", "--shards", "0"],
+        ["stream", "--shards", "-2"],
+        ["stream", "--queue-capacity", "-3"],
+        ["stream", "--queue-capacity", "0"],
+        ["stream", "--batch-size", "-1"],
+        ["stream", "--requests", "-5"],
+        ["stream", "--requests", "0"],
+        ["stream", "--mean-gap", "-2.0"],
+        ["stream", "--deadline", "0"],
+        ["stream", "--skew", "-0.5"],
+        ["stream", "--table-size", "0"],
+        ["stream", "--key-space", "-7"],
+        ["stream", "--shards", "two"],
+    ])
+    def test_bad_sizes_exit_2(self, argv, capsys):
+        assert main(argv) == 2
+        assert "stream" in capsys.readouterr().out  # help was printed
+
+    def test_bad_partitioner_exits_2(self, capsys):
+        assert main(["stream", "--shards", "2",
+                     "--partitioner", "zigzag"]) == 2

@@ -1,0 +1,130 @@
+"""Property-based equivalence for vectorized open-addressing insertion
+under duplicate-heavy key streams (ISSUE 2 satellite).
+
+:func:`repro.hashing.sets.vector_unique` runs proper FOL1 rounds with
+subscript labels (equal keys racing on one free slot must elect one
+winner), so its observable behaviour has a trivial scalar reference:
+insert-if-absent, one key at a time.  The properties:
+
+* the table ends up storing exactly the distinct keys — same multiset
+  of slots a scalar insert-if-absent loop produces;
+* the returned "fresh" vector is the distinct keys, and under the
+  deterministic ``"first"`` conflict policy it is in first-occurrence
+  order, exactly matching the scalar reference's insertion order;
+* the same holds when the key space is sharded across K per-shard
+  tables by a :class:`~repro.shard.partition.RoutingTable` residue
+  split — the merged stored-key union is the distinct-key set and the
+  per-shard contents are disjoint (owner-computes over key residues).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.scalar import scalar_open_insert
+from repro.hashing.sets import vector_unique
+from repro.hashing.table import OpenHashTable
+from repro.machine import CONFLICT_POLICIES, CostModel, Memory, ScalarProcessor, VectorMachine
+from repro.mem import BumpAllocator
+from repro.shard import RoutingTable, hash_partition
+
+TABLE_SIZE = 67  # OpenHashTable requires size > 32
+
+# Duplicate-heavy by construction: many draws from a small key universe.
+duplicate_heavy_keys = st.lists(
+    st.integers(min_value=0, max_value=24), min_size=0, max_size=60
+)
+
+
+def build_table(size=TABLE_SIZE, seed=0):
+    vm = VectorMachine(Memory(size + 64, cost_model=CostModel.free(), seed=seed))
+    return vm, OpenHashTable(BumpAllocator(vm.mem), size)
+
+
+def scalar_reference(keys):
+    """Insert-if-absent, one key at a time; returns (table, order)."""
+    mem = Memory(TABLE_SIZE + 64, cost_model=CostModel.free())
+    table = OpenHashTable(BumpAllocator(mem), TABLE_SIZE)
+    order = list(dict.fromkeys(int(k) for k in keys))
+    scalar_open_insert(ScalarProcessor(mem), table, order)
+    return table, order
+
+
+@settings(max_examples=60, deadline=None)
+@given(keys=duplicate_heavy_keys, policy=st.sampled_from(CONFLICT_POLICIES))
+def test_vector_unique_matches_scalar_reference(keys, policy):
+    keys = np.asarray(keys, dtype=np.int64)
+    vm, table = build_table()
+    fresh = vector_unique(vm, table, keys, policy=policy)
+
+    ref_table, ref_order = scalar_reference(keys)
+    # Same distinct-key contents...
+    assert sorted(fresh.tolist()) == sorted(ref_order)
+    assert sorted(table.stored_keys().tolist()) == sorted(ref_order)
+    # ...and under the deterministic first-occurrence policy the races
+    # resolve exactly as the scalar loop's insertion order does, so the
+    # layouts agree slot for slot (other policies may elect a different
+    # winner among colliding keys and permute the probe tails).
+    if policy == "first":
+        assert np.array_equal(
+            vm.mem.words[table.base:table.base + TABLE_SIZE],
+            ref_table.memory.words[ref_table.base:ref_table.base + TABLE_SIZE],
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(keys=duplicate_heavy_keys)
+def test_first_policy_reproduces_scalar_insertion_order(keys):
+    keys = np.asarray(keys, dtype=np.int64)
+    vm, table = build_table()
+    fresh = vector_unique(vm, table, keys, policy="first")
+    _, ref_order = scalar_reference(keys)
+    assert fresh.tolist() == ref_order
+
+
+@settings(max_examples=40, deadline=None)
+@given(keys=duplicate_heavy_keys)
+def test_incremental_batches_insert_each_key_once(keys):
+    """Splitting the stream into micro-batches must not re-admit keys:
+    a key is fresh in exactly the first batch that contains it."""
+    keys = np.asarray(keys, dtype=np.int64)
+    vm, table = build_table()
+    seen = set()
+    for start in range(0, keys.size, 7):
+        batch = keys[start:start + 7]
+        fresh = set(vector_unique(vm, table, batch, policy="first").tolist())
+        assert fresh == set(batch.tolist()) - seen
+        seen |= fresh
+    assert sorted(table.stored_keys().tolist()) == sorted(seen)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    keys=duplicate_heavy_keys,
+    shards=st.sampled_from([1, 2, 3, 5]),
+    policy=st.sampled_from(CONFLICT_POLICIES),
+)
+def test_sharded_insertion_matches_unsharded(keys, shards, policy):
+    """Owner-computes over key residues: each shard deduplicates only
+    the keys it owns, in its own table, and the merged result matches
+    the single-table run — the property the sharded runtime's hash path
+    relies on (repro/shard routes chain-head slots the same way)."""
+    keys = np.asarray(keys, dtype=np.int64)
+    routing = RoutingTable(hash_partition(25, shards), shards)
+
+    per_shard_stored = []
+    fresh_union = []
+    for shard in range(shards):
+        owned = np.asarray(
+            [k for k in keys if routing.owner_of(routing.fold(int(k))) == shard],
+            dtype=np.int64,
+        )
+        vm, table = build_table(seed=shard)
+        fresh_union.extend(vector_unique(vm, table, owned, policy=policy).tolist())
+        per_shard_stored.append(set(table.stored_keys().tolist()))
+
+    distinct = set(keys.tolist())
+    # Per-shard contents are disjoint and union to the distinct keys.
+    assert sum(len(s) for s in per_shard_stored) == len(distinct)
+    assert set().union(*per_shard_stored) == distinct
+    assert sorted(fresh_union) == sorted(distinct)

@@ -1,0 +1,181 @@
+"""Property-based equivalence: running a request stream through the
+K-shard engine (:mod:`repro.shard`) — under any partitioner, any shard
+count, with or without live migration — leaves the *merged* global
+state identical to one-shot FOL1 on a single pipeline.
+
+The merged state is the global meaning a sharded engine assigns its
+workers' memories (see ``docs/sharding.md`` §2):
+
+* chained hash table — per-slot key multiset, unioned across shards
+  (each slot has one owner at a time, but migration may leave parts of
+  a chain on former owners; the union is what the table contains);
+* BST — sorted merge of per-shard inorders, with every shard's tree
+  individually satisfying the search invariant;
+* shared list cells — per-cell sum of the shards' contributions
+  (``"xfer"`` tuples move value between cells, possibly across shards
+  through the claim/commit path, so conservation is part of the
+  property).
+
+Migration runs with zero cooldown and a hair-trigger threshold here, so
+routes change constantly mid-stream — the hardest schedule for the
+re-routing of in-flight carryover lanes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import CostModel
+from repro.runtime import (
+    FixedBatcher,
+    Request,
+    StreamExecutor,
+    StreamService,
+)
+from repro.shard import ShardCoordinator
+
+FREE = CostModel.free()
+TABLE_SIZE = 11
+N_CELLS = 8
+KEY_SPACE = 13
+
+SHARD_COUNTS = (1, 2, 4, 7)
+
+
+def build_requests(ops):
+    """Materialise (kind, key, key2, delta) tuples as fresh Requests."""
+    out = []
+    for rid, (kind, key, key2, delta) in enumerate(ops):
+        if kind in ("list", "xfer"):
+            key %= N_CELLS
+        out.append(
+            Request(rid=rid, kind=kind, key=key, delta=delta,
+                    key2=key2 if kind == "xfer" else -1)
+        )
+    return out
+
+
+def one_shot_state(ops):
+    """Reference: the whole stream as one batch of in-batch-retry FOL."""
+    reqs = build_requests(ops)
+    executor = StreamExecutor.for_workload(
+        reqs, table_size=TABLE_SIZE, n_cells=N_CELLS,
+        carryover=False, cost_model=FREE,
+    )
+    result = executor.execute(reqs)
+    assert not result.carried
+    chains = {
+        slot: sorted(executor.table.chain(slot))
+        for slot in range(TABLE_SIZE)
+        if executor.table.chain(slot)
+    }
+    executor.tree.check_bst_invariant()
+    return chains, executor.tree.inorder(), executor.list_values()
+
+
+def run_sharded(ops, shards, partitioner, rebalance):
+    reqs = build_requests(ops)
+    coordinator = ShardCoordinator.for_workload(
+        reqs,
+        shards=shards,
+        partitioner=partitioner,
+        rebalance=rebalance,
+        table_size=TABLE_SIZE,
+        n_cells=N_CELLS,
+        key_space=KEY_SPACE,
+        cost_model=FREE,
+        # Hair-trigger migration: re-partition as often as possible.
+        rebalance_threshold=1.01,
+        rebalance_cooldown=0,
+    )
+    service = StreamService(coordinator, batcher=FixedBatcher(batch_size=7))
+    metrics = service.run(reqs)
+    assert metrics.summary()["completed"] == len(reqs)
+    return coordinator
+
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["hash", "bst", "list", "xfer"]),
+        st.integers(min_value=0, max_value=12),
+        st.integers(min_value=0, max_value=N_CELLS - 1),
+        st.integers(min_value=1, max_value=9),
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    ops=operations,
+    shards=st.sampled_from(SHARD_COUNTS),
+    partitioner=st.sampled_from(["hash", "range"]),
+    rebalance=st.booleans(),
+)
+def test_sharded_matches_one_shot(ops, shards, partitioner, rebalance):
+    chains, inorder, cells = one_shot_state(ops)
+    coordinator = run_sharded(ops, shards, partitioner, rebalance)
+    assert coordinator.chain_multisets() == chains
+    assert coordinator.bst_inorder() == sorted(inorder)
+    assert coordinator.list_values() == cells
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+@pytest.mark.parametrize("rebalance", [False, True])
+def test_hot_key_pileup_sharded(shards, rebalance):
+    """Theorem 6's regime under sharding: every request aliases one
+    address, so one shard serialises the conflicts while migration
+    (when enabled) keeps trying to move the hot index."""
+    ops = [("hash", 5, 0, 1)] * 25 + [("xfer", 3, 3 % N_CELLS, 2)] * 10
+    chains, inorder, cells = one_shot_state(ops)
+    coordinator = run_sharded(ops, shards, "range", rebalance)
+    assert coordinator.chain_multisets() == chains
+    assert coordinator.list_values() == cells
+
+
+@pytest.mark.parametrize("shards", [2, 4, 7])
+def test_migration_actually_happens_and_preserves_state(shards):
+    """The migration schedule in these tests is not vacuous: a skewed
+    stream under a range partition must trigger moves, and the moved
+    chains/cells must still merge to the one-shot state."""
+    rng = np.random.default_rng(5)
+    ops = [
+        ("hash", int(k) % 13, 0, 1)
+        for k in rng.zipf(1.6, size=60)
+    ] + [
+        ("xfer", int(a) % N_CELLS, int(b) % N_CELLS, 1 + int(b) % 5)
+        for a, b in zip(rng.zipf(1.6, size=30), rng.integers(0, 64, size=30))
+    ]
+    chains, inorder, cells = one_shot_state(ops)
+    coordinator = run_sharded(ops, shards, "range", rebalance=True)
+    assert coordinator.total_migrations > 0
+    assert coordinator.chain_multisets() == chains
+    assert coordinator.list_values() == cells
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    updates=st.lists(
+        st.tuples(
+            st.integers(0, N_CELLS - 1),
+            st.integers(0, N_CELLS - 1),
+            st.integers(1, 9),
+        ),
+        max_size=40,
+    ),
+    shards=st.sampled_from(SHARD_COUNTS),
+    partitioner=st.sampled_from(["hash", "range"]),
+)
+def test_xfer_conserves_and_matches_delta_flows(updates, shards, partitioner):
+    """Pure transfer streams: final cell values equal the net delta
+    flow (src loses, dst gains) and the global sum stays zero — even
+    when every tuple crosses shards through claim/commit."""
+    ops = [("xfer", src, dst, d) for src, dst, d in updates]
+    coordinator = run_sharded(ops, shards, partitioner, rebalance=False)
+    expected = [0] * N_CELLS
+    for src, dst, d in updates:
+        expected[src] -= d
+        expected[dst] += d
+    assert coordinator.list_values() == expected
+    assert sum(coordinator.list_values()) == 0
