@@ -39,6 +39,7 @@ from .core import (
     reference_decomposition,
 )
 from .errors import (
+    AuditError,
     DeadlockError,
     DecompositionError,
     LabelError,
@@ -86,6 +87,7 @@ __all__ = [
     "max_multiplicity",
     "reference_decomposition",
     # errors
+    "AuditError",
     "ReproError",
     "MachineError",
     "MemoryFault",

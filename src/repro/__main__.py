@@ -11,6 +11,10 @@ Subcommands
 ``stream``
     Run the streaming micro-batch FOL service (:mod:`repro.runtime`)
     over a generated workload and print per-batch metrics.
+``audit``
+    Fuzz the FOL pipelines under the runtime invariant auditor and the
+    scalar differential oracles (:mod:`repro.audit`); exits non-zero
+    with a shrunk counterexample on any failure.
 ``info``
     Print the library version, the calibrated cost model, and the
     experiment registry.
@@ -58,6 +62,21 @@ def _nonneg_float(text: str) -> float:
     return value
 
 
+#: Largest accepted Zipf skew: beyond this the truncated distribution is
+#: numerically degenerate (rank-1 mass ~ 1.0) and run times explode.
+MAX_SKEW = 8.0
+
+
+def _skew(text: str) -> float:
+    """argparse type: a Zipf skew in [0, MAX_SKEW]."""
+    value = _nonneg_float(text)
+    if value > MAX_SKEW:
+        raise argparse.ArgumentTypeError(
+            f"skew must be at most {MAX_SKEW}, got {value}"
+        )
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command")
@@ -80,8 +99,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fixed/initial batch size (max size for deadline)")
     stream.add_argument("--deadline", type=_positive_float, default=2000.0,
                         help="deadline policy: max head-of-line wait in cycles")
-    stream.add_argument("--skew", type=_nonneg_float, default=0.0,
-                        help="Zipf key skew (0 = uniform)")
+    stream.add_argument("--skew", type=_skew, default=0.0,
+                        help=f"Zipf key skew (0 = uniform, max {MAX_SKEW})")
     stream.add_argument("--kinds", default="hash",
                         help="comma-separated request kinds: hash,bst,list,xfer")
     stream.add_argument("--queue-capacity", type=_positive_int, default=4096)
@@ -109,6 +128,21 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--trace", action="store_true",
                         help="record and print the instruction mix")
     stream.add_argument("--seed", type=int, default=0)
+
+    audit = sub.add_parser(
+        "audit", help="fuzz the FOL pipelines under invariant auditing"
+    )
+    audit.add_argument("--suite", choices=("core", "stream", "shard", "all"),
+                       default="all", help="which pipeline family to fuzz")
+    audit.add_argument("--seed", type=int, default=0,
+                       help="base seed (every case derives from it)")
+    audit.add_argument("--cases", type=_positive_int, default=100,
+                       help="generated cases per suite")
+    audit.add_argument("--max-lanes", type=_positive_int, default=96,
+                       help="largest generated input size")
+    audit.add_argument("--artifact", default=None, metavar="PATH",
+                       help="write a JSON report (counterexamples included) "
+                            "to PATH on failure")
     return parser
 
 
@@ -145,6 +179,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"repro stream: {exc}", file=sys.stderr)
             return 2
         return 0
+
+    if args.command == "audit":
+        from .errors import ReproError
+
+        try:
+            return _audit(args)
+        except ReproError as exc:
+            print(f"repro audit: {exc}", file=sys.stderr)
+            return 2
 
     if args.command == "info":
         _info()
@@ -265,6 +308,42 @@ def _stream(args) -> None:
             metrics.instruction_mix.items(), key=lambda kv: -kv[1]
         ):
             print(f"  {cat:<16s} {cyc:>14,.0f}")
+
+
+def _audit(args) -> int:
+    import json
+
+    from .audit import run_suite
+
+    suites = ("core", "stream", "shard") if args.suite == "all" else (args.suite,)
+    reports = []
+    failed = False
+    for suite in suites:
+        report = run_suite(
+            suite, seed=args.seed, cases=args.cases, max_lanes=args.max_lanes
+        )
+        reports.append(report)
+        s = report.stats
+        print(
+            f"audit {suite}: {report.cases} cases, "
+            f"{s.scatters} scatters ({s.conflicts} conflicting groups), "
+            f"{s.rounds} rounds, {s.claims} claims, "
+            f"{s.decompositions + s.tuple_decompositions} decompositions -> "
+            f"{'OK' if report.ok else f'{len(report.failures)} FAILURES'}"
+        )
+        for failure in report.failures:
+            failed = True
+            print(f"  FAIL {failure.case.describe()}")
+            print(f"       {failure.message}")
+            print(
+                f"       shrunk to {len(failure.keys)} lanes "
+                f"(from {failure.shrunk_from}): {failure.keys}"
+            )
+    if failed and args.artifact:
+        with open(args.artifact, "w", encoding="utf-8") as fh:
+            json.dump([r.as_dict() for r in reports], fh, indent=2)
+        print(f"counterexample report written to {args.artifact}")
+    return 1 if failed else 0
 
 
 def _info() -> None:

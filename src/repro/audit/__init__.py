@@ -1,0 +1,75 @@
+"""Runtime invariant auditing and differential fuzzing.
+
+Opt-in verification layer for the FOL reproduction: attach an
+:class:`InvariantAuditor` to any machine (or executor, or the sharded
+coordinator) and every indirect store, filtering round, BST claim and
+finished decomposition is checked against the paper's machine-level
+assumptions (ELS, Lemmas 1-2, Theorems 3-6) *as the simulator runs* —
+at zero simulated cost, and with no overhead at all when detached.
+
+:mod:`repro.audit.oracle` holds independent scalar reference
+implementations with first-divergence diffing;
+:mod:`repro.audit.fuzz` generates seeded adversarial workloads, runs
+them under audit against the oracles, and shrinks any counterexample.
+
+CLI: ``python -m repro audit [--suite core|stream|shard|all] [--seed N]
+[--cases K]``.
+"""
+
+from .invariants import (
+    AuditStats,
+    ConflictRecord,
+    InvariantAuditor,
+    attach_everywhere,
+)
+from .oracle import (
+    Divergence,
+    diff_bst,
+    diff_hash,
+    diff_list,
+    diff_sorted,
+    diff_stream_state,
+    hash_reference,
+    list_reference,
+)
+from .fuzz import (
+    FuzzCase,
+    FuzzFailure,
+    FuzzReport,
+    PATTERNS,
+    SUITES,
+    generate_keys,
+    install_els_fault,
+    run_core_case,
+    run_shard_case,
+    run_stream_case,
+    run_suite,
+    shrink_keys,
+)
+
+__all__ = [
+    "AuditStats",
+    "ConflictRecord",
+    "InvariantAuditor",
+    "attach_everywhere",
+    "Divergence",
+    "diff_bst",
+    "diff_hash",
+    "diff_list",
+    "diff_sorted",
+    "diff_stream_state",
+    "hash_reference",
+    "list_reference",
+    "FuzzCase",
+    "FuzzFailure",
+    "FuzzReport",
+    "PATTERNS",
+    "SUITES",
+    "generate_keys",
+    "install_els_fault",
+    "run_core_case",
+    "run_shard_case",
+    "run_stream_case",
+    "run_suite",
+    "shrink_keys",
+]

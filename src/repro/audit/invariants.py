@@ -1,0 +1,297 @@
+"""Runtime invariant auditing for FOL's machine-level guarantees.
+
+FOL's correctness proofs assume, rather than check, two families of
+machine behaviour:
+
+* **ELS** (exclusive label storing, paper §3.1): when several lanes of
+  one list-vector store target the same address, exactly one lane's
+  *whole word* survives — never an amalgam of bits from different lanes.
+  Every theorem in §3.2 starts from this.
+* **Decomposition output conditions** (Lemmas 1-2, Theorems 3-6): each
+  round's surviving set is duplicate-free (parallel-processable), the
+  union over rounds equals the input, rounds are pairwise disjoint, and
+  the round count equals the observed maximum pointer multiplicity M.
+
+:class:`InvariantAuditor` checks both *while the simulator runs*.  It is
+attached to a :class:`~repro.machine.memory.Memory` (``mem.audit``), and
+the hooked call sites — ``Memory.scatter``/``scatter_masked``, the FOL
+cores, the carryover rounds, the stream executor's BST claims — invoke
+it only when it is non-``None``, so an unaudited run pays a single
+attribute test per scatter and zero simulated cycles either way (audit
+reads use uncharged peeks and never touch the
+:class:`~repro.machine.counter.CycleCounter`).
+
+All failures raise :class:`~repro.errors.AuditError` with the conflicting
+lane set spelled out, which is what the fuzz harness shrinks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import AuditError
+
+#: Cap on retained conflict records (the counters keep counting past it).
+DEFAULT_CONFLICT_LOG = 64
+
+
+@dataclass(frozen=True)
+class ConflictRecord:
+    """One observed scatter conflict: the lanes that raced one address."""
+
+    address: int
+    lanes: tuple  # lane indices within the scatter, ascending
+    values: tuple  # the words those lanes tried to store
+    survivor: int  # the word found in memory after the scatter
+
+    def __str__(self) -> str:
+        return (
+            f"address {self.address}: lanes {list(self.lanes)} wrote "
+            f"{list(self.values)}, word {self.survivor} survived"
+        )
+
+
+@dataclass
+class AuditStats:
+    """Counters the auditor accumulates over a run."""
+
+    scatters: int = 0
+    scatter_lanes: int = 0
+    conflicts: int = 0  # conflicting address groups observed
+    rounds: int = 0
+    claims: int = 0
+    decompositions: int = 0
+    tuple_decompositions: int = 0
+    conflict_fanout: Dict[int, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        out = {
+            "scatters": self.scatters,
+            "scatter_lanes": self.scatter_lanes,
+            "conflicts": self.conflicts,
+            "rounds": self.rounds,
+            "claims": self.claims,
+            "decompositions": self.decompositions,
+            "tuple_decompositions": self.tuple_decompositions,
+        }
+        if self.conflict_fanout:
+            out["conflict_fanout"] = {
+                str(k): v for k, v in sorted(self.conflict_fanout.items())
+            }
+        return out
+
+
+class InvariantAuditor:
+    """Checks ELS and decomposition invariants as the machine executes.
+
+    Attach with :meth:`repro.machine.vm.VectorMachine.attach_audit` (or
+    set ``memory.audit`` directly); detach by setting it back to
+    ``None``.  One auditor may serve several memories (the sharded
+    engine attaches one per worker by default, but a shared instance
+    only merges the counters — checks are per-call and stateless).
+    """
+
+    def __init__(self, *, conflict_log: int = DEFAULT_CONFLICT_LOG) -> None:
+        self.stats = AuditStats()
+        self.conflict_log: List[ConflictRecord] = []
+        self._log_cap = conflict_log
+
+    # ------------------------------------------------------------------
+    # ELS: every indirect store
+    # ------------------------------------------------------------------
+    def on_scatter(self, addrs: np.ndarray, values: np.ndarray, memory) -> None:
+        """Audit one executed list-vector store.
+
+        Called by :class:`~repro.machine.memory.Memory` after the words
+        were written (masked-off lanes already removed).  For every
+        address the scatter touched, the word now in memory must equal
+        the word *some* targeting lane wrote — exactly-one-survivor,
+        never an amalgam.  Conflicting lane sets are recorded.
+        """
+        self.stats.scatters += 1
+        n = int(addrs.size)
+        self.stats.scatter_lanes += n
+        if n == 0:
+            return
+        order = np.argsort(addrs, kind="stable")
+        sa = addrs[order]
+        sv = values[order]
+        stored = memory.words[sa]  # uncharged debug read
+        new_group = np.concatenate(([True], sa[1:] != sa[:-1]))
+        starts = np.flatnonzero(new_group)
+        sizes = np.diff(np.append(starts, n))
+        # Per lane: is my word the one that survived at my address?
+        ok = sv == stored
+        group_ok = np.logical_or.reduceat(ok, starts)
+        dup_groups = np.flatnonzero(sizes > 1)
+        if dup_groups.size:
+            self.stats.conflicts += int(dup_groups.size)
+            for g in dup_groups:
+                fan = int(sizes[g])
+                self.stats.conflict_fanout[fan] = (
+                    self.stats.conflict_fanout.get(fan, 0) + 1
+                )
+            if len(self.conflict_log) < self._log_cap:
+                for g in dup_groups[: self._log_cap - len(self.conflict_log)]:
+                    s = int(starts[g])
+                    e = s + int(sizes[g])
+                    self.conflict_log.append(
+                        ConflictRecord(
+                            address=int(sa[s]),
+                            lanes=tuple(int(i) for i in order[s:e]),
+                            values=tuple(int(v) for v in sv[s:e]),
+                            survivor=int(stored[s]),
+                        )
+                    )
+        if not group_ok.all():
+            g = int(np.flatnonzero(~group_ok)[0])
+            s = int(starts[g])
+            e = s + int(sizes[g])
+            raise AuditError(
+                "ELS violated: scatter stored an amalgam — "
+                f"address {int(sa[s])} received {sv[s:e].tolist()} from "
+                f"lanes {order[s:e].tolist()} but holds {int(stored[s])}, "
+                "which no lane wrote"
+            )
+
+    # ------------------------------------------------------------------
+    # single filtering rounds (carryover mode)
+    # ------------------------------------------------------------------
+    def on_round(
+        self, addrs: np.ndarray, winners: np.ndarray, losers: np.ndarray
+    ) -> None:
+        """Audit one FOL filtering round's winner/loser split.
+
+        ``winners``/``losers`` are lane positions into ``addrs``.  Lemma
+        2 plus ELS require: the split partitions the lanes, winners'
+        addresses are pairwise distinct, and every distinct address has
+        exactly one winning lane.
+        """
+        self.stats.rounds += 1
+        n = int(addrs.size)
+        seen = np.zeros(n, dtype=np.int64)
+        np.add.at(seen, winners, 1)
+        np.add.at(seen, losers, 1)
+        if np.any(seen != 1):
+            bad = np.flatnonzero(seen != 1)[:8].tolist()
+            raise AuditError(
+                f"round split is not a partition of the lanes: positions "
+                f"{bad} appear {seen[bad].tolist()} times"
+            )
+        won_addrs = addrs[winners]
+        uniq_won, counts = np.unique(won_addrs, return_counts=True)
+        if np.any(counts > 1):
+            dup = int(uniq_won[np.argmax(counts)])
+            lanes = winners[won_addrs == dup]
+            raise AuditError(
+                f"round produced two winners for address {dup} "
+                f"(lanes {lanes.tolist()}) — not parallel-processable"
+            )
+        missing = np.setdiff1d(np.unique(addrs), uniq_won)
+        if missing.size:
+            raise AuditError(
+                f"round produced no winner for address {int(missing[0])} "
+                f"although {int((addrs == missing[0]).sum())} lanes "
+                "targeted it — ELS guarantees one survivor"
+            )
+
+    def on_claim(
+        self, addrs: np.ndarray, attempted: np.ndarray, won: np.ndarray
+    ) -> None:
+        """Audit one masked claim round (BST NIL-slot claims): among the
+        attempted lanes, exactly one winner per distinct address, and no
+        lane won without attempting."""
+        self.stats.claims += 1
+        attempted = np.asarray(attempted, dtype=bool)
+        won = np.asarray(won, dtype=bool)
+        if np.any(won & ~attempted):
+            lane = int(np.flatnonzero(won & ~attempted)[0])
+            raise AuditError(
+                f"claim round: lane {lane} won a slot it never attempted"
+            )
+        att_addrs = addrs[attempted]
+        if att_addrs.size == 0:
+            return
+        won_addrs = addrs[won]
+        uniq_att = np.unique(att_addrs)
+        uniq_won, counts = np.unique(won_addrs, return_counts=True)
+        if np.any(counts > 1):
+            dup = int(uniq_won[np.argmax(counts)])
+            raise AuditError(
+                f"claim round: slot {dup} was claimed by "
+                f"{int(counts.max())} lanes at once"
+            )
+        missing = np.setdiff1d(uniq_att, uniq_won)
+        if missing.size:
+            raise AuditError(
+                f"claim round: slot {int(missing[0])} had claimants but "
+                "no winner — ELS guarantees one survivor"
+            )
+
+    # ------------------------------------------------------------------
+    # full decompositions (retry mode / one-shot FOL)
+    # ------------------------------------------------------------------
+    def on_decomposition(self, dec, *, partial: bool = False) -> None:
+        """Audit a finished FOL1 decomposition against Theorems 3-6.
+
+        ``partial`` marks a ``stop_after`` run, whose sets no longer
+        cover the input: completeness and minimality are skipped but
+        disjointness and parallel-processability still must hold.
+        """
+        self.stats.decompositions += 1
+        try:
+            if partial:
+                dec.validate_partial()
+            else:
+                dec.validate()
+        except Exception as exc:  # DecompositionError -> audit failure
+            raise AuditError(f"decomposition audit failed: {exc}") from exc
+
+    def on_tuple_decomposition(self, dec) -> None:
+        """Audit a finished FOL* decomposition (§3.3 output conditions)."""
+        self.stats.tuple_decompositions += 1
+        try:
+            dec.validate()
+        except Exception as exc:
+            raise AuditError(f"FOL* decomposition audit failed: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "InvariantAuditor") -> None:
+        """Fold another auditor's counters into this one (per-shard
+        auditors are merged for the CLI summary)."""
+        s, o = self.stats, other.stats
+        s.scatters += o.scatters
+        s.scatter_lanes += o.scatter_lanes
+        s.conflicts += o.conflicts
+        s.rounds += o.rounds
+        s.claims += o.claims
+        s.decompositions += o.decompositions
+        s.tuple_decompositions += o.tuple_decompositions
+        for fan, count in o.conflict_fanout.items():
+            s.conflict_fanout[fan] = s.conflict_fanout.get(fan, 0) + count
+        room = self._log_cap - len(self.conflict_log)
+        if room > 0:
+            self.conflict_log.extend(other.conflict_log[:room])
+
+    def summary(self) -> Dict[str, object]:
+        return self.stats.as_dict()
+
+
+def attach_everywhere(obj, auditor: Optional[InvariantAuditor]) -> InvariantAuditor:
+    """Attach ``auditor`` (a fresh one if ``None``) to whatever ``obj``
+    is — a :class:`~repro.machine.vm.VectorMachine`, a
+    :class:`~repro.runtime.executor.StreamExecutor`, a
+    :class:`~repro.shard.coordinator.ShardCoordinator` or a bare
+    :class:`~repro.machine.memory.Memory` — and return it."""
+    if auditor is None:
+        auditor = InvariantAuditor()
+    if hasattr(obj, "attach_audit"):
+        obj.attach_audit(auditor)
+    elif hasattr(obj, "audit"):
+        obj.audit = auditor
+    else:
+        raise AuditError(f"cannot attach an auditor to {type(obj).__name__}")
+    return auditor

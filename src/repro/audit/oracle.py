@@ -1,0 +1,187 @@
+"""Scalar reference oracles with first-divergence state diffing.
+
+Each oracle computes, in plain Python, the state a correct run must
+leave behind — hash chains as per-slot key multisets, shared list cells
+as integer values, a BST as its sorted key multiset, a sort as the
+sorted input — and each ``diff_*`` function compares the vectorized
+implementation's actual state against it, returning ``None`` on a match
+or a :class:`Divergence` that names the **first** divergent cell, chain
+or key.  The fuzz harness (:mod:`repro.audit.fuzz`) treats a divergence
+exactly like an :class:`~repro.errors.AuditError`: a found bug, to be
+shrunk and reported.
+
+The oracles deliberately share no code with the vector paths: they are
+the independent second implementation a differential test needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """First point where actual state departed from the oracle."""
+
+    where: str  # e.g. "chain slot 17", "cell 3", "inorder index 5"
+    expected: object
+    actual: object
+
+    def __str__(self) -> str:
+        return (
+            f"first divergence at {self.where}: "
+            f"expected {self.expected!r}, got {self.actual!r}"
+        )
+
+
+# ----------------------------------------------------------------------
+# chained hash insert
+# ----------------------------------------------------------------------
+def hash_reference(keys: Sequence[int], table_size: int) -> Dict[int, List[int]]:
+    """Expected per-slot key multisets after inserting ``keys`` into a
+    chained table of ``table_size`` slots (sorted; chain order is
+    legitimately policy-dependent, only the multiset is contractual)."""
+    chains: Dict[int, List[int]] = {}
+    for k in keys:
+        chains.setdefault(int(k) % table_size, []).append(int(k))
+    return {slot: sorted(ks) for slot, ks in chains.items()}
+
+
+def diff_hash(
+    actual_chains: Dict[int, List[int]],
+    keys: Sequence[int],
+    table_size: int,
+) -> Optional[Divergence]:
+    """Compare a table's chains (``slot -> keys``, any order) against
+    the scalar oracle; names the first divergent slot."""
+    expected = hash_reference(keys, table_size)
+    actual = {
+        slot: sorted(ks) for slot, ks in actual_chains.items() if ks
+    }
+    for slot in sorted(set(expected) | set(actual)):
+        e = expected.get(slot, [])
+        a = actual.get(slot, [])
+        if e != a:
+            return Divergence(f"chain slot {slot}", e, a)
+    return None
+
+
+# ----------------------------------------------------------------------
+# shared list cells (bumps and transfers)
+# ----------------------------------------------------------------------
+def list_reference(
+    n_cells: int, ops: Sequence[Tuple[str, int, int, int]]
+) -> List[int]:
+    """Expected cell values after applying ``ops`` in any order (the
+    operations commute).  Each op is ``(kind, key, key2, delta)`` with
+    kind ``"list"`` (``cell[key] += delta``) or ``"xfer"``
+    (``cell[key] -= delta; cell[key2] += delta``)."""
+    values = [0] * n_cells
+    for kind, key, key2, delta in ops:
+        if kind == "list":
+            values[key] += delta
+        elif kind == "xfer":
+            values[key] -= delta
+            values[key2] += delta
+        else:
+            raise ValueError(f"unknown list op kind {kind!r}")
+    return values
+
+
+def diff_list(
+    actual_values: Sequence[int],
+    n_cells: int,
+    ops: Sequence[Tuple[str, int, int, int]],
+) -> Optional[Divergence]:
+    """Compare actual cell values against the oracle; names the first
+    divergent cell."""
+    expected = list_reference(n_cells, ops)
+    for cell, (e, a) in enumerate(zip(expected, actual_values)):
+        if int(e) != int(a):
+            return Divergence(f"cell {cell}", int(e), int(a))
+    if len(actual_values) != n_cells:
+        return Divergence("cell count", n_cells, len(actual_values))
+    return None
+
+
+# ----------------------------------------------------------------------
+# BST insert
+# ----------------------------------------------------------------------
+def diff_bst(
+    actual_inorder: Sequence[int], keys: Sequence[int]
+) -> Optional[Divergence]:
+    """A correct multi-insertion leaves an inorder walk equal to the
+    sorted key multiset; names the first divergent index."""
+    expected = sorted(int(k) for k in keys)
+    actual = [int(k) for k in actual_inorder]
+    for i, (e, a) in enumerate(zip(expected, actual)):
+        if e != a:
+            return Divergence(f"inorder index {i}", e, a)
+    if len(actual) != len(expected):
+        return Divergence("inorder length", len(expected), len(actual))
+    return None
+
+
+# ----------------------------------------------------------------------
+# address-calculation sort
+# ----------------------------------------------------------------------
+def diff_sorted(
+    actual_output: Sequence[int], data: Sequence[int]
+) -> Optional[Divergence]:
+    """Compare a sort's output against ``sorted(data)``; names the first
+    divergent rank."""
+    expected = sorted(int(x) for x in data)
+    actual = [int(x) for x in actual_output]
+    for i, (e, a) in enumerate(zip(expected, actual)):
+        if e != a:
+            return Divergence(f"rank {i}", e, a)
+    if len(actual) != len(expected):
+        return Divergence("output length", len(expected), len(actual))
+    return None
+
+
+# ----------------------------------------------------------------------
+# streaming / sharded end state
+# ----------------------------------------------------------------------
+def diff_stream_state(
+    engine,
+    requests,
+    *,
+    table_size: int,
+    n_cells: int,
+) -> Optional[Divergence]:
+    """Differential check of a drained stream engine's whole state.
+
+    ``engine`` is a :class:`~repro.runtime.executor.StreamExecutor` or a
+    :class:`~repro.shard.coordinator.ShardCoordinator` (both expose
+    ``list_values``; chains/inorder are read per engine type).  Every
+    request in ``requests`` must have completed (use the blocking
+    admission policy when generating audited workloads).
+    """
+    hash_keys = [r.key for r in requests if r.kind == "hash"]
+    bst_keys = [r.key for r in requests if r.kind == "bst"]
+    ops = [
+        (r.kind, r.key, r.key2, r.delta)
+        for r in requests
+        if r.kind in ("list", "xfer")
+    ]
+
+    if hasattr(engine, "chain_multisets"):  # sharded coordinator
+        chains = engine.chain_multisets()
+        inorder = engine.bst_inorder()
+    else:  # single-pipeline executor
+        chains = {
+            slot: keys
+            for slot, keys in enumerate(engine.table.all_chains())
+            if keys
+        }
+        inorder = engine.tree.inorder()
+
+    d = diff_hash(chains, hash_keys, table_size)
+    if d is not None:
+        return d
+    d = diff_bst(inorder, bst_keys)
+    if d is not None:
+        return d
+    return diff_list(engine.list_values(), n_cells, ops)

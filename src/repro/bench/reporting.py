@@ -4,6 +4,7 @@ machine-readable bench-result writer (``BENCH_*.json`` at repo root)."""
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Iterable, List, Mapping, Sequence, Union
 
@@ -26,6 +27,8 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> st
 
 def _fmt(cell: object) -> str:
     if isinstance(cell, float):
+        if math.isnan(cell):
+            return "—"  # undefined metric (e.g. no completions)
         if cell >= 1000:
             return f"{cell:,.0f}"
         return f"{cell:.2f}"
@@ -46,17 +49,37 @@ def sparkline(values: Sequence[float], width: int = 40) -> str:
     return "".join(cells)
 
 
+def _json_safe(value):
+    """Replace NaN/Inf floats with None, recursively.
+
+    ``json.dumps`` would happily emit bare ``NaN``/``Infinity`` tokens,
+    which are not JSON and break strict parsers downstream; undefined
+    metrics (e.g. latency percentiles of a run with no completions) must
+    surface as ``null``.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, Mapping):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value
+
+
 def write_json(path: Union[str, Path], payload: Mapping) -> Path:
     """Write one bench's results as deterministic, diff-friendly JSON.
 
     The perf trajectory of this repo accumulates in ``BENCH_*.json``
     files at the repo root (one per bench, overwritten per run, CI
     uploads them as artifacts), so keys are sorted and floats should be
-    pre-rounded by the caller to keep diffs meaningful.
+    pre-rounded by the caller to keep diffs meaningful.  Non-finite
+    floats are written as ``null`` (see :func:`_json_safe`).
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    path.write_text(
+        json.dumps(_json_safe(payload), indent=2, sort_keys=True) + "\n"
+    )
     return path
 
 

@@ -124,6 +124,23 @@ class Decomposition:
             if s.size == 0:
                 raise DecompositionError(f"set S_{j + 1} is empty")
 
+    def check_disjoint(self) -> None:
+        """Pairwise disjointness alone (no completeness): every position
+        appears in *at most* one set.  This is the half of Lemma 1 a
+        partial (``stop_after``) decomposition must still satisfy."""
+        if self.n == 0:
+            return
+        seen = np.zeros(self.n, dtype=np.int64)
+        for s in self.sets:
+            if s.size and (s.min() < 0 or s.max() >= self.n):
+                raise DecompositionError(
+                    f"set positions out of range [0, {self.n}): {s}"
+                )
+            np.add.at(seen, s, 1)
+        dup = np.flatnonzero(seen > 1)
+        if dup.size:
+            raise DecompositionError(f"positions output twice: {dup[:10].tolist()}")
+
     def validate(self) -> "Decomposition":
         """Run every output-condition check; returns self for chaining."""
         self.check_partition()
@@ -131,6 +148,17 @@ class Decomposition:
         self.check_nonempty_sets()
         self.check_monotone_cardinalities()
         self.check_minimal()
+        return self
+
+    def validate_partial(self) -> "Decomposition":
+        """Checks applicable to a ``stop_after`` prefix S₁ … S_k: sets
+        are pairwise disjoint, parallel-processable and non-empty, with
+        non-increasing cardinalities; completeness and minimality are
+        deliberately skipped (the prefix does not cover the input)."""
+        self.check_disjoint()
+        self.check_parallel_processable()
+        self.check_nonempty_sets()
+        self.check_monotone_cardinalities()
         return self
 
 

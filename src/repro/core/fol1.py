@@ -154,6 +154,8 @@ def fol1(
         if on_set is not None:
             on_set(s_j, rounds)
         if stop_after is not None and len(dec.sets) >= stop_after:
+            if vm.audit is not None:
+                vm.audit.on_decomposition(dec, partial=True)
             return dec
 
         # Step 3: delete survivors from V.
@@ -161,6 +163,8 @@ def fol1(
         vm.loop_overhead()
         rounds += 1
 
+    if vm.audit is not None:
+        vm.audit.on_decomposition(dec)
     return dec
 
 

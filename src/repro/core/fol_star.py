@@ -225,6 +225,8 @@ def fol_star(
         vm.loop_overhead()
         rounds += 1
 
+    if vm.audit is not None:
+        vm.audit.on_tuple_decomposition(dec)
     return dec
 
 

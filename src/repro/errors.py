@@ -46,6 +46,18 @@ class DeadlockError(ReproError):
     """FOL* made no progress in a round (empty ``S_j``; see paper §3.3)."""
 
 
+class AuditError(ReproError):
+    """A runtime invariant audit failed.
+
+    Raised by :mod:`repro.audit.invariants` when an observed machine
+    state violates a guarantee the paper's correctness argument rests on
+    (the ELS condition on conflicting scatter lanes, Lemma 2's
+    one-winner-per-address property, or Theorems 3-6's decomposition
+    conditions).  A correct machine and a correct FOL implementation
+    never trigger it; the fuzz harness treats it as a found bug.
+    """
+
+
 class TableFullError(ReproError):
     """An open-addressing hash table ran out of probeable slots."""
 

@@ -75,6 +75,16 @@ class Memory:
         self.cost = cost_model if cost_model is not None else CostModel.s810()
         self.counter = counter if counter is not None else CycleCounter()
         self._rng = np.random.default_rng(seed)
+        #: Optional :class:`repro.audit.InvariantAuditor`.  When set,
+        #: every scatter is checked against the ELS condition after it
+        #: commits; audit reads are uncharged, and an unaudited run pays
+        #: only this attribute test per scatter.
+        self.audit = None
+        #: Test-only failpoint (see :func:`repro.audit.fuzz.install_els_fault`):
+        #: called as ``fn(memory, addrs, values)`` after the raw scatter
+        #: and *before* the audit hook, so deliberate ELS violations are
+        #: observable by the auditor.  Never set in production paths.
+        self._scatter_fault = None
 
     # ------------------------------------------------------------------
     # validation helpers
@@ -182,6 +192,10 @@ class Memory:
             "v_scatter",
         )
         self._raw_scatter(addrs, values, policy)
+        if self._scatter_fault is not None:
+            self._scatter_fault(self, addrs, values)
+        if self.audit is not None:
+            self.audit.on_scatter(addrs, values, self)
 
     def _raw_scatter(self, addrs: np.ndarray, values: np.ndarray, policy: str) -> None:
         """Scatter without charging (used by masked composites that have
@@ -223,7 +237,12 @@ class Memory:
             addrs.size,
             "v_scatter",
         )
-        self._raw_scatter(addrs[mask], values[mask], policy)
+        live_addrs, live_values = addrs[mask], values[mask]
+        self._raw_scatter(live_addrs, live_values, policy)
+        if self._scatter_fault is not None:
+            self._scatter_fault(self, live_addrs, live_values)
+        if self.audit is not None:
+            self.audit.on_scatter(live_addrs, live_values, self)
 
     # ------------------------------------------------------------------
     # debug / test access (never charged)

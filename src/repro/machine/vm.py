@@ -40,6 +40,22 @@ class VectorMachine:
         self.counter: CycleCounter = memory.counter
 
     # ------------------------------------------------------------------
+    # invariant auditing (opt-in; zero cost when off)
+    # ------------------------------------------------------------------
+    @property
+    def audit(self):
+        """The attached :class:`repro.audit.InvariantAuditor`, or
+        ``None`` (the default: no checks, no overhead)."""
+        return self.mem.audit
+
+    def attach_audit(self, auditor) -> None:
+        """Attach an invariant auditor to this machine's memory; pass
+        ``None`` to detach.  Audited runs check every scatter for ELS
+        conformance and every FOL decomposition against Theorems 3-6,
+        using uncharged reads — simulated cycle counts are unchanged."""
+        self.mem.audit = auditor
+
+    # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
     @staticmethod

@@ -49,9 +49,16 @@ class BatchPolicy:
         return next_arrival
 
     def observe(
-        self, batch_size: int, rounds: int, multiplicity: int, filtered: int
+        self,
+        batch_size: int,
+        rounds: int,
+        multiplicity: int,
+        filtered: int,
+        carried: int = 0,
     ) -> None:
-        """Feedback after a batch executes; default policies ignore it."""
+        """Feedback after a batch executes (``carried`` = how many of
+        the batch's lanes were recirculated carryover, not fresh
+        admissions); default policies ignore it."""
 
 
 class FixedBatcher(BatchPolicy):
@@ -133,6 +140,16 @@ class AdaptiveBatcher(BatchPolicy):
             raise ReproError(f"m_low must be below m_high, got {m_low}/{m_high}")
         if not 0 < smoothing <= 1:
             raise ReproError(f"smoothing must be in (0, 1], got {smoothing}")
+        if grow <= 1:
+            raise ReproError(
+                f"grow factor must exceed 1, got {grow} "
+                "(a non-growing policy would pin the size forever)"
+            )
+        if not 0 < shrink < 1:
+            raise ReproError(
+                f"shrink factor must be in (0, 1), got {shrink} "
+                "(>= 1 could never reduce the size, <= 0 would zero it)"
+            )
         self._size = initial
         self.min_size = min_size
         self.max_size = max_size
@@ -147,12 +164,25 @@ class AdaptiveBatcher(BatchPolicy):
         return self._size
 
     def observe(
-        self, batch_size: int, rounds: int, multiplicity: int, filtered: int
+        self,
+        batch_size: int,
+        rounds: int,
+        multiplicity: int,
+        filtered: int,
+        carried: int = 0,
     ) -> None:
         # Rounds, not raw multiplicity: under carryover the recirculating
         # lanes keep M high even though each batch only pays one round,
         # and shrinking on that signal would destroy start-up
         # amortisation.  In retry mode rounds == M exactly.
+        #
+        # Batches made up purely of carried lanes say nothing about the
+        # arrival stream's sharing (they are the *tail* of earlier
+        # conflicts draining), so they are kept out of the EMA — feeding
+        # them in made a drain phase of N conflicting lanes drive the
+        # target to min_size just as fresh traffic resumed.
+        if batch_size > 0 and carried >= batch_size:
+            return
         m = float(max(rounds, 1))
         if self.m_ema is None:
             self.m_ema = m

@@ -32,7 +32,7 @@ from typing import List, Tuple
 
 import numpy as np
 
-from ..errors import DeadlockError
+from ..errors import AuditError, DeadlockError
 from ..machine.vm import VectorMachine
 from .queue import Request
 
@@ -67,6 +67,8 @@ def fol_round(
             "carryover FOL round produced no survivors — ELS condition violated"
         )
     losers = vm.compress(positions, vm.mask_not(survived))
+    if vm.audit is not None:
+        vm.audit.on_round(addrs, winners, losers)
     return winners, losers
 
 
@@ -117,6 +119,17 @@ def tuple_round(
             "tuple FOL round produced no survivors despite the scalar tail"
         )
     losers = vm.compress(positions, vm.mask_not(survived))
+    if vm.audit is not None:
+        # Tuple winners must hold *all* their cells exclusively: the
+        # concatenated winner addresses across the L vectors must be
+        # pairwise distinct (§3.3's parallel-processability).
+        flat = np.concatenate([v[winners] for v in addr_vectors])
+        uniq = np.unique(flat)
+        if uniq.size != flat.size:
+            raise AuditError(
+                "tuple round winners share a cell — not parallel-processable"
+            )
+        vm.audit.stats.rounds += 1
     return winners, losers
 
 

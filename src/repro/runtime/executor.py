@@ -149,6 +149,18 @@ class StreamExecutor:
         )
 
     # ------------------------------------------------------------------
+    # invariant auditing (opt-in; zero cost when off)
+    # ------------------------------------------------------------------
+    def attach_audit(self, auditor) -> None:
+        """Attach an invariant auditor to this executor's machine (or
+        detach with ``None``).  See :mod:`repro.audit.invariants`."""
+        self.vm.attach_audit(auditor)
+
+    @property
+    def audit(self):
+        return self.vm.audit
+
+    # ------------------------------------------------------------------
     # uncharged state inspection (verification/tests)
     # ------------------------------------------------------------------
     def list_values(self) -> List[int]:
@@ -279,6 +291,8 @@ class StreamExecutor:
                 vm.scatter_masked(cur_slots, lb, at_nil, policy=self.policy)
                 readback = vm.gather(cur_slots)
                 won = vm.mask_and(at_nil, vm.eq(readback, lb))
+                if vm.audit is not None:
+                    vm.audit.on_claim(cur_slots, at_nil, won)
                 vm.scatter_masked(cur_slots, node_ptrs[active], won, policy=self.policy)
                 if not vm.any_true(won):
                     raise ReproError("stream BST claim round made no progress")

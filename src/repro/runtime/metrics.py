@@ -101,9 +101,14 @@ class StreamMetrics:
     # aggregates
     # ------------------------------------------------------------------
     def latency_percentile(self, q: float) -> float:
-        """Simulated-latency percentile over completed requests."""
+        """Simulated-latency percentile over completed requests.
+
+        With no completions there is no latency distribution to take a
+        percentile of; the result is ``nan`` (rendered as ``—`` in the
+        tables and ``null`` in JSON reports), never a fake 0.0 that
+        would read as an infinitely fast service."""
         if not self.latencies:
-            return 0.0
+            return float("nan")
         return float(np.percentile(np.asarray(self.latencies), q))
 
     @property
@@ -120,8 +125,11 @@ class StreamMetrics:
 
     @property
     def cycles_per_request(self) -> float:
+        """Total cycles per completed request; ``nan`` when nothing
+        completed (0.0 would claim free requests — see
+        :meth:`latency_percentile`)."""
         done = self.total_completed
-        return self.total_cycles / done if done else 0.0
+        return self.total_cycles / done if done else float("nan")
 
     def summary(self) -> Dict[str, object]:
         """Aggregate counters as a plain dict (the bench interface)."""
@@ -220,5 +228,7 @@ class StreamMetrics:
 
 def _fmt_value(v: object) -> str:
     if isinstance(v, float):
+        if np.isnan(v):
+            return "—"  # undefined metric (e.g. no completions)
         return f"{v:,.2f}"
     return str(v)

@@ -160,7 +160,11 @@ class StreamService:
                 )
             )
             self.batcher.observe(
-                len(batch), result.rounds, result.multiplicity, result.filtered
+                len(batch),
+                result.rounds,
+                result.multiplicity,
+                result.filtered,
+                carried=len(carried),
             )
             batch_index += 1
 

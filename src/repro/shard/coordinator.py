@@ -43,7 +43,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..errors import ReproError
+from ..errors import AuditError, ReproError
 from ..machine.cost_model import CostModel
 from ..runtime.executor import BatchResult
 from ..runtime.queue import Request
@@ -83,6 +83,9 @@ class ShardCoordinator:
         self.total_cross = 0
         self.total_migrations = 0
         self.migration_skips = 0
+        # One auditor per worker when auditing (each worker has its own
+        # memory); None means no checks and no overhead.
+        self._audits: Optional[List] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -165,6 +168,68 @@ class ShardCoordinator:
         return self.workers[0].vm
 
     # ------------------------------------------------------------------
+    # invariant auditing (opt-in; zero cost when off)
+    # ------------------------------------------------------------------
+    def attach_audit(self, auditor) -> None:
+        """Enable invariant auditing across the sharded engine.
+
+        ``auditor`` is a template/aggregate: each worker gets a *fresh*
+        :class:`~repro.audit.InvariantAuditor` of the same class (the
+        workers own separate memories), and :meth:`audit_summary` merges
+        their counters into ``auditor``.  Pass ``None`` to detach."""
+        if auditor is None:
+            self._audits = None
+            for w in self.workers:
+                w.attach_audit(None)
+            return
+        self._audits = [type(auditor)() for _ in self.workers]
+        for w, aud in zip(self.workers, self._audits):
+            w.attach_audit(aud)
+        self._audit_root = auditor
+
+    @property
+    def audit(self):
+        """The aggregate auditor passed to :meth:`attach_audit` (with
+        worker counters merged on access), or ``None``."""
+        if self._audits is None:
+            return None
+        root = self._audit_root
+        root.stats = type(root.stats)()
+        root.conflict_log = []
+        for aud in self._audits:
+            root.merge(aud)
+        return root
+
+    def _audit_routing(self, per_shard: List[List[Request]]) -> None:
+        """Owner-computes invariant: every lane landed on the shard that
+        owns its conflict index (carried BST lanes may instead be pinned
+        to the shard holding their descent state)."""
+        part = self.router.partition
+        for s, sub in enumerate(per_shard):
+            for req in sub:
+                if req.kind == "hash":
+                    owner = part.hash.owner_of(part.hash.fold(req.key))
+                elif req.kind == "bst":
+                    owner = part.bst.owner_of(part.bst.fold(req.key))
+                    if req.home >= 0 and req.home == s:
+                        continue  # pinned carryover lane
+                elif req.kind == "list":
+                    owner = part.list.owner_of(part.list.fold(req.key))
+                else:  # same-owner xfer
+                    owner = part.list.owner_of(part.list.fold(req.key))
+                    dst = part.list.owner_of(part.list.fold(req.key2))
+                    if owner != dst:
+                        raise AuditError(
+                            f"xfer request {req.rid} routed as shard-local "
+                            f"but its cells are owned by {owner} and {dst}"
+                        )
+                if owner != s:
+                    raise AuditError(
+                        f"request {req.rid} ({req.kind} key={req.key}) "
+                        f"executed on shard {s} but is owned by {owner}"
+                    )
+
+    # ------------------------------------------------------------------
     # batch execution
     # ------------------------------------------------------------------
     def execute(self, batch: Sequence[Request]) -> BatchResult:
@@ -172,6 +237,8 @@ class ShardCoordinator:
         if not batch:
             return result
         per_shard, cross = self.router.split(batch)
+        if self._audits is not None:
+            self._audit_routing(per_shard)
 
         # -- concurrent shard-local execution --------------------------
         local_cycles = [0.0] * self.shards
@@ -250,6 +317,7 @@ class ShardCoordinator:
         """
         cycles = 0.0
         done = 0
+        auditing = self._audits is not None
         for mv in moves:
             src_w = self.workers[mv.src]
             dst_w = self.workers[mv.dst]
@@ -258,12 +326,42 @@ class ShardCoordinator:
                 if not dst_w.can_import_chain(len(keys)):
                     self.migration_skips += 1
                     continue
+                if auditing:
+                    before = sorted(
+                        k for w in self.workers
+                        for k in w.executor.table.chain(mv.index)
+                    )
                 src_w.export_chain(mv.index)
                 dst_w.import_chain(mv.index, keys)
+                if auditing:
+                    after = sorted(
+                        k for w in self.workers
+                        for k in w.executor.table.chain(mv.index)
+                    )
+                    if before != after:
+                        raise AuditError(
+                            f"chain migration of slot {mv.index} "
+                            f"{mv.src}->{mv.dst} changed the key multiset: "
+                            f"{before} -> {after}"
+                        )
                 words = 2 * len(keys) + 1  # (key, next) records + head
             elif mv.domain == "list":
+                if auditing:
+                    before_total = sum(
+                        w.cell_values()[mv.index] for w in self.workers
+                    )
                 value = src_w.export_cell(mv.index)
                 dst_w.import_cell(mv.index, value)
+                if auditing:
+                    after_total = sum(
+                        w.cell_values()[mv.index] for w in self.workers
+                    )
+                    if before_total != after_total:
+                        raise AuditError(
+                            f"cell migration of cell {mv.index} "
+                            f"{mv.src}->{mv.dst} changed the global value: "
+                            f"{before_total} -> {after_total}"
+                        )
                 words = 1
             else:  # "bst": routing-only (merge-on-read, docs §4)
                 words = 0

@@ -84,6 +84,18 @@ class ShardWorker:
         self.lanes = 0
 
     # ------------------------------------------------------------------
+    # invariant auditing (opt-in; zero cost when off)
+    # ------------------------------------------------------------------
+    def attach_audit(self, auditor) -> None:
+        """Attach an invariant auditor to this shard's machine (detach
+        with ``None``); the coordinator attaches one per worker."""
+        self.vm.attach_audit(auditor)
+
+    @property
+    def audit(self):
+        return self.vm.audit
+
+    # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def execute(self, batch: Sequence[Request]) -> BatchResult:

@@ -200,6 +200,8 @@ def vector_bst_insert(
             vm.scatter_masked(cur_slots, lb, at_nil, policy=policy)
             readback = vm.gather(cur_slots)
             won = vm.mask_and(at_nil, vm.eq(readback, lb))
+            if vm.audit is not None:
+                vm.audit.on_claim(cur_slots, at_nil, won)
             # One survivor per slot (ELS) — link its pre-built node in.
             vm.scatter_masked(cur_slots, new_nodes[active], won, policy=policy)
             if not vm.any_true(won):

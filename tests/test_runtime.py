@@ -2,9 +2,15 @@
 policies, carryover buffering, executor batches, metrics, the service
 loop and its CLI entry point."""
 
+import json
+import math
+import tempfile
+from pathlib import Path
+
 import numpy as np
 import pytest
 
+from repro.bench.reporting import write_json
 from repro.errors import ReproError
 from repro.machine import CostModel
 from repro.runtime import (
@@ -26,6 +32,7 @@ from repro.runtime import (
 )
 
 FREE = CostModel.free()
+TMP_JSON = Path(tempfile.gettempdir()) / "repro_test_empty_metrics.json"
 
 
 def req(rid=0, kind="hash", key=1, **kw):
@@ -119,6 +126,32 @@ class TestBatchers:
         b = AdaptiveBatcher(initial=64, max_size=512, smoothing=1.0)
         b.observe(64, rounds=1, multiplicity=300, filtered=63)
         assert b.target_size() > 64
+
+    def test_adaptive_skips_carried_only_batches(self):
+        # A batch that is pure recirculated carryover is the drain tail
+        # of earlier conflicts, not a signal about arrival sharing; it
+        # must leave the EMA (and hence the target size) untouched.
+        b = AdaptiveBatcher(initial=64, max_size=512, smoothing=1.0)
+        b.observe(32, rounds=30, multiplicity=30, filtered=31, carried=32)
+        assert b.target_size() == 64
+        assert b.m_ema is None
+        # A mixed batch (some fresh lanes) still feeds the EMA.
+        b.observe(32, rounds=1, multiplicity=1, filtered=0, carried=16)
+        assert b.target_size() > 64
+
+    def test_adaptive_parameter_validation(self):
+        with pytest.raises(ReproError):
+            AdaptiveBatcher(initial=8, min_size=16)  # initial < min
+        with pytest.raises(ReproError):
+            AdaptiveBatcher(m_low=8.0, m_high=3.0)
+        with pytest.raises(ReproError):
+            AdaptiveBatcher(smoothing=0.0)
+        with pytest.raises(ReproError):
+            AdaptiveBatcher(grow=1.0)  # could never grow
+        with pytest.raises(ReproError):
+            AdaptiveBatcher(shrink=1.5)  # could never shrink
+        with pytest.raises(ReproError):
+            AdaptiveBatcher(shrink=0.0)  # would zero the size
 
     def test_make_batcher(self):
         assert make_batcher("fixed", batch_size=8).name == "fixed"
@@ -284,9 +317,23 @@ class TestMetrics:
         assert "cycles_per_request" in m.summary_table()
 
     def test_empty_metrics(self):
+        # No completions means no latency distribution: percentiles and
+        # cycles-per-request are undefined (nan), not a fake 0.0 that
+        # would read as an infinitely fast service.
         m = StreamMetrics()
-        assert m.latency_percentile(99) == 0.0
+        assert math.isnan(m.latency_percentile(99))
+        assert math.isnan(m.cycles_per_request)
         assert m.summary()["completed"] == 0
+        # The tables render undefined metrics as an em dash...
+        assert "—" in m.summary_table()
+        # ...and JSON reports carry null, never the invalid NaN token.
+        payload = write_json(TMP_JSON, m.summary())
+        try:
+            data = json.loads(payload.read_text())
+            assert data["p99_latency"] is None
+            assert data["cycles_per_request"] is None
+        finally:
+            payload.unlink()
 
 
 class TestWorkloads:
