@@ -48,12 +48,12 @@ KINDS = ("hash", "list")
 
 
 def run_sharded(
-    *, n_requests, skew, shards, partitioner, rebalance, seed
+    *, n_requests, skew, shards, partitioner, rebalance, seed, kinds=KINDS
 ):
     """One closed-loop sharded run; returns (cycles/request, extras)."""
     rng = np.random.default_rng(seed)
     requests = closed_loop_workload(
-        rng, n_requests, kinds=KINDS, skew=skew,
+        rng, n_requests, kinds=kinds, skew=skew,
         key_space=KEY_SPACE, n_cells=N_CELLS,
     )
     coordinator = ShardCoordinator.for_workload(
@@ -91,6 +91,21 @@ def scaling_sweep(n_requests, seed):
                 partitioner="hash", rebalance=False, seed=seed,
             )
             out[f"skew{skew}_k{k}"] = cpr
+    return out
+
+
+def sort_sweep(n_requests, seed):
+    """cycles/request for the registry-added "sort" kind, K=1..8: the
+    kind rides the sharded engine purely through its spec module, so
+    this sweep doubles as an extensibility regression check."""
+    out = {}
+    for k in SHARD_COUNTS:
+        cpr, _ = run_sharded(
+            n_requests=n_requests, skew=0.8, shards=k,
+            partitioner="hash", rebalance=False, seed=seed,
+            kinds=("sort",),
+        )
+        out[f"sort_k{k}"] = cpr
     return out
 
 
@@ -153,6 +168,7 @@ def build_payload(n_requests, seed):
             "shard_counts": list(SHARD_COUNTS),
         },
         "scaling": scaling_sweep(n_requests, seed),
+        "sort": sort_sweep(n_requests, seed),
         "rebalance": rebalance_experiment(n_requests, seed),
     }
 
@@ -168,6 +184,13 @@ def print_report(payload):
           f"({payload['config']['n_requests']} hash+list requests, "
           f"balanced partition, closed loop)")
     print(format_table(["workload"] + [f"K={k}" for k in SHARD_COUNTS], rows))
+    sort = payload["sort"]
+    print()
+    print("cycles/request, sort-only workload (skew 0.8)")
+    print(format_table(
+        ["workload"] + [f"K={k}" for k in SHARD_COUNTS],
+        [["sort"] + [sort[f"sort_k{k}"] for k in SHARD_COUNTS]],
+    ))
     reb = payload["rebalance"]
     print()
     print(f"hot-shard recovery at Zipf 1.2, K={reb['shards']} "

@@ -101,8 +101,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="deadline policy: max head-of-line wait in cycles")
     stream.add_argument("--skew", type=_skew, default=0.0,
                         help=f"Zipf key skew (0 = uniform, max {MAX_SKEW})")
-    stream.add_argument("--kinds", default="hash",
-                        help="comma-separated request kinds: hash,bst,list,xfer")
+    stream.add_argument("--kinds", default="hash",  # no-kind-lint
+                        help="comma-separated request kinds; registered kinds "
+                             "are listed by `repro info` (uniform mix)")
+    stream.add_argument("--mix", default=None, metavar="KIND=W,...",
+                        help="weighted workload mix, e.g. hash=3,xfer=1 "
+                             "(overrides --kinds; weights need not sum to 1)")
     stream.add_argument("--queue-capacity", type=_positive_int, default=4096)
     stream.add_argument("--admission", choices=("block", "reject"),
                         default="block", help="full-queue policy")
@@ -118,8 +122,11 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--shards", type=_positive_int, default=1,
                         help="partition the address space across K workers "
                              "(owner-computes; batch cost = max over shards)")
-    stream.add_argument("--partitioner", choices=("hash", "range"),
-                        default="hash", help="initial shard assignment")
+    from .shard.partition import PARTITIONERS
+
+    stream.add_argument("--partitioner", choices=tuple(PARTITIONERS),
+                        default="hash",  # partitioner name  # no-kind-lint
+                        help="initial shard assignment")
     stream.add_argument("--rebalance", action="store_true",
                         help="migrate hot key ranges between micro-batches "
                              "(Megaphone-style; needs --shards > 1)")
@@ -220,12 +227,40 @@ def _demo() -> None:
     print(vm.counter.report())
 
 
+def _parse_mix(text: str):
+    """Parse ``--mix kind=weight,...`` into (kinds, weights).  Unknown
+    kinds and malformed entries raise :class:`ReproError` (exit 2)."""
+    from .engine.spec import get_spec
+    from .errors import ReproError
+
+    kinds, weights = [], []
+    for entry in (e.strip() for e in text.split(",") if e.strip()):
+        name, sep, weight = entry.partition("=")
+        if not sep:
+            raise ReproError(
+                f"malformed mix entry {entry!r}; expected kind=weight"
+            )
+        get_spec(name.strip())  # raises listing registered kinds
+        try:
+            w = float(weight)
+        except ValueError:
+            raise ReproError(f"mix weight {weight!r} is not a number")
+        if w < 0:
+            raise ReproError(f"mix weight for {name!r} is negative: {w}")
+        kinds.append(name.strip())
+        weights.append(w)
+    if not kinds:
+        raise ReproError("empty workload mix")
+    if sum(weights) <= 0:
+        raise ReproError("workload mix weights sum to zero")
+    return tuple(kinds), tuple(weights)
+
+
 def _stream(args) -> None:
     import numpy as np
 
-    from .errors import ReproError
+    from .engine.spec import get_spec
     from .runtime import (
-        REQUEST_KINDS,
         BoundedQueue,
         StreamService,
         closed_loop_workload,
@@ -233,14 +268,17 @@ def _stream(args) -> None:
         open_loop_workload,
     )
 
-    kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
-    for kind in kinds:
-        if kind not in REQUEST_KINDS:
-            raise ReproError(
-                f"unknown request kind {kind!r}; expected from {REQUEST_KINDS}"
-            )
+    if args.mix is not None:
+        kinds, weights = _parse_mix(args.mix)
+    else:
+        kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
+        weights = None
+        for kind in kinds:
+            get_spec(kind)  # unknown kind -> ReproError naming the registry
     rng = np.random.default_rng(args.seed)
-    common = dict(kinds=kinds, skew=args.skew, key_space=args.key_space)
+    common = dict(
+        kinds=kinds, weights=weights, skew=args.skew, key_space=args.key_space
+    )
     if args.closed_loop:
         requests = closed_loop_workload(rng, args.requests, **common)
     else:
@@ -291,7 +329,11 @@ def _stream(args) -> None:
         f"{', rebalance' if args.rebalance else ''})"
         if args.shards > 1 else ""
     )
-    print(f"stream: {args.requests} requests, kinds={','.join(kinds)}, "
+    if weights is not None:
+        mix_note = ",".join(f"{k}={w:g}" for k, w in zip(kinds, weights))
+    else:
+        mix_note = ",".join(kinds)
+    print(f"stream: {args.requests} requests, kinds={mix_note}, "
           f"skew={args.skew}, policy={batcher.name}, {mode}, {loop} loop"
           f"{shard_note}")
     print()
@@ -349,9 +391,15 @@ def _audit(args) -> int:
 def _info() -> None:
     from . import CostModel, __version__
     from .bench.figures import EXPERIMENTS
+    from .engine.spec import specs
 
     print(f"repro {__version__}")
     print(f"cost model (s810): {CostModel.s810()}")
+    print("workload kinds:")
+    for spec in specs():
+        arity = f" (arity {spec.arity})" if spec.arity != 1 else ""
+        print(f"  {spec.name:<6s} domain={spec.domain}{arity}  "
+              f"{spec.description}")
     print("experiments:", ", ".join(sorted(set(EXPERIMENTS))))
 
 

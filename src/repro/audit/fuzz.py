@@ -23,12 +23,14 @@ The generated inputs target FOL's hard regimes:
 
 Suites:
 
-* ``core`` — direct kernels: chained-hash insert, BST multi-insert,
-  address-calculation sort, and raw FOL1 decomposition;
+* ``core`` — direct kernels: every registered workload kind that
+  declares a ``core_fuzz`` kernel (chained-hash insert, BST
+  multi-insert, address-calculation sort, ...) plus raw FOL1
+  decomposition;
 * ``stream`` — full :class:`~repro.runtime.service.StreamService` runs
   (carryover, in-batch retry, and adaptive batching) over mixed
-  hash/bst/list/xfer request streams, tiny batches forcing carryover
-  recirculation;
+  request streams cycling through the registry's stream-mix kinds,
+  tiny batches forcing carryover recirculation;
 * ``shard`` — the K-shard engine with cross-shard transfers and an
   aggressive rebalancer, so claim/commit and live migration run under
   audit.
@@ -48,19 +50,14 @@ import numpy as np
 
 from ..errors import AuditError, ReproError
 from .invariants import AuditStats, InvariantAuditor
-from .oracle import (
-    Divergence,
-    diff_bst,
-    diff_hash,
-    diff_sorted,
-    diff_stream_state,
-)
+from .oracle import Divergence, diff_stream_state
 
 #: Key patterns every suite cycles through.
 PATTERNS = ("dup_heavy", "zipf", "all_same", "near_unique")
 
 #: Scenarios per suite (cycled per case, crossed with PATTERNS).
-CORE_SCENARIOS = ("hash", "bst", "sort", "fol1")
+#: Core scenarios come from the registry: every kind with a
+#: ``core_fuzz`` kernel, plus raw FOL1 decomposition.
 STREAM_SCENARIOS = ("carry", "retry", "adaptive")
 SHARD_SCENARIOS = ("static", "rebalance")
 
@@ -74,8 +71,24 @@ KEY_SPACE = 4096
 TABLE_SIZE = 61
 N_CELLS = 16
 
-#: Request kinds a stream/shard case cycles through, by lane position.
-_KIND_CYCLE = ("hash", "bst", "list", "xfer")
+
+def core_scenarios() -> tuple:
+    """Direct-kernel scenarios: registered kinds that declare a
+    ``core_fuzz`` kernel, in registration order, plus ``"fol1"`` (raw
+    decomposition — a scenario, not a request kind)."""
+    from ..engine.spec import specs
+
+    return tuple(
+        s.name for s in specs() if s.core_fuzz is not None
+    ) + ("fol1",)
+
+
+def __getattr__(name: str):
+    # Live view (PEP 562): kinds registered after this module imports
+    # still appear.  Kept as an attribute for backwards compatibility.
+    if name == "CORE_SCENARIOS":
+        return core_scenarios()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 # ----------------------------------------------------------------------
@@ -180,9 +193,15 @@ def _fresh_machine(n: int):
 
 
 def run_core_case(
-    scenario: str, keys: Sequence[int], stats: Optional[AuditStats] = None
+    scenario: str,
+    keys: Sequence[int],
+    stats: Optional[AuditStats] = None,
+    *,
+    kinds: Optional[Sequence[str]] = None,
 ) -> Optional[str]:
-    """Run one direct-kernel case under audit; returns failure text."""
+    """Run one direct-kernel case under audit; returns failure text.
+    ``kinds`` is accepted for a uniform runner signature and ignored —
+    a core scenario *is* a single kind's kernel (or raw FOL1)."""
     keys = np.asarray(list(keys), dtype=np.int64)
     n = int(keys.size)
     vm, alloc = _fresh_machine(n)
@@ -190,33 +209,7 @@ def run_core_case(
     vm.attach_audit(auditor)
     divergence: Optional[Divergence] = None
     try:
-        if scenario == "hash":
-            from ..hashing.chained import vector_chained_insert
-            from ..hashing.table import ChainedHashTable
-
-            table = ChainedHashTable(alloc, TABLE_SIZE, max(n, 1))
-            vector_chained_insert(vm, table, keys)
-            chains = {
-                slot: ks for slot, ks in enumerate(table.all_chains()) if ks
-            }
-            divergence = diff_hash(chains, keys, TABLE_SIZE)
-        elif scenario == "bst":
-            from ..trees.bst import BinarySearchTree, vector_bst_insert
-
-            tree = BinarySearchTree(alloc, max(n, 1))
-            vector_bst_insert(vm, tree, keys)
-            tree.check_bst_invariant()
-            divergence = diff_bst(tree.inorder(), keys)
-        elif scenario == "sort":
-            from ..sorting.address_calc import (
-                AddressCalcWorkspace,
-                vector_address_calc_sort,
-            )
-
-            ws = AddressCalcWorkspace(alloc, max(n, 1))
-            out = vector_address_calc_sort(vm, ws, keys, vmax=KEY_SPACE)
-            divergence = diff_sorted(out, keys)
-        elif scenario == "fol1":
+        if scenario == "fol1":
             from ..core.fol1 import fol1
 
             # Raw decomposition over a shared data area; the auditor
@@ -235,7 +228,17 @@ def run_core_case(
                         f"multiplicity is {expected_m} (Theorem 5)"
                     )
         else:
-            raise ReproError(f"unknown core scenario {scenario!r}")
+            from ..engine.spec import EngineContext, get_spec
+
+            spec = get_spec(scenario)
+            if spec.core_fuzz is None:
+                raise ReproError(
+                    f"kind {scenario!r} declares no core fuzz kernel"
+                )
+            ctx = EngineContext(
+                table_size=TABLE_SIZE, n_cells=N_CELLS, key_space=KEY_SPACE
+            )
+            divergence = spec.core_fuzz(vm, alloc, keys, ctx)
     except (AuditError, ReproError) as exc:
         return str(exc)
     finally:
@@ -244,25 +247,26 @@ def run_core_case(
     return str(divergence) if divergence is not None else None
 
 
-def _build_requests(keys: Sequence[int]) -> List:
+def _build_requests(
+    keys: Sequence[int], kinds: Optional[Sequence[str]] = None
+) -> List:
     """Deterministic mixed-kind request stream from a key vector (each
-    lane's kind/targets are fixed functions of position and key, so any
-    shrunk sub-vector is itself a valid, comparable workload)."""
-    from ..runtime.queue import Request
+    lane's kind/targets are fixed functions of position and key — via
+    each spec's ``fuzz_request`` — so any shrunk sub-vector is itself a
+    valid, comparable workload).  ``kinds`` defaults to every kind in
+    the registry's stream mix, cycled by lane position."""
+    from ..engine.spec import EngineContext, get_spec, stream_mix_kinds
 
-    reqs = []
-    for i, k in enumerate(int(x) for x in keys):
-        kind = _KIND_CYCLE[i % len(_KIND_CYCLE)]
-        key = k
-        key2 = -1
-        if kind in ("list", "xfer"):
-            key = k % N_CELLS
-        if kind == "xfer":
-            key2 = (k * 7 + i) % N_CELLS
-        reqs.append(
-            Request(rid=i, kind=kind, key=key, delta=1 + k % 5, key2=key2)
-        )
-    return reqs
+    if kinds is None:
+        kinds = stream_mix_kinds()
+    cycle = [get_spec(k) for k in kinds]
+    ctx = EngineContext(
+        table_size=TABLE_SIZE, n_cells=N_CELLS, key_space=KEY_SPACE
+    )
+    return [
+        cycle[i % len(cycle)].fuzz_request(i, k, ctx)
+        for i, k in enumerate(int(x) for x in keys)
+    ]
 
 
 def _drive_service(engine, reqs, batcher, stats: Optional[AuditStats]):
@@ -274,7 +278,11 @@ def _drive_service(engine, reqs, batcher, stats: Optional[AuditStats]):
     try:
         service.run(reqs)
         divergence = diff_stream_state(
-            engine, reqs, table_size=TABLE_SIZE, n_cells=N_CELLS
+            engine,
+            reqs,
+            table_size=TABLE_SIZE,
+            n_cells=N_CELLS,
+            key_space=KEY_SPACE,
         )
     except (AuditError, ReproError) as exc:
         return str(exc)
@@ -285,13 +293,17 @@ def _drive_service(engine, reqs, batcher, stats: Optional[AuditStats]):
 
 
 def run_stream_case(
-    scenario: str, keys: Sequence[int], stats: Optional[AuditStats] = None
+    scenario: str,
+    keys: Sequence[int],
+    stats: Optional[AuditStats] = None,
+    *,
+    kinds: Optional[Sequence[str]] = None,
 ) -> Optional[str]:
     """Run one full-service case (single pipeline) under audit."""
     from ..runtime.batcher import AdaptiveBatcher, FixedBatcher
     from ..runtime.executor import StreamExecutor
 
-    reqs = _build_requests(keys)
+    reqs = _build_requests(keys, kinds)
     if scenario == "carry":
         carryover, batcher = True, FixedBatcher(batch_size=7)
     elif scenario == "retry":
@@ -309,13 +321,17 @@ def run_stream_case(
 
 
 def run_shard_case(
-    scenario: str, keys: Sequence[int], stats: Optional[AuditStats] = None
+    scenario: str,
+    keys: Sequence[int],
+    stats: Optional[AuditStats] = None,
+    *,
+    kinds: Optional[Sequence[str]] = None,
 ) -> Optional[str]:
     """Run one K-shard case (cross-shard xfers; optional migration)."""
     from ..runtime.batcher import FixedBatcher
     from ..shard.coordinator import ShardCoordinator
 
-    reqs = _build_requests(keys)
+    reqs = _build_requests(keys, kinds)
     rebalance = scenario == "rebalance"
     if scenario not in SHARD_SCENARIOS:
         raise ReproError(f"unknown shard scenario {scenario!r}")
@@ -377,10 +393,13 @@ def shrink_keys(
 # ----------------------------------------------------------------------
 # suite driver
 # ----------------------------------------------------------------------
+# Scenario lists are providers, not tuples: core's list is derived from
+# the live registry, so it must be resolved at run time, after every
+# kind module has registered.
 _RUNNERS = {
-    "core": (run_core_case, CORE_SCENARIOS),
-    "stream": (run_stream_case, STREAM_SCENARIOS),
-    "shard": (run_shard_case, SHARD_SCENARIOS),
+    "core": (run_core_case, core_scenarios),
+    "stream": (run_stream_case, lambda: STREAM_SCENARIOS),
+    "shard": (run_shard_case, lambda: SHARD_SCENARIOS),
 }
 
 #: Stop collecting after this many (shrunk) failures per suite run.
@@ -393,14 +412,18 @@ def run_suite(
     seed: int,
     cases: int,
     max_lanes: int = 96,
+    kinds: Optional[Sequence[str]] = None,
     on_progress: Optional[Callable[[int, FuzzCase], None]] = None,
 ) -> FuzzReport:
-    """Run ``cases`` generated cases of ``suite``; shrink any failures."""
+    """Run ``cases`` generated cases of ``suite``; shrink any failures.
+    ``kinds`` restricts the stream/shard request mix to those kinds
+    (default: the registry's whole stream mix); core cases ignore it."""
     if suite not in _RUNNERS:
         raise ReproError(f"unknown fuzz suite {suite!r}; expected {SUITES}")
     if cases <= 0:
         raise ReproError(f"case count must be positive, got {cases}")
-    runner, scenarios = _RUNNERS[suite]
+    runner, scenario_provider = _RUNNERS[suite]
+    scenarios = scenario_provider()
     report = FuzzReport(suite=suite)
     for index in range(cases):
         rng = np.random.default_rng([seed, index])
@@ -419,14 +442,14 @@ def run_suite(
             on_progress(index, case)
         keys = generate_keys(rng, pattern, n)
         report.cases += 1
-        message = runner(scenario, keys, report.stats)
+        message = runner(scenario, keys, report.stats, kinds=kinds)
         if message is None:
             continue
         shrunk = shrink_keys(
-            lambda ks: runner(scenario, ks) is not None, keys
+            lambda ks: runner(scenario, ks, kinds=kinds) is not None, keys
         )
         # Re-run the minimal input to report its (possibly simpler) error.
-        final = runner(scenario, shrunk) or message
+        final = runner(scenario, shrunk, kinds=kinds) or message
         report.failures.append(
             FuzzFailure(
                 case=case,

@@ -71,32 +71,28 @@ def diff_hash(
 # shared list cells (bumps and transfers)
 # ----------------------------------------------------------------------
 def list_reference(
-    n_cells: int, ops: Sequence[Tuple[str, int, int, int]]
+    n_cells: int, deltas: Sequence[Tuple[int, int]]
 ) -> List[int]:
-    """Expected cell values after applying ``ops`` in any order (the
-    operations commute).  Each op is ``(kind, key, key2, delta)`` with
-    kind ``"list"`` (``cell[key] += delta``) or ``"xfer"``
-    (``cell[key] -= delta; cell[key2] += delta``)."""
+    """Expected cell values after applying ``deltas`` in any order (the
+    contributions commute).  Each entry is ``(cell, delta)`` meaning
+    ``cell += delta`` — a request kind that touches the cell bank
+    reports its contributions via
+    :meth:`~repro.engine.spec.WorkloadSpec.cell_deltas` (a plain bump
+    is one pair, a transfer is a ``-delta``/``+delta`` pair)."""
     values = [0] * n_cells
-    for kind, key, key2, delta in ops:
-        if kind == "list":
-            values[key] += delta
-        elif kind == "xfer":
-            values[key] -= delta
-            values[key2] += delta
-        else:
-            raise ValueError(f"unknown list op kind {kind!r}")
+    for cell, delta in deltas:
+        values[cell] += delta
     return values
 
 
 def diff_list(
     actual_values: Sequence[int],
     n_cells: int,
-    ops: Sequence[Tuple[str, int, int, int]],
+    deltas: Sequence[Tuple[int, int]],
 ) -> Optional[Divergence]:
     """Compare actual cell values against the oracle; names the first
     divergent cell."""
-    expected = list_reference(n_cells, ops)
+    expected = list_reference(n_cells, deltas)
     for cell, (e, a) in enumerate(zip(expected, actual_values)):
         if int(e) != int(a):
             return Divergence(f"cell {cell}", int(e), int(a))
@@ -150,38 +146,28 @@ def diff_stream_state(
     *,
     table_size: int,
     n_cells: int,
+    key_space: int = 4096,
 ) -> Optional[Divergence]:
     """Differential check of a drained stream engine's whole state.
 
     ``engine`` is a :class:`~repro.runtime.executor.StreamExecutor` or a
-    :class:`~repro.shard.coordinator.ShardCoordinator` (both expose
-    ``list_values``; chains/inorder are read per engine type).  Every
-    request in ``requests`` must have completed (use the blocking
-    admission policy when generating audited workloads).
+    :class:`~repro.shard.coordinator.ShardCoordinator`.  Every request
+    in ``requests`` must have completed (use the blocking admission
+    policy when generating audited workloads).
+
+    Dispatches through the workload registry: each registered spec's
+    :meth:`~repro.engine.spec.WorkloadSpec.oracle_diff` checks the
+    kind's end state against its scalar oracle, in registration order,
+    and the first divergence wins.
     """
-    hash_keys = [r.key for r in requests if r.kind == "hash"]
-    bst_keys = [r.key for r in requests if r.kind == "bst"]
-    ops = [
-        (r.kind, r.key, r.key2, r.delta)
-        for r in requests
-        if r.kind in ("list", "xfer")
-    ]
+    from ..engine.spec import EngineContext, specs
 
-    if hasattr(engine, "chain_multisets"):  # sharded coordinator
-        chains = engine.chain_multisets()
-        inorder = engine.bst_inorder()
-    else:  # single-pipeline executor
-        chains = {
-            slot: keys
-            for slot, keys in enumerate(engine.table.all_chains())
-            if keys
-        }
-        inorder = engine.tree.inorder()
-
-    d = diff_hash(chains, hash_keys, table_size)
-    if d is not None:
-        return d
-    d = diff_bst(inorder, bst_keys)
-    if d is not None:
-        return d
-    return diff_list(engine.list_values(), n_cells, ops)
+    ctx = EngineContext(
+        table_size=table_size, n_cells=n_cells, key_space=key_space
+    )
+    requests = list(requests)
+    for spec in specs():
+        d = spec.oracle_diff(engine, requests, ctx)
+        if d is not None:
+            return d
+    return None

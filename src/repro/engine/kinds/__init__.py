@@ -1,0 +1,42 @@
+"""The registered request kinds — the only modules that may spell
+kind-string literals (enforced by ``tools/check_no_stray_kinds.py``).
+
+The three core routing domains are declared here, *before* the kind
+modules import, in the order the legacy ``PartitionMap`` iterated them
+(load-bearing: :meth:`~repro.shard.partition.PartitionMap.shard_load`
+sums per-domain float traffic in iteration order, and golden cycle
+parity pins the resulting rebalance decisions bit-for-bit).  A kind
+module may also register its own domain — ``sort`` does — which
+appends after these.
+
+Import order sets spec registration order, which fixes (a) executor
+state allocation order (table → tree → cells → sort workspace; golden
+layout parity) and (b) the default stream/fuzz mix cycle (the legacy
+``hash, bst, list, xfer`` cycle extended with ``sort``).
+"""
+
+from ..spec import (
+    MIGRATE_CELL,
+    MIGRATE_CHAIN,
+    MIGRATE_ROUTE,
+    RoutingDomain,
+    register_domain,
+)
+
+register_domain(
+    RoutingDomain("hash", lambda ctx: ctx.table_size, migration=MIGRATE_CHAIN)
+)
+register_domain(
+    RoutingDomain("list", lambda ctx: ctx.n_cells, migration=MIGRATE_CELL)
+)
+register_domain(
+    RoutingDomain("bst", lambda ctx: ctx.key_space, migration=MIGRATE_ROUTE)
+)
+
+from . import hash as hash_kind  # noqa: E402
+from . import bst as bst_kind  # noqa: E402
+from . import cells as cells_kind  # noqa: E402
+from . import xfer as xfer_kind  # noqa: E402
+from . import sort as sort_kind  # noqa: E402
+
+__all__ = ["hash_kind", "bst_kind", "cells_kind", "xfer_kind", "sort_kind"]

@@ -1,0 +1,151 @@
+"""The ``"bst"`` kind: binary-search-tree insertion (paper §4.1).
+
+Conflict address: the NIL slot a descent claims.  Routing is by key
+residue (``key % key_space``): each shard grows its own tree over the
+keys it owns and the global inorder is the sorted merge of per-shard
+inorders, so migration is routing-only
+(:data:`~repro.engine.spec.MIGRATE_ROUTE`).  A carried lane owns a
+pre-built node and a descent slot in one shard's memory, so it stays
+pinned to that shard (:meth:`BstSpec.pin_shard`) even if a migration
+re-routed its residue.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ...errors import ReproError
+from ...mem.arena import NIL
+from ...trees.bst import BinarySearchTree
+from ..spec import EngineContext, WorkloadSpec, register
+
+
+class BstSpec(WorkloadSpec):
+    name = "bst"
+    domain = "bst"
+    state_attr = "tree"
+    capacity_param = "bst_capacity"
+    description = "insert key into the binary search tree"
+
+    # -- sizing and shared state ---------------------------------------
+    def state_words(self, capacity: int, ctx: EngineContext) -> int:
+        # root word + (key, left, right) node records
+        return 1 + 3 * max(capacity, 1)
+
+    def build_state(self, executor, allocator, capacity: int):
+        return BinarySearchTree(allocator, max(capacity, 1))
+
+    # -- execution ------------------------------------------------------
+    def run(self, executor, reqs: List, result) -> int:
+        from ...runtime.queue import FRESH_SLOT
+
+        vm = executor.vm
+        tree = executor.tree
+        nodes = tree.nodes
+        off_key = nodes.offset("key")
+        off_left = nodes.offset("left")
+        off_right = nodes.offset("right")
+        n = len(reqs)
+        keys = np.asarray([r.key for r in reqs], dtype=np.int64)
+
+        # Pre-build a node per *fresh* lane; carried lanes already own one.
+        fresh = [i for i, r in enumerate(reqs) if r.node == NIL]
+        if fresh:
+            built = nodes.alloc_many(len(fresh))
+            vm.iota(len(fresh))  # charge the address generation
+            vm.scatter(vm.add(built, off_key), keys[fresh], policy=executor.policy)
+            vm.scatter(vm.add(built, off_left), vm.splat(len(fresh), NIL), policy=executor.policy)
+            vm.scatter(vm.add(built, off_right), vm.splat(len(fresh), NIL), policy=executor.policy)
+            for i, ptr in zip(fresh, built):
+                reqs[i].node = int(ptr)
+        node_ptrs = np.asarray([r.node for r in reqs], dtype=np.int64)
+
+        slots = np.asarray(
+            [tree.root_addr if r.slot == FRESH_SLOT else r.slot for r in reqs],
+            dtype=np.int64,
+        )
+        labels = vm.iota(n)
+        active = vm.iota(n)
+        claim_rounds = 0
+        limit = 2 * (nodes.capacity + n) + 4
+        steps = 0
+        while active.size:
+            steps += 1
+            if steps > limit:
+                raise ReproError(f"stream BST insert exceeded {limit} steps")
+            cur_slots = slots[active]
+            ptrs = vm.gather(cur_slots)
+            at_nil = vm.eq(ptrs, NIL)
+
+            if vm.any_true(at_nil):
+                claim_rounds += 1
+                lb = labels[active]
+                vm.scatter_masked(cur_slots, lb, at_nil, policy=executor.policy)
+                readback = vm.gather(cur_slots)
+                won = vm.mask_and(at_nil, vm.eq(readback, lb))
+                if vm.audit is not None:
+                    vm.audit.on_claim(cur_slots, at_nil, won)
+                vm.scatter_masked(cur_slots, node_ptrs[active], won, policy=executor.policy)
+                if not vm.any_true(won):
+                    raise ReproError("stream BST claim round made no progress")
+                result.completed.extend(reqs[i] for i in active[won])
+                if executor.carryover:
+                    # Filtered claimants defer to the next batch, resuming
+                    # at the slot the winner just filled.
+                    lost = vm.mask_and(at_nil, vm.mask_not(won))
+                    for i, slot in zip(active[lost], cur_slots[lost]):
+                        reqs[i].slot = int(slot)
+                        reqs[i].group = int(slot)
+                        result.carried.append(reqs[i])
+                    active = vm.compress(active, vm.mask_not(at_nil))
+                else:
+                    # Paper semantics: losers keep descending in-batch —
+                    # next step they find the winner's node in the slot.
+                    active = vm.compress(active, vm.mask_not(won))
+                if active.size == 0:
+                    break
+                cur_slots = slots[active]
+                ptrs = vm.gather(cur_slots)
+
+            node_keys = vm.gather(vm.add(ptrs, off_key))
+            go_left = vm.lt(keys[active], node_keys)
+            child = vm.add(ptrs, vm.select(go_left, off_left, off_right))
+            slots[active] = child
+            vm.loop_overhead()
+
+        result.rounds += claim_rounds
+        return max(claim_rounds, 1)
+
+    # -- routing --------------------------------------------------------
+    def pin_shard(self, req) -> int:
+        # A carried lane's pre-built node and descent slot live in one
+        # shard's memory; it must resume there.
+        if req.node != NIL and req.home >= 0:
+            return req.home
+        return -1
+
+    # -- differential oracle --------------------------------------------
+    def oracle_diff(self, engine, requests, ctx: EngineContext):
+        from ...audit.oracle import diff_bst
+
+        keys = [r.key for r in self.requests_of(requests)]
+        if hasattr(engine, "bst_inorder"):  # sharded coordinator
+            inorder = engine.bst_inorder()
+        else:  # single-pipeline executor
+            inorder = engine.tree.inorder()
+        return diff_bst(inorder, keys)
+
+    # -- core-kernel fuzzing --------------------------------------------
+    def core_fuzz(self, vm, allocator, keys: np.ndarray, ctx: EngineContext):
+        from ...audit.oracle import diff_bst
+        from ...trees.bst import vector_bst_insert
+
+        tree = BinarySearchTree(allocator, max(keys.size, 1))
+        vector_bst_insert(vm, tree, keys)
+        tree.check_bst_invariant()
+        return diff_bst(tree.inorder(), keys)
+
+
+register(BstSpec())

@@ -1,0 +1,141 @@
+"""The ``"list"`` kind: shared list-cell bumps (paper §4.3 list ops).
+
+State is a bank of cons cells, one per cell number, each holding a
+sign-tagged negated atom; a request adds ``delta`` to cell ``key``.
+The conflict address is the cell's car word, the routing domain is the
+cell-number space, and migration transfers the shard's accumulated
+value (:data:`~repro.engine.spec.MIGRATE_CELL`) — the global value of
+a cell is the sum of shard contributions.
+
+The cell bank is shared with the ``"xfer"`` kind
+(:mod:`repro.engine.kinds.xfer`), which rewrites two cells per unit
+process; :func:`cell_car_addrs` is the shared request → conflict
+address map.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ...errors import ReproError
+from ...lists.cells import ConsArena, encode_atom
+from ...mem.arena import NIL
+from ...runtime.carryover import fol_round
+from ...core.fol1 import fol1
+from ..spec import EngineContext, WorkloadSpec, register, _max_multiplicity
+
+
+class CellBank:
+    """The shared list cells: a cons arena plus one pointer per cell."""
+
+    def __init__(self, allocator, n_cells: int) -> None:
+        self.arena = ConsArena(allocator, max(n_cells, 1))
+        # One cell per index, value 0 (sign-tagged negated atoms).
+        self.ptrs = np.asarray(
+            [self.arena.cons(encode_atom(0), NIL) for _ in range(n_cells)],
+            dtype=np.int64,
+        )
+
+
+def cell_car_addrs(executor, cells: List[int], what: str) -> np.ndarray:
+    """Vector of car-word addresses for ``cells`` (validates range)."""
+    n_cells = executor.ctx.n_cells
+    for c in cells:
+        if not 0 <= c < n_cells:
+            raise ReproError(
+                f"{what} targets cell {c}, but only {n_cells} cells exist"
+            )
+    off_car = executor.cells.cells.offset("car")
+    return executor.vm.add(executor._cell_ptrs[cells], off_car)
+
+
+class ListSpec(WorkloadSpec):
+    name = "list"
+    domain = "list"
+    description = "add delta to a shared list cell"
+
+    # -- sizing and shared state ---------------------------------------
+    def state_words(self, capacity: int, ctx: EngineContext) -> int:
+        # cells + shadow work + marks (sized by the cell bank, not by
+        # the workload — every batch reuses the same cells)
+        return 6 * max(ctx.n_cells, 1)
+
+    def build_state(self, executor, allocator, capacity: int):
+        return CellBank(allocator, executor.ctx.n_cells)
+
+    def state_aliases(self, state):
+        return {"cells": state.arena, "_cell_ptrs": state.ptrs}
+
+    # -- execution ------------------------------------------------------
+    def run(self, executor, reqs: List, result) -> int:
+        vm = executor.vm
+        car_addrs = cell_car_addrs(
+            executor, [r.key for r in reqs], f"{self.name} request"
+        )
+        deltas = np.asarray([r.delta for r in reqs], dtype=np.int64)
+
+        def bump(positions: np.ndarray) -> None:
+            addrs = car_addrs[positions]
+            words = vm.gather(addrs)
+            # Atoms are sign-tagged negated, so value += d is word -= d.
+            vm.scatter(addrs, vm.sub(words, deltas[positions]), policy=executor.policy)
+
+        if executor.carryover:
+            labels = vm.iota(car_addrs.size)
+            winners, losers = fol_round(
+                vm, car_addrs, labels,
+                work_offset=executor.cells.work_offset, policy=executor.policy,
+            )
+            bump(winners)
+            result.completed.extend(reqs[i] for i in winners)
+            for i in losers:
+                reqs[i].group = int(car_addrs[i])
+                result.carried.append(reqs[i])
+            result.rounds += 1
+        else:
+            dec = fol1(
+                vm, car_addrs,
+                work_offset=executor.cells.work_offset, policy=executor.policy,
+                on_set=lambda s, _j: bump(s),
+            )
+            result.completed.extend(reqs)
+            result.rounds += dec.m
+        return _max_multiplicity(car_addrs)
+
+    # -- request construction -------------------------------------------
+    def make_request(self, rid, key, key2, delta, arrival, ctx):
+        from ...runtime.queue import Request
+
+        return Request(
+            rid=rid, kind=self.name, key=key % ctx.n_cells,
+            delta=delta, arrival=arrival,
+        )
+
+    def fuzz_request(self, rid, key, ctx):
+        from ...runtime.queue import Request
+
+        return Request(
+            rid=rid, kind=self.name, key=key % ctx.n_cells, delta=1 + key % 5
+        )
+
+    # -- differential oracle --------------------------------------------
+    def cell_deltas(self, req):
+        return ((req.key, req.delta),)
+
+    def oracle_diff(self, engine, requests, ctx: EngineContext):
+        """Checks the whole cell bank: expected values are accumulated
+        from *every* spec's ``cell_deltas`` (the bank is shared with
+        tuple kinds), so this diff runs once for the bank owner."""
+        from ...audit.oracle import diff_list
+        from ..spec import specs
+
+        deltas = []
+        for spec in specs():
+            for r in spec.requests_of(requests):
+                deltas.extend(spec.cell_deltas(r))
+        return diff_list(engine.list_values(), ctx.n_cells, deltas)
+
+
+register(ListSpec())

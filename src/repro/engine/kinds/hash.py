@@ -1,0 +1,123 @@
+"""The ``"hash"`` kind: chained-hash insertion (paper Figure 7).
+
+Conflict address: the chain head of slot ``key % table_size``, so the
+routing domain is the slot space and ownership follows slots, not keys.
+Chain migration re-links address-preserved chains into the
+destination's node arena (:data:`~repro.engine.spec.MIGRATE_CHAIN`),
+which is why :meth:`HashSpec.shard_capacity` over-provisions nodes —
+bump arenas never reclaim the source's records.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ...core.fol1 import fol1
+from ...hashing.table import ChainedHashTable
+from ...runtime.carryover import fol_round
+from ..spec import EngineContext, WorkloadSpec, register, _max_multiplicity
+
+
+class HashSpec(WorkloadSpec):
+    name = "hash"
+    domain = "hash"
+    state_attr = "table"
+    capacity_param = "hash_capacity"
+    description = "insert key into the chained hash table"
+
+    # -- sizing and shared state ---------------------------------------
+    def state_words(self, capacity: int, ctx: EngineContext) -> int:
+        # heads + label work area, then (key, next) node records
+        return 2 * ctx.table_size + 2 * max(capacity, 1)
+
+    def shard_capacity(self, n: int) -> int:
+        # Chain migration re-allocates nodes at the destination, so
+        # shard arenas get extra headroom (see ShardCoordinator).
+        return 3 * max(n, 1) + 64
+
+    def build_state(self, executor, allocator, capacity: int):
+        return ChainedHashTable(
+            allocator, executor.ctx.table_size, max(capacity, 1)
+        )
+
+    # -- execution ------------------------------------------------------
+    def _head_addrs(self, executor, keys: np.ndarray) -> np.ndarray:
+        table = executor.table
+        hashed = executor.vm.mod(keys, table.size)
+        return executor.vm.add(hashed, table.base)
+
+    def _enter(
+        self, executor, head_addrs: np.ndarray, keys: np.ndarray,
+        positions: np.ndarray,
+    ) -> None:
+        """Figure 7 main processing for one parallel-processable set:
+        allocate a node per lane and link it at its chain head."""
+        vm = executor.vm
+        table = executor.table
+        nodes = table.nodes.alloc_many(positions.size)
+        vm.iota(positions.size)  # charge the address generation
+        key_field = table.nodes.offset("key")
+        next_field = table.nodes.offset("next")
+        heads = head_addrs[positions]
+        vm.scatter(vm.add(nodes, key_field), keys[positions], policy=executor.policy)
+        old_heads = vm.gather(heads)
+        vm.scatter(vm.add(nodes, next_field), old_heads, policy=executor.policy)
+        vm.scatter(heads, nodes, policy=executor.policy)
+
+    def run(self, executor, reqs: List, result) -> int:
+        vm = executor.vm
+        keys = np.asarray([r.key for r in reqs], dtype=np.int64)
+        head_addrs = self._head_addrs(executor, keys)
+        if executor.carryover:
+            labels = vm.iota(keys.size)
+            winners, losers = fol_round(
+                vm, head_addrs, labels,
+                work_offset=executor.table.work_offset, policy=executor.policy,
+            )
+            self._enter(executor, head_addrs, keys, winners)
+            result.completed.extend(reqs[i] for i in winners)
+            for i in losers:
+                reqs[i].group = int(head_addrs[i])
+                result.carried.append(reqs[i])
+            result.rounds += 1
+        else:
+            dec = fol1(
+                vm, head_addrs,
+                work_offset=executor.table.work_offset, policy=executor.policy,
+                on_set=lambda s, _j: self._enter(executor, head_addrs, keys, s),
+            )
+            result.completed.extend(reqs)
+            result.rounds += dec.m
+        return _max_multiplicity(head_addrs)
+
+    # -- differential oracle --------------------------------------------
+    def oracle_diff(self, engine, requests, ctx: EngineContext):
+        from ...audit.oracle import diff_hash
+
+        keys = [r.key for r in self.requests_of(requests)]
+        if hasattr(engine, "chain_multisets"):  # sharded coordinator
+            chains = engine.chain_multisets()
+        else:  # single-pipeline executor
+            chains = {
+                slot: ks
+                for slot, ks in enumerate(engine.table.all_chains())
+                if ks
+            }
+        return diff_hash(chains, keys, ctx.table_size)
+
+    # -- core-kernel fuzzing --------------------------------------------
+    def core_fuzz(self, vm, allocator, keys: np.ndarray, ctx: EngineContext):
+        from ...audit.oracle import diff_hash
+        from ...hashing.chained import vector_chained_insert
+
+        table = ChainedHashTable(allocator, ctx.table_size, max(keys.size, 1))
+        vector_chained_insert(vm, table, keys)
+        chains = {
+            slot: ks for slot, ks in enumerate(table.all_chains()) if ks
+        }
+        return diff_hash(chains, keys, ctx.table_size)
+
+
+register(HashSpec())

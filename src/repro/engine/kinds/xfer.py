@@ -1,0 +1,153 @@
+"""The ``"xfer"`` kind: atomic two-cell transfers — the L = 2 FOL* case.
+
+Moves ``delta`` from cell ``key`` to cell ``key2``.  Each unit process
+rewrites a *tuple* of two storage areas, so filtering is FOL* (§3.3),
+not FOL1: a tuple completes only when both of its labels survive, and
+each round's last tuple is written with scalar stores so the round
+cannot deadlock.
+
+The kind owns no state — it rides the ``"list"`` cell bank
+(:mod:`repro.engine.kinds.cells`) and routes both of its cells through
+the same domain.  When the two cells have different owners the router
+emits a cross-shard unit, resolved by the coordinator's two-phase
+claim/commit; :meth:`XferSpec.commit_cross` applies a winning unit on
+both owners' memories and :meth:`XferSpec.carry_group` assigns the
+conflict group for a claim loser.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ...core.fol_star import fol_star
+from ...core.labels import tuple_labels
+from ...errors import ReproError
+from ...runtime.carryover import tuple_round
+from ..spec import EngineContext, WorkloadSpec, register, _max_multiplicity
+from .cells import cell_car_addrs
+
+
+class XferSpec(WorkloadSpec):
+    name = "xfer"
+    arity = 2
+    domain = "list"
+    description = "move delta atomically between two shared list cells"
+
+    # -- request construction and validation ---------------------------
+    def validate(self, req) -> None:
+        if req.key2 < 0:
+            raise ReproError(
+                f"{self.name} request {req.rid} needs a non-negative key2, "
+                f"got {req.key2}"
+            )
+
+    def make_request(self, rid, key, key2, delta, arrival, ctx):
+        from ...runtime.queue import Request
+
+        return Request(
+            rid=rid, kind=self.name, key=key % ctx.n_cells,
+            key2=key2 % ctx.n_cells, delta=delta, arrival=arrival,
+        )
+
+    def fuzz_request(self, rid, key, ctx):
+        from ...runtime.queue import Request
+
+        return Request(
+            rid=rid, kind=self.name, key=key % ctx.n_cells,
+            key2=(key * 7 + rid) % ctx.n_cells, delta=1 + key % 5,
+        )
+
+    # -- execution ------------------------------------------------------
+    def run(self, executor, reqs: List, result) -> int:
+        vm = executor.vm
+        src_addrs = cell_car_addrs(
+            executor, [r.key for r in reqs], f"{self.name} source"
+        )
+        dst_addrs = cell_car_addrs(
+            executor, [r.key2 for r in reqs], f"{self.name} target"
+        )
+        deltas = np.asarray([r.delta for r in reqs], dtype=np.int64)
+
+        # Atoms are sign-tagged negated: value -= d is word += d and
+        # value += d is word -= d.  Gathers/scatters run sequentially
+        # per round, so read-modify-write per parallel-processable set
+        # is safe (no two tuples in a set share a cell).
+        def apply(positions: np.ndarray) -> None:
+            if positions.size == 0:
+                return
+            a_src = src_addrs[positions]
+            a_dst = dst_addrs[positions]
+            d = deltas[positions]
+            vm.scatter(a_src, vm.add(vm.gather(a_src), d), policy=executor.policy)
+            vm.scatter(a_dst, vm.sub(vm.gather(a_dst), d), policy=executor.policy)
+
+        # Self-transfers (key == key2) are net no-ops and internally
+        # duplicated tuples in the §3.3 sense; retire them up front.
+        loop_idx = [i for i, r in enumerate(reqs) if r.key == r.key2]
+        live_idx = np.asarray(
+            [i for i, r in enumerate(reqs) if r.key != r.key2], dtype=np.int64
+        )
+        result.completed.extend(reqs[i] for i in loop_idx)
+
+        if live_idx.size:
+            v1 = src_addrs[live_idx]
+            v2 = dst_addrs[live_idx]
+            if executor.carryover:
+                labels = tuple_labels(vm, live_idx.size, 2)
+                winners, losers = tuple_round(
+                    vm, [v1, v2], labels,
+                    work_offset=executor.cells.work_offset, policy=executor.policy,
+                )
+                apply(live_idx[winners])
+                result.completed.extend(reqs[i] for i in live_idx[winners])
+                for i in live_idx[losers]:
+                    reqs[i].group = int(src_addrs[i])
+                    result.carried.append(reqs[i])
+                result.rounds += 1
+            else:
+                dec = fol_star(
+                    vm, [v1, v2],
+                    work_offset=executor.cells.work_offset, policy=executor.policy,
+                )
+                for s in dec.sets:
+                    apply(live_idx[s])
+                result.completed.extend(reqs[i] for i in live_idx)
+                result.rounds += dec.m
+        return _max_multiplicity(np.concatenate([src_addrs, dst_addrs]))
+
+    # -- routing --------------------------------------------------------
+    def route_indices(self, req, fold):
+        return (fold(req.key), fold(req.key2))
+
+    # -- cross-shard claim/commit ---------------------------------------
+    def carry_group(self, coordinator, unit) -> int:
+        # Workers share one layout, so worker 0's cell address is the
+        # conflict-group address on every shard.
+        return coordinator.workers[0].cell_addr(unit.src_index)
+
+    def commit_cross(self, coordinator, unit) -> None:
+        """Apply one winning cross-shard transfer on both owners' cells
+        (value -= delta at source, += delta at destination).  The cell
+        words hold sign-tagged negated atoms, so value moves are word
+        moves with flipped sign.  Applied with uncharged stores: the
+        simulated cost is the commit payload charged by the
+        coordinator's exchange accounting."""
+        d = unit.request.delta
+        src_w = coordinator.workers[unit.src_shard]
+        dst_w = coordinator.workers[unit.dst_shard]
+        a_src = src_w.cell_addr(unit.src_index)
+        a_dst = dst_w.cell_addr(unit.dst_index)
+        src_w.vm.mem.poke(a_src, int(src_w.vm.mem.peek(a_src)) + d)
+        dst_w.vm.mem.poke(a_dst, int(dst_w.vm.mem.peek(a_dst)) - d)
+
+    # -- differential oracle --------------------------------------------
+    def cell_deltas(self, req):
+        return ((req.key, -req.delta), (req.key2, req.delta))
+
+    # oracle_diff stays None: the cell bank's owner (the "list" spec)
+    # folds this kind's cell_deltas into its bank-wide diff.
+
+
+register(XferSpec())

@@ -34,7 +34,6 @@ from .executor import BatchResult, StreamExecutor
 from .metrics import BatchRecord, StreamMetrics
 from .queue import (
     ADMISSION_POLICIES,
-    REQUEST_KINDS,
     BoundedQueue,
     QueueStats,
     Request,
@@ -46,6 +45,15 @@ from .service import (
     requests_from_keys,
     zipf_keys,
 )
+
+
+def __getattr__(name: str):
+    # Served live from the workload registry (see repro.runtime.queue).
+    if name == "REQUEST_KINDS":
+        from ..engine.spec import registered_kinds
+
+        return registered_kinds()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     # queue

@@ -1,28 +1,31 @@
 """Micro-batch execution of symbolic updates against shared state.
 
-One :class:`StreamExecutor` owns the per-application state every batch
-mutates — a :class:`~repro.hashing.table.ChainedHashTable`, a
-:class:`~repro.trees.bst.BinarySearchTree` and a bank of shared list
-cells in a :class:`~repro.lists.cells.ConsArena` — plus the
-:class:`~repro.machine.vm.VectorMachine` all vector work is charged to.
+One :class:`StreamExecutor` owns the per-kind shared state every batch
+mutates, plus the :class:`~repro.machine.vm.VectorMachine` all vector
+work is charged to.  The state, and the FOL plan that drives each
+batch through it, come from the workload registry
+(:mod:`repro.engine`): construction walks the registered
+:class:`~repro.engine.spec.WorkloadSpec`\\ s in registration order —
+building each kind's state (hash table, BST, cell bank, sort store) on
+one bump allocator — and :meth:`StreamExecutor.execute` partitions the
+batch by kind in a single pass and hands each slice to its spec's
+``run`` hook.
 
-Each batch is split by request kind and driven through FOL:
+Two execution modes, chosen per executor:
 
-* **carryover mode** (default) — one :func:`~repro.runtime.carryover.fol_round`
-  per kind per batch; surviving lanes get their main processing, the
-  filtered lanes come back in the :class:`BatchResult` for the service
-  to re-enqueue (see :mod:`repro.runtime.carryover` for why).
-* **retry mode** (``carryover=False``) — the paper's §3.2 loop: FOL1
+* **carryover mode** (default) — one FOL round per kind per batch;
+  surviving lanes get their main processing, the filtered lanes come
+  back in the :class:`BatchResult` for the service to re-enqueue (see
+  :mod:`repro.runtime.carryover` for why).
+* **retry mode** (``carryover=False``) — the paper's §3.2 loop: FOL
   retries filtered lanes within the batch until all lanes complete, so
   the batch performs M full rounds.  This is the one-shot semantics the
   equivalence tests compare against, available per-service for
   benchmarking the two designs.
 
-BST insertion is intrinsically multi-round (lanes descend, then claim a
-NIL slot — `repro.trees.bst`); in carryover mode a lane gets *one* claim
-attempt per batch: it descends to its NIL slot, scatters its label, and
-if overwritten it records the slot and carries over, resuming the
-descent next batch from the very slot the winning lane just filled.
+The per-kind algorithms (chained-hash enter, BST claim-descend, FOL*
+two-cell transfer, list bumps, address-calc sort rounds) live in
+``repro/engine/kinds/`` — this module no longer names any kind.
 """
 
 from __future__ import annotations
@@ -30,19 +33,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
-from ..core.fol1 import fol1
-from ..core.fol_star import fol_star
-from ..core.labels import tuple_labels
-from ..errors import ReproError
-from ..hashing.table import ChainedHashTable
-from ..lists.cells import ConsArena, encode_atom
+from ..engine.spec import (
+    EngineContext,
+    _max_multiplicity,  # noqa: F401  (compat re-export; lives in engine)
+    count_by_kind,
+    get_spec,
+    machine_words,
+    resolve_capacities,
+    specs,
+)
 from ..machine.vm import VectorMachine, make_machine
-from ..mem.arena import NIL, BumpAllocator
-from ..trees.bst import BST_FIELDS, BinarySearchTree
-from .carryover import fol_round, tuple_round
-from .queue import FRESH_SLOT, Request
+from ..mem.arena import BumpAllocator
+from .queue import Request
 
 
 @dataclass
@@ -60,6 +62,7 @@ class BatchResult:
     rounds: int = 0
     multiplicity: int = 1
     cycles: float = 0.0
+    kind_counts: Tuple[Tuple[str, int], ...] = ()
     shard_sizes: Tuple[int, ...] = ()
     shard_cycles: Tuple[float, ...] = ()
     shard_rounds: Tuple[int, ...] = ()
@@ -75,14 +78,6 @@ class BatchResult:
         return len(self.carried)
 
 
-def _max_multiplicity(addrs: np.ndarray) -> int:
-    """Uncharged diagnostic: the batch's observed M (Theorem 5)."""
-    if addrs.size == 0:
-        return 0
-    _, counts = np.unique(addrs, return_counts=True)
-    return int(counts.max())
-
-
 class StreamExecutor:
     """Executes micro-batches of symbolic updates on shared state."""
 
@@ -94,22 +89,32 @@ class StreamExecutor:
         hash_capacity: int = 4096,
         bst_capacity: int = 4096,
         n_cells: int = 64,
+        key_space: int = 4096,
         carryover: bool = True,
         conflict_policy: str = "arbitrary",
+        capacities: Optional[Dict[str, int]] = None,
     ) -> None:
         self.vm = vm
         self.carryover = carryover
         self.policy = conflict_policy
-        alloc = BumpAllocator(vm.mem)
-        self.table = ChainedHashTable(alloc, table_size, max(hash_capacity, 1))
-        self.tree = BinarySearchTree(alloc, max(bst_capacity, 1))
-        self.cells = ConsArena(alloc, max(n_cells, 1))
-        self.n_cells = n_cells
-        # The shared list cells every "list" request targets, value 0.
-        self._cell_ptrs = np.asarray(
-            [self.cells.cons(encode_atom(0), NIL) for _ in range(n_cells)],
-            dtype=np.int64,
+        self.ctx = EngineContext(
+            table_size=table_size, n_cells=n_cells, key_space=key_space
         )
+        self.n_cells = n_cells
+        self.capacities = resolve_capacities(
+            capacities,
+            {"hash_capacity": hash_capacity, "bst_capacity": bst_capacity},
+        )
+        alloc = BumpAllocator(vm.mem)
+        # Build every registered kind's shared state, in registration
+        # order (the allocation order is part of the golden layout).
+        self.kind_state: Dict[str, object] = {}
+        for spec in specs():
+            state = spec.build_state(self, alloc, self.capacities[spec.name])
+            if state is not None:
+                self.kind_state[spec.name] = state
+            for attr, value in spec.state_aliases(state).items():
+                setattr(self, attr, value)
 
     # ------------------------------------------------------------------
     # convenient construction
@@ -121,31 +126,29 @@ class StreamExecutor:
         *,
         table_size: int = 509,
         n_cells: int = 64,
+        key_space: int = 4096,
         carryover: bool = True,
         conflict_policy: str = "arbitrary",
         cost_model=None,
         seed: int = 0,
     ) -> "StreamExecutor":
         """Build an executor (and its machine) sized for ``requests``."""
-        n_hash = sum(1 for r in requests if r.kind == "hash")
-        n_bst = sum(1 for r in requests if r.kind == "bst")
-        words = (
-            1  # NIL
-            + 2 * table_size  # heads + label work area
-            + 2 * max(n_hash, 1)  # (key, next) nodes
-            + 1 + 3 * max(n_bst, 1)  # root word + (key, left, right) nodes
-            + 6 * max(n_cells, 1)  # cells + shadow work + marks
-            + 4096  # slack
+        counts = count_by_kind(requests)
+        caps = {s.name: max(counts.get(s.name, 0), 1) for s in specs()}
+        ctx = EngineContext(
+            table_size=table_size, n_cells=n_cells, key_space=key_space
         )
-        vm = make_machine(words, cost_model=cost_model, seed=seed)
+        vm = make_machine(
+            machine_words(caps, ctx), cost_model=cost_model, seed=seed
+        )
         return cls(
             vm,
             table_size=table_size,
-            hash_capacity=max(n_hash, 1),
-            bst_capacity=max(n_bst, 1),
             n_cells=n_cells,
+            key_space=key_space,
             carryover=carryover,
             conflict_policy=conflict_policy,
+            capacities=caps,
         )
 
     # ------------------------------------------------------------------
@@ -180,248 +183,15 @@ class StreamExecutor:
         if not batch:
             return result
         start = self.vm.counter.snapshot()
+        # Single-pass partition by kind, first-appearance order (the
+        # dispatch order is part of the golden cycle sequence).
         by_kind: Dict[str, List[Request]] = {}
         for req in batch:
             by_kind.setdefault(req.kind, []).append(req)
         mults = [1]
         for kind, reqs in by_kind.items():
-            if kind == "hash":
-                m = self._run_hash(reqs, result)
-            elif kind == "bst":
-                m = self._run_bst(reqs, result)
-            elif kind == "xfer":
-                m = self._run_xfer(reqs, result)
-            else:
-                m = self._run_list(reqs, result)
-            mults.append(m)
+            mults.append(get_spec(kind).run(self, reqs, result))
         result.multiplicity = max(mults)
         result.cycles = self.vm.counter.delta(start)
+        result.kind_counts = tuple((k, len(v)) for k, v in by_kind.items())
         return result
-
-    # -- chained hash inserts ------------------------------------------
-    def _hash_head_addrs(self, keys: np.ndarray) -> np.ndarray:
-        hashed = self.vm.mod(keys, self.table.size)
-        return self.vm.add(hashed, self.table.base)
-
-    def _hash_enter(
-        self, head_addrs: np.ndarray, keys: np.ndarray, positions: np.ndarray
-    ) -> None:
-        """Figure 7 main processing for one parallel-processable set:
-        allocate a node per lane and link it at its chain head."""
-        vm = self.vm
-        nodes = self.table.nodes.alloc_many(positions.size)
-        vm.iota(positions.size)  # charge the address generation
-        key_field = self.table.nodes.offset("key")
-        next_field = self.table.nodes.offset("next")
-        heads = head_addrs[positions]
-        vm.scatter(vm.add(nodes, key_field), keys[positions], policy=self.policy)
-        old_heads = vm.gather(heads)
-        vm.scatter(vm.add(nodes, next_field), old_heads, policy=self.policy)
-        vm.scatter(heads, nodes, policy=self.policy)
-
-    def _run_hash(self, reqs: List[Request], result: BatchResult) -> int:
-        vm = self.vm
-        keys = np.asarray([r.key for r in reqs], dtype=np.int64)
-        head_addrs = self._hash_head_addrs(keys)
-        if self.carryover:
-            labels = vm.iota(keys.size)
-            winners, losers = fol_round(
-                vm, head_addrs, labels,
-                work_offset=self.table.work_offset, policy=self.policy,
-            )
-            self._hash_enter(head_addrs, keys, winners)
-            result.completed.extend(reqs[i] for i in winners)
-            for i in losers:
-                reqs[i].group = int(head_addrs[i])
-                result.carried.append(reqs[i])
-            result.rounds += 1
-        else:
-            dec = fol1(
-                vm, head_addrs,
-                work_offset=self.table.work_offset, policy=self.policy,
-                on_set=lambda s, _j: self._hash_enter(head_addrs, keys, s),
-            )
-            result.completed.extend(reqs)
-            result.rounds += dec.m
-        return _max_multiplicity(head_addrs)
-
-    # -- BST inserts ----------------------------------------------------
-    def _run_bst(self, reqs: List[Request], result: BatchResult) -> int:
-        vm = self.vm
-        tree = self.tree
-        nodes = tree.nodes
-        off_key = nodes.offset("key")
-        off_left = nodes.offset("left")
-        off_right = nodes.offset("right")
-        n = len(reqs)
-        keys = np.asarray([r.key for r in reqs], dtype=np.int64)
-
-        # Pre-build a node per *fresh* lane; carried lanes already own one.
-        fresh = [i for i, r in enumerate(reqs) if r.node == NIL]
-        if fresh:
-            built = nodes.alloc_many(len(fresh))
-            vm.iota(len(fresh))  # charge the address generation
-            vm.scatter(vm.add(built, off_key), keys[fresh], policy=self.policy)
-            vm.scatter(vm.add(built, off_left), vm.splat(len(fresh), NIL), policy=self.policy)
-            vm.scatter(vm.add(built, off_right), vm.splat(len(fresh), NIL), policy=self.policy)
-            for i, ptr in zip(fresh, built):
-                reqs[i].node = int(ptr)
-        node_ptrs = np.asarray([r.node for r in reqs], dtype=np.int64)
-
-        slots = np.asarray(
-            [tree.root_addr if r.slot == FRESH_SLOT else r.slot for r in reqs],
-            dtype=np.int64,
-        )
-        labels = vm.iota(n)
-        active = vm.iota(n)
-        claim_rounds = 0
-        limit = 2 * (nodes.capacity + n) + 4
-        steps = 0
-        while active.size:
-            steps += 1
-            if steps > limit:
-                raise ReproError(f"stream BST insert exceeded {limit} steps")
-            cur_slots = slots[active]
-            ptrs = vm.gather(cur_slots)
-            at_nil = vm.eq(ptrs, NIL)
-
-            if vm.any_true(at_nil):
-                claim_rounds += 1
-                lb = labels[active]
-                vm.scatter_masked(cur_slots, lb, at_nil, policy=self.policy)
-                readback = vm.gather(cur_slots)
-                won = vm.mask_and(at_nil, vm.eq(readback, lb))
-                if vm.audit is not None:
-                    vm.audit.on_claim(cur_slots, at_nil, won)
-                vm.scatter_masked(cur_slots, node_ptrs[active], won, policy=self.policy)
-                if not vm.any_true(won):
-                    raise ReproError("stream BST claim round made no progress")
-                result.completed.extend(reqs[i] for i in active[won])
-                if self.carryover:
-                    # Filtered claimants defer to the next batch, resuming
-                    # at the slot the winner just filled.
-                    lost = vm.mask_and(at_nil, vm.mask_not(won))
-                    for i, slot in zip(active[lost], cur_slots[lost]):
-                        reqs[i].slot = int(slot)
-                        reqs[i].group = int(slot)
-                        result.carried.append(reqs[i])
-                    active = vm.compress(active, vm.mask_not(at_nil))
-                else:
-                    # Paper semantics: losers keep descending in-batch —
-                    # next step they find the winner's node in the slot.
-                    active = vm.compress(active, vm.mask_not(won))
-                if active.size == 0:
-                    break
-                cur_slots = slots[active]
-                ptrs = vm.gather(cur_slots)
-
-            node_keys = vm.gather(vm.add(ptrs, off_key))
-            go_left = vm.lt(keys[active], node_keys)
-            child = vm.add(ptrs, vm.select(go_left, off_left, off_right))
-            slots[active] = child
-            vm.loop_overhead()
-
-        result.rounds += claim_rounds
-        return max(claim_rounds, 1)
-
-    # -- two-cell transfers (the L = 2 FOL* unit process) --------------
-    def _cell_car_addrs(self, cells: List[int], what: str) -> np.ndarray:
-        for c in cells:
-            if not 0 <= c < self.n_cells:
-                raise ReproError(
-                    f"{what} targets cell {c}, but only {self.n_cells} cells exist"
-                )
-        off_car = self.cells.cells.offset("car")
-        return self.vm.add(self._cell_ptrs[cells], off_car)
-
-    def _run_xfer(self, reqs: List[Request], result: BatchResult) -> int:
-        """Move ``delta`` from cell ``key`` to cell ``key2``: each unit
-        process rewrites a *tuple* of two storage areas, so filtering is
-        FOL* (§3.3), not FOL1 — a tuple completes only when both of its
-        labels survive, and each round's last tuple is written with
-        scalar stores so the round cannot deadlock."""
-        vm = self.vm
-        src_addrs = self._cell_car_addrs([r.key for r in reqs], "xfer source")
-        dst_addrs = self._cell_car_addrs([r.key2 for r in reqs], "xfer target")
-        deltas = np.asarray([r.delta for r in reqs], dtype=np.int64)
-
-        # Atoms are sign-tagged negated: value -= d is word += d and
-        # value += d is word -= d.  Gathers/scatters run sequentially
-        # per round, so read-modify-write per parallel-processable set
-        # is safe (no two tuples in a set share a cell).
-        def apply(positions: np.ndarray) -> None:
-            if positions.size == 0:
-                return
-            a_src = src_addrs[positions]
-            a_dst = dst_addrs[positions]
-            d = deltas[positions]
-            vm.scatter(a_src, vm.add(vm.gather(a_src), d), policy=self.policy)
-            vm.scatter(a_dst, vm.sub(vm.gather(a_dst), d), policy=self.policy)
-
-        # Self-transfers (key == key2) are net no-ops and internally
-        # duplicated tuples in the §3.3 sense; retire them up front.
-        loop_idx = [i for i, r in enumerate(reqs) if r.key == r.key2]
-        live_idx = np.asarray(
-            [i for i, r in enumerate(reqs) if r.key != r.key2], dtype=np.int64
-        )
-        result.completed.extend(reqs[i] for i in loop_idx)
-
-        if live_idx.size:
-            v1 = src_addrs[live_idx]
-            v2 = dst_addrs[live_idx]
-            if self.carryover:
-                labels = tuple_labels(vm, live_idx.size, 2)
-                winners, losers = tuple_round(
-                    vm, [v1, v2], labels,
-                    work_offset=self.cells.work_offset, policy=self.policy,
-                )
-                apply(live_idx[winners])
-                result.completed.extend(reqs[i] for i in live_idx[winners])
-                for i in live_idx[losers]:
-                    reqs[i].group = int(src_addrs[i])
-                    result.carried.append(reqs[i])
-                result.rounds += 1
-            else:
-                dec = fol_star(
-                    vm, [v1, v2],
-                    work_offset=self.cells.work_offset, policy=self.policy,
-                )
-                for s in dec.sets:
-                    apply(live_idx[s])
-                result.completed.extend(reqs[i] for i in live_idx)
-                result.rounds += dec.m
-        return _max_multiplicity(np.concatenate([src_addrs, dst_addrs]))
-
-    # -- shared list cell bumps ----------------------------------------
-    def _run_list(self, reqs: List[Request], result: BatchResult) -> int:
-        vm = self.vm
-        car_addrs = self._cell_car_addrs([r.key for r in reqs], "list request")
-        deltas = np.asarray([r.delta for r in reqs], dtype=np.int64)
-
-        def bump(positions: np.ndarray) -> None:
-            addrs = car_addrs[positions]
-            words = vm.gather(addrs)
-            # Atoms are sign-tagged negated, so value += d is word -= d.
-            vm.scatter(addrs, vm.sub(words, deltas[positions]), policy=self.policy)
-
-        if self.carryover:
-            labels = vm.iota(car_addrs.size)
-            winners, losers = fol_round(
-                vm, car_addrs, labels,
-                work_offset=self.cells.work_offset, policy=self.policy,
-            )
-            bump(winners)
-            result.completed.extend(reqs[i] for i in winners)
-            for i in losers:
-                reqs[i].group = int(car_addrs[i])
-                result.carried.append(reqs[i])
-            result.rounds += 1
-        else:
-            dec = fol1(
-                vm, car_addrs,
-                work_offset=self.cells.work_offset, policy=self.policy,
-                on_set=lambda s, _j: bump(s),
-            )
-            result.completed.extend(reqs)
-            result.rounds += dec.m
-        return _max_multiplicity(car_addrs)

@@ -43,6 +43,7 @@ class BatchRecord:
     filtered: int  # lanes filtered out (carried to the next batch)
     completed: int  # requests retired by this batch
     cycles: float  # simulated cycles charged
+    kind_counts: Tuple[Tuple[str, int], ...] = ()  # lanes per request kind
     shard_sizes: Tuple[int, ...] = ()  # lanes routed per shard
     shard_rounds: Tuple[int, ...] = ()  # concurrent FOL rounds per shard
     cross_units: int = 0  # cross-shard tuples claimed this batch
@@ -123,6 +124,17 @@ class StreamMetrics:
     def total_rounds(self) -> int:
         return sum(b.rounds for b in self.batches)
 
+    def lanes_by_kind(self) -> Dict[str, int]:
+        """Total lanes executed per request kind, summed over batches
+        (a carried lane counts once per batch it rode in).  Generic:
+        any registered kind that appeared shows up — no per-kind
+        metric fields to maintain."""
+        totals: Dict[str, int] = {}
+        for b in self.batches:
+            for kind, n in b.kind_counts:
+                totals[kind] = totals.get(kind, 0) + n
+        return totals
+
     @property
     def cycles_per_request(self) -> float:
         """Total cycles per completed request; ``nan`` when nothing
@@ -150,6 +162,7 @@ class StreamMetrics:
             "cycles_per_request": self.cycles_per_request,
             "p50_latency": self.latency_percentile(50),
             "p99_latency": self.latency_percentile(99),
+            "lanes_by_kind": self.lanes_by_kind(),
         }
         if self.instruction_mix is not None:
             out["instruction_mix"] = dict(self.instruction_mix)
@@ -231,4 +244,6 @@ def _fmt_value(v: object) -> str:
         if np.isnan(v):
             return "—"  # undefined metric (e.g. no completions)
         return f"{v:,.2f}"
+    if isinstance(v, dict):
+        return " ".join(f"{k}={_fmt_value(n)}" for k, n in v.items()) or "—"
     return str(v)

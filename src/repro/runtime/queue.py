@@ -28,27 +28,34 @@ from ..mem.arena import NIL
 #: Admission policies understood by :class:`BoundedQueue`.
 ADMISSION_POLICIES = ("block", "reject")
 
-#: Request kinds the executor knows how to run.
-REQUEST_KINDS = ("hash", "bst", "list", "xfer")
-
 #: Sentinel for "BST descent not started" (root slot resolved lazily so
 #: requests can be built before the executor exists).
 FRESH_SLOT = -1
+
+
+def __getattr__(name: str):
+    # REQUEST_KINDS is served live from the workload registry (PEP 562)
+    # rather than snapshotted at import time: this module is imported
+    # while the registry is still filling, and a frozen tuple here
+    # would silently miss later-registered kinds.
+    if name == "REQUEST_KINDS":
+        from ..engine.spec import registered_kinds
+
+        return registered_kinds()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
 class Request:
     """One symbolic update travelling through the stream.
 
-    ``kind`` selects the main processing: ``"hash"`` inserts ``key``
-    into the chained hash table, ``"bst"`` inserts ``key`` into the
-    binary search tree, ``"list"`` adds ``delta`` to the shared list
-    cell indexed by ``key``, and ``"xfer"`` atomically moves ``delta``
-    from cell ``key`` to cell ``key2`` — the one kind whose unit
-    process rewrites *two* storage areas (an L = 2 tuple in the sense
-    of FOL*, §3.3), which is what exercises the multi-item filtering
-    path and, in the sharded engine, the cross-shard claim/commit
-    protocol.
+    ``kind`` selects the main processing, dispatched through the
+    workload registry (:mod:`repro.engine`) — run
+    ``python -m repro stream --help`` or see ``repro/engine/kinds/``
+    for the registered kinds.  Single-address kinds carry their target
+    in ``key``; arity-2 tuple kinds (unit processes rewriting *two*
+    storage areas, L = 2 in the sense of FOL*, §3.3) name the second
+    target in ``key2``.
 
     The mutable tail fields are per-request execution state the
     carryover loop threads across micro-batches: how many FOL rounds
@@ -72,14 +79,9 @@ class Request:
     home: int = -1  # shard whose memory holds this lane's state (sharded engine)
 
     def __post_init__(self) -> None:
-        if self.kind not in REQUEST_KINDS:
-            raise ReproError(
-                f"unknown request kind {self.kind!r}; expected one of {REQUEST_KINDS}"
-            )
-        if self.kind == "xfer" and self.key2 < 0:
-            raise ReproError(
-                f"xfer request {self.rid} needs a non-negative key2, got {self.key2}"
-            )
+        from ..engine.spec import get_spec
+
+        get_spec(self.kind).validate(self)
 
     @property
     def latency(self) -> float:

@@ -64,6 +64,7 @@ class StreamService:
         queue: Optional[BoundedQueue] = None,
         table_size: int = 509,
         n_cells: int = 64,
+        key_space: int = 4096,
         carryover: bool = True,
         conflict_policy: str = "arbitrary",
         cost_model: Optional[CostModel] = None,
@@ -77,6 +78,7 @@ class StreamService:
             requests,
             table_size=table_size,
             n_cells=n_cells,
+            key_space=key_space,
             carryover=carryover,
             conflict_policy=conflict_policy,
             cost_model=cost_model,
@@ -153,6 +155,7 @@ class StreamService:
                     filtered=result.filtered,
                     completed=len(result.completed),
                     cycles=result.cycles,
+                    kind_counts=result.kind_counts,
                     shard_sizes=result.shard_sizes,
                     shard_rounds=result.shard_rounds,
                     cross_units=result.cross_units,
@@ -200,53 +203,61 @@ def _build_requests(
     key_space: int,
     n_cells: int,
     max_delta: int,
+    weights: Optional[Sequence[float]] = None,
 ) -> List[Request]:
+    from ..engine.spec import EngineContext, get_spec
+
+    by_kind = {k: get_spec(k) for k in kinds}
     n = arrivals.size
     keys = zipf_keys(rng, n, skew, key_space)
-    kind_choices = rng.integers(0, len(kinds), size=n)
+    if weights is None:
+        kind_choices = rng.integers(0, len(kinds), size=n)
+    else:
+        if len(weights) != len(kinds):
+            raise ReproError(
+                f"{len(weights)} mix weights for {len(kinds)} kinds"
+            )
+        p = np.asarray(weights, dtype=np.float64)
+        if p.size == 0 or (p < 0).any() or p.sum() <= 0:
+            raise ReproError("mix weights must be non-negative, sum > 0")
+        kind_choices = rng.choice(len(kinds), size=n, p=p / p.sum())
     deltas = rng.integers(1, max_delta + 1, size=n)
     # Transfer targets follow the *same* skew as sources, so a hot rank
     # is hot on both ends of the tuple — the worst case for sharding.
     keys2 = zipf_keys(rng, n, skew, key_space)
-    out: List[Request] = []
-    for idx in range(n):
-        kind = kinds[kind_choices[idx]]
-        key = int(keys[idx])
-        key2 = -1
-        if kind in ("list", "xfer"):
-            key %= n_cells
-        if kind == "xfer":
-            key2 = int(keys2[idx]) % n_cells
-        out.append(
-            Request(
-                rid=idx,
-                kind=kind,
-                key=key,
-                delta=int(deltas[idx]),
-                key2=key2,
-                arrival=float(arrivals[idx]),
-            )
+    ctx = EngineContext(n_cells=n_cells, key_space=key_space)
+    return [
+        by_kind[kinds[kind_choices[idx]]].make_request(
+            idx,
+            int(keys[idx]),
+            int(keys2[idx]),
+            int(deltas[idx]),
+            float(arrivals[idx]),
+            ctx,
         )
-    return out
+        for idx in range(n)
+    ]
 
 
 def open_loop_workload(
     rng: np.random.Generator,
     n: int,
     *,
-    kinds: Sequence[str] = ("hash",),
+    kinds: Sequence[str] = ("hash",),  # no-kind-lint
     skew: float = 0.0,
     key_space: int = 4096,
     mean_gap: float = 40.0,
     n_cells: int = 64,
     max_delta: int = 9,
+    weights: Optional[Sequence[float]] = None,
 ) -> List[Request]:
     """Open loop: arrivals with exponential inter-arrival gaps of
     ``mean_gap`` cycles — the generator does not react to service speed,
     so a slow policy shows up as queue growth and latency."""
     gaps = rng.exponential(mean_gap, size=n)
     return _build_requests(
-        rng, np.cumsum(gaps), kinds, skew, key_space, n_cells, max_delta
+        rng, np.cumsum(gaps), kinds, skew, key_space, n_cells, max_delta,
+        weights=weights,
     )
 
 
@@ -254,22 +265,24 @@ def closed_loop_workload(
     rng: np.random.Generator,
     n: int,
     *,
-    kinds: Sequence[str] = ("hash",),
+    kinds: Sequence[str] = ("hash",),  # no-kind-lint
     skew: float = 0.0,
     key_space: int = 4096,
     n_cells: int = 64,
     max_delta: int = 9,
+    weights: Optional[Sequence[float]] = None,
 ) -> List[Request]:
     """Closed loop: every request is ready at t=0 and the bounded
     admission queue is the only pacing — the throughput-measuring
     configuration (latency then measures time-in-system from t=0)."""
     return _build_requests(
-        rng, np.zeros(n), kinds, skew, key_space, n_cells, max_delta
+        rng, np.zeros(n), kinds, skew, key_space, n_cells, max_delta,
+        weights=weights,
     )
 
 
 def requests_from_keys(
-    keys: Iterable[int], kind: str = "hash", deltas: Optional[Iterable[int]] = None
+    keys: Iterable[int], kind: str = "hash", deltas: Optional[Iterable[int]] = None  # no-kind-lint
 ) -> List[Request]:
     """Deterministic all-at-t0 stream from explicit keys (test helper)."""
     keys = list(keys)

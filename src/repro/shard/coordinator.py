@@ -43,6 +43,14 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..engine.spec import (
+    MIGRATE_CELL,
+    MIGRATE_CHAIN,
+    count_by_kind,
+    get_domain,
+    get_spec,
+    specs,
+)
 from ..errors import AuditError, ReproError
 from ..machine.cost_model import CostModel
 from ..runtime.executor import BatchResult
@@ -94,7 +102,7 @@ class ShardCoordinator:
         requests: Sequence[Request],
         *,
         shards: int,
-        partitioner: str = "hash",
+        partitioner: str = "hash",  # no-kind-lint
         rebalance: bool = False,
         table_size: int = 509,
         n_cells: int = 64,
@@ -118,16 +126,18 @@ class ShardCoordinator:
         """
         if shards <= 0:
             raise ReproError(f"shard count must be positive, got {shards}")
-        n_hash = sum(1 for r in requests if r.kind == "hash")
-        n_bst = sum(1 for r in requests if r.kind == "bst")
-        hash_capacity = 3 * max(n_hash, 1) + 64
+        counts = count_by_kind(requests)
+        caps = {
+            spec.name: spec.shard_capacity(counts.get(spec.name, 0))
+            for spec in specs()
+        }
         workers = [
             ShardWorker(
                 s,
                 table_size=table_size,
-                hash_capacity=hash_capacity,
-                bst_capacity=max(n_bst, 1),
                 n_cells=n_cells,
+                key_space=key_space,
+                capacities=caps,
                 carryover=carryover,
                 conflict_policy=conflict_policy,
                 cost_model=cost_model,
@@ -202,32 +212,12 @@ class ShardCoordinator:
 
     def _audit_routing(self, per_shard: List[List[Request]]) -> None:
         """Owner-computes invariant: every lane landed on the shard that
-        owns its conflict index (carried BST lanes may instead be pinned
-        to the shard holding their descent state)."""
+        owns its conflict indices (a spec may instead pin a lane to the
+        shard holding its resumable state — see WorkloadSpec.pin_shard)."""
         part = self.router.partition
         for s, sub in enumerate(per_shard):
             for req in sub:
-                if req.kind == "hash":
-                    owner = part.hash.owner_of(part.hash.fold(req.key))
-                elif req.kind == "bst":
-                    owner = part.bst.owner_of(part.bst.fold(req.key))
-                    if req.home >= 0 and req.home == s:
-                        continue  # pinned carryover lane
-                elif req.kind == "list":
-                    owner = part.list.owner_of(part.list.fold(req.key))
-                else:  # same-owner xfer
-                    owner = part.list.owner_of(part.list.fold(req.key))
-                    dst = part.list.owner_of(part.list.fold(req.key2))
-                    if owner != dst:
-                        raise AuditError(
-                            f"xfer request {req.rid} routed as shard-local "
-                            f"but its cells are owned by {owner} and {dst}"
-                        )
-                if owner != s:
-                    raise AuditError(
-                        f"request {req.rid} ({req.kind} key={req.key}) "
-                        f"executed on shard {s} but is owned by {owner}"
-                    )
+                get_spec(req.kind).routing_audit(req, part, s)
 
     # ------------------------------------------------------------------
     # batch execution
@@ -259,11 +249,11 @@ class ShardCoordinator:
         if cross:
             winners, losers = self.router.resolve_claims(cross)
             for unit in winners:
-                self._commit(unit)
+                get_spec(unit.request.kind).commit_cross(self, unit)
                 result.completed.append(unit.request)
             for unit in losers:
                 req = unit.request
-                req.group = self.workers[0].cell_addr(unit.src_index)
+                req.group = get_spec(req.kind).carry_group(self, unit)
                 result.carried.append(req)
             exchange = 2 * self.cost.shard_claim_rtt
             exchange += self.cost.shard_transfer_per_word * (
@@ -283,26 +273,13 @@ class ShardCoordinator:
         result.rounds = max(local_rounds)
         result.multiplicity = max(mults)
         result.cycles = max(local_cycles) + exchange + migration
+        result.kind_counts = tuple(count_by_kind(batch).items())
         result.shard_sizes = tuple(len(sub) for sub in per_shard)
         result.shard_cycles = tuple(local_cycles)
         result.shard_rounds = tuple(local_rounds)
         result.cross_units = len(cross)
         result.migrations = n_moves
         return result
-
-    def _commit(self, unit) -> None:
-        """Apply one winning cross-shard transfer on both owners' cells
-        (value -= delta at source, += delta at destination).  The cell
-        words hold sign-tagged negated atoms, so value moves are word
-        moves with flipped sign.  Applied with uncharged stores: the
-        simulated cost is the commit payload charged in ``execute``."""
-        d = unit.request.delta
-        src_w = self.workers[unit.src_shard]
-        dst_w = self.workers[unit.dst_shard]
-        a_src = src_w.cell_addr(unit.src_index)
-        a_dst = dst_w.cell_addr(unit.dst_index)
-        src_w.vm.mem.poke(a_src, int(src_w.vm.mem.peek(a_src)) + d)
-        dst_w.vm.mem.poke(a_dst, int(dst_w.vm.mem.peek(a_dst)) - d)
 
     # ------------------------------------------------------------------
     # migration
@@ -321,7 +298,8 @@ class ShardCoordinator:
         for mv in moves:
             src_w = self.workers[mv.src]
             dst_w = self.workers[mv.dst]
-            if mv.domain == "hash":
+            style = get_domain(mv.domain).migration
+            if style == MIGRATE_CHAIN:
                 keys = src_w.executor.table.chain(mv.index)
                 if not dst_w.can_import_chain(len(keys)):
                     self.migration_skips += 1
@@ -345,7 +323,7 @@ class ShardCoordinator:
                             f"{before} -> {after}"
                         )
                 words = 2 * len(keys) + 1  # (key, next) records + head
-            elif mv.domain == "list":
+            elif style == MIGRATE_CELL:
                 if auditing:
                     before_total = sum(
                         w.cell_values()[mv.index] for w in self.workers
@@ -363,7 +341,7 @@ class ShardCoordinator:
                             f"{before_total} -> {after_total}"
                         )
                 words = 1
-            else:  # "bst": routing-only (merge-on-read, docs §4)
+            else:  # MIGRATE_ROUTE: merge-on-read state, no payload
                 words = 0
             self.router.partition.domain(mv.domain).move(mv.index, mv.dst)
             cycles += self.cost.shard_claim_rtt

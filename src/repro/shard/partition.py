@@ -2,19 +2,12 @@
 
 Owner-computes sharding needs a *total* map from every address a unit
 process can touch to the single worker that owns it.  The conflict
-addresses in this codebase fall into three independent **domains**,
-each a small dense index space:
-
-``"hash"``
-    chained-hash chain heads, indexed by slot ``key % table_size``;
-``"list"``
-    shared list cells, indexed by cell number (``"list"`` bumps and
-    both ends of an ``"xfer"`` tuple route here);
-``"bst"``
-    BST inserts, indexed by ``key % key_space``.  BST ownership routes
-    whole key residues, not tree nodes: each shard grows its own tree
-    over the keys it owns, and the global inorder is the sorted merge
-    of the per-shard inorders (see ``docs/sharding.md``).
+addresses fall into independent **domains** — small dense index
+spaces, one :class:`~repro.engine.spec.RoutingDomain` per registered
+spec's ``domain`` attribute (chain slots, cell numbers, key
+residues...).  The workload registry declares them; this module only
+materialises one owner array per domain, so a newly registered kind
+is routable with no edits here.
 
 A :class:`RoutingTable` is the explicit per-domain owner array — not a
 pure function — so that live migration can retarget individual indices
@@ -29,15 +22,11 @@ hot shard — the regime :mod:`repro.shard.rebalance` exists for).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Tuple
+from typing import Callable, Dict, Iterable, Mapping, Tuple
 
 import numpy as np
 
 from ..errors import ReproError
-
-#: Domains a :class:`PartitionMap` routes, in a fixed order.
-DOMAINS = ("hash", "list", "bst")
 
 
 def hash_partition(size: int, shards: int) -> np.ndarray:
@@ -63,8 +52,9 @@ def _check(size: int, shards: int) -> None:
 
 
 #: Named initial-assignment strategies (CLI ``--partitioner`` choices).
+#: "hash" here names the round-robin strategy, not the request kind.
 PARTITIONERS: Dict[str, Callable[[int, int], np.ndarray]] = {
-    "hash": hash_partition,
+    "hash": hash_partition,  # no-kind-lint
     "range": range_partition,
 }
 
@@ -132,28 +122,50 @@ class RoutingTable:
         return np.nonzero(self.owners == shard)[0]
 
 
-@dataclass
 class PartitionMap:
-    """The three per-domain routing tables, built by one partitioner."""
+    """One routing table per registered domain, in registration order.
 
-    hash: RoutingTable
-    list: RoutingTable
-    bst: RoutingTable
+    The iteration order of :meth:`items` (and therefore the float
+    summation order of :meth:`shard_load`) is the domain registration
+    order — part of the golden-parity surface for rebalance decisions.
+    Tables are also reachable as attributes (``pm.hash``, ``pm.list``,
+    ``pm.bst``...) for inspection and tests.
+    """
+
+    def __init__(self, tables: Mapping[str, RoutingTable]) -> None:
+        tables = dict(tables)
+        if not tables:
+            raise ReproError("partition map needs at least one domain")
+        shards = {t.shards for t in tables.values()}
+        if len(shards) != 1:
+            raise ReproError(
+                f"partition map domains disagree on shard count: {shards}"
+            )
+        self.tables = tables
+
+    def __getattr__(self, name: str) -> RoutingTable:
+        tables = self.__dict__.get("tables")
+        if tables is not None and name in tables:
+            return tables[name]
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
 
     @property
     def shards(self) -> int:
-        return self.hash.shards
+        return next(iter(self.tables.values())).shards
 
     def domain(self, name: str) -> RoutingTable:
-        if name not in DOMAINS:
+        try:
+            return self.tables[name]
+        except KeyError:
             raise ReproError(
-                f"unknown routing domain {name!r}; expected one of {DOMAINS}"
-            )
-        return getattr(self, name)
+                f"unknown routing domain {name!r}; "
+                f"expected one of {tuple(self.tables)}"
+            ) from None
 
     def items(self) -> Iterable[Tuple[str, RoutingTable]]:
-        for name in DOMAINS:
-            yield name, getattr(self, name)
+        yield from self.tables.items()
 
     def shard_load(self) -> np.ndarray:
         """Per-shard decayed traffic summed over all domains."""
@@ -174,15 +186,22 @@ def make_partition_map(
     n_cells: int,
     key_space: int,
 ) -> PartitionMap:
-    """Build the initial :class:`PartitionMap` for a K-shard engine."""
+    """Build the initial :class:`PartitionMap` for a K-shard engine:
+    one owner array per domain in the workload registry."""
     if partitioner not in PARTITIONERS:
         raise ReproError(
             f"unknown partitioner {partitioner!r}; "
             f"expected one of {tuple(PARTITIONERS)}"
         )
+    from ..engine.spec import EngineContext, domains
+
     assign = PARTITIONERS[partitioner]
+    ctx = EngineContext(
+        table_size=table_size, n_cells=n_cells, key_space=key_space
+    )
     return PartitionMap(
-        hash=RoutingTable(assign(table_size, shards), shards),
-        list=RoutingTable(assign(n_cells, shards), shards),
-        bst=RoutingTable(assign(key_space, shards), shards),
+        {
+            name: RoutingTable(assign(dom.size(ctx), shards), shards)
+            for name, dom in domains().items()
+        }
     )

@@ -45,7 +45,7 @@ from typing import List
 import numpy as np
 
 from ..errors import ReproError
-from .partition import DOMAINS, PartitionMap
+from .partition import PartitionMap
 
 
 @dataclass(frozen=True)
@@ -113,8 +113,7 @@ class Rebalancer:
         the load gap has moved (moving more would overshoot and invert)."""
         budget = gap / 2.0
         candidates = []
-        for name in DOMAINS:
-            table = self.partition.domain(name)
+        for name, table in self.partition.items():
             for idx in table.indices_of(hot):
                 t = float(table.traffic[idx])
                 if t > 0:

@@ -8,23 +8,22 @@ owner-computes: the FOL rounds a shard runs over its sub-batch touch
 only addresses it owns, so no two shards can conflict and the rounds
 run concurrently.
 
-Routing rules per request kind:
+Routing is spec-driven (:mod:`repro.engine`): each request kind's
+:class:`~repro.engine.spec.WorkloadSpec` names its routing domain and
+maps the request to the domain indices its unit process touches
+(:meth:`~repro.engine.spec.WorkloadSpec.route_indices`).  A request
+whose indices share one owner is shard-local; an arity-2 request whose
+two indices have different owners becomes a :class:`CrossUnit`,
+resolved by the coordinator's two-phase claim/commit (see
+:meth:`Router.resolve_claims` and ``docs/sharding.md`` §3).
 
-* ``"hash"`` — domain ``"hash"``, index ``key % table_size`` (the chain
-  head is the conflict address, so ownership follows slots, not keys);
-* ``"list"`` — domain ``"list"``, index ``key`` (cell number);
-* ``"bst"`` — domain ``"bst"``, index ``key % key_space`` **unless**
-  the lane was carried by a shard in a previous batch: a carried BST
-  lane owns a pre-built node and a descent slot in that shard's memory
-  (``Request.home``), so it stays pinned there even if a migration has
-  since re-routed its key residue.  Hash and list carryovers hold no
-  shard-resident state (their ``group`` is a layout address, identical
-  across the uniformly-built workers) and re-route freely.
-* ``"xfer"`` — domain ``"list"`` twice (``key`` and ``key2``).  Same
-  owner: a shard-local L = 2 tuple, executed by the worker's FOL*
-  round.  Different owners: a :class:`CrossUnit`, resolved by the
-  coordinator's two-phase claim/commit (see
-  :meth:`Router.resolve_claims` and ``docs/sharding.md`` §3).
+A spec may also *pin* a lane (:meth:`~repro.engine.spec.WorkloadSpec.
+pin_shard`): a carried BST lane owns a pre-built node and a descent
+slot in one shard's memory (``Request.home``), so it stays there even
+if a migration has since re-routed its key residue.  Hash and list
+carryovers hold no shard-resident state (their ``group`` is a layout
+address, identical across the uniformly-built workers) and re-route
+freely.
 
 The claim phase is first-come over this batch's cross-unit cell set:
 of the cross units competing for a cell, the earliest in batch order
@@ -41,19 +40,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
+from ..engine.spec import get_spec
 from ..errors import ReproError
-from ..mem.arena import NIL
 from ..runtime.queue import Request
 from .partition import PartitionMap
 
 
 @dataclass
 class CrossUnit:
-    """An ``"xfer"`` tuple whose two cells have different owners."""
+    """An arity-2 tuple whose two indices have different owners."""
 
     request: Request
-    src_index: int  # list-domain index of ``key``
-    dst_index: int  # list-domain index of ``key2``
+    src_index: int  # domain index of ``key``
+    dst_index: int  # domain index of ``key2``
     src_shard: int
     dst_shard: int
 
@@ -77,37 +76,28 @@ class Router:
         per_shard: List[List[Request]] = [[] for _ in range(self.shards)]
         cross: List[CrossUnit] = []
         for req in batch:
-            if req.kind == "hash":
-                table = self.partition.hash
-                idx = table.fold(req.key)
+            spec = get_spec(req.kind)
+            table = self.partition.domain(spec.domain)
+            indices = spec.route_indices(req, table.fold)
+            for idx in indices:  # traffic counts feed the rebalancer
                 table.record(idx)
-                per_shard[table.owner_of(idx)].append(req)
-            elif req.kind == "bst":
-                table = self.partition.bst
-                idx = table.fold(req.key)
-                table.record(idx)
-                if req.node != NIL and req.home >= 0:
-                    per_shard[req.home].append(req)  # pinned carryover
-                else:
-                    per_shard[table.owner_of(idx)].append(req)
-            elif req.kind == "list":
-                table = self.partition.list
-                idx = table.fold(req.key)
-                table.record(idx)
-                per_shard[table.owner_of(idx)].append(req)
-            elif req.kind == "xfer":
-                table = self.partition.list
-                si, di = table.fold(req.key), table.fold(req.key2)
-                table.record(si)
-                table.record(di)
-                so, do = table.owner_of(si), table.owner_of(di)
-                if so == do:
-                    per_shard[so].append(req)
-                else:
-                    self.cross_routed += 1
-                    cross.append(CrossUnit(req, si, di, so, do))
-            else:  # pragma: no cover - Request.__post_init__ rejects these
-                raise ReproError(f"router cannot place request kind {req.kind!r}")
+            pinned = spec.pin_shard(req)
+            if pinned >= 0:
+                per_shard[pinned].append(req)
+                continue
+            owners = [table.owner_of(idx) for idx in indices]
+            if len(set(owners)) == 1:
+                per_shard[owners[0]].append(req)
+            elif len(indices) == 2:
+                self.cross_routed += 1
+                cross.append(
+                    CrossUnit(req, indices[0], indices[1], owners[0], owners[1])
+                )
+            else:  # pragma: no cover - no arity > 2 kinds registered
+                raise ReproError(
+                    f"router cannot place arity-{len(indices)} request "
+                    f"kind {req.kind!r} spanning shards {sorted(set(owners))}"
+                )
         return per_shard, cross
 
     # ------------------------------------------------------------------

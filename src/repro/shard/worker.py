@@ -34,8 +34,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
+from ..engine.spec import EngineContext, machine_words, resolve_capacities
 from ..lists.cells import encode_atom
 from ..machine.cost_model import CostModel
 from ..machine.vm import make_machine
@@ -52,32 +51,35 @@ class ShardWorker:
         shard_id: int,
         *,
         table_size: int,
-        hash_capacity: int,
-        bst_capacity: int,
         n_cells: int,
+        key_space: int = 4096,
+        hash_capacity: Optional[int] = None,
+        bst_capacity: Optional[int] = None,
+        capacities: Optional[Dict[str, int]] = None,
         carryover: bool = True,
         conflict_policy: str = "arbitrary",
         cost_model: Optional[CostModel] = None,
         seed: int = 0,
     ) -> None:
         self.shard_id = shard_id
-        words = (
-            1  # NIL
-            + 2 * table_size  # heads + label work area
-            + 2 * max(hash_capacity, 1)  # (key, next) nodes
-            + 1 + 3 * max(bst_capacity, 1)  # root word + BST nodes
-            + 6 * max(n_cells, 1)  # cells + shadow work + marks
-            + 4096  # slack
+        caps = resolve_capacities(
+            capacities,
+            {"hash_capacity": hash_capacity, "bst_capacity": bst_capacity},
         )
-        vm = make_machine(words, cost_model=cost_model, seed=seed)
+        ctx = EngineContext(
+            table_size=table_size, n_cells=n_cells, key_space=key_space
+        )
+        vm = make_machine(
+            machine_words(caps, ctx), cost_model=cost_model, seed=seed
+        )
         self.executor = StreamExecutor(
             vm,
             table_size=table_size,
-            hash_capacity=hash_capacity,
-            bst_capacity=bst_capacity,
             n_cells=n_cells,
+            key_space=key_space,
             carryover=carryover,
             conflict_policy=conflict_policy,
+            capacities=caps,
         )
         self.vm = vm
         self.batches = 0

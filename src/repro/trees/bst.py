@@ -41,7 +41,7 @@ class BinarySearchTree:
     """Linked BST over a record arena; root held in a memory word so the
     empty-tree case is also a pointer rewrite."""
 
-    def __init__(self, allocator: BumpAllocator, capacity: int, name: str = "bst") -> None:
+    def __init__(self, allocator: BumpAllocator, capacity: int, name: str = "bst") -> None:  # no-kind-lint
         self.nodes = RecordArena(allocator, BST_FIELDS, capacity, name=f"{name}.nodes")
         self.root_addr = allocator.alloc(1, f"{name}.root")
         self.memory = allocator.memory

@@ -171,9 +171,11 @@ class TestOracles:
         assert d is not None and "slot 3" in d.where
 
     def test_diff_list_names_first_cell(self):
-        ops = [("list", 0, -1, 5), ("xfer", 0, 2, 2)]
-        assert diff_list([3, 0, 2], 3, ops) is None
-        d = diff_list([3, 1, 2], 3, ops)
+        # A bump of +5 on cell 0, then a transfer of 2 from cell 0 to
+        # cell 2 — as the (cell, delta) pairs the specs report.
+        deltas = [(0, 5), (0, -2), (2, 2)]
+        assert diff_list([3, 0, 2], 3, deltas) is None
+        d = diff_list([3, 1, 2], 3, deltas)
         assert d is not None and d.where == "cell 1"
 
     def test_diff_bst_and_sorted(self):

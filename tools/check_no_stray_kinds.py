@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Lint: no workload-kind string literals outside the registry.
+
+The whole point of ``repro.engine`` is that each request kind is
+declared in exactly one place — its spec module under
+``src/repro/engine/kinds/`` — and every engine (stream executor, shard
+router/worker/coordinator, oracles, fuzzer, CLI) dispatches through the
+registry.  A stray ``if req.kind == "hash":`` anywhere else silently
+re-introduces the per-kind branching this refactor removed, and the next
+kind added would miss that code path.
+
+This script parses every Python file under ``src/repro`` (excluding
+``engine/kinds/``) and fails if any string constant equals a registered
+kind name.  Excluded:
+
+* docstrings (module/class/function) — prose may name kinds freely;
+* lines carrying a ``# no-kind-lint`` pragma — for the handful of
+  legitimate non-dispatch uses (arena labels, CLI defaults);
+* comments (invisible to the AST anyway).
+
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+EXCLUDED_DIRS = {SRC / "engine" / "kinds"}
+PRAGMA = "# no-kind-lint"
+
+
+def registered_kinds() -> tuple:
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.engine.spec import registered_kinds as kinds
+
+    return kinds()
+
+
+def docstring_constants(tree: ast.AST) -> set:
+    """id()s of the Constant nodes that are docstrings."""
+    out = set()
+    for node in ast.walk(tree):
+        if isinstance(
+            node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            body = node.body
+            if (
+                body
+                and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)
+            ):
+                out.add(id(body[0].value))
+    return out
+
+
+def check_file(path: Path, kinds: frozenset) -> list:
+    source = path.read_text(encoding="utf-8")
+    lines = source.splitlines()
+    tree = ast.parse(source, filename=str(path))
+    docstrings = docstring_constants(tree)
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Constant) or id(node) in docstrings:
+            continue
+        if not (isinstance(node.value, str) and node.value in kinds):
+            continue
+        line = lines[node.lineno - 1] if node.lineno <= len(lines) else ""
+        if PRAGMA in line:
+            continue
+        findings.append(
+            f"{path.relative_to(REPO)}:{node.lineno}: "
+            f"kind literal {node.value!r} outside engine/kinds/ "
+            f"(dispatch through repro.engine.spec, or mark the line "
+            f"{PRAGMA} if it is not a dispatch)"
+        )
+    return findings
+
+
+def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv:
+        print(f"usage: {Path(sys.argv[0]).name} (no arguments)", file=sys.stderr)
+        return 2
+    kinds = frozenset(registered_kinds())
+    findings = []
+    for path in sorted(SRC.rglob("*.py")):
+        if any(excl in path.parents for excl in EXCLUDED_DIRS):
+            continue
+        findings.extend(check_file(path, kinds))
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(
+            f"\n{len(findings)} stray kind literal(s); registered kinds: "
+            f"{', '.join(sorted(kinds))}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"no stray kind literals (checked against: {', '.join(sorted(kinds))})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
