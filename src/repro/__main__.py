@@ -107,6 +107,17 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--mix", default=None, metavar="KIND=W,...",
                         help="weighted workload mix, e.g. hash=3,xfer=1 "
                              "(overrides --kinds; weights need not sum to 1)")
+    from .backend import registered_backends
+
+    stream.add_argument("--backend", choices=registered_backends(),
+                        default="sim",
+                        help="execution backend: sim = calibrated S-810 "
+                             "cycle model, native = raw NumPy wall-clock "
+                             "(see docs/backends.md)")
+    stream.add_argument("--no-recorded-loop", action="store_true",
+                        help="native backend only: interpret each FOL "
+                             "round op-by-op instead of replaying the "
+                             "recorded fused round (ablation)")
     stream.add_argument("--queue-capacity", type=_positive_int, default=4096)
     stream.add_argument("--admission", choices=("block", "reject"),
                         default="block", help="full-queue policy")
@@ -257,9 +268,13 @@ def _parse_mix(text: str):
 
 
 def _stream(args) -> None:
+    import time
+
     import numpy as np
 
+    from .backend import get_backend
     from .engine.spec import get_spec
+    from .errors import ReproError
     from .runtime import (
         BoundedQueue,
         StreamService,
@@ -267,6 +282,29 @@ def _stream(args) -> None:
         make_batcher,
         open_loop_workload,
     )
+
+    backend = get_backend(args.backend)
+    if args.no_recorded_loop:
+        if not hasattr(backend, "recorded_loop"):
+            raise ReproError(
+                f"--no-recorded-loop only applies to the native backend, "
+                f"not {backend.name!r}"
+            )
+        backend.recorded_loop = False
+    if not backend.calibrated:
+        # Cycle-only features would silently measure zero on an
+        # uncalibrated backend; refuse them up front.
+        if args.trace:
+            raise ReproError(
+                "--trace records the simulated instruction mix, which the "
+                f"{backend.name!r} backend does not charge; use --backend sim"
+            )
+        if args.policy == "deadline":
+            raise ReproError(
+                "the deadline batch policy is driven by simulated cycles, "
+                f"which the {backend.name!r} backend does not charge; use "
+                "--backend sim or --policy fixed/adaptive"
+            )
 
     if args.mix is not None:
         kinds, weights = _parse_mix(args.mix)
@@ -307,6 +345,7 @@ def _stream(args) -> None:
             table_size=args.table_size,
             key_space=args.key_space,
             carryover=not args.no_carryover,
+            backend=backend,
             seed=args.seed,
         )
         service = StreamService(coordinator, batcher=batcher, queue=queue)
@@ -318,9 +357,12 @@ def _stream(args) -> None:
             table_size=args.table_size,
             carryover=not args.no_carryover,
             trace=args.trace,
+            backend=backend,
             seed=args.seed,
         )
+    t0 = time.perf_counter()
     metrics = service.run(requests)
+    wall = time.perf_counter() - t0
 
     mode = "retry-in-batch" if args.no_carryover else "carryover"
     loop = "closed" if args.closed_loop else "open"
@@ -333,9 +375,12 @@ def _stream(args) -> None:
         mix_note = ",".join(f"{k}={w:g}" for k, w in zip(kinds, weights))
     else:
         mix_note = ",".join(kinds)
+    loop_note = "" if backend.calibrated or not getattr(
+        backend, "recorded_loop", False
+    ) else ", recorded loop"
     print(f"stream: {args.requests} requests, kinds={mix_note}, "
-          f"skew={args.skew}, policy={batcher.name}, {mode}, {loop} loop"
-          f"{shard_note}")
+          f"skew={args.skew}, policy={batcher.name}, {mode}, {loop} loop, "
+          f"backend={backend.name}{loop_note}{shard_note}")
     print()
     print(metrics.batch_table(max_rows=args.print_batches))
     if args.shards > 1:
@@ -343,6 +388,10 @@ def _stream(args) -> None:
         print(metrics.shard_table(max_rows=args.print_batches))
     print()
     print(metrics.summary_table())
+    print()
+    rate = args.requests / wall if wall > 0 else float("inf")
+    print(f"wall-clock: {wall:.3f} s on the {backend.name!r} backend "
+          f"({rate:,.0f} requests/sec)")
     if metrics.instruction_mix is not None:
         print()
         print("instruction mix (cycles by category):")
@@ -390,6 +439,7 @@ def _audit(args) -> int:
 
 def _info() -> None:
     from . import CostModel, __version__
+    from .backend import backend_summaries
     from .bench.figures import EXPERIMENTS
     from .engine.spec import specs
 
@@ -400,6 +450,10 @@ def _info() -> None:
         arity = f" (arity {spec.arity})" if spec.arity != 1 else ""
         print(f"  {spec.name:<6s} domain={spec.domain}{arity}  "
               f"{spec.description}")
+    print("backends:")
+    for name, calibrated, doc in backend_summaries():
+        tag = "calibrated cycles" if calibrated else "wall-clock only"
+        print(f"  {name:<6s} [{tag}]  {doc}")
     print("experiments:", ", ".join(sorted(set(EXPERIMENTS))))
 
 

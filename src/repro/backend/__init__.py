@@ -1,0 +1,138 @@
+"""Pluggable execution backends for FOL plans.
+
+The workload registry (:mod:`repro.engine`) describes *what* each kind
+does per micro-batch; a :class:`Backend` decides *how* it runs:
+
+``sim``
+    The calibrated S-810 cycle-model VM (:mod:`repro.backend.sim`).
+    Bit-identical to the pre-backend execution paths — the golden
+    cycle-parity tests pin its exact cycle totals and end-state hashes.
+``native``
+    Raw NumPy with no cycle accounting (:mod:`repro.backend.native`),
+    including a drjit-style recorded loop that captures one FOL round
+    and replays it fused.  Real wall-clock requests/sec; identical end
+    states (the cross-backend parity suite proves it per kind).
+
+Every executor owns one backend; specs emit backend-neutral
+:class:`~repro.backend.plan.FolPlan`\\ s and the backend's
+:meth:`Backend.run_fol` executes them.  Layers above the backend
+(``repro.engine``, ``repro.runtime``, ``repro.shard``) must not import
+:mod:`repro.machine.vm` directly — ``tools/check_backend_neutral.py``
+enforces that in CI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Type
+
+from ..errors import ReproError
+
+
+class Backend:
+    """One way of executing FOL plans.
+
+    Subclasses provide a machine (an object with the
+    :class:`~repro.machine.vm.VectorMachine` surface — the *ops
+    facade* specs and commits program against) and an executor for
+    :class:`~repro.backend.plan.FolPlan`.
+    """
+
+    #: Registry name (the ``--backend`` CLI value).
+    name: str = ""
+    #: True when the backend charges a calibrated cycle model; cycle-only
+    #: features (tracing, deadline batching, cost-model overrides) are
+    #: rejected on uncalibrated backends instead of silently measuring 0.
+    calibrated: bool = False
+
+    def make_machine(self, words: int, *, cost_model=None, seed: int = 0):
+        """Build this backend's ops facade over ``words`` of storage."""
+        raise NotImplementedError
+
+    def run_fol(self, executor, plan, reqs, result) -> int:
+        """Execute one kind's :class:`~repro.backend.plan.FolPlan` for a
+        batch slice; extends ``result`` and returns the observed
+        multiplicity M (mirrors ``WorkloadSpec.run``)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+# ----------------------------------------------------------------------
+# the registry
+# ----------------------------------------------------------------------
+_BACKENDS: Dict[str, Type[Backend]] = {}
+
+
+def register_backend(cls: Type[Backend]) -> Type[Backend]:
+    """Register a backend class under its :attr:`Backend.name`."""
+    if not cls.name:
+        raise ReproError("backend needs a non-empty name")
+    if cls.name in _BACKENDS:
+        raise ReproError(f"backend {cls.name!r} registered twice")
+    _BACKENDS[cls.name] = cls
+    return cls
+
+
+#: Presentation order for the built-ins: the reference backend leads
+#: the ``--backend`` choices and the ``repro info`` listing regardless
+#: of which backend module happened to import first.
+_BUILTIN_ORDER = ("sim", "native")
+
+
+def _ensure_builtins() -> None:
+    # Deferred so importing repro.backend (e.g. from a kind module) does
+    # not recurse through repro.runtime, which the sim backend wraps.
+    if "sim" not in _BACKENDS or "native" not in _BACKENDS:
+        from . import native, sim  # noqa: F401  (self-registering)
+
+
+def registered_backends() -> Tuple[str, ...]:
+    """Registered backend names: built-ins first (in presentation
+    order), then third-party registrations in registration order."""
+    _ensure_builtins()
+    builtin = [n for n in _BUILTIN_ORDER if n in _BACKENDS]
+    return tuple(builtin + [n for n in _BACKENDS if n not in _BUILTIN_ORDER])
+
+
+def get_backend(name: str) -> Backend:
+    """A fresh instance of the backend registered as ``name``
+    (:class:`~repro.errors.ReproError` on unknown, naming the
+    registered backends)."""
+    _ensure_builtins()
+    try:
+        cls = _BACKENDS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown backend {name!r}; registered backends: "
+            f"{', '.join(_BACKENDS)}"
+        ) from None
+    return cls()
+
+
+def resolve_backend(backend) -> Backend:
+    """Coerce a name or instance to a :class:`Backend` instance."""
+    if isinstance(backend, Backend):
+        return backend
+    return get_backend(backend)
+
+
+def backend_summaries() -> List[Tuple[str, bool, str]]:
+    """(name, calibrated, one-line description) per registered backend
+    (for ``repro info`` and docs)."""
+    out = []
+    for name in registered_backends():
+        cls = _BACKENDS[name]
+        doc = (cls.__doc__ or "").strip().splitlines()
+        out.append((name, bool(cls.calibrated), doc[0] if doc else ""))
+    return out
+
+
+__all__ = [
+    "Backend",
+    "backend_summaries",
+    "get_backend",
+    "register_backend",
+    "registered_backends",
+    "resolve_backend",
+]

@@ -1,0 +1,176 @@
+"""The backend-neutral FOL plan IR.
+
+A :class:`WorkloadSpec` used to *execute* its batch slice directly
+against the cycle-model VM; now it *emits* a :class:`FolPlan` — a small
+typed description of the kind's filtering round — and the executor's
+:class:`~repro.backend.Backend` decides how to run it: the ``sim``
+backend replays it through the calibrated S-810 primitives
+(bit-identical to the pre-backend code paths, pinned by the golden
+cycle-parity tests), while the ``native`` backend executes the same
+plan as raw NumPy with no cycle accounting, optionally through a
+drjit-style recorded loop.
+
+The IR is deliberately tiny: FOL (paper §3.2/§3.3) is one fixed round
+shape — scatter labels under ELS, gather them back, compare, split the
+lanes — repeated either once per micro-batch (carryover mode) or until
+the index vector drains (retry mode), followed by the kind's *commit*
+(its "main processing": hash-chain link, cell bump, tuple transfer).
+The typed ops below name exactly those steps:
+
+=====================  ==============================================
+op                     semantics
+=====================  ==============================================
+:class:`ScatterLabels` write each live lane's unique label to its
+                       conflict address (+ ``work_offset``) under the
+                       ELS conflict ``policy``; with ``scalar_tail``
+                       (arity >= 2) the last tuple's labels are
+                       written by scalar stores *after* the vector
+                       scatters (§3.3 deadlock avoidance)
+:class:`GatherBack`    read the labels back through the same addresses
+:class:`CompareLabels` per-lane equality of readback vs. own label,
+                       AND-reduced across the plan's L address vectors
+:class:`FilterSurvivors`
+                       split lane positions into (winners, losers);
+                       winners hold distinct addresses (Lemma 2)
+:class:`Commit`        run the kind's main processing on the winners
+:class:`LoopUntilEmpty`
+                       retry mode: repeat the body over the losers
+                       until no lanes remain (§3.2 step 4)
+=====================  ==============================================
+
+Commit bodies stay per-kind closures (the paper amalgamates main
+processing per application); they receive the backend's *ops facade*
+— an object with the :class:`~repro.machine.vm.VectorMachine` surface
+— so a commit written once runs on every backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+# ----------------------------------------------------------------------
+# typed ops
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScatterLabels:
+    """Write labels through the work area under the ELS condition."""
+
+    work_offset: int = 0
+    policy: str = "arbitrary"
+    #: §3.3 deadlock remedy: write the last tuple's labels with scalar
+    #: stores after the vector scatters (arity >= 2 plans only).
+    scalar_tail: bool = False
+
+
+@dataclass(frozen=True)
+class GatherBack:
+    """Read the labels back through the same work addresses."""
+
+
+@dataclass(frozen=True)
+class CompareLabels:
+    """Survival mask: readback == own label, ANDed across vectors."""
+
+
+@dataclass(frozen=True)
+class FilterSurvivors:
+    """Split live lane positions into (winners, losers)."""
+
+
+@dataclass(frozen=True)
+class Commit:
+    """Run the kind's main processing on the winning lanes."""
+
+    kind: str = ""
+
+
+@dataclass(frozen=True)
+class LoopUntilEmpty:
+    """Repeat ``body`` over the losing lanes until none remain."""
+
+    body: Tuple[object, ...] = ()
+
+
+#: A commit hook: ``commit(ops, positions)`` where ``positions`` index
+#: the plan's *live* lanes (winners of the round just filtered).
+CommitFn = Callable[[object, np.ndarray], None]
+
+#: Conflict-group address of a losing lane, by *request* position
+#: (consumed by the carryover buffer's per-group dedup).
+GroupFn = Callable[[int], int]
+
+
+@dataclass
+class FolPlan:
+    """One kind's batch slice, described instead of executed.
+
+    ``addrs`` holds L equal-length conflict-address vectors over the
+    *live* lanes (``live`` maps live positions back to request
+    positions); address generation is part of the spec's ``plan`` hook
+    and runs through the executor's ops facade, so on the ``sim``
+    backend it is charged exactly where the pre-backend code charged
+    it.  ``precompleted`` lanes finish without filtering (e.g. ``xfer``
+    self-transfers, which are net no-ops and internally-duplicated
+    tuples in the §3.3 sense).
+    """
+
+    kind: str
+    arity: int
+    policy: str
+    work_offset: int
+    addrs: List[np.ndarray]
+    commit: CommitFn
+    group_of: GroupFn
+    #: Uncharged diagnostic addresses for the batch's observed
+    #: multiplicity M (Theorem 5) — all lanes, not just live ones.
+    measure: np.ndarray
+    live: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    precompleted: Sequence[int] = ()
+
+    def __post_init__(self) -> None:
+        if self.arity != len(self.addrs):
+            raise ReproError(
+                f"{self.kind!r} plan declares arity {self.arity} but "
+                f"carries {len(self.addrs)} address vectors"
+            )
+        for v in self.addrs:
+            if v.size != self.live.size:
+                raise ReproError(
+                    f"{self.kind!r} plan address vector of {v.size} lanes "
+                    f"for {self.live.size} live lanes"
+                )
+
+    # ------------------------------------------------------------------
+    def round_ops(self) -> Tuple[object, ...]:
+        """The typed ops of one filtering round, in execution order."""
+        return (
+            ScatterLabels(
+                work_offset=self.work_offset,
+                policy=self.policy,
+                scalar_tail=self.arity >= 2,
+            ),
+            GatherBack(),
+            CompareLabels(),
+            FilterSurvivors(),
+        )
+
+    def program(self, carryover: bool) -> Tuple[object, ...]:
+        """The full op program for one batch: a single round + commit in
+        carryover mode, or the round looped to exhaustion (§3.2 step 4)
+        in retry mode."""
+        body = self.round_ops() + (Commit(self.kind),)
+        if carryover:
+            return body
+        return (LoopUntilEmpty(body),)
+
+
+def identity_live(n: int) -> np.ndarray:
+    """Live map for plans where every request lane filters (uncharged
+    bookkeeping, not a vector instruction)."""
+    return np.arange(n, dtype=np.int64)

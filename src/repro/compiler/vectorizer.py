@@ -200,19 +200,32 @@ def run_sequential(
         sp.loop_iter()
 
 
+_WORD_BITS = 64
+_WORD_MASK = (1 << _WORD_BITS) - 1
+_WORD_SIGN = 1 << (_WORD_BITS - 1)
+
+
+def _wrap(x: int) -> int:
+    """Two's-complement truncation to the machine word: the scalar
+    reference must wrap exactly like the vector unit's int64 lanes, or
+    an accumulating read-modify-write loop diverges between the two."""
+    x &= _WORD_MASK
+    return x - (1 << _WORD_BITS) if x >= _WORD_SIGN else x
+
+
 def _apply(op: str, l: int, r: int) -> int:
     if op == "+":
-        return l + r
+        return _wrap(l + r)
     if op == "-":
-        return l - r
+        return _wrap(l - r)
     if op == "*":
-        return l * r
+        return _wrap(l * r)
     if op == "//":
-        return l // r
+        return _wrap(l // r)
     if op == "%":
-        return l % r
+        return _wrap(l % r)
     if op == "&":
-        return l & r
+        return _wrap(l & r)
     raise CompileError(f"unknown operator {op!r}")
 
 

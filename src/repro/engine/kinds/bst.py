@@ -8,6 +8,15 @@ inorders, so migration is routing-only
 pre-built node and a descent slot in one shard's memory, so it stays
 pinned to that shard (:meth:`BstSpec.pin_shard`) even if a migration
 re-routed its residue.
+
+This kind keeps a custom :meth:`BstSpec.run` instead of emitting a
+:class:`~repro.backend.plan.FolPlan`: the descent interleaves claim
+rounds with pointer-chasing traversal steps, and the conflict address
+set changes *within* the batch as lanes descend — an irregular shape
+the single-round plan IR deliberately does not model.  The hook
+programs only the executor's backend-supplied ops facade
+(``executor.vm``), so it runs unchanged — and uncharged — on the
+``native`` backend.
 """
 
 from __future__ import annotations

@@ -19,12 +19,11 @@ from typing import List
 
 import numpy as np
 
+from ...backend.plan import FolPlan, identity_live
 from ...errors import ReproError
 from ...lists.cells import ConsArena, encode_atom
 from ...mem.arena import NIL
-from ...runtime.carryover import fol_round
-from ...core.fol1 import fol1
-from ..spec import EngineContext, WorkloadSpec, register, _max_multiplicity
+from ..spec import EngineContext, WorkloadSpec, register
 
 
 class CellBank:
@@ -69,40 +68,31 @@ class ListSpec(WorkloadSpec):
         return {"cells": state.arena, "_cell_ptrs": state.ptrs}
 
     # -- execution ------------------------------------------------------
-    def run(self, executor, reqs: List, result) -> int:
-        vm = executor.vm
+    def plan(self, executor, reqs: List) -> FolPlan:
         car_addrs = cell_car_addrs(
             executor, [r.key for r in reqs], f"{self.name} request"
         )
         deltas = np.asarray([r.delta for r in reqs], dtype=np.int64)
 
-        def bump(positions: np.ndarray) -> None:
+        def bump(ops, positions: np.ndarray) -> None:
             addrs = car_addrs[positions]
-            words = vm.gather(addrs)
+            words = ops.gather(addrs)
             # Atoms are sign-tagged negated, so value += d is word -= d.
-            vm.scatter(addrs, vm.sub(words, deltas[positions]), policy=executor.policy)
+            ops.scatter(
+                addrs, ops.sub(words, deltas[positions]), policy=executor.policy
+            )
 
-        if executor.carryover:
-            labels = vm.iota(car_addrs.size)
-            winners, losers = fol_round(
-                vm, car_addrs, labels,
-                work_offset=executor.cells.work_offset, policy=executor.policy,
-            )
-            bump(winners)
-            result.completed.extend(reqs[i] for i in winners)
-            for i in losers:
-                reqs[i].group = int(car_addrs[i])
-                result.carried.append(reqs[i])
-            result.rounds += 1
-        else:
-            dec = fol1(
-                vm, car_addrs,
-                work_offset=executor.cells.work_offset, policy=executor.policy,
-                on_set=lambda s, _j: bump(s),
-            )
-            result.completed.extend(reqs)
-            result.rounds += dec.m
-        return _max_multiplicity(car_addrs)
+        return FolPlan(
+            kind=self.name,
+            arity=1,
+            policy=executor.policy,
+            work_offset=executor.cells.work_offset,
+            addrs=[car_addrs],
+            commit=bump,
+            group_of=lambda i: int(car_addrs[i]),
+            measure=car_addrs,
+            live=identity_live(len(reqs)),
+        )
 
     # -- request construction -------------------------------------------
     def make_request(self, rid, key, key2, delta, arrival, ctx):

@@ -14,10 +14,9 @@ from typing import List
 
 import numpy as np
 
-from ...core.fol1 import fol1
+from ...backend.plan import FolPlan, identity_live
 from ...hashing.table import ChainedHashTable
-from ...runtime.carryover import fol_round
-from ..spec import EngineContext, WorkloadSpec, register, _max_multiplicity
+from ..spec import EngineContext, WorkloadSpec, register
 
 
 class HashSpec(WorkloadSpec):
@@ -66,31 +65,22 @@ class HashSpec(WorkloadSpec):
         vm.scatter(vm.add(nodes, next_field), old_heads, policy=executor.policy)
         vm.scatter(heads, nodes, policy=executor.policy)
 
-    def run(self, executor, reqs: List, result) -> int:
-        vm = executor.vm
+    def plan(self, executor, reqs: List) -> FolPlan:
+        """Figure 7 as a plan: conflict addresses are the chain heads,
+        the commit links one pre-allocated node per winning lane."""
         keys = np.asarray([r.key for r in reqs], dtype=np.int64)
         head_addrs = self._head_addrs(executor, keys)
-        if executor.carryover:
-            labels = vm.iota(keys.size)
-            winners, losers = fol_round(
-                vm, head_addrs, labels,
-                work_offset=executor.table.work_offset, policy=executor.policy,
-            )
-            self._enter(executor, head_addrs, keys, winners)
-            result.completed.extend(reqs[i] for i in winners)
-            for i in losers:
-                reqs[i].group = int(head_addrs[i])
-                result.carried.append(reqs[i])
-            result.rounds += 1
-        else:
-            dec = fol1(
-                vm, head_addrs,
-                work_offset=executor.table.work_offset, policy=executor.policy,
-                on_set=lambda s, _j: self._enter(executor, head_addrs, keys, s),
-            )
-            result.completed.extend(reqs)
-            result.rounds += dec.m
-        return _max_multiplicity(head_addrs)
+        return FolPlan(
+            kind=self.name,
+            arity=1,
+            policy=executor.policy,
+            work_offset=executor.table.work_offset,
+            addrs=[head_addrs],
+            commit=lambda ops, s: self._enter(executor, head_addrs, keys, s),
+            group_of=lambda i: int(head_addrs[i]),
+            measure=head_addrs,
+            live=identity_live(len(reqs)),
+        )
 
     # -- differential oracle --------------------------------------------
     def oracle_diff(self, engine, requests, ctx: EngineContext):

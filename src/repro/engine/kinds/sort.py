@@ -17,6 +17,14 @@ Routing is by value residue (order-preserving within the domain fold),
 merge-on-read like the BST: each shard sorts the values it owns and
 the global output is the sorted merge of per-shard stores, so
 migration is routing-only (:data:`~repro.engine.spec.MIGRATE_ROUTE`).
+
+Like ``bst``, this kind keeps a custom :meth:`SortSpec.run` rather
+than emitting a :class:`~repro.backend.plan.FolPlan`: each insertion
+round recomputes conflict addresses from the store's *current*
+contents (hash, probe, displaced-run shift), so there is no fixed
+address vector to hand a backend up front.  The hook programs only
+the backend-supplied ops facade (``executor.vm``), so it runs on the
+``native`` backend unchanged.
 """
 
 from __future__ import annotations

@@ -21,11 +21,9 @@ from typing import List
 
 import numpy as np
 
-from ...core.fol_star import fol_star
-from ...core.labels import tuple_labels
+from ...backend.plan import FolPlan
 from ...errors import ReproError
-from ...runtime.carryover import tuple_round
-from ..spec import EngineContext, WorkloadSpec, register, _max_multiplicity
+from ..spec import EngineContext, WorkloadSpec, register
 from .cells import cell_car_addrs
 
 
@@ -60,8 +58,7 @@ class XferSpec(WorkloadSpec):
         )
 
     # -- execution ------------------------------------------------------
-    def run(self, executor, reqs: List, result) -> int:
-        vm = executor.vm
+    def plan(self, executor, reqs: List) -> FolPlan:
         src_addrs = cell_car_addrs(
             executor, [r.key for r in reqs], f"{self.name} source"
         )
@@ -70,52 +67,39 @@ class XferSpec(WorkloadSpec):
         )
         deltas = np.asarray([r.delta for r in reqs], dtype=np.int64)
 
-        # Atoms are sign-tagged negated: value -= d is word += d and
-        # value += d is word -= d.  Gathers/scatters run sequentially
-        # per round, so read-modify-write per parallel-processable set
-        # is safe (no two tuples in a set share a cell).
-        def apply(positions: np.ndarray) -> None:
-            if positions.size == 0:
-                return
-            a_src = src_addrs[positions]
-            a_dst = dst_addrs[positions]
-            d = deltas[positions]
-            vm.scatter(a_src, vm.add(vm.gather(a_src), d), policy=executor.policy)
-            vm.scatter(a_dst, vm.sub(vm.gather(a_dst), d), policy=executor.policy)
-
         # Self-transfers (key == key2) are net no-ops and internally
         # duplicated tuples in the §3.3 sense; retire them up front.
         loop_idx = [i for i, r in enumerate(reqs) if r.key == r.key2]
         live_idx = np.asarray(
             [i for i, r in enumerate(reqs) if r.key != r.key2], dtype=np.int64
         )
-        result.completed.extend(reqs[i] for i in loop_idx)
 
-        if live_idx.size:
-            v1 = src_addrs[live_idx]
-            v2 = dst_addrs[live_idx]
-            if executor.carryover:
-                labels = tuple_labels(vm, live_idx.size, 2)
-                winners, losers = tuple_round(
-                    vm, [v1, v2], labels,
-                    work_offset=executor.cells.work_offset, policy=executor.policy,
-                )
-                apply(live_idx[winners])
-                result.completed.extend(reqs[i] for i in live_idx[winners])
-                for i in live_idx[losers]:
-                    reqs[i].group = int(src_addrs[i])
-                    result.carried.append(reqs[i])
-                result.rounds += 1
-            else:
-                dec = fol_star(
-                    vm, [v1, v2],
-                    work_offset=executor.cells.work_offset, policy=executor.policy,
-                )
-                for s in dec.sets:
-                    apply(live_idx[s])
-                result.completed.extend(reqs[i] for i in live_idx)
-                result.rounds += dec.m
-        return _max_multiplicity(np.concatenate([src_addrs, dst_addrs]))
+        # Atoms are sign-tagged negated: value -= d is word += d and
+        # value += d is word -= d.  Gathers/scatters run sequentially
+        # per round, so read-modify-write per parallel-processable set
+        # is safe (no two tuples in a set share a cell).
+        def apply(ops, live_positions: np.ndarray) -> None:
+            positions = live_idx[live_positions]
+            if positions.size == 0:
+                return
+            a_src = src_addrs[positions]
+            a_dst = dst_addrs[positions]
+            d = deltas[positions]
+            ops.scatter(a_src, ops.add(ops.gather(a_src), d), policy=executor.policy)
+            ops.scatter(a_dst, ops.sub(ops.gather(a_dst), d), policy=executor.policy)
+
+        return FolPlan(
+            kind=self.name,
+            arity=2,
+            policy=executor.policy,
+            work_offset=executor.cells.work_offset,
+            addrs=[src_addrs[live_idx], dst_addrs[live_idx]],
+            commit=apply,
+            group_of=lambda i: int(src_addrs[i]),
+            measure=np.concatenate([src_addrs, dst_addrs]),
+            live=live_idx,
+            precompleted=loop_idx,
+        )
 
     # -- routing --------------------------------------------------------
     def route_indices(self, req, fold):

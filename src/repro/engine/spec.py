@@ -139,13 +139,30 @@ class WorkloadSpec:
         return {self.state_attr: state}
 
     # -- execution ------------------------------------------------------
+    def plan(self, executor: "StreamExecutor", reqs: List["Request"]):
+        """Emit this kind's backend-neutral FOL plan for one batch slice
+        (a :class:`~repro.backend.plan.FolPlan`), or ``None`` when the
+        kind overrides :meth:`run` to drive the ops facade directly
+        (irregular plans: the BST claim-descend loop, the sort's
+        probe/shift rounds)."""
+        return None
+
     def run(
         self, executor: "StreamExecutor", reqs: List["Request"],
         result: "BatchResult",
     ) -> int:
         """Drive one batch's worth of this kind through FOL; extends
-        ``result`` and returns the observed pointer multiplicity M."""
-        raise NotImplementedError(f"spec {self.name!r} does not implement run")
+        ``result`` and returns the observed pointer multiplicity M.
+
+        The default dispatches the spec's :meth:`plan` to the
+        executor's backend — specs only override this for plans the IR
+        cannot express."""
+        plan = self.plan(executor, reqs)
+        if plan is None:
+            raise NotImplementedError(
+                f"spec {self.name!r} implements neither plan nor run"
+            )
+        return executor.backend.run_fol(executor, plan, reqs, result)
 
     # -- request construction and validation ---------------------------
     def validate(self, req: "Request") -> None:

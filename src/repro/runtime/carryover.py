@@ -33,12 +33,11 @@ from typing import List, Tuple
 import numpy as np
 
 from ..errors import AuditError, DeadlockError
-from ..machine.vm import VectorMachine
 from .queue import Request
 
 
 def fol_round(
-    vm: VectorMachine,
+    vm,
     addrs: np.ndarray,
     labels: np.ndarray,
     *,
@@ -73,7 +72,7 @@ def fol_round(
 
 
 def tuple_round(
-    vm: VectorMachine,
+    vm,
     addr_vectors: List[np.ndarray],
     label_vectors: List[np.ndarray],
     *,

@@ -1,15 +1,17 @@
 """Micro-batch execution of symbolic updates against shared state.
 
 One :class:`StreamExecutor` owns the per-kind shared state every batch
-mutates, plus the :class:`~repro.machine.vm.VectorMachine` all vector
-work is charged to.  The state, and the FOL plan that drives each
-batch through it, come from the workload registry
-(:mod:`repro.engine`): construction walks the registered
+mutates, plus the ops facade its :class:`~repro.backend.Backend`
+provides (the calibrated cycle-model VM on ``sim``, uncharged NumPy on
+``native``).  The state, and the FOL plan that drives each batch
+through it, come from the workload registry (:mod:`repro.engine`):
+construction walks the registered
 :class:`~repro.engine.spec.WorkloadSpec`\\ s in registration order —
 building each kind's state (hash table, BST, cell bank, sort store) on
 one bump allocator — and :meth:`StreamExecutor.execute` partitions the
 batch by kind in a single pass and hands each slice to its spec's
-``run`` hook.
+``run`` hook, which emits a backend-neutral plan for the backend to
+execute (or drives the facade directly for irregular kinds).
 
 Two execution modes, chosen per executor:
 
@@ -42,7 +44,6 @@ from ..engine.spec import (
     resolve_capacities,
     specs,
 )
-from ..machine.vm import VectorMachine, make_machine
 from ..mem.arena import BumpAllocator
 from .queue import Request
 
@@ -83,8 +84,9 @@ class StreamExecutor:
 
     def __init__(
         self,
-        vm: VectorMachine,
+        vm,
         *,
+        backend="sim",
         table_size: int = 509,
         hash_capacity: int = 4096,
         bst_capacity: int = 4096,
@@ -94,7 +96,10 @@ class StreamExecutor:
         conflict_policy: str = "arbitrary",
         capacities: Optional[Dict[str, int]] = None,
     ) -> None:
+        from ..backend import resolve_backend
+
         self.vm = vm
+        self.backend = resolve_backend(backend)
         self.carryover = carryover
         self.policy = conflict_policy
         self.ctx = EngineContext(
@@ -130,19 +135,25 @@ class StreamExecutor:
         carryover: bool = True,
         conflict_policy: str = "arbitrary",
         cost_model=None,
+        backend="sim",
         seed: int = 0,
     ) -> "StreamExecutor":
-        """Build an executor (and its machine) sized for ``requests``."""
+        """Build an executor (and its machine) sized for ``requests``,
+        on the given execution backend (name or instance)."""
+        from ..backend import resolve_backend
+
+        backend = resolve_backend(backend)
         counts = count_by_kind(requests)
         caps = {s.name: max(counts.get(s.name, 0), 1) for s in specs()}
         ctx = EngineContext(
             table_size=table_size, n_cells=n_cells, key_space=key_space
         )
-        vm = make_machine(
+        vm = backend.make_machine(
             machine_words(caps, ctx), cost_model=cost_model, seed=seed
         )
         return cls(
             vm,
+            backend=backend,
             table_size=table_size,
             n_cells=n_cells,
             key_space=key_space,
@@ -172,6 +183,17 @@ class StreamExecutor:
         return [
             -int(self.vm.mem.peek(int(p) + off_car)) - 1 for p in self._cell_ptrs
         ]
+
+    def state_fingerprint(self) -> str:
+        """SHA-256 over the machine's entire word storage (uncharged).
+
+        Identical layouts make this directly comparable across
+        backends: the cross-backend parity suite asserts sim and native
+        runs of one workload end bit-identical."""
+        import hashlib
+
+        words = self.vm.mem.peek_range(0, self.vm.mem.size)
+        return hashlib.sha256(words.tobytes()).hexdigest()
 
     # ------------------------------------------------------------------
     # batch execution

@@ -68,6 +68,7 @@ class StreamService:
         carryover: bool = True,
         conflict_policy: str = "arbitrary",
         cost_model: Optional[CostModel] = None,
+        backend="sim",
         trace: bool = False,
         seed: int = 0,
     ) -> "StreamService":
@@ -82,6 +83,7 @@ class StreamService:
             carryover=carryover,
             conflict_policy=conflict_policy,
             cost_model=cost_model,
+            backend=backend,
             seed=seed,
         )
         return cls(executor, batcher=batcher, queue=queue, trace=trace)
@@ -92,6 +94,13 @@ class StreamService:
         populated metrics object (also kept on ``self.metrics``)."""
         arrivals = sorted(requests, key=lambda r: (r.arrival, r.rid))
         if self.trace:
+            backend = getattr(self.executor, "backend", None)
+            if backend is not None and not backend.calibrated:
+                raise ReproError(
+                    f"tracing records the simulated instruction mix, but "
+                    f"backend {backend.name!r} charges no cycles; trace on "
+                    f"the sim backend"
+                )
             with Tracer(self.executor.vm.counter) as tracer:
                 self._run_loop(arrivals)
             self.metrics.attach_trace(tracer)

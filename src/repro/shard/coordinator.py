@@ -81,6 +81,7 @@ class ShardCoordinator:
         self.workers = workers
         self.router = router
         self.shards = len(workers)
+        self.backend = workers[0].executor.backend
         self.cost = cost_model if cost_model is not None else CostModel.s810()
         self.rebalancer = rebalancer
         # Cycles charged outside any single worker's counter (cross-shard
@@ -110,6 +111,7 @@ class ShardCoordinator:
         carryover: bool = True,
         conflict_policy: str = "arbitrary",
         cost_model: Optional[CostModel] = None,
+        backend="sim",
         seed: int = 0,
         rebalance_threshold: float = 1.8,
         rebalance_cooldown: int = 4,
@@ -124,8 +126,11 @@ class ShardCoordinator:
         headroom because chain migration re-allocates nodes at the
         destination (bump arenas never reclaim the source's records).
         """
+        from ..backend import resolve_backend
+
         if shards <= 0:
             raise ReproError(f"shard count must be positive, got {shards}")
+        backend = resolve_backend(backend)
         counts = count_by_kind(requests)
         caps = {
             spec.name: spec.shard_capacity(counts.get(spec.name, 0))
@@ -141,6 +146,7 @@ class ShardCoordinator:
                 carryover=carryover,
                 conflict_policy=conflict_policy,
                 cost_model=cost_model,
+                backend=backend,
                 seed=seed,
             )
             for s in range(shards)
@@ -255,10 +261,11 @@ class ShardCoordinator:
                 req = unit.request
                 req.group = get_spec(req.kind).carry_group(self, unit)
                 result.carried.append(req)
-            exchange = 2 * self.cost.shard_claim_rtt
-            exchange += self.cost.shard_transfer_per_word * (
-                _CLAIM_WORDS * len(cross) + _COMMIT_WORDS * len(winners)
-            )
+            if self.backend.calibrated:
+                exchange = 2 * self.cost.shard_claim_rtt
+                exchange += self.cost.shard_transfer_per_word * (
+                    _CLAIM_WORDS * len(cross) + _COMMIT_WORDS * len(winners)
+                )
             self.exchange_cycles += exchange
             self.total_cross += len(cross)
 
@@ -344,8 +351,9 @@ class ShardCoordinator:
             else:  # MIGRATE_ROUTE: merge-on-read state, no payload
                 words = 0
             self.router.partition.domain(mv.domain).move(mv.index, mv.dst)
-            cycles += self.cost.shard_claim_rtt
-            cycles += self.cost.shard_transfer_per_word * words
+            if self.backend.calibrated:
+                cycles += self.cost.shard_claim_rtt
+                cycles += self.cost.shard_transfer_per_word * words
             done += 1
         return cycles, done
 
@@ -375,3 +383,13 @@ class ShardCoordinator:
             w.check_bst()
             out.extend(w.bst_inorder())
         return sorted(out)
+
+    def state_fingerprint(self) -> str:
+        """SHA-256 chain over the workers' machine states, in shard
+        order (uncharged; cross-backend parity for sharded runs)."""
+        import hashlib
+
+        digest = hashlib.sha256()
+        for w in self.workers:
+            digest.update(w.executor.state_fingerprint().encode("ascii"))
+        return digest.hexdigest()

@@ -37,7 +37,6 @@ from typing import Dict, List, Optional, Sequence
 from ..engine.spec import EngineContext, machine_words, resolve_capacities
 from ..lists.cells import encode_atom
 from ..machine.cost_model import CostModel
-from ..machine.vm import make_machine
 from ..mem.arena import NIL
 from ..runtime.executor import BatchResult, StreamExecutor
 from ..runtime.queue import Request
@@ -59,9 +58,13 @@ class ShardWorker:
         carryover: bool = True,
         conflict_policy: str = "arbitrary",
         cost_model: Optional[CostModel] = None,
+        backend="sim",
         seed: int = 0,
     ) -> None:
+        from ..backend import resolve_backend
+
         self.shard_id = shard_id
+        backend = resolve_backend(backend)
         caps = resolve_capacities(
             capacities,
             {"hash_capacity": hash_capacity, "bst_capacity": bst_capacity},
@@ -69,11 +72,12 @@ class ShardWorker:
         ctx = EngineContext(
             table_size=table_size, n_cells=n_cells, key_space=key_space
         )
-        vm = make_machine(
+        vm = backend.make_machine(
             machine_words(caps, ctx), cost_model=cost_model, seed=seed
         )
         self.executor = StreamExecutor(
             vm,
+            backend=backend,
             table_size=table_size,
             n_cells=n_cells,
             key_space=key_space,

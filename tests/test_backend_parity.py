@@ -1,0 +1,345 @@
+"""Cross-backend parity: sim and native runs end bit-identical.
+
+The backend layer's contract is that a :class:`~repro.backend.Backend`
+changes *how fast* a workload runs, never *what it computes*: under a
+fixed seed the ``"arbitrary"`` conflict policy draws the same
+permutations on every backend (both funnel through
+``Memory._raw_scatter``), so winner choices — and therefore every
+downstream pointer, chain, tree and sort slot — match exactly.  This
+suite proves it end-to-end:
+
+* per-kind and full-mix closed-loop streams: identical machine-state
+  fingerprints, batch counts and round totals across ``sim``,
+  ``native`` (recorded loop) and ``native --no-recorded-loop``;
+* retry mode (``carryover=False``, the paper's in-batch loop);
+* K=4 sharded runs: identical coordinator fingerprints, merged end
+  states and cross-shard transfer counts;
+* the scalar differential oracles accept the native end states;
+* registry/CLI validation: unknown backends fail with the registered
+  list, cycle-only flags are rejected on ``native`` with exit 2;
+* the plan IR itself: op shapes, scalar-tail placement, validation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+from repro.audit import diff_stream_state
+from repro.backend import (
+    Backend,
+    backend_summaries,
+    get_backend,
+    registered_backends,
+    resolve_backend,
+)
+from repro.backend.native import NativeBackend
+from repro.backend.plan import (
+    Commit,
+    CompareLabels,
+    FilterSurvivors,
+    FolPlan,
+    GatherBack,
+    LoopUntilEmpty,
+    ScatterLabels,
+    identity_live,
+)
+from repro.errors import ReproError
+from repro.runtime import FixedBatcher, StreamService, closed_loop_workload
+from repro.shard import ShardCoordinator
+
+KINDS = ("hash", "bst", "list", "xfer", "sort")
+TABLE_SIZE = 127
+N_CELLS = 32
+KEY_SPACE = 512
+
+
+def _backends():
+    """The three execution arms under test."""
+    return (
+        ("sim", get_backend("sim")),
+        ("native-recorded", NativeBackend(recorded_loop=True)),
+        ("native-interpreted", NativeBackend(recorded_loop=False)),
+    )
+
+
+def run_stream(kinds, backend, *, carryover=True, n=400, seed=123, skew=1.1):
+    rng = np.random.default_rng(seed)
+    reqs = closed_loop_workload(
+        rng, n, kinds=kinds, skew=skew, key_space=KEY_SPACE, n_cells=N_CELLS
+    )
+    svc = StreamService.for_workload(
+        reqs,
+        batcher=FixedBatcher(batch_size=64),
+        table_size=TABLE_SIZE,
+        n_cells=N_CELLS,
+        carryover=carryover,
+        backend=backend,
+    )
+    metrics = svc.run(reqs)
+    return svc, reqs, metrics
+
+
+# ----------------------------------------------------------------------
+# registry surface
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert registered_backends() == ("sim", "native")
+
+    def test_unknown_backend_names_registry(self):
+        with pytest.raises(ReproError) as err:
+            get_backend("cuda")
+        message = str(err.value)
+        for name in registered_backends():
+            assert name in message
+
+    def test_resolve_accepts_name_and_instance(self):
+        inst = NativeBackend(recorded_loop=False)
+        assert resolve_backend(inst) is inst
+        assert isinstance(resolve_backend("sim"), Backend)
+
+    def test_calibration_flags(self):
+        assert get_backend("sim").calibrated
+        assert not get_backend("native").calibrated
+
+    def test_summaries_cover_every_backend(self):
+        rows = backend_summaries()
+        assert [name for name, _, _ in rows] == list(registered_backends())
+        assert all(doc for _, _, doc in rows)
+
+    def test_native_rejects_cost_model_override(self):
+        from repro import CostModel
+
+        with pytest.raises(ReproError, match="cost_model"):
+            get_backend("native").make_machine(
+                1024, cost_model=CostModel.s810()
+            )
+
+
+# ----------------------------------------------------------------------
+# end-state parity, single pipeline
+# ----------------------------------------------------------------------
+class TestStreamParity:
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_per_kind_carryover(self, kind):
+        runs = {
+            name: run_stream((kind,), backend)
+            for name, backend in _backends()
+        }
+        svc_sim, _, m_sim = runs["sim"]
+        ref = svc_sim.executor.state_fingerprint()
+        for name, (svc, reqs, metrics) in runs.items():
+            assert svc.executor.state_fingerprint() == ref, name
+            assert len(metrics.batches) == len(m_sim.batches), name
+            assert metrics.total_rounds == m_sim.total_rounds, name
+            assert diff_stream_state(
+                svc.executor, reqs,
+                table_size=TABLE_SIZE, n_cells=N_CELLS, key_space=KEY_SPACE,
+            ) is None, name
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_per_kind_retry_mode(self, kind):
+        fingerprints = {}
+        for name, backend in _backends():
+            svc, _, _ = run_stream((kind,), backend, carryover=False, n=300)
+            fingerprints[name] = svc.executor.state_fingerprint()
+        assert len(set(fingerprints.values())) == 1, fingerprints
+
+    def test_full_mix_carryover(self):
+        fingerprints = {}
+        rounds = {}
+        for name, backend in _backends():
+            svc, reqs, metrics = run_stream(KINDS, backend, n=500)
+            fingerprints[name] = svc.executor.state_fingerprint()
+            rounds[name] = metrics.total_rounds
+            assert diff_stream_state(
+                svc.executor, reqs,
+                table_size=TABLE_SIZE, n_cells=N_CELLS, key_space=KEY_SPACE,
+            ) is None, name
+        assert len(set(fingerprints.values())) == 1, fingerprints
+        assert len(set(rounds.values())) == 1, rounds
+
+    def test_native_charges_no_cycles(self):
+        svc, _, _ = run_stream(("hash",), get_backend("native"), n=200)
+        assert svc.executor.vm.counter.total == 0.0
+        assert svc.now == 0.0
+
+    def test_sim_still_charges(self):
+        svc, _, _ = run_stream(("hash",), get_backend("sim"), n=200)
+        assert svc.executor.vm.counter.total > 0.0
+
+
+# ----------------------------------------------------------------------
+# end-state parity, K=4 shards
+# ----------------------------------------------------------------------
+class TestShardParity:
+    def _run(self, backend):
+        rng = np.random.default_rng(123)
+        reqs = closed_loop_workload(
+            rng, 400, kinds=KINDS, skew=1.1,
+            key_space=KEY_SPACE, n_cells=N_CELLS,
+        )
+        coord = ShardCoordinator.for_workload(
+            reqs, shards=4, partitioner="hash",
+            table_size=TABLE_SIZE, n_cells=N_CELLS, key_space=KEY_SPACE,
+            backend=backend,
+        )
+        svc = StreamService(coord, batcher=FixedBatcher(batch_size=64))
+        metrics = svc.run(reqs)
+        return coord, metrics
+
+    def test_k4_parity(self):
+        ref = None
+        for name, backend in _backends():
+            coord, metrics = self._run(backend)
+            state = (
+                coord.state_fingerprint(),
+                coord.total_cross,
+                len(metrics.batches),
+                coord.chain_multisets(),
+                coord.bst_inorder(),
+                coord.list_values(),
+            )
+            if ref is None:
+                ref = state
+            else:
+                assert state == ref, name
+
+    def test_native_shard_counters_stay_zero(self):
+        coord, _ = self._run(get_backend("native"))
+        assert all(
+            w.executor.vm.counter.total == 0.0 for w in coord.workers
+        )
+        assert coord.backend.name == "native"
+
+
+# ----------------------------------------------------------------------
+# CLI validation
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_native_stream_runs(self, capsys):
+        rc = main([
+            "stream", "--requests", "60", "--closed-loop",
+            "--policy", "fixed", "--backend", "native",
+            "--mix", "hash=1,xfer=1",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "backend=native" in out
+        assert "requests/sec" in out
+
+    def test_unknown_backend_exits_2_listing_backends(self, capsys):
+        rc = main(["stream", "--requests", "10", "--backend", "vulkan"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        for name in registered_backends():
+            assert name in err
+
+    def test_native_rejects_trace(self, capsys):
+        rc = main([
+            "stream", "--requests", "10", "--backend", "native", "--trace",
+        ])
+        assert rc == 2
+        assert "instruction mix" in capsys.readouterr().err
+
+    def test_native_rejects_deadline_policy(self, capsys):
+        rc = main([
+            "stream", "--requests", "10", "--backend", "native",
+            "--policy", "deadline",
+        ])
+        assert rc == 2
+        assert "deadline" in capsys.readouterr().err
+
+    def test_no_recorded_loop_requires_native(self, capsys):
+        rc = main(["stream", "--requests", "10", "--no-recorded-loop"])
+        assert rc == 2
+        assert "native" in capsys.readouterr().err
+
+    def test_info_lists_backends(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "backends:" in out
+        for name in registered_backends():
+            assert name in out
+
+
+# ----------------------------------------------------------------------
+# the plan IR
+# ----------------------------------------------------------------------
+class TestPlanIR:
+    def _plan(self, arity=1, n=4):
+        return FolPlan(
+            kind="hash",  # no-kind-lint
+            arity=arity,
+            policy="arbitrary",
+            work_offset=100,
+            addrs=[np.arange(n, dtype=np.int64) for _ in range(arity)],
+            commit=lambda ops, s: None,
+            group_of=lambda i: i,
+            measure=np.arange(n, dtype=np.int64),
+            live=identity_live(n),
+        )
+
+    def test_round_ops_shape(self):
+        ops = self._plan().round_ops()
+        assert [type(op) for op in ops] == [
+            ScatterLabels, GatherBack, CompareLabels, FilterSurvivors,
+        ]
+        scatter = ops[0]
+        assert scatter.work_offset == 100
+        assert scatter.policy == "arbitrary"
+        assert not scatter.scalar_tail
+
+    def test_scalar_tail_set_for_tuple_plans(self):
+        ops = self._plan(arity=2).round_ops()
+        assert ops[0].scalar_tail  # §3.3 deadlock remedy
+
+    def test_program_carryover_vs_retry(self):
+        plan = self._plan()
+        carry = plan.program(carryover=True)
+        assert isinstance(carry[-1], Commit)
+        retry = plan.program(carryover=False)
+        assert len(retry) == 1 and isinstance(retry[0], LoopUntilEmpty)
+        assert isinstance(retry[0].body[-1], Commit)
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ReproError, match="arity"):
+            FolPlan(
+                kind="hash",  # no-kind-lint
+                arity=2,
+                policy="arbitrary",
+                work_offset=0,
+                addrs=[np.arange(3, dtype=np.int64)],
+                commit=lambda ops, s: None,
+                group_of=lambda i: i,
+                measure=np.arange(3, dtype=np.int64),
+                live=identity_live(3),
+            )
+
+    def test_lane_count_mismatch_rejected(self):
+        with pytest.raises(ReproError, match="lanes"):
+            FolPlan(
+                kind="hash",  # no-kind-lint
+                arity=1,
+                policy="arbitrary",
+                work_offset=0,
+                addrs=[np.arange(5, dtype=np.int64)],
+                commit=lambda ops, s: None,
+                group_of=lambda i: i,
+                measure=np.arange(5, dtype=np.int64),
+                live=identity_live(3),
+            )
+
+    def test_recorded_round_rejects_foreign_program(self):
+        from repro.backend.native import compile_round
+
+        with pytest.raises(ReproError, match="op shape"):
+            compile_round((Commit("hash"),))  # no-kind-lint
+
+    def test_recorded_round_cache_is_per_shape(self):
+        backend = NativeBackend()
+        p1 = self._plan()
+        fn = backend._recorded(p1)
+        assert backend._recorded(self._plan()) is fn
+        p2 = self._plan(arity=2)
+        assert backend._recorded(p2) is not fn

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Lint: the serving layers must stay backend-neutral.
+
+The backend refactor moved every direct use of the cycle-model VM
+behind :class:`repro.backend.Backend`: specs emit FOL plans, commits
+program the backend-supplied ops facade, and executors ask their
+backend for a machine.  A stray ``from repro.machine.vm import ...``
+in ``repro.engine``, ``repro.runtime`` or ``repro.shard`` silently
+re-couples the serving layers to the simulator — code that would
+import cleanly but break (or mis-measure) the moment a run selects
+``--backend native``.
+
+This script parses every Python file under ``src/repro/{engine,
+runtime,shard}`` and fails on any import of ``repro.machine.vm`` —
+absolute (``import repro.machine.vm``, ``from repro.machine.vm import
+make_machine``, ``from repro.machine import vm``) or relative
+(``from ..machine.vm import ...``, ``from ...machine import vm``).
+The backend package itself and ``repro.machine`` are exempt by
+construction (they are the two sides of the seam); kernel-level
+libraries (``repro.core``, ``repro.hashing``, ...) legitimately target
+the VM facade and are out of scope.  Lines carrying a
+``# no-vm-lint`` pragma are skipped (for type-only or doc-tooling
+imports).
+
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+#: The backend-neutral serving layers (everything above the seam).
+CHECKED_DIRS = ("engine", "runtime", "shard")
+PRAGMA = "# no-vm-lint"
+
+
+def _is_vm_module(dotted: str) -> bool:
+    """True for the vm module in absolute or package-relative spelling."""
+    return dotted == "repro.machine.vm" or dotted.endswith("machine.vm") or (
+        dotted == "machine.vm"
+    )
+
+
+def _violations(tree: ast.AST) -> list:
+    """(lineno, description) pairs for every vm import in ``tree``."""
+    out = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if _is_vm_module(alias.name):
+                    out.append((node.lineno, f"import {alias.name}"))
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            dots = "." * node.level
+            if _is_vm_module(module):
+                names = ", ".join(a.name for a in node.names)
+                out.append((node.lineno, f"from {dots}{module} import {names}"))
+            elif module.endswith("machine") or module == "machine":
+                vm_names = [a.name for a in node.names if a.name == "vm"]
+                if vm_names:
+                    out.append((node.lineno, f"from {dots}{module} import vm"))
+    return out
+
+
+def check_file(path: Path) -> list:
+    source = path.read_text(encoding="utf-8")
+    lines = source.splitlines()
+    tree = ast.parse(source, filename=str(path))
+    findings = []
+    for lineno, desc in _violations(tree):
+        line = lines[lineno - 1] if lineno <= len(lines) else ""
+        if PRAGMA in line:
+            continue
+        findings.append(
+            f"{path.relative_to(REPO)}:{lineno}: {desc} — the serving "
+            f"layers must go through repro.backend (resolve_backend / "
+            f"Backend.make_machine), or mark the line {PRAGMA} if it is "
+            f"not an execution dependency"
+        )
+    return findings
+
+
+def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv:
+        print(f"usage: {Path(sys.argv[0]).name} (no arguments)", file=sys.stderr)
+        return 2
+    findings = []
+    checked = 0
+    for sub in CHECKED_DIRS:
+        for path in sorted((SRC / sub).rglob("*.py")):
+            checked += 1
+            findings.extend(check_file(path))
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(
+            f"\n{len(findings)} direct vm import(s) in the serving layers",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"serving layers are backend-neutral "
+        f"({checked} files under src/repro/{{{','.join(CHECKED_DIRS)}}})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
