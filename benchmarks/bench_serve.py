@@ -1,0 +1,205 @@
+"""Serving layer: measured wall-clock latency and saturation throughput.
+
+Unlike every other bench in this directory, nothing here is a simulated
+cycle: K real worker processes own their shard arenas in POSIX shared
+memory and the numbers are seconds on the front-end's monotonic clock.
+Two experiments (ISSUE 7 acceptance criteria):
+
+1. **Saturation** — closed-loop (all arrivals at t=0) sort-weighted
+   mixed workload for K in {1, 2, 4}.  The sort workload's displaced-run
+   shift cost is superlinear in per-shard store size, so splitting the
+   store across processes wins even on a single-CPU runner and K=4
+   saturation throughput must exceed K=1.  (A conflict-free mix would
+   *not* show this on one CPU: per-exchange IPC overhead times K wakeups
+   eats the algorithmic win — which is itself a measurement the
+   simulated backend cannot make.)
+2. **Sub-saturation latency** — open-loop Poisson arrivals well below
+   the K=1 saturation rate; p50/p99 arrival-to-completion latency as the
+   front-end observes it (queueing + linger + transport + execution).
+
+Every run's merged worker end state is checked against the one-shot
+scalar oracle; a divergence fails the bench.
+
+Results go to ``BENCH_serve.json`` (schema checked by
+``tools/check_bench_schema.py``)::
+
+    python benchmarks/bench_serve.py [--smoke] [--json PATH]
+"""
+
+import argparse
+import platform
+import sys
+from pathlib import Path
+
+from repro.bench.reporting import format_table, write_json
+from repro.serve import run_serve
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_JSON = REPO_ROOT / "BENCH_serve.json"
+
+WORKER_COUNTS = (1, 2, 4)
+
+# Sort-weighted mix: sharding's algorithmic win (smaller per-shard
+# sorted stores) has to outrun per-exchange IPC on a 1-CPU runner.
+KINDS = ("hash", "sort", "xfer", "bst")
+WEIGHTS = (1, 3, 1, 1)
+SKEW = 1.2
+KEY_SPACE = 4096
+N_CELLS = 256
+TABLE_SIZE = 509
+BATCH_SIZE = 1024
+N_REQUESTS = 6000
+LATENCY_REQUESTS = 1200
+LATENCY_RATE = 150.0  # rps, well below K=1 saturation
+SEED = 0
+
+
+def _one_run(*, workers, requests, rate, batch_size):
+    report = run_serve(
+        workers=workers,
+        backend="native",
+        requests=requests,
+        rate=rate,
+        skew=SKEW,
+        kinds=KINDS,
+        weights=WEIGHTS,
+        batch_size=batch_size,
+        table_size=TABLE_SIZE,
+        n_cells=N_CELLS,
+        key_space=KEY_SPACE,
+        seed=SEED,
+        install_signal_handlers=False,
+    )
+    if report.divergence is not None:
+        raise SystemExit(
+            f"ORACLE DIVERGENCE at K={workers}: {report.divergence}"
+        )
+    if not report.completed:
+        raise SystemExit(f"no requests completed at K={workers}")
+    summary = report.metrics.summary()
+    return {
+        "workers": workers,
+        "completed": summary["completed"],
+        "exchanges": summary["exchanges"],
+        "throughput_rps": round(summary["throughput_rps"], 1),
+        "p50_latency_ms": round(summary["p50_latency_ms"], 2),
+        "p99_latency_ms": round(summary["p99_latency_ms"], 2),
+        "busy_seconds": round(summary["busy_seconds"], 3),
+        "cross_shard_units": summary["cross_shard_units"],
+        "fingerprint": report.state_fingerprint,
+    }
+
+
+def _series_table(title, rows):
+    print(f"\n== {title} ==")
+    headers = ["K", "completed", "rps", "p50 ms", "p99 ms", "busy s", "cross"]
+    print(
+        format_table(
+            headers,
+            [
+                [
+                    r["workers"], r["completed"], r["throughput_rps"],
+                    r["p50_latency_ms"], r["p99_latency_ms"],
+                    r["busy_seconds"], r["cross_shard_units"],
+                ]
+                for r in rows
+            ],
+        )
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="~5 s 2-worker sanity run for CI (skips the K sweep)",
+    )
+    parser.add_argument("--json", type=Path, default=DEFAULT_JSON)
+    args = parser.parse_args(argv)
+
+    config = {
+        "kinds": list(KINDS),
+        "weights": list(WEIGHTS),
+        "skew": SKEW,
+        "key_space": KEY_SPACE,
+        "n_cells": N_CELLS,
+        "table_size": TABLE_SIZE,
+        "batch_size": BATCH_SIZE,
+        "n_requests": N_REQUESTS,
+        "latency_requests": LATENCY_REQUESTS,
+        "latency_rate_rps": LATENCY_RATE,
+        "seed": SEED,
+        "worker_counts": list(WORKER_COUNTS),
+        "backend": "native",
+        "machine": platform.machine(),
+        "smoke": args.smoke,
+    }
+
+    if args.smoke:
+        row = _one_run(workers=2, requests=1200, rate=None, batch_size=512)
+        _series_table("serve smoke (K=2, closed loop)", [row])
+        write_json(
+            args.json,
+            {
+                "bench": "serve",
+                "config": config,
+                "saturation": {"K=2": row},
+            },
+        )
+        print(f"\nwrote {args.json}")
+        print("smoke OK: completed > 0, merged state matches the oracle")
+        return 0
+
+    saturation = {}
+    for k in WORKER_COUNTS:
+        row = _one_run(
+            workers=k, requests=N_REQUESTS, rate=None, batch_size=BATCH_SIZE
+        )
+        saturation[f"K={k}"] = row
+        print(
+            f"saturation K={k}: {row['throughput_rps']} rps, "
+            f"p99 {row['p99_latency_ms']} ms"
+        )
+
+    latency = {}
+    for k in WORKER_COUNTS:
+        row = _one_run(
+            workers=k,
+            requests=LATENCY_REQUESTS,
+            rate=LATENCY_RATE,
+            batch_size=256,
+        )
+        latency[f"K={k}"] = row
+        print(
+            f"open-loop K={k} @ {LATENCY_RATE:.0f} rps: "
+            f"p50 {row['p50_latency_ms']} ms, p99 {row['p99_latency_ms']} ms"
+        )
+
+    _series_table("saturation throughput (closed loop)", list(saturation.values()))
+    _series_table(
+        f"sub-saturation latency (open loop, {LATENCY_RATE:.0f} rps offered)",
+        list(latency.values()),
+    )
+
+    write_json(
+        args.json,
+        {"bench": "serve", "config": config,
+         "saturation": saturation, "latency": latency},
+    )
+    print(f"\nwrote {args.json}")
+
+    k1 = saturation["K=1"]["throughput_rps"]
+    k4 = saturation["K=4"]["throughput_rps"]
+    if not k4 > k1:
+        print(
+            f"FAIL: K=4 saturation ({k4} rps) does not exceed K=1 ({k1} rps)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"K=4/K=1 saturation speedup: {k4 / k1:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

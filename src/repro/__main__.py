@@ -11,6 +11,10 @@ Subcommands
 ``stream``
     Run the streaming micro-batch FOL service (:mod:`repro.runtime`)
     over a generated workload and print per-batch metrics.
+``serve``
+    Run the real multi-process serving layer (:mod:`repro.serve`): one
+    shared-memory shard process per worker, asyncio admission and
+    batching, measured wall-clock latency, oracle-checked end state.
 ``audit``
     Fuzz the FOL pipelines under the runtime invariant auditor and the
     scalar differential oracles (:mod:`repro.audit`); exits non-zero
@@ -77,20 +81,31 @@ def _skew(text: str) -> float:
     return value
 
 
+#: (name, one-line help) per subcommand — single source for the parser
+#: and the ``repro info`` listing.
+SUBCOMMANDS = (
+    ("figures", "regenerate paper tables/figures"),
+    ("demo", "one-screen FOL tour"),
+    ("info", "version, cost model, kinds, backends, subcommands"),
+    ("stream", "run the streaming micro-batch FOL service (simulated clock)"),
+    ("serve", "run the multi-process serving layer (measured wall-clock)"),
+    ("audit", "fuzz the FOL pipelines under invariant auditing"),
+)
+_HELP = dict(SUBCOMMANDS)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command")
 
-    fig = sub.add_parser("figures", help="regenerate paper tables/figures")
+    fig = sub.add_parser("figures", help=_HELP["figures"])
     fig.add_argument("names", nargs="*", default=[])
     fig.add_argument("--seed", type=int, default=0)
 
-    sub.add_parser("demo", help="one-screen FOL tour")
-    sub.add_parser("info", help="version, cost model, experiment registry")
+    sub.add_parser("demo", help=_HELP["demo"])
+    sub.add_parser("info", help=_HELP["info"])
 
-    stream = sub.add_parser(
-        "stream", help="run the streaming micro-batch FOL service"
-    )
+    stream = sub.add_parser("stream", help=_HELP["stream"])
     stream.add_argument("--requests", type=_positive_int, default=5000,
                         help="number of requests in the workload")
     stream.add_argument("--policy", choices=("fixed", "deadline", "adaptive"),
@@ -136,8 +151,9 @@ def build_parser() -> argparse.ArgumentParser:
     from .shard.partition import PARTITIONERS
 
     stream.add_argument("--partitioner", choices=tuple(PARTITIONERS),
-                        default="hash",  # partitioner name  # no-kind-lint
-                        help="initial shard assignment")
+                        default=None,  # resolved to hash; None flags explicit use
+                        help="initial shard assignment (needs --shards > 1; "
+                             "default hash)")
     stream.add_argument("--rebalance", action="store_true",
                         help="migrate hot key ranges between micro-batches "
                              "(Megaphone-style; needs --shards > 1)")
@@ -147,9 +163,52 @@ def build_parser() -> argparse.ArgumentParser:
                         help="record and print the instruction mix")
     stream.add_argument("--seed", type=int, default=0)
 
-    audit = sub.add_parser(
-        "audit", help="fuzz the FOL pipelines under invariant auditing"
-    )
+    serve = sub.add_parser("serve", help=_HELP["serve"])
+    serve.add_argument("--workers", type=_positive_int, default=2,
+                       help="shard worker processes (one shared-memory "
+                            "arena each)")
+    serve.add_argument("--backend", choices=registered_backends(),
+                       default="native",
+                       help="execution backend inside each worker process "
+                            "(native = raw NumPy, the wall-clock path)")
+    serve.add_argument("--requests", type=_positive_int, default=2000,
+                       help="workload size (pre-generated, replayed in "
+                            "real time)")
+    serve.add_argument("--rate", type=_positive_float, default=None,
+                       help="open-loop offered load in requests/second "
+                            "(default: closed loop, everything ready at t=0)")
+    serve.add_argument("--duration", type=_positive_float, default=None,
+                       help="stop admitting after S seconds, drain, and "
+                            "print the partial summary")
+    serve.add_argument("--skew", type=_skew, default=1.2,
+                       help=f"Zipf key skew (max {MAX_SKEW})")
+    serve.add_argument("--kinds", default=None,
+                       help="comma-separated request kinds (default: the "
+                            "registry's stream mix; see `repro info`)")
+    serve.add_argument("--mix", default=None, metavar="KIND=W,...",
+                       help="weighted workload mix (overrides --kinds)")
+    serve.add_argument("--policy", choices=("fixed", "adaptive"),
+                       default="fixed",
+                       help="batch-sizing policy (wall-clock linger replaces "
+                            "the cycle-driven deadline policy)")
+    serve.add_argument("--batch-size", type=_positive_int, default=512,
+                       help="fixed/initial micro-batch target")
+    serve.add_argument("--linger-ms", type=_nonneg_float, default=2.0,
+                       help="max head-of-line wait for a fuller batch")
+    serve.add_argument("--queue-capacity", type=_positive_int, default=8192)
+    serve.add_argument("--admission", choices=("block", "reject"),
+                       default="block", help="full-queue policy")
+    serve.add_argument("--table-size", type=_positive_int, default=509)
+    serve.add_argument("--key-space", type=_positive_int, default=4096)
+    serve.add_argument("--n-cells", type=_positive_int, default=64)
+    serve.add_argument("--partitioner", choices=tuple(PARTITIONERS),
+                       default="hash",  # partitioner name  # no-kind-lint
+                       help="initial shard assignment")
+    serve.add_argument("--print-batches", type=_positive_int, default=20,
+                       help="exchange rows to print (subsampled)")
+    serve.add_argument("--seed", type=int, default=0)
+
+    audit = sub.add_parser("audit", help=_HELP["audit"])
     audit.add_argument("--suite", choices=("core", "stream", "shard", "all"),
                        default="all", help="which pipeline family to fuzz")
     audit.add_argument("--seed", type=int, default=0,
@@ -192,11 +251,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from .errors import ReproError
 
         try:
-            _stream(args)
+            return _stream(args)
         except ReproError as exc:
             print(f"repro stream: {exc}", file=sys.stderr)
             return 2
-        return 0
+
+    if args.command == "serve":
+        from .errors import ReproError
+
+        try:
+            return _serve(args)
+        except ReproError as exc:
+            print(f"repro serve: {exc}", file=sys.stderr)
+            return 2
 
     if args.command == "audit":
         from .errors import ReproError
@@ -267,7 +334,7 @@ def _parse_mix(text: str):
     return tuple(kinds), tuple(weights)
 
 
-def _stream(args) -> None:
+def _stream(args) -> int:
     import time
 
     import numpy as np
@@ -282,6 +349,21 @@ def _stream(args) -> None:
         make_batcher,
         open_loop_workload,
     )
+
+    # Flag combinations that would otherwise be silently ignored are
+    # hard errors (exit 2), not no-ops.
+    if args.shards == 1:
+        if args.rebalance:
+            raise ReproError(
+                "--rebalance migrates state between shards and needs "
+                "--shards > 1"
+            )
+        if args.partitioner is not None:
+            raise ReproError(
+                "--partitioner chooses the shard assignment and needs "
+                "--shards > 1"
+            )
+    partitioner = args.partitioner or "hash"  # partitioner name  # no-kind-lint
 
     backend = get_backend(args.backend)
     if args.no_recorded_loop:
@@ -340,7 +422,7 @@ def _stream(args) -> None:
         coordinator = ShardCoordinator.for_workload(
             requests,
             shards=args.shards,
-            partitioner=args.partitioner,
+            partitioner=partitioner,
             rebalance=args.rebalance,
             table_size=args.table_size,
             key_space=args.key_space,
@@ -361,13 +443,22 @@ def _stream(args) -> None:
             seed=args.seed,
         )
     t0 = time.perf_counter()
-    metrics = service.run(requests)
+    interrupted = False
+    try:
+        metrics = service.run(requests)
+    except KeyboardInterrupt:
+        # Partial summary instead of a traceback: the metrics object
+        # already holds every batch that finished before the interrupt.
+        interrupted = True
+        metrics = service.metrics
+        metrics.rejected = queue.stats.rejected
+        metrics.blocked = queue.stats.blocked
     wall = time.perf_counter() - t0
 
     mode = "retry-in-batch" if args.no_carryover else "carryover"
     loop = "closed" if args.closed_loop else "open"
     shard_note = (
-        f", shards={args.shards} ({args.partitioner}"
+        f", shards={args.shards} ({partitioner}"
         f"{', rebalance' if args.rebalance else ''})"
         if args.shards > 1 else ""
     )
@@ -381,6 +472,9 @@ def _stream(args) -> None:
     print(f"stream: {args.requests} requests, kinds={mix_note}, "
           f"skew={args.skew}, policy={batcher.name}, {mode}, {loop} loop, "
           f"backend={backend.name}{loop_note}{shard_note}")
+    if interrupted:
+        print(f"\ninterrupted — partial summary "
+              f"({metrics.total_completed} of {args.requests} completed)")
     print()
     print(metrics.batch_table(max_rows=args.print_batches))
     if args.shards > 1:
@@ -399,6 +493,68 @@ def _stream(args) -> None:
             metrics.instruction_mix.items(), key=lambda kv: -kv[1]
         ):
             print(f"  {cat:<16s} {cyc:>14,.0f}")
+    return 130 if interrupted else 0
+
+
+def _serve(args) -> int:
+    from .engine.spec import get_spec
+    from .serve import run_serve
+
+    if args.mix is not None:
+        kinds, weights = _parse_mix(args.mix)
+    elif args.kinds is not None:
+        kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
+        weights = None
+        for kind in kinds:
+            get_spec(kind)  # unknown kind -> ReproError naming the registry
+    else:
+        kinds, weights = None, None  # the registry's default stream mix
+
+    report = run_serve(
+        workers=args.workers,
+        backend=args.backend,
+        requests=args.requests,
+        rate=args.rate,
+        duration=args.duration,
+        skew=args.skew,
+        kinds=kinds,
+        weights=weights,
+        policy=args.policy,
+        batch_size=args.batch_size,
+        linger_ms=args.linger_ms,
+        queue_capacity=args.queue_capacity,
+        admission=args.admission,
+        table_size=args.table_size,
+        n_cells=args.n_cells,
+        key_space=args.key_space,
+        partitioner=args.partitioner,
+        seed=args.seed,
+    )
+    m = report.metrics
+    loop = "closed loop" if args.rate is None else f"open loop @ {args.rate:g}/s"
+    mix_note = (
+        ",".join(f"{k}={w:g}" for k, w in zip(kinds, weights))
+        if kinds is not None and weights is not None
+        else ",".join(kinds) if kinds is not None else "stream mix"
+    )
+    print(f"serve: {args.workers} worker processes, backend={args.backend}, "
+          f"{args.requests} requests, kinds={mix_note}, skew={args.skew}, "
+          f"{loop}, policy={args.policy}, linger={args.linger_ms:g}ms")
+    if m.interrupted:
+        print(f"\nstopped early — drained partial summary "
+              f"({m.total_completed} of {args.requests} completed)")
+    print()
+    print(m.exchange_table(max_rows=args.print_batches))
+    print()
+    print(m.summary_table())
+    print()
+    if report.divergence is not None:
+        print(f"ORACLE DIVERGENCE: {report.divergence}", file=sys.stderr)
+        return 1
+    print(f"merged end state matches the scalar oracle over "
+          f"{len(report.completed)} completed requests "
+          f"(fingerprint {report.state_fingerprint[:16]})")
+    return 130 if report.signalled else 0
 
 
 def _audit(args) -> int:
@@ -445,6 +601,9 @@ def _info() -> None:
 
     print(f"repro {__version__}")
     print(f"cost model (s810): {CostModel.s810()}")
+    print("subcommands:")
+    for name, help_line in SUBCOMMANDS:
+        print(f"  {name:<8s} {help_line}")
     print("workload kinds:")
     for spec in specs():
         arity = f" (arity {spec.arity})" if spec.arity != 1 else ""

@@ -74,9 +74,17 @@ def write_json(path: Union[str, Path], payload: Mapping) -> Path:
     uploads them as artifacts), so keys are sorted and floats should be
     pre-rounded by the caller to keep diffs meaningful.  Non-finite
     floats are written as ``null`` (see :func:`_json_safe`).
+
+    Every payload is stamped with a ``meta`` envelope (schema version +
+    package version) unless the caller supplied its own; the common
+    shape across benches is enforced by ``tools/check_bench_schema.py``.
     """
+    from .. import __version__
+
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    payload = dict(payload)
+    payload.setdefault("meta", {"schema": 1, "version": __version__})
     path.write_text(
         json.dumps(_json_safe(payload), indent=2, sort_keys=True) + "\n"
     )

@@ -12,12 +12,20 @@ the queue either admits them or pushes back.  Two admission policies:
   latency over completeness.
 
 Timestamps are *simulated cycles* (the same clock the
-:class:`~repro.machine.counter.CycleCounter` advances), so queueing
-delay and service time are directly comparable.
+:class:`~repro.machine.counter.CycleCounter` advances) in the simulated
+runtime, and wall-clock seconds when the queue fronts the serving layer
+(:mod:`repro.serve`) — the queue itself is unit-agnostic.
+
+The queue is **thread-safe**: one lock serialises admission, dequeue
+and the stats counters, so concurrent producers (the serving layer's
+load generators, or plain threads) never lose, duplicate or miscount a
+request.  The single-threaded simulated service pays one uncontended
+lock acquire per operation, which is noise next to a batch execution.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, List, Optional
@@ -115,6 +123,7 @@ class BoundedQueue:
         self.admission = admission
         self.stats = QueueStats()
         self._items: Deque[Request] = deque()
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -131,31 +140,37 @@ class BoundedQueue:
 
     def oldest_enqueued(self) -> Optional[float]:
         """Enqueue timestamp of the head request (None when empty)."""
-        return self._items[0].enqueued if self._items else None
+        with self._lock:
+            return self._items[0].enqueued if self._items else None
 
     # ------------------------------------------------------------------
     def offer(self, req: Request, now: float) -> bool:
-        """Try to admit ``req`` at simulated time ``now``.
+        """Try to admit ``req`` at time ``now``.
 
         Returns True on admission.  On a full queue the request is
         either dropped (``reject``) or left with the producer
         (``block``); both return False and the caller distinguishes via
-        :attr:`admission`.
+        :attr:`admission`.  Atomic under concurrent producers: the
+        full-check, append and counters happen under one lock, so
+        ``admitted + rejected + blocked == offered`` always holds and
+        the queue never overshoots its capacity.
         """
-        self.stats.offered += 1
-        if self.full:
-            if self.admission == "reject":
-                self.stats.rejected += 1
-            else:
-                self.stats.blocked += 1
-            return False
-        req.enqueued = now
-        self._items.append(req)
-        self.stats.admitted += 1
-        self.stats.max_depth = max(self.stats.max_depth, len(self._items))
-        return True
+        with self._lock:
+            self.stats.offered += 1
+            if len(self._items) >= self.capacity:
+                if self.admission == "reject":
+                    self.stats.rejected += 1
+                else:
+                    self.stats.blocked += 1
+                return False
+            req.enqueued = now
+            self._items.append(req)
+            self.stats.admitted += 1
+            self.stats.max_depth = max(self.stats.max_depth, len(self._items))
+            return True
 
     def take(self, n: int) -> List[Request]:
         """Dequeue up to ``n`` requests in FIFO order."""
-        n = min(n, len(self._items))
-        return [self._items.popleft() for _ in range(n)]
+        with self._lock:
+            n = min(n, len(self._items))
+            return [self._items.popleft() for _ in range(n)]

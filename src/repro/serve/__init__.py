@@ -1,0 +1,35 @@
+"""``repro.serve`` — the real multi-process serving layer.
+
+Everything below this package runs on a **measured wall clock**: an
+asyncio front-end admits and micro-batches requests
+(:mod:`~repro.serve.frontend`), one OS process per shard worker owns
+its arena in shared memory and computes in place
+(:mod:`~repro.serve.proc_worker`), and the two-phase claim/commit
+protocol of the simulated sharded engine rides multiprocessing message
+queues while batches and end states move zero-copy through shared
+segments (:mod:`~repro.serve.transport`,
+:mod:`~repro.serve.cluster`).  A real load generator replays the
+runtime's open/closed-loop Zipf workloads in real time
+(:mod:`~repro.serve.loadgen`) and the metrics
+(:mod:`~repro.serve.metrics`) report measured p50/p99 latency and
+saturation throughput — the simulated runtime's cycle-denominated
+quantities keep living in :mod:`repro.runtime`.
+
+Entry points: ``python -m repro serve`` and :func:`run_serve`.
+See docs/serving.md for the process topology and protocol.
+"""
+
+from .cluster import ProcessCluster
+from .frontend import ServeFrontend, ServeReport, run_serve
+from .loadgen import timed_workload
+from .metrics import ExchangeRecord, ServeMetrics
+
+__all__ = [
+    "ExchangeRecord",
+    "ProcessCluster",
+    "ServeFrontend",
+    "ServeMetrics",
+    "ServeReport",
+    "run_serve",
+    "timed_workload",
+]

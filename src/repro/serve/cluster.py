@@ -1,0 +1,412 @@
+"""K shard processes behind the single-engine ``execute(batch)`` surface.
+
+:class:`ProcessCluster` is the multi-process twin of
+:class:`~repro.shard.coordinator.ShardCoordinator` — same router, same
+two-phase claim/commit, same merged-state accessors — except the K
+workers are OS processes computing concurrently in their own shared-
+memory arenas instead of K in-process pipelines run back to back.
+
+One ``execute`` call is one lockstep exchange:
+
+1. **route** — the in-process :class:`~repro.shard.router.Router`
+   splits the batch exactly as the simulated coordinator would;
+2. **scatter** — each busy shard's sub-batch is encoded into its shared
+   inbox (zero-copy rows) and a tiny ``batch`` message posted to its
+   command queue.  All busy workers now run their FOL pipelines *at the
+   same time* — the wall-clock analogue of the coordinator's
+   ``max``-over-shards cycle accounting;
+3. **gather** — each reply names how many completed/carried rows the
+   worker wrote to its shared outbox; the rows are folded back onto the
+   front-end's authoritative request objects by rid;
+4. **claim/commit** — cross-shard tuples resolve first-come against the
+   batch's cell set (identical code path), and each winner's two cell
+   writes are computed by running the spec's ``commit_cross`` against a
+   recording proxy: the proxy reads live cell values straight out of
+   the owners' shared arenas but *records* the writes, which are then
+   shipped to the owner processes as ``commit`` messages — the arena's
+   single writer stays its owner, and claims guarantee the winners'
+   addresses are disjoint so record-then-apply cannot reorder effects.
+
+The front-end also keeps a **mirror** :class:`ShardWorker` per shard —
+built with the identical layout, then rebound onto the worker's shared
+arena — wrapped in a real :class:`ShardCoordinator`.  The mirrors never
+execute batches; they give the merged-state accessors
+(``list_values``/``chain_multisets``/``bst_inorder``) and the scalar
+oracle (:func:`repro.audit.diff_stream_state`) a zero-copy, zero-change
+view of the cluster's global end state.  Reads happen only between
+exchanges, when every worker is idle at its command queue.
+
+``shutdown`` is always safe to call (idempotent): it stops workers,
+joins them, snapshots each arena into the mirror (so merged state stays
+inspectable post-mortem), and unlinks every shared segment.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..engine.spec import count_by_kind, get_spec, specs
+from ..errors import ReproError
+from ..runtime.executor import BatchResult
+from ..runtime.queue import Request
+from ..shard.coordinator import ShardCoordinator
+from ..shard.partition import make_partition_map
+from ..shard.router import Router
+from ..shard.worker import ShardWorker
+from . import transport
+from .proc_worker import worker_main
+from .transport import (
+    MSG_BATCH,
+    MSG_COMMIT,
+    MSG_COMMITTED,
+    MSG_DONE,
+    MSG_ERROR,
+    MSG_READY,
+    MSG_STOP,
+    MSG_STOPPED,
+    ROW_COLS,
+    ShmBlock,
+    WorkerConfig,
+)
+
+#: Default seconds to wait for a worker reply before declaring it dead.
+REPLY_TIMEOUT = 120.0
+
+
+class _RecordingShard:
+    """Stand-in for one worker in ``spec.commit_cross``: structural
+    addresses and reads come from the mirror (live shared memory),
+    writes are recorded for the owner process to apply."""
+
+    class _Mem:
+        def __init__(self, mirror_mem, writes):
+            self._mem = mirror_mem
+            self._writes = writes
+
+        def peek(self, addr: int) -> int:
+            # A commit may read an address an earlier recorded write in
+            # the same exchange targeted; claims make winner addresses
+            # disjoint, but stay correct if that ever changes.
+            for a, v in reversed(self._writes):
+                if a == int(addr):
+                    return v
+            return int(self._mem.peek(addr))
+
+        def poke(self, addr: int, value: int) -> None:
+            self._writes.append((int(addr), int(value)))
+
+    class _VM:
+        def __init__(self, mem):
+            self.mem = mem
+
+    def __init__(self, mirror: ShardWorker):
+        self._mirror = mirror
+        self.writes: List[Tuple[int, int]] = []
+        self.vm = self._VM(self._Mem(mirror.vm.mem, self.writes))
+
+    def cell_addr(self, cell: int) -> int:
+        return self._mirror.cell_addr(cell)
+
+
+class _CommitRecorder:
+    """The ``coordinator`` argument ``commit_cross``/``carry_group``
+    expect, backed by recording shards."""
+
+    def __init__(self, mirrors: Sequence[ShardWorker]):
+        self.workers = [_RecordingShard(m) for m in mirrors]
+
+    def reset(self) -> None:
+        for w in self.workers:
+            w.writes.clear()
+
+    def pending(self) -> List[Tuple[int, List[Tuple[int, int]]]]:
+        return [
+            (s, list(w.writes))
+            for s, w in enumerate(self.workers)
+            if w.writes
+        ]
+
+
+class ProcessCluster:
+    """K shard worker processes + shared arenas + claim/commit bridge."""
+
+    def __init__(
+        self,
+        *,
+        shards: int,
+        table_size: int = 509,
+        n_cells: int = 64,
+        key_space: int = 4096,
+        capacities: Dict[str, int],
+        carryover: bool = True,
+        conflict_policy: str = "arbitrary",
+        backend: str = "native",
+        partitioner: str = "hash",  # no-kind-lint
+        seed: int = 0,
+        inbox_rows: int = 8192,
+        reply_timeout: float = REPLY_TIMEOUT,
+    ) -> None:
+        from ..backend import get_backend
+        from ..engine.spec import EngineContext, machine_words
+
+        if shards <= 0:
+            raise ReproError(f"worker count must be positive, got {shards}")
+        get_backend(backend)  # fail fast on unknown names, in this process
+        self.shards = shards
+        self.table_size = table_size
+        self.n_cells = n_cells
+        self.key_space = key_space
+        self.reply_timeout = reply_timeout
+        self._alive = False
+        ctx = EngineContext(
+            table_size=table_size, n_cells=n_cells, key_space=key_space
+        )
+        words = machine_words(capacities, ctx)
+
+        partition = make_partition_map(
+            partitioner,
+            shards,
+            table_size=table_size,
+            n_cells=n_cells,
+            key_space=key_space,
+        )
+        self.router = Router(partition)
+
+        # -- shared segments + worker processes ------------------------
+        mp_ctx = mp.get_context()
+        self._links = []
+        for s in range(shards):
+            state = ShmBlock.create((words,))
+            inbox = ShmBlock.create((inbox_rows, ROW_COLS))
+            outbox = ShmBlock.create((inbox_rows, ROW_COLS))
+            cfg = WorkerConfig(
+                shard_id=s,
+                table_size=table_size,
+                n_cells=n_cells,
+                key_space=key_space,
+                capacities=dict(capacities),
+                carryover=carryover,
+                conflict_policy=conflict_policy,
+                backend=backend,
+                seed=seed,
+                words=words,
+                inbox_rows=inbox_rows,
+                state_name=state.name,
+                inbox_name=inbox.name,
+                outbox_name=outbox.name,
+            )
+            cmd_q = mp_ctx.Queue()
+            res_q = mp_ctx.Queue()
+            proc = mp_ctx.Process(
+                target=worker_main,
+                args=(cfg, cmd_q, res_q),
+                name=f"repro-serve-shard-{s}",
+                daemon=True,
+            )
+            self._links.append(
+                {
+                    "proc": proc,
+                    "cmd": cmd_q,
+                    "res": res_q,
+                    "state": state,
+                    "inbox": inbox,
+                    "outbox": outbox,
+                }
+            )
+        for link in self._links:
+            link["proc"].start()
+        self._alive = True
+        try:
+            for s in range(shards):
+                self._expect(s, MSG_READY)
+        except Exception:
+            self.shutdown()
+            raise
+
+        # -- zero-copy mirrors over the workers' arenas ----------------
+        mirrors = []
+        for s, link in enumerate(self._links):
+            mirror = ShardWorker(
+                s,
+                table_size=table_size,
+                n_cells=n_cells,
+                key_space=key_space,
+                capacities=capacities,
+                carryover=carryover,
+                conflict_policy=conflict_policy,
+                backend=backend,
+                seed=seed,
+            )
+            mirror.vm.mem.words = link["state"].array
+            mirrors.append(mirror)
+        #: Real coordinator over the mirrors: merged-state accessors and
+        #: the scalar oracle work on the live cluster state unchanged.
+        self.coordinator = ShardCoordinator(mirrors, self.router)
+        self._recorder = _CommitRecorder(mirrors)
+        self._batch_id = 0
+        self.exchanges = 0
+        self.total_cross = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_workload(
+        cls,
+        requests: Sequence[Request],
+        *,
+        shards: int,
+        inbox_rows: Optional[int] = None,
+        **kwargs,
+    ) -> "ProcessCluster":
+        """Size arenas and inboxes for ``requests`` the way
+        :meth:`ShardCoordinator.for_workload` does: every worker can
+        hold the whole workload (skew can land it all on one shard)."""
+        counts = count_by_kind(requests)
+        caps = {
+            spec.name: spec.shard_capacity(counts.get(spec.name, 0))
+            for spec in specs()
+        }
+        if inbox_rows is None:
+            inbox_rows = max(4096, len(list(requests)) + 1024)
+        return cls(
+            shards=shards, capacities=caps, inbox_rows=inbox_rows, **kwargs
+        )
+
+    # ------------------------------------------------------------------
+    def _expect(self, shard: int, tag: str, timeout: Optional[float] = None):
+        """Next reply from ``shard``, which must carry ``tag``; raises
+        on worker errors (with the child traceback) and timeouts."""
+        import queue as _queue
+
+        link = self._links[shard]
+        timeout = self.reply_timeout if timeout is None else timeout
+        try:
+            msg = link["res"].get(timeout=timeout)
+        except _queue.Empty:
+            raise ReproError(
+                f"shard {shard} did not reply within {timeout}s "
+                f"(alive={link['proc'].is_alive()})"
+            ) from None
+        if msg[0] == MSG_ERROR:
+            raise ReproError(f"shard {shard} failed:\n{msg[2]}")
+        if msg[0] != tag:
+            raise ReproError(
+                f"shard {shard}: expected {tag!r} reply, got {msg[0]!r}"
+            )
+        return msg
+
+    # ------------------------------------------------------------------
+    def execute(self, batch: Sequence[Request]) -> BatchResult:
+        """One lockstep exchange (see module docstring).  Matches the
+        coordinator's ``execute`` contract; ``cycles`` stays 0.0 — this
+        engine is measured in wall-clock seconds, not simulated cycles."""
+        result = BatchResult()
+        if not batch:
+            return result
+        if not self._alive:
+            raise ReproError("cluster is shut down")
+        per_shard, cross = self.router.split(batch)
+
+        # -- scatter: all busy shards compute concurrently -------------
+        self._batch_id += 1
+        busy: List[Tuple[int, List[Request]]] = []
+        for s, sub in enumerate(per_shard):
+            if not sub:
+                continue
+            n = transport.encode_requests(sub, self._links[s]["inbox"].array)
+            self._links[s]["cmd"].put((MSG_BATCH, self._batch_id, n))
+            busy.append((s, sub))
+
+        # -- gather ----------------------------------------------------
+        rounds = [0] * self.shards
+        mults = [1]
+        for s, sub in busy:
+            msg = self._expect(s, MSG_DONE)
+            _, _, batch_id, n_done, n_carried, r, m = msg
+            assert batch_id == self._batch_id
+            out = self._links[s]["outbox"].array
+            by_rid = {req.rid: req for req in sub}
+            for i in range(n_done + n_carried):
+                req = by_rid[int(out[i, transport.COL_RID])]
+                transport.apply_row(req, out[i])
+                (result.completed if i < n_done else result.carried).append(
+                    req
+                )
+            rounds[s] = r
+            mults.append(m)
+
+        # -- two-phase claim/commit over the message queues ------------
+        if cross:
+            winners, losers = self.router.resolve_claims(cross)
+            self._recorder.reset()
+            for unit in winners:
+                get_spec(unit.request.kind).commit_cross(self._recorder, unit)
+                result.completed.append(unit.request)
+            for unit in losers:
+                req = unit.request
+                req.group = get_spec(req.kind).carry_group(
+                    self._recorder, unit
+                )
+                result.carried.append(req)
+            commits = self._recorder.pending()
+            for s, writes in commits:
+                self._links[s]["cmd"].put((MSG_COMMIT, self._batch_id, writes))
+            for s, _ in commits:
+                self._expect(s, MSG_COMMITTED)
+            self.total_cross += len(cross)
+
+        result.rounds = max(rounds)
+        result.multiplicity = max(mults)
+        result.kind_counts = tuple(count_by_kind(batch).items())
+        result.shard_sizes = tuple(len(sub) for sub in per_shard)
+        result.shard_rounds = tuple(rounds)
+        result.cross_units = len(cross)
+        self.exchanges += 1
+        return result
+
+    # ------------------------------------------------------------------
+    def shutdown(self, join_timeout: float = 10.0) -> None:
+        """Stop workers, snapshot arenas into the mirrors, release every
+        shared segment.  Idempotent; always leaves no segments behind."""
+        if not self._alive:
+            return
+        self._alive = False
+        for link in self._links:
+            if link["proc"].is_alive():
+                try:
+                    link["cmd"].put((MSG_STOP,))
+                except Exception:  # pragma: no cover - queue torn down
+                    pass
+        for s, link in enumerate(self._links):
+            try:
+                self._expect(s, MSG_STOPPED, timeout=join_timeout)
+            except ReproError:
+                pass  # worker already dead; join/terminate below
+        for link in self._links:
+            link["proc"].join(timeout=join_timeout)
+            if link["proc"].is_alive():  # pragma: no cover - stuck worker
+                link["proc"].terminate()
+                link["proc"].join(timeout=join_timeout)
+        # Keep merged state readable after the arenas are gone: swap
+        # each mirror onto a private copy of its shard's final words.
+        if hasattr(self, "coordinator"):
+            for mirror, link in zip(self.coordinator.workers, self._links):
+                mirror.vm.mem.words = link["state"].array.copy()
+        for link in self._links:
+            for key in ("state", "inbox", "outbox"):
+                link[key].close()
+                link[key].unlink()
+            link["cmd"].close()
+            link["res"].close()
+
+    def __enter__(self) -> "ProcessCluster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def __del__(self):  # pragma: no cover - backstop only
+        try:
+            self.shutdown()
+        except Exception:
+            pass

@@ -1,0 +1,364 @@
+"""Asyncio front-end: admission, micro-batching, graceful shutdown.
+
+The serving twin of :class:`~repro.runtime.service.StreamService`'s
+simulated loop, reusing its parts unchanged — the
+:class:`~repro.runtime.queue.BoundedQueue` (block/reject admission),
+the :mod:`~repro.runtime.batcher` policies for target batch size, and
+the :class:`~repro.runtime.carryover.CarryoverBuffer` (one lane per
+conflict group per batch) — but driven by the event loop on a
+monotonic wall clock:
+
+* a **producer** task replays the workload's arrival offsets in real
+  time and offers requests to the queue; a full queue blocks it
+  (backpressure, latency grows) or sheds load (reject);
+* the **serve loop** forms a micro-batch when enough work is ready or
+  the head request has lingered ``linger`` seconds, then runs the
+  blocking cluster exchange in a thread-pool executor so admission
+  keeps running while the shard processes compute.
+
+``request_stop()`` (wired to SIGINT/SIGTERM by :func:`run_serve`, and
+to ``--duration``) stops admission, **drains** everything already
+admitted — carried claim-losers included, so the merged end state stays
+oracle-consistent — then returns a partial summary instead of dying
+mid-batch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..errors import ReproError
+from ..runtime.batcher import BatchPolicy, FixedBatcher
+from ..runtime.carryover import CarryoverBuffer
+from ..runtime.queue import BoundedQueue, Request
+from .cluster import ProcessCluster
+from .metrics import ExchangeRecord, ServeMetrics
+
+#: Poll granularity for idle waits (seconds); batching decisions use
+#: event wake-ups, this only bounds how stale a stop flag can get.
+_IDLE_TICK = 0.02
+
+
+class ServeFrontend:
+    """Admission + micro-batching over one :class:`ProcessCluster`."""
+
+    def __init__(
+        self,
+        cluster: ProcessCluster,
+        *,
+        batcher: Optional[BatchPolicy] = None,
+        queue: Optional[BoundedQueue] = None,
+        linger: float = 0.002,
+    ) -> None:
+        if linger < 0:
+            raise ReproError(f"linger must be non-negative, got {linger}")
+        self.cluster = cluster
+        self.batcher = batcher if batcher is not None else FixedBatcher(512)
+        self.queue = queue if queue is not None else BoundedQueue(8192)
+        self.carry = CarryoverBuffer()
+        self.linger = linger
+        self.metrics = ServeMetrics(
+            workers=cluster.shards,
+            backend=cluster.coordinator.backend.name,
+        )
+        #: Requests retired in completion order (the oracle's workload).
+        self.completed: List[Request] = []
+        self._stop = False
+        self._stop_event: Optional[asyncio.Event] = None
+        self._work = asyncio.Event()
+        self._space = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    def request_stop(self) -> None:
+        """Stop admitting, drain what's in flight, return partial
+        metrics (idempotent; safe from signal handlers on the loop)."""
+        self._stop = True
+        self.metrics.interrupted = True
+        if self._stop_event is not None:
+            self._stop_event.set()
+        self._work.set()
+        self._space.set()
+
+    # ------------------------------------------------------------------
+    async def run(
+        self,
+        requests: Sequence[Request],
+        *,
+        duration: Optional[float] = None,
+    ) -> ServeMetrics:
+        """Serve ``requests`` (arrival offsets in seconds) to completion
+        or until stopped; returns the populated metrics."""
+        loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        if self._stop:  # stop requested before the loop existed
+            self._stop_event.set()
+        t0 = time.perf_counter()
+
+        def clock() -> float:
+            return time.perf_counter() - t0
+
+        arrivals = sorted(requests, key=lambda r: (r.arrival, r.rid))
+        timer = (
+            loop.call_later(duration, self.request_stop)
+            if duration is not None
+            else None
+        )
+        producer = asyncio.create_task(self._produce(arrivals, clock))
+        try:
+            await self._serve_loop(clock, producer)
+        finally:
+            self._stop = True
+            self._stop_event.set()
+            await producer
+            if timer is not None:
+                timer.cancel()
+        stats = self.queue.stats
+        self.metrics.offered = stats.offered
+        self.metrics.admitted = stats.admitted
+        self.metrics.rejected = stats.rejected
+        self.metrics.blocked = stats.blocked
+        return self.metrics
+
+    # ------------------------------------------------------------------
+    async def _produce(self, arrivals: List[Request], clock) -> None:
+        for req in arrivals:
+            if self._stop:
+                return
+            delay = req.arrival - clock()
+            if delay > 0:
+                try:
+                    await asyncio.wait_for(
+                        self._stop_event.wait(), timeout=delay
+                    )
+                    return  # stop arrived while waiting for the arrival
+                except asyncio.TimeoutError:
+                    pass
+            while not self._stop:
+                if self.queue.offer(req, clock()):
+                    self._work.set()
+                    break
+                if self.queue.admission == "reject":
+                    break  # dropped and counted by the queue
+                self._space.clear()
+                # blocked: wait for a batch to free queue space
+                try:
+                    await asyncio.wait_for(
+                        self._space.wait(), timeout=_IDLE_TICK
+                    )
+                except asyncio.TimeoutError:
+                    pass
+
+    # ------------------------------------------------------------------
+    async def _serve_loop(self, clock, producer: "asyncio.Task") -> None:
+        loop = asyncio.get_running_loop()
+        index = 0
+        while True:
+            ready = self.carry.depth + self.queue.depth
+            if ready == 0:
+                if producer.done() or self._stop:
+                    break  # admitted work fully drained
+                self._work.clear()
+                try:
+                    await asyncio.wait_for(
+                        self._work.wait(), timeout=_IDLE_TICK
+                    )
+                except asyncio.TimeoutError:
+                    pass
+                continue
+
+            # -- wait for a fuller batch? ------------------------------
+            filling = not (producer.done() or self._stop)
+            target = self.batcher.target_size()
+            if ready < target and filling:
+                oldest = self.queue.oldest_enqueued()
+                now = clock()
+                deadline = (oldest if oldest is not None else now) + self.linger
+                if now < deadline:
+                    await asyncio.sleep(min(self.linger, deadline - now))
+                    continue
+
+            # -- form and execute one micro-batch exchange -------------
+            carried = self.carry.drain_ready()
+            take = max(0, target - len(carried))
+            batch = carried + self.queue.take(take)
+            self._space.set()
+            depth = self.queue.depth
+            t_start = clock()
+            result = await loop.run_in_executor(
+                None, self.cluster.execute, batch
+            )
+            t_end = clock()
+            for req in result.completed:
+                req.completed = t_end
+                self.metrics.record_completion(req.latency)
+                self.completed.append(req)
+            self.carry.put(result.carried)
+            self.metrics.record_exchange(
+                ExchangeRecord(
+                    index=index,
+                    size=len(batch),
+                    carried_in=len(carried),
+                    queue_depth=depth,
+                    rounds=result.rounds,
+                    completed=len(result.completed),
+                    seconds=t_end - t_start,
+                    cross_units=result.cross_units,
+                    shard_sizes=result.shard_sizes,
+                ),
+                t_end,
+            )
+            self.batcher.observe(
+                len(batch),
+                result.rounds,
+                result.multiplicity,
+                result.filtered,
+                carried=len(carried),
+            )
+            index += 1
+
+
+# ----------------------------------------------------------------------
+# one-call orchestration (CLI and benchmarks)
+# ----------------------------------------------------------------------
+@dataclass
+class ServeReport:
+    """Everything one serve run produced."""
+
+    metrics: ServeMetrics
+    #: First divergence between the merged worker end state and the
+    #: one-shot scalar oracle over the completed requests, or None.
+    divergence: Optional[object]
+    #: Requests actually applied (the oracle's input; excludes rejected
+    #: and still-carried lanes of an interrupted run).
+    completed: List[Request]
+    state_fingerprint: str
+    #: True when SIGINT/SIGTERM (not --duration) stopped the run.
+    signalled: bool = False
+
+
+def run_serve(
+    *,
+    workers: int,
+    backend: str = "native",
+    requests: int = 2000,
+    rate: Optional[float] = None,
+    duration: Optional[float] = None,
+    skew: float = 1.2,
+    kinds: Optional[Sequence[str]] = None,
+    weights: Optional[Sequence[float]] = None,
+    policy: str = "fixed",
+    batch_size: int = 512,
+    linger_ms: float = 2.0,
+    queue_capacity: int = 8192,
+    admission: str = "block",
+    table_size: int = 509,
+    n_cells: int = 64,
+    key_space: int = 4096,
+    partitioner: str = "hash",  # no-kind-lint
+    seed: int = 0,
+    install_signal_handlers: bool = True,
+) -> ServeReport:
+    """Generate a workload, serve it through a K-process cluster, shut
+    the cluster down cleanly, and verify the merged end state against
+    the scalar oracle.  The one entry point the CLI, the benchmark and
+    the tests all share."""
+    import signal as _signal
+
+    import numpy as np
+
+    from ..audit.oracle import diff_stream_state
+    from ..engine.spec import stream_mix_kinds
+    from ..runtime.batcher import make_batcher
+    from .loadgen import timed_workload
+
+    if kinds is None:
+        kinds = stream_mix_kinds()
+    rng = np.random.default_rng(seed)
+    workload = timed_workload(
+        rng,
+        requests,
+        kinds=kinds,
+        weights=weights,
+        skew=skew,
+        key_space=key_space,
+        n_cells=n_cells,
+        rate=rate,
+    )
+    if policy == "fixed":
+        batcher = make_batcher("fixed", batch_size=batch_size)
+    elif policy == "adaptive":
+        batcher = make_batcher("adaptive", initial=batch_size)
+    else:
+        raise ReproError(
+            f"serve supports the fixed/adaptive batch policies (wall-clock "
+            f"linger replaces the cycle-driven deadline), got {policy!r}"
+        )
+
+    cluster = ProcessCluster.for_workload(
+        workload,
+        shards=workers,
+        backend=backend,
+        table_size=table_size,
+        n_cells=n_cells,
+        key_space=key_space,
+        partitioner=partitioner,
+        seed=seed,
+    )
+    try:
+        frontend = ServeFrontend(
+            cluster,
+            batcher=batcher,
+            queue=BoundedQueue(queue_capacity, admission=admission),
+            linger=linger_ms / 1e3,
+        )
+
+        signalled = {"flag": False}
+
+        def _on_signal() -> None:
+            signalled["flag"] = True
+            frontend.request_stop()
+
+        async def _main() -> ServeMetrics:
+            loop = asyncio.get_running_loop()
+            installed: List[int] = []
+            if install_signal_handlers:
+                for sig in (_signal.SIGINT, _signal.SIGTERM):
+                    try:
+                        loop.add_signal_handler(sig, _on_signal)
+                        installed.append(sig)
+                    except (NotImplementedError, RuntimeError):
+                        pass  # non-unix loop; Ctrl-C falls back to KI
+            try:
+                return await frontend.run(workload, duration=duration)
+            finally:
+                for sig in installed:
+                    loop.remove_signal_handler(sig)
+
+        try:
+            metrics = asyncio.run(_main())
+        except KeyboardInterrupt:
+            # Non-unix fallback: the loop died under us; report what
+            # completed before the interrupt (state already drained by
+            # shutdown below).
+            signalled["flag"] = True
+            metrics = frontend.metrics
+            metrics.interrupted = True
+    finally:
+        cluster.shutdown()
+    divergence = diff_stream_state(
+        cluster.coordinator,
+        frontend.completed,
+        table_size=table_size,
+        n_cells=n_cells,
+        key_space=key_space,
+    )
+    return ServeReport(
+        metrics=metrics,
+        divergence=divergence,
+        completed=frontend.completed,
+        state_fingerprint=cluster.coordinator.state_fingerprint(),
+        signalled=signalled["flag"],
+    )

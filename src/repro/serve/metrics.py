@@ -1,0 +1,144 @@
+"""Wall-clock metrics for the multi-process serving layer.
+
+Deliberately a separate type from
+:class:`~repro.runtime.metrics.StreamMetrics`: every number here is a
+**measured** second on the front-end's monotonic clock, not a simulated
+cycle, and mixing the two units in one object is exactly the confusion
+the backends split (docs/backends.md) exists to prevent.  The summary
+names its units explicitly so ``BENCH_serve.json`` is unambiguous.
+
+Latency is arrival-to-completion as the front-end observes it: queueing
+delay + batching linger + transport + shard execution.  Saturation
+throughput is completed requests over the span from first batch launch
+to last batch retirement (idle warm-up excluded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..bench.reporting import format_table
+
+
+@dataclass(frozen=True)
+class ExchangeRecord:
+    """One executed micro-batch exchange, in wall-clock seconds."""
+
+    index: int
+    size: int
+    carried_in: int
+    queue_depth: int
+    rounds: int
+    completed: int
+    seconds: float  # scatter -> gather+commit wall time
+    cross_units: int = 0
+    shard_sizes: Tuple[int, ...] = ()
+
+
+@dataclass
+class ServeMetrics:
+    """Accumulated measurements for one serve run."""
+
+    workers: int = 0
+    backend: str = ""
+    exchanges: List[ExchangeRecord] = field(default_factory=list)
+    latencies: List[float] = field(default_factory=list)
+    offered: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    blocked: int = 0
+    max_queue_depth: int = 0
+    interrupted: bool = False
+    first_launch: Optional[float] = None
+    last_retire: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def record_exchange(self, record: ExchangeRecord, now: float) -> None:
+        self.exchanges.append(record)
+        self.max_queue_depth = max(self.max_queue_depth, record.queue_depth)
+        if self.first_launch is None:
+            self.first_launch = now - record.seconds
+        self.last_retire = now
+
+    def record_completion(self, latency: float) -> None:
+        self.latencies.append(latency)
+
+    # ------------------------------------------------------------------
+    def latency_percentile(self, q: float) -> float:
+        """Measured-latency percentile in seconds (NaN with no
+        completions — same no-fake-zeros rule as StreamMetrics)."""
+        if not self.latencies:
+            return float("nan")
+        return float(np.percentile(np.asarray(self.latencies), q))
+
+    @property
+    def total_completed(self) -> int:
+        return len(self.latencies)
+
+    @property
+    def busy_seconds(self) -> float:
+        """First batch launch to last batch retirement."""
+        if self.first_launch is None or self.last_retire is None:
+            return 0.0
+        return self.last_retire - self.first_launch
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per measured busy second (NaN when the
+        run never executed a batch)."""
+        busy = self.busy_seconds
+        if busy <= 0 or not self.latencies:
+            return float("nan")
+        return self.total_completed / busy
+
+    def summary(self) -> Dict[str, object]:
+        sizes = [e.size for e in self.exchanges]
+        return {
+            "workers": self.workers,
+            "backend": self.backend,
+            "interrupted": self.interrupted,
+            "exchanges": len(self.exchanges),
+            "completed": self.total_completed,
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "blocked": self.blocked,
+            "mean_batch_size": float(np.mean(sizes)) if sizes else 0.0,
+            "max_queue_depth": self.max_queue_depth,
+            "cross_shard_units": sum(e.cross_units for e in self.exchanges),
+            "busy_seconds": self.busy_seconds,
+            "throughput_rps": self.throughput,
+            "p50_latency_ms": 1e3 * self.latency_percentile(50),
+            "p99_latency_ms": 1e3 * self.latency_percentile(99),
+        }
+
+    # ------------------------------------------------------------------
+    def exchange_table(self, max_rows: Optional[int] = None) -> str:
+        records = self.exchanges
+        if max_rows is not None and len(records) > max_rows:
+            idx = np.linspace(0, len(records) - 1, max_rows).astype(int)
+            records = [records[i] for i in sorted(set(idx))]
+        headers = ["batch", "size", "carried", "depth", "rounds",
+                   "lanes/shard", "cross", "ms"]
+        rows = [
+            [
+                e.index, e.size, e.carried_in, e.queue_depth, e.rounds,
+                ":".join(str(s) for s in e.shard_sizes),
+                e.cross_units, f"{1e3 * e.seconds:.2f}",
+            ]
+            for e in records
+        ]
+        return format_table(headers, rows)
+
+    def summary_table(self) -> str:
+        rows = [[k, _fmt(v)] for k, v in self.summary().items()]
+        return format_table(["metric", "value"], rows)
+
+
+def _fmt(v: object) -> str:
+    if isinstance(v, float):
+        return "—" if np.isnan(v) else f"{v:,.3f}"
+    return str(v)

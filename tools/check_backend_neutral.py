@@ -34,7 +34,7 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src" / "repro"
 #: The backend-neutral serving layers (everything above the seam).
-CHECKED_DIRS = ("engine", "runtime", "shard")
+CHECKED_DIRS = ("engine", "runtime", "shard", "serve")
 PRAGMA = "# no-vm-lint"
 
 

@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Lint: every ``BENCH_*.json`` shares one machine-readable envelope.
+
+The repo's perf trajectory accumulates in ``BENCH_*.json`` files at the
+repo root (one per bench, overwritten per run, uploaded by CI).  The
+dashboards and regression diffs downstream only work if the files stay
+mutually parseable, so this checker enforces the common shape every
+bench writer (``repro.bench.reporting.write_json``) produces:
+
+* the top level is a JSON object;
+* ``"bench"`` is a non-empty string naming the bench;
+* ``"config"`` is an object recording the parameters of the run;
+* at least one further object-valued key holds a result series
+  (``"saturation"``, ``"scaling"``, ``"workloads"``, ...);
+* ``"meta"``, when present, is an object whose ``"schema"`` is an int
+  (the envelope version this checker understands is 1);
+* no bare ``NaN``/``Infinity`` tokens — undefined metrics must be
+  written as ``null`` (non-JSON tokens break strict parsers).
+
+Exit status: 0 clean, 1 findings, 2 usage error.
+
+Usage::
+
+    python tools/check_bench_schema.py [paths...]   # default: repo root
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import List
+
+REPO = Path(__file__).resolve().parent.parent
+SCHEMA_VERSION = 1
+
+
+def _reject_nonfinite(token: str):
+    # json.load only calls parse_constant for NaN/Infinity/-Infinity —
+    # legal for Python's encoder, fatal for strict JSON parsers.
+    raise ValueError(f"non-finite JSON token {token!r} (write null instead)")
+
+
+def check_file(path: Path) -> List[str]:
+    """Return the envelope violations for one bench file."""
+    problems: List[str] = []
+    try:
+        payload = json.loads(
+            path.read_text(), parse_constant=_reject_nonfinite
+        )
+    except ValueError as exc:
+        return [f"{path.name}: not parseable as strict JSON: {exc}"]
+
+    if not isinstance(payload, dict):
+        return [f"{path.name}: top level must be an object"]
+
+    bench = payload.get("bench")
+    if not isinstance(bench, str) or not bench:
+        problems.append(f"{path.name}: 'bench' must be a non-empty string")
+    config = payload.get("config")
+    if not isinstance(config, dict):
+        problems.append(f"{path.name}: 'config' must be an object")
+
+    meta = payload.get("meta")
+    if meta is not None:
+        if not isinstance(meta, dict):
+            problems.append(f"{path.name}: 'meta' must be an object")
+        elif not isinstance(meta.get("schema"), int):
+            problems.append(
+                f"{path.name}: 'meta.schema' must be an int "
+                f"(current version: {SCHEMA_VERSION})"
+            )
+
+    series = [
+        k
+        for k, v in payload.items()
+        if k not in ("bench", "config", "meta") and isinstance(v, dict)
+    ]
+    if not series:
+        problems.append(
+            f"{path.name}: expected at least one object-valued result "
+            f"series besides 'bench'/'config'/'meta'"
+        )
+    stray = [
+        k
+        for k, v in payload.items()
+        if k not in ("bench", "config", "meta") and not isinstance(v, dict)
+    ]
+    for k in stray:
+        problems.append(
+            f"{path.name}: top-level key {k!r} is not an object — result "
+            f"series must be objects so diffs stay keyed"
+        )
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    roots = [Path(a) for a in argv] or [REPO]
+    files: List[Path] = []
+    for root in roots:
+        if root.is_file():
+            files.append(root)
+        elif root.is_dir():
+            files.extend(sorted(root.glob("BENCH_*.json")))
+        else:
+            print(f"error: no such path: {root}", file=sys.stderr)
+            return 2
+    if not files:
+        print("error: no BENCH_*.json files found", file=sys.stderr)
+        return 2
+
+    problems: List[str] = []
+    for path in files:
+        problems.extend(check_file(path))
+    if problems:
+        print("bench schema violations:", file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    print(f"bench schema OK: {len(files)} file(s) share the envelope")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
