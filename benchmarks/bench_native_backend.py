@@ -15,6 +15,11 @@ test (ISSUE 6 acceptance criteria):
 3. **Recorded-loop ablation** — replaying the fused round is no slower
    than interpreting the same plan op-by-op through the facade
    (``--no-recorded-loop``), and ends in the same state.
+4. **Auto mode** — ``recorded_loop="auto"`` calibrates each plan shape
+   once on a scratch machine, keeps the faster path, stays
+   bit-identical, and the chosen mode is recorded per workload (kinds
+   whose specs drive the facade directly — bst, sort — never reach the
+   recorded loop, so their cell says so instead of a mode).
 
 Dual interface: a plain script (CI smoke job) and a pytest-benchmark
 wrapper.  Both write machine-readable results to ``BENCH_native.json``
@@ -48,11 +53,12 @@ SKEW = 0.8
 
 
 def _arms():
-    """(label, backend factory) for the three execution arms."""
+    """(label, backend factory) for the four execution arms."""
     return (
         ("sim", lambda: get_backend("sim")),
         ("native", lambda: NativeBackend(recorded_loop=True)),
         ("native_interpreted", lambda: NativeBackend(recorded_loop=False)),
+        ("native_auto", lambda: NativeBackend(recorded_loop="auto")),
     )
 
 
@@ -91,12 +97,20 @@ def build_payload(n_requests, seed, repeats):
         cells = {}
         fingerprints = {}
         for label, make_backend in _arms():
+            backend = make_backend()
             rate, fp = run_arm(
-                kinds, make_backend(),
+                kinds, backend,
                 n_requests=n_requests, seed=seed, repeats=repeats,
             )
             cells[f"{label}_req_per_sec"] = rate
             fingerprints[label] = fp
+            if label == "native_auto":
+                # The calibration outcome per plan shape this workload
+                # exercised; facade-driven kinds never reach the loop.
+                cells["chosen_loop_modes"] = (
+                    backend.chosen_modes
+                    or {"all": "facade (no FolPlan rounds)"}
+                )
         cells["state_match"] = len(set(fingerprints.values())) == 1
         cells["speedup_vs_sim"] = round(
             cells["native_req_per_sec"] / cells["sim_req_per_sec"], 2
@@ -129,6 +143,8 @@ def check(payload):
     for name, cells in payload["workloads"].items():
         if not cells["state_match"]:
             failures.append(f"{name}: end states diverge across backends")
+        if not cells.get("chosen_loop_modes"):
+            failures.append(f"{name}: auto arm recorded no loop choice")
         if cells["speedup_vs_sim"] <= 1.0:
             failures.append(
                 f"{name}: native ({cells['native_req_per_sec']} req/s) did "
@@ -144,6 +160,7 @@ def print_report(payload):
             cells["sim_req_per_sec"],
             cells["native_req_per_sec"],
             cells["native_interpreted_req_per_sec"],
+            cells["native_auto_req_per_sec"],
             f"{cells['speedup_vs_sim']}x",
             f"{cells['recorded_loop_speedup']}x",
             "yes" if cells["state_match"] else "NO",
@@ -155,10 +172,18 @@ def print_report(payload):
           f"closed-loop requests per workload (best of "
           f"{payload['config']['repeats']})")
     print(format_table(
-        ["workload", "sim", "native", "native(no-rec)",
+        ["workload", "sim", "native", "native(no-rec)", "native(auto)",
          "native/sim", "rec/no-rec", "states match"],
         rows,
     ))
+    print()
+    print("auto-mode loop choice per workload:")
+    for name, cells in payload["workloads"].items():
+        modes = ", ".join(
+            f"{shape}={mode}"
+            for shape, mode in cells["chosen_loop_modes"].items()
+        )
+        print(f"  {name}: {modes}")
 
 
 def main(argv=None):

@@ -133,6 +133,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="native backend only: interpret each FOL "
                              "round op-by-op instead of replaying the "
                              "recorded fused round (ablation)")
+    stream.add_argument("--recorded-loop", choices=("on", "off", "auto"),
+                        default=None,
+                        help="native backend only: force the fused "
+                             "recorded round (on, the default), the "
+                             "op-by-op interpreter (off), or calibrate "
+                             "per plan shape once and keep the faster "
+                             "path (auto)")
     stream.add_argument("--queue-capacity", type=_positive_int, default=4096)
     stream.add_argument("--admission", choices=("block", "reject"),
                         default="block", help="full-queue policy")
@@ -148,6 +155,7 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--shards", type=_positive_int, default=1,
                         help="partition the address space across K workers "
                              "(owner-computes; batch cost = max over shards)")
+    from .shard.migration import PACING_STRATEGIES
     from .shard.partition import PARTITIONERS
 
     stream.add_argument("--partitioner", choices=tuple(PARTITIONERS),
@@ -155,8 +163,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="initial shard assignment (needs --shards > 1; "
                              "default hash)")
     stream.add_argument("--rebalance", action="store_true",
-                        help="migrate hot key ranges between micro-batches "
+                        help="migrate hot routing bins between micro-batches "
                              "(Megaphone-style; needs --shards > 1)")
+    stream.add_argument("--bins", type=_positive_int, default=None,
+                        help="routing bins N per domain (needs --shards > 1; "
+                             "default 64 per shard, must be >= shards)")
+    stream.add_argument("--migration", choices=PACING_STRATEGIES,
+                        default=None,  # resolved to all-at-once
+                        help="bin handoff pacing (needs --rebalance; "
+                             "default all-at-once)")
     stream.add_argument("--print-batches", type=_positive_int, default=20,
                         help="per-batch rows to print (subsampled)")
     stream.add_argument("--trace", action="store_true",
@@ -204,6 +219,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--partitioner", choices=tuple(PARTITIONERS),
                        default="hash",  # partitioner name  # no-kind-lint
                        help="initial shard assignment")
+    serve.add_argument("--rebalance", action="store_true",
+                       help="migrate hot routing bins between exchanges "
+                            "(live, across the worker processes)")
+    serve.add_argument("--bins", type=_positive_int, default=None,
+                       help="routing bins N per domain (default 64 per "
+                            "worker, must be >= workers)")
+    serve.add_argument("--migration", choices=PACING_STRATEGIES,
+                       default=None,  # resolved to all-at-once
+                       help="bin handoff pacing (needs --rebalance; "
+                            "default all-at-once)")
     serve.add_argument("--print-batches", type=_positive_int, default=20,
                        help="exchange rows to print (subsampled)")
     serve.add_argument("--seed", type=int, default=0)
@@ -363,16 +388,33 @@ def _stream(args) -> int:
                 "--partitioner chooses the shard assignment and needs "
                 "--shards > 1"
             )
+        if args.bins is not None:
+            raise ReproError(
+                "--bins sizes the routing-bin level and needs --shards > 1"
+            )
+    if args.migration is not None and not args.rebalance:
+        raise ReproError(
+            "--migration paces live bin handoff and needs --rebalance"
+        )
     partitioner = args.partitioner or "hash"  # partitioner name  # no-kind-lint
+    migration = args.migration or "all-at-once"
 
     backend = get_backend(args.backend)
-    if args.no_recorded_loop:
+    if args.no_recorded_loop and args.recorded_loop not in (None, "off"):
+        raise ReproError(
+            "--no-recorded-loop is shorthand for --recorded-loop off; "
+            f"it conflicts with --recorded-loop {args.recorded_loop}"
+        )
+    loop_choice = "off" if args.no_recorded_loop else args.recorded_loop
+    if loop_choice is not None:
         if not hasattr(backend, "recorded_loop"):
             raise ReproError(
-                f"--no-recorded-loop only applies to the native backend, "
+                f"--recorded-loop only applies to the native backend, "
                 f"not {backend.name!r}"
             )
-        backend.recorded_loop = False
+        backend.recorded_loop = {
+            "on": True, "off": False, "auto": "auto"
+        }[loop_choice]
     if not backend.calibrated:
         # Cycle-only features would silently measure zero on an
         # uncalibrated backend; refuse them up front.
@@ -429,6 +471,8 @@ def _stream(args) -> int:
             carryover=not args.no_carryover,
             backend=backend,
             seed=args.seed,
+            bins=args.bins,
+            migration=migration,
         )
         service = StreamService(coordinator, batcher=batcher, queue=queue)
     else:
@@ -459,16 +503,21 @@ def _stream(args) -> int:
     loop = "closed" if args.closed_loop else "open"
     shard_note = (
         f", shards={args.shards} ({partitioner}"
-        f"{', rebalance' if args.rebalance else ''})"
+        f"{f', bins={args.bins}' if args.bins is not None else ''}"
+        f"{f', rebalance/{migration}' if args.rebalance else ''})"
         if args.shards > 1 else ""
     )
     if weights is not None:
         mix_note = ",".join(f"{k}={w:g}" for k, w in zip(kinds, weights))
     else:
         mix_note = ",".join(kinds)
-    loop_note = "" if backend.calibrated or not getattr(
-        backend, "recorded_loop", False
-    ) else ", recorded loop"
+    rl = getattr(backend, "recorded_loop", None)
+    if backend.calibrated or not rl:
+        loop_note = ""
+    elif rl == "auto":
+        loop_note = ", auto loop"
+    else:
+        loop_note = ", recorded loop"
     print(f"stream: {args.requests} requests, kinds={mix_note}, "
           f"skew={args.skew}, policy={batcher.name}, {mode}, {loop} loop, "
           f"backend={backend.name}{loop_note}{shard_note}")
@@ -498,8 +547,14 @@ def _stream(args) -> int:
 
 def _serve(args) -> int:
     from .engine.spec import get_spec
+    from .errors import ReproError
     from .serve import run_serve
 
+    if args.migration is not None and not args.rebalance:
+        raise ReproError(
+            "--migration paces live bin handoff and needs --rebalance"
+        )
+    migration = args.migration or "all-at-once"
     if args.mix is not None:
         kinds, weights = _parse_mix(args.mix)
     elif args.kinds is not None:
@@ -529,6 +584,9 @@ def _serve(args) -> int:
         key_space=args.key_space,
         partitioner=args.partitioner,
         seed=args.seed,
+        bins=args.bins,
+        rebalance=args.rebalance,
+        migration=migration,
     )
     m = report.metrics
     loop = "closed loop" if args.rate is None else f"open loop @ {args.rate:g}/s"

@@ -15,7 +15,12 @@ Same plans, same end states, real wall-clock speed.  Three pieces:
   fused closure over ``memory.words``; subsequent rounds replay the
   closure, amortising per-op Python dispatch.  ``recorded_loop=False``
   (the ``--no-recorded-loop`` ablation) interprets the same program
-  op-by-op through the facade instead.
+  op-by-op through the facade instead, and ``recorded_loop="auto"``
+  races both paths once per plan shape on a scratch machine and keeps
+  the winner (kinds that drive the facade directly — the BST
+  claim-descend loop, the sort probe/shift rounds — never reach either
+  path, so the mode is moot for them).  Both modes end bit-identical,
+  so auto's per-plan choice never changes an answer.
 * :class:`NativeBackend.run_fol` — carryover mode runs one recorded
   round per batch; retry mode replays it until the index vector drains
   (the plan's :class:`~repro.backend.plan.LoopUntilEmpty`).
@@ -28,6 +33,7 @@ live on the charged scatter path).
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Tuple
 
 import numpy as np
@@ -184,6 +190,13 @@ def _labels_for(n: int, arity: int) -> List[np.ndarray]:
     ]
 
 
+#: Lanes and repeats for the one-shot auto-mode probe.  The probe runs
+#: on a scratch machine with all-distinct addresses (every lane wins
+#: its round), so it measures pure dispatch cost, never plan semantics.
+CALIBRATION_LANES = 256
+CALIBRATION_REPEATS = 5
+
+
 @register_backend
 class NativeBackend(Backend):
     """Raw-NumPy execution with recorded-loop replay (no cycle model)."""
@@ -191,9 +204,17 @@ class NativeBackend(Backend):
     name = "native"
     calibrated = False
 
-    def __init__(self, recorded_loop: bool = True) -> None:
+    def __init__(self, recorded_loop=True) -> None:
+        if recorded_loop not in (True, False, "auto"):
+            raise ReproError(
+                f"recorded_loop must be True, False or 'auto', "
+                f"got {recorded_loop!r}"
+            )
         self.recorded_loop = recorded_loop
         self._rounds: Dict[Tuple[int, int, str], object] = {}
+        #: Auto-mode calibration outcomes per plan shape:
+        #: ``(arity, work_offset, policy) -> "recorded" | "interpreted"``.
+        self._modes: Dict[Tuple[int, int, str], str] = {}
 
     def make_machine(self, words: int, *, cost_model=None, seed: int = 0):
         if cost_model is not None:
@@ -211,6 +232,70 @@ class NativeBackend(Backend):
             self._rounds[key] = fn
         return fn
 
+    @property
+    def chosen_modes(self) -> Dict[str, str]:
+        """Auto-mode calibration outcomes so far, keyed by plan shape
+        (``"fol1/off17/arbitrary" -> "recorded"``).  Empty until the
+        first plan runs under ``recorded_loop="auto"``."""
+        return {
+            f"fol{a}/off{o}/{p}": mode
+            for (a, o, p), mode in sorted(self._modes.items())
+        }
+
+    def _calibrate(self, plan: FolPlan, key: Tuple[int, int, str]) -> str:
+        """Race one fused replay against one interpreted round on a
+        scratch machine (best of :data:`CALIBRATION_REPEATS`) and cache
+        the winner for this plan shape.  All-distinct addresses keep
+        every lane a winner, so neither path loops or deadlocks."""
+        from ..core.labels import tuple_labels
+        from ..runtime.carryover import fol_round, tuple_round
+
+        arity, offset, policy = key
+        replay = self._recorded(plan)
+        n = CALIBRATION_LANES
+
+        def scratch():
+            ops = NativeOps(NativeMemory(arity * n + offset, seed=0))
+            addrs = [
+                np.arange(k * n, (k + 1) * n, dtype=np.int64)
+                for k in range(arity)
+            ]
+            return ops, addrs
+
+        best_rec = best_int = float("inf")
+        for _ in range(CALIBRATION_REPEATS):
+            ops, addrs = scratch()
+            labels = _labels_for(n, arity)
+            t0 = time.perf_counter()
+            replay(ops.mem, addrs, labels)
+            best_rec = min(best_rec, time.perf_counter() - t0)
+
+            ops, addrs = scratch()
+            t0 = time.perf_counter()
+            if arity == 1:
+                fol_round(
+                    ops, addrs[0], ops.iota(n),
+                    work_offset=offset, policy=policy,
+                )
+            else:
+                tuple_round(
+                    ops, addrs, tuple_labels(ops, n, arity),
+                    work_offset=offset, policy=policy,
+                )
+            best_int = min(best_int, time.perf_counter() - t0)
+        mode = "recorded" if best_rec <= best_int else "interpreted"
+        self._modes[key] = mode
+        return mode
+
+    def _use_recorded(self, plan: FolPlan) -> bool:
+        if self.recorded_loop != "auto":
+            return bool(self.recorded_loop)
+        key = (plan.arity, plan.work_offset, plan.policy)
+        mode = self._modes.get(key)
+        if mode is None:
+            mode = self._calibrate(plan, key)
+        return mode == "recorded"
+
     # ------------------------------------------------------------------
     def run_fol(self, executor, plan: FolPlan, reqs, result) -> int:
         from ..engine.spec import _max_multiplicity
@@ -219,7 +304,7 @@ class NativeBackend(Backend):
         result.completed.extend(reqs[i] for i in plan.precompleted)
         live = plan.live
         if live.size:
-            if self.recorded_loop:
+            if self._use_recorded(plan):
                 self._run_recorded(executor, ops, plan, reqs, result)
             else:
                 self._run_interpreted(executor, ops, plan, reqs, result)

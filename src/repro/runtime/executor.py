@@ -69,6 +69,7 @@ class BatchResult:
     shard_rounds: Tuple[int, ...] = ()
     cross_units: int = 0
     migrations: int = 0
+    parked: int = 0  # lanes parked because their bin was mid-handoff
 
     @property
     def size(self) -> int:

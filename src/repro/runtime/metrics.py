@@ -47,7 +47,9 @@ class BatchRecord:
     shard_sizes: Tuple[int, ...] = ()  # lanes routed per shard
     shard_rounds: Tuple[int, ...] = ()  # concurrent FOL rounds per shard
     cross_units: int = 0  # cross-shard tuples claimed this batch
-    migrations: int = 0  # routing indices migrated after this batch
+    migrations: int = 0  # routing bins whose handoff completed after this batch
+    parked: int = 0  # lanes parked because their bin was mid-handoff
+    t_end: float = 0.0  # service clock when this batch's cycles finished
 
     @property
     def filtered_ratio(self) -> float:
@@ -184,6 +186,7 @@ class StreamMetrics:
             ),
             "cross_shard_units": sum(b.cross_units for b in sharded),
             "migrations": sum(b.migrations for b in sharded),
+            "parked_requests": sum(b.parked for b in sharded),
         }
 
     # ------------------------------------------------------------------

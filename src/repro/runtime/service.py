@@ -169,6 +169,8 @@ class StreamService:
                     shard_rounds=result.shard_rounds,
                     cross_units=result.cross_units,
                     migrations=result.migrations,
+                    parked=result.parked,
+                    t_end=self.now,
                 )
             )
             self.batcher.observe(

@@ -46,12 +46,21 @@ from __future__ import annotations
 import multiprocessing as mp
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..engine.spec import count_by_kind, get_spec, specs
+from ..engine.spec import (
+    MIGRATE_CELL,
+    MIGRATE_CHAIN,
+    count_by_kind,
+    get_domain,
+    get_spec,
+    specs,
+)
 from ..errors import ReproError
 from ..runtime.executor import BatchResult
 from ..runtime.queue import Request
 from ..shard.coordinator import ShardCoordinator
+from ..shard.migration import MigrationController
 from ..shard.partition import make_partition_map
+from ..shard.rebalance import Rebalancer
 from ..shard.router import Router
 from ..shard.worker import ShardWorker
 from . import transport
@@ -62,6 +71,12 @@ from .transport import (
     MSG_COMMITTED,
     MSG_DONE,
     MSG_ERROR,
+    MSG_MIG_DONE,
+    MSG_MIG_EXPORT,
+    MSG_MIG_IMPORT,
+    MSG_MIG_QUERY,
+    MSG_MIG_ROOM,
+    MSG_MIG_STATE,
     MSG_READY,
     MSG_STOP,
     MSG_STOPPED,
@@ -146,6 +161,9 @@ class ProcessCluster:
         seed: int = 0,
         inbox_rows: int = 8192,
         reply_timeout: float = REPLY_TIMEOUT,
+        bins: Optional[int] = None,
+        rebalance: bool = False,
+        migration: str = "all-at-once",
     ) -> None:
         from ..backend import get_backend
         from ..engine.spec import EngineContext, machine_words
@@ -170,6 +188,7 @@ class ProcessCluster:
             table_size=table_size,
             n_cells=n_cells,
             key_space=key_space,
+            bins=bins,
         )
         self.router = Router(partition)
 
@@ -248,6 +267,23 @@ class ProcessCluster:
         self.exchanges = 0
         self.total_cross = 0
 
+        # -- live migration across processes ---------------------------
+        # Built after the mirror coordinator (whose constructor resets
+        # the router's controller hook).  The cluster itself is the
+        # controller's mover: exports run in the source process, imports
+        # in the destination, the parent only relays between them.
+        self.rebalancer = (
+            Rebalancer(partition) if rebalance else None
+        )
+        self.controller = (
+            MigrationController(partition, strategy=migration)
+            if rebalance
+            else None
+        )
+        self.router.controller = self.controller
+        self.total_migrations = 0
+        self.migration_skips = 0
+
     # ------------------------------------------------------------------
     @classmethod
     def for_workload(
@@ -305,7 +341,11 @@ class ProcessCluster:
             return result
         if not self._alive:
             raise ReproError("cluster is shut down")
-        per_shard, cross = self.router.split(batch)
+        per_shard, cross, parked = self.router.split(batch)
+        # Parked lanes (bin mid-handoff) recirculate via the carryover
+        # path and replay once the new owner has the bin's state.
+        result.carried.extend(parked)
+        result.parked = len(parked)
 
         # -- scatter: all busy shards compute concurrently -------------
         self._batch_id += 1
@@ -355,6 +395,14 @@ class ProcessCluster:
                 self._expect(s, MSG_COMMITTED)
             self.total_cross += len(cross)
 
+        # -- inter-batch live migration (workers idle at their queues) -
+        if self.rebalancer is not None:
+            self.controller.admit(self.rebalancer.plan())
+            rep = self.controller.step(self)
+            result.migrations = rep.completed
+            self.total_migrations += rep.completed
+            self.migration_skips += rep.skipped
+
         result.rounds = max(rounds)
         result.multiplicity = max(mults)
         result.kind_counts = tuple(count_by_kind(batch).items())
@@ -363,6 +411,57 @@ class ProcessCluster:
         result.cross_units = len(cross)
         self.exchanges += 1
         return result
+
+    # ------------------------------------------------------------------
+    # migration (the MigrationController's mover hook, over the queues)
+    # ------------------------------------------------------------------
+    def migrate_index(
+        self, domain: str, src: int, dst: int, index: int
+    ) -> Optional[int]:
+        """Move one domain index's state between worker *processes*;
+        returns the words shipped, or ``None`` when the destination's
+        node arena cannot take the chain (bin aborted, routing intact).
+
+        Single-writer discipline holds throughout: the export mutates
+        the source arena in the source process, the import mutates the
+        destination arena in the destination process, and the parent
+        only relays the payload between the two exchanges (both workers
+        are idle at their command queues — nothing else is running).
+        The chain keys are read zero-copy through the mirror (shared
+        words, structural addresses identical), but the *capacity* check
+        must go to the destination process: the mirror's bump allocator
+        never advances, only the owner knows its headroom.
+        """
+        self._batch_id += 1
+        xfer = self._batch_id
+        style = get_domain(domain).migration
+        if style == MIGRATE_CHAIN:
+            mirror = self.coordinator.workers[src]
+            keys = mirror.executor.table.chain(index)
+            self._links[dst]["cmd"].put((MSG_MIG_QUERY, xfer, len(keys)))
+            ok = self._expect(dst, MSG_MIG_ROOM)[3]
+            if not ok:
+                return None
+            self._links[src]["cmd"].put(
+                (MSG_MIG_EXPORT, xfer, style, index)
+            )
+            payload = self._expect(src, MSG_MIG_STATE)[3]
+            self._links[dst]["cmd"].put(
+                (MSG_MIG_IMPORT, xfer, style, index, payload)
+            )
+            self._expect(dst, MSG_MIG_DONE)
+            return 2 * len(keys) + 1  # (key, next) records + head
+        if style == MIGRATE_CELL:
+            self._links[src]["cmd"].put(
+                (MSG_MIG_EXPORT, xfer, style, index)
+            )
+            value = self._expect(src, MSG_MIG_STATE)[3]
+            self._links[dst]["cmd"].put(
+                (MSG_MIG_IMPORT, xfer, style, index, value)
+            )
+            self._expect(dst, MSG_MIG_DONE)
+            return 1
+        return 0  # MIGRATE_ROUTE: merge-on-read state, no payload
 
     # ------------------------------------------------------------------
     def shutdown(self, join_timeout: float = 10.0) -> None:

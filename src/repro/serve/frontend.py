@@ -260,6 +260,9 @@ def run_serve(
     partitioner: str = "hash",  # no-kind-lint
     seed: int = 0,
     install_signal_handlers: bool = True,
+    bins: Optional[int] = None,
+    rebalance: bool = False,
+    migration: str = "all-at-once",
 ) -> ServeReport:
     """Generate a workload, serve it through a K-process cluster, shut
     the cluster down cleanly, and verify the merged end state against
@@ -306,6 +309,9 @@ def run_serve(
         key_space=key_space,
         partitioner=partitioner,
         seed=seed,
+        bins=bins,
+        rebalance=rebalance,
+        migration=migration,
     )
     try:
         frontend = ServeFrontend(

@@ -42,6 +42,12 @@ from .transport import (
     MSG_COMMITTED,
     MSG_DONE,
     MSG_ERROR,
+    MSG_MIG_DONE,
+    MSG_MIG_EXPORT,
+    MSG_MIG_IMPORT,
+    MSG_MIG_QUERY,
+    MSG_MIG_ROOM,
+    MSG_MIG_STATE,
     MSG_READY,
     MSG_STOP,
     MSG_STOPPED,
@@ -111,6 +117,38 @@ def worker_main(cfg: WorkerConfig, cmd_q, res_q) -> None:
                 for addr, value in writes:
                     mem.words[int(addr)] = int(value)
                 res_q.put((MSG_COMMITTED, cfg.shard_id, batch_id))
+            elif tag == MSG_MIG_QUERY:
+                # Capacity must be answered here: the front-end mirror's
+                # bump allocator never advances (allocations happen in
+                # this process), so only this side knows the headroom.
+                _, xfer_id, n_keys = msg
+                res_q.put(
+                    (
+                        MSG_MIG_ROOM,
+                        cfg.shard_id,
+                        xfer_id,
+                        bool(worker.can_import_chain(int(n_keys))),
+                    )
+                )
+            elif tag == MSG_MIG_EXPORT:
+                from ..engine.spec import MIGRATE_CHAIN
+
+                _, xfer_id, style, index = msg
+                if style == MIGRATE_CHAIN:
+                    payload = worker.executor.table.chain(int(index))
+                    worker.export_chain(int(index))
+                else:  # MIGRATE_CELL
+                    payload = worker.export_cell(int(index))
+                res_q.put((MSG_MIG_STATE, cfg.shard_id, xfer_id, payload))
+            elif tag == MSG_MIG_IMPORT:
+                from ..engine.spec import MIGRATE_CHAIN
+
+                _, xfer_id, style, index, payload = msg
+                if style == MIGRATE_CHAIN:
+                    worker.import_chain(int(index), payload)
+                else:  # MIGRATE_CELL
+                    worker.import_cell(int(index), int(payload))
+                res_q.put((MSG_MIG_DONE, cfg.shard_id, xfer_id))
             elif tag == MSG_STOP:
                 res_q.put(
                     (MSG_STOPPED, cfg.shard_id, worker.batches, worker.lanes)

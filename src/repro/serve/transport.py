@@ -51,12 +51,23 @@ ROW_COLS = 10
 MSG_BATCH = "batch"
 MSG_COMMIT = "commit"
 MSG_STOP = "stop"
+#: Live-migration handoff tags (front-end -> worker).  The front-end
+#: orchestrates each index transfer as query-capacity (destination),
+#: export (source), import (destination); state only ever moves between
+#: the owner processes, never through the parent's hands as a write.
+MSG_MIG_QUERY = "mig_query"
+MSG_MIG_EXPORT = "mig_export"
+MSG_MIG_IMPORT = "mig_import"
 #: Control-plane message tags (worker -> front-end).
 MSG_READY = "ready"
 MSG_DONE = "done"
 MSG_COMMITTED = "committed"
 MSG_STOPPED = "stopped"
 MSG_ERROR = "error"
+#: Live-migration reply tags (worker -> front-end).
+MSG_MIG_ROOM = "mig_room"
+MSG_MIG_STATE = "mig_state"
+MSG_MIG_DONE = "mig_done"
 
 _WORD = np.int64
 

@@ -12,9 +12,13 @@ every storage address has exactly one owning shard:
 * units whose L index vectors span shards (the FOL* ``"xfer"`` kind)
   are resolved by a two-phase claim/commit exchange charged as
   inter-shard cycles (:mod:`repro.shard.router`);
-* hot shards are detected from per-shard metrics and their hottest key
-  ranges migrated between micro-batches, Megaphone-style
-  (:mod:`repro.shard.rebalance`).
+* every domain's indices hash statically into N ≫ K routing **bins**
+  whose bin → shard assignment is the only mutable routing state
+  (:mod:`repro.shard.partition`); hot bins are detected from per-bin
+  traffic counters and re-homed *live* between micro-batches,
+  Megaphone-style — planned by :mod:`repro.shard.rebalance`, paced and
+  handed off (with pending-request parking) by
+  :mod:`repro.shard.migration`.
 
 Equivalence with one-shot FOL1 is property-tested in
 ``tests/test_shard_equivalence.py``; ``docs/sharding.md`` has the
@@ -22,7 +26,14 @@ correctness argument.
 """
 
 from .coordinator import ShardCoordinator
+from .migration import (
+    PACING_STRATEGIES,
+    BinTransfer,
+    MigrationController,
+    StepReport,
+)
 from .partition import (
+    DEFAULT_BINS_PER_SHARD,
     PARTITIONERS,
     PartitionMap,
     RoutingTable,
@@ -35,15 +46,20 @@ from .router import CrossUnit, Router
 from .worker import ShardWorker
 
 __all__ = [
+    "DEFAULT_BINS_PER_SHARD",
+    "PACING_STRATEGIES",
     "PARTITIONERS",
+    "BinTransfer",
     "CrossUnit",
     "Migration",
+    "MigrationController",
     "PartitionMap",
     "Rebalancer",
     "Router",
     "RoutingTable",
     "ShardCoordinator",
     "ShardWorker",
+    "StepReport",
     "hash_partition",
     "make_partition_map",
     "range_partition",

@@ -22,12 +22,17 @@ buffer all work exactly as in the single-pipeline runtime.  Inside one
    units, plus ``shard_transfer_per_word`` for the claim (2 words) and
    commit (3 words: delta + two cell addresses) payloads;
 4. **rebalance** (optional) — between batches the
-   :class:`~repro.shard.rebalance.Rebalancer` may migrate hot routing
-   indices; the coordinator performs the physical moves (chain
-   re-link, cell delta transfer, BST re-route) and charges one control
-   RTT per move plus the per-word transfer cost of the moved state.
-   The migration cycles are attributed to the batch that just
-   finished, i.e. the inter-batch gap they occupy.
+   :class:`~repro.shard.rebalance.Rebalancer` plans hot-*bin* moves and
+   the :class:`~repro.shard.migration.MigrationController` paces them
+   (``all-at-once`` / ``batched`` / ``fluid``); the coordinator is the
+   controller's *mover* (:meth:`migrate_index`), performing the
+   physical per-index transfers (chain re-link, cell delta transfer,
+   BST re-route) and charging one control RTT per bin engaged per gap
+   plus the per-word transfer cost of the moved state.  Requests routed
+   to a bin that is mid-handoff are parked by the router and ride the
+   carryover path until the bin flips (see
+   :mod:`repro.shard.migration`).  Migration cycles are attributed to
+   the batch that just finished, i.e. the inter-batch gap they occupy.
 
 Merged state accessors (:meth:`list_values`, :meth:`chain_multisets`,
 :meth:`bst_inorder`) define the global state a K-shard engine
@@ -55,8 +60,9 @@ from ..errors import AuditError, ReproError
 from ..machine.cost_model import CostModel
 from ..runtime.executor import BatchResult
 from ..runtime.queue import Request
+from .migration import PACING_STRATEGIES, MigrationController
 from .partition import make_partition_map
-from .rebalance import Migration, Rebalancer
+from .rebalance import Rebalancer
 from .router import Router
 from .worker import ShardWorker
 
@@ -75,6 +81,7 @@ class ShardCoordinator:
         *,
         cost_model: Optional[CostModel] = None,
         rebalancer: Optional[Rebalancer] = None,
+        controller: Optional[MigrationController] = None,
     ) -> None:
         if not workers:
             raise ReproError("shard coordinator needs at least one worker")
@@ -84,6 +91,10 @@ class ShardCoordinator:
         self.backend = workers[0].executor.backend
         self.cost = cost_model if cost_model is not None else CostModel.s810()
         self.rebalancer = rebalancer
+        if rebalancer is not None and controller is None:
+            controller = MigrationController(router.partition)
+        self.controller = controller
+        router.controller = controller
         # Cycles charged outside any single worker's counter (cross-shard
         # exchanges and migrations); the per-worker counters hold only
         # shard-local pipeline work.
@@ -116,6 +127,8 @@ class ShardCoordinator:
         rebalance_threshold: float = 1.8,
         rebalance_cooldown: int = 4,
         rebalance_max_moves: int = 8,
+        bins: Optional[int] = None,
+        migration: str = "all-at-once",
     ) -> "ShardCoordinator":
         """Build a K-shard engine sized for ``requests``.
 
@@ -130,6 +143,11 @@ class ShardCoordinator:
 
         if shards <= 0:
             raise ReproError(f"shard count must be positive, got {shards}")
+        if migration not in PACING_STRATEGIES:
+            raise ReproError(
+                f"unknown migration strategy {migration!r}; "
+                f"expected one of {PACING_STRATEGIES}"
+            )
         backend = resolve_backend(backend)
         counts = count_by_kind(requests)
         caps = {
@@ -157,6 +175,7 @@ class ShardCoordinator:
             table_size=table_size,
             n_cells=n_cells,
             key_space=key_space,
+            bins=bins,
         )
         rebalancer = (
             Rebalancer(
@@ -168,11 +187,17 @@ class ShardCoordinator:
             if rebalance
             else None
         )
+        controller = (
+            MigrationController(partition, strategy=migration)
+            if rebalance
+            else None
+        )
         return cls(
             workers,
             Router(partition),
             cost_model=cost_model,
             rebalancer=rebalancer,
+            controller=controller,
         )
 
     # ------------------------------------------------------------------
@@ -232,9 +257,13 @@ class ShardCoordinator:
         result = BatchResult()
         if not batch:
             return result
-        per_shard, cross = self.router.split(batch)
+        per_shard, cross, parked = self.router.split(batch)
         if self._audits is not None:
             self._audit_routing(per_shard)
+        # Parked lanes (bin mid-handoff) recirculate via the carryover
+        # path and replay once the new owner has the bin's state.
+        result.carried.extend(parked)
+        result.parked = len(parked)
 
         # -- concurrent shard-local execution --------------------------
         local_cycles = [0.0] * self.shards
@@ -273,9 +302,15 @@ class ShardCoordinator:
         migration = 0.0
         n_moves = 0
         if self.rebalancer is not None:
-            migration, n_moves = self._apply_migrations(self.rebalancer.plan())
+            self.controller.admit(self.rebalancer.plan())
+            rep = self.controller.step(self)
+            if self.backend.calibrated:
+                migration = self.cost.shard_claim_rtt * rep.rtts
+                migration += self.cost.shard_transfer_per_word * rep.words
             self.migration_cycles += migration
-            self.total_migrations += n_moves
+            n_moves = rep.completed
+            self.total_migrations += rep.completed
+            self.migration_skips += rep.skipped
 
         result.rounds = max(local_rounds)
         result.multiplicity = max(mults)
@@ -289,73 +324,68 @@ class ShardCoordinator:
         return result
 
     # ------------------------------------------------------------------
-    # migration
+    # migration (the MigrationController's mover hook)
     # ------------------------------------------------------------------
-    def _apply_migrations(self, moves: List[Migration]) -> "tuple[float, int]":
-        """Perform planned moves; returns (cycles charged, moves done).
+    def migrate_index(
+        self, domain: str, src: int, dst: int, index: int
+    ) -> Optional[int]:
+        """Physically move one domain index's state ``src`` → ``dst``;
+        returns the words shipped, or ``None`` to abort the bin.
 
-        A hash move that would overflow the destination's node arena is
-        skipped (routing untouched) — bump arenas never reclaim the
+        A chain transfer that would overflow the destination's node
+        arena refuses (``None``) — bump arenas never reclaim the
         source's records, so repeated migration spends headroom and the
-        engine degrades to a frozen partition rather than failing.
+        engine degrades to a frozen partition rather than failing.  The
+        routing flip is the controller's job, *after* the whole bin has
+        landed; every intermediate state is merge-correct (chains are
+        per-slot multiset unions, cells are sums over shards).
         """
-        cycles = 0.0
-        done = 0
+        src_w = self.workers[src]
+        dst_w = self.workers[dst]
+        style = get_domain(domain).migration
         auditing = self._audits is not None
-        for mv in moves:
-            src_w = self.workers[mv.src]
-            dst_w = self.workers[mv.dst]
-            style = get_domain(mv.domain).migration
-            if style == MIGRATE_CHAIN:
-                keys = src_w.executor.table.chain(mv.index)
-                if not dst_w.can_import_chain(len(keys)):
-                    self.migration_skips += 1
-                    continue
-                if auditing:
-                    before = sorted(
-                        k for w in self.workers
-                        for k in w.executor.table.chain(mv.index)
+        if style == MIGRATE_CHAIN:
+            keys = src_w.executor.table.chain(index)
+            if not dst_w.can_import_chain(len(keys)):
+                return None
+            if auditing:
+                before = sorted(
+                    k for w in self.workers
+                    for k in w.executor.table.chain(index)
+                )
+            src_w.export_chain(index)
+            dst_w.import_chain(index, keys)
+            if auditing:
+                after = sorted(
+                    k for w in self.workers
+                    for k in w.executor.table.chain(index)
+                )
+                if before != after:
+                    raise AuditError(
+                        f"chain migration of slot {index} "
+                        f"{src}->{dst} changed the key multiset: "
+                        f"{before} -> {after}"
                     )
-                src_w.export_chain(mv.index)
-                dst_w.import_chain(mv.index, keys)
-                if auditing:
-                    after = sorted(
-                        k for w in self.workers
-                        for k in w.executor.table.chain(mv.index)
+            return 2 * len(keys) + 1  # (key, next) records + head
+        if style == MIGRATE_CELL:
+            if auditing:
+                before_total = sum(
+                    w.cell_values()[index] for w in self.workers
+                )
+            value = src_w.export_cell(index)
+            dst_w.import_cell(index, value)
+            if auditing:
+                after_total = sum(
+                    w.cell_values()[index] for w in self.workers
+                )
+                if before_total != after_total:
+                    raise AuditError(
+                        f"cell migration of cell {index} "
+                        f"{src}->{dst} changed the global value: "
+                        f"{before_total} -> {after_total}"
                     )
-                    if before != after:
-                        raise AuditError(
-                            f"chain migration of slot {mv.index} "
-                            f"{mv.src}->{mv.dst} changed the key multiset: "
-                            f"{before} -> {after}"
-                        )
-                words = 2 * len(keys) + 1  # (key, next) records + head
-            elif style == MIGRATE_CELL:
-                if auditing:
-                    before_total = sum(
-                        w.cell_values()[mv.index] for w in self.workers
-                    )
-                value = src_w.export_cell(mv.index)
-                dst_w.import_cell(mv.index, value)
-                if auditing:
-                    after_total = sum(
-                        w.cell_values()[mv.index] for w in self.workers
-                    )
-                    if before_total != after_total:
-                        raise AuditError(
-                            f"cell migration of cell {mv.index} "
-                            f"{mv.src}->{mv.dst} changed the global value: "
-                            f"{before_total} -> {after_total}"
-                        )
-                words = 1
-            else:  # MIGRATE_ROUTE: merge-on-read state, no payload
-                words = 0
-            self.router.partition.domain(mv.domain).move(mv.index, mv.dst)
-            if self.backend.calibrated:
-                cycles += self.cost.shard_claim_rtt
-                cycles += self.cost.shard_transfer_per_word * words
-            done += 1
-        return cycles, done
+            return 1
+        return 0  # MIGRATE_ROUTE: merge-on-read state, no payload
 
     # ------------------------------------------------------------------
     # merged state (uncharged; equivalence tests and verification)

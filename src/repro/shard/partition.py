@@ -9,20 +9,27 @@ residues...).  The workload registry declares them; this module only
 materialises one owner array per domain, so a newly registered kind
 is routable with no edits here.
 
-A :class:`RoutingTable` is the explicit per-domain owner array — not a
-pure function — so that live migration can retarget individual indices
-(:meth:`RoutingTable.move`) without touching the rest of the map.  The
-two initial assignments are :func:`hash_partition` (round-robin
-interleave: balanced under uniform *and* most skewed workloads, since
-adjacent hot ranks land on different shards) and
+Routing is **two-level**, following Megaphone: each domain's indices
+map statically onto ``N`` bins (``N`` ≫ K shards by default, see
+:data:`DEFAULT_BINS_PER_SHARD`), and only the bin → shard assignment is
+mutable.  A :class:`RoutingTable` holds both levels explicitly so that
+live migration can re-home a whole bin (:meth:`RoutingTable.move_bin`)
+— hot regions split across many bins, and moving one never touches
+cold state.  The two assignment strategies are :func:`hash_partition`
+(round-robin interleave: balanced under uniform *and* most skewed
+workloads, since adjacent hot ranks land on different shards) and
 :func:`range_partition` (contiguous blocks: the locality-friendly
 layout real systems prefer, and the one a Zipf-hot prefix turns into a
-hot shard — the regime :mod:`repro.shard.rebalance` exists for).
-"""
+hot shard — the regime :mod:`repro.shard.rebalance` exists for).  Both
+levels use the same strategy, which keeps the composed index → shard
+map identical to the classic one-level map in the important cases:
+``hash`` composes to exactly ``i % K`` whenever K divides N (always
+true for the N = 64·K default *and* the N = K degenerate config), and
+``range`` is exact at N = K — the golden-parity surface."""
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Mapping, Tuple
+from typing import Callable, Dict, Iterable, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -58,17 +65,34 @@ PARTITIONERS: Dict[str, Callable[[int, int], np.ndarray]] = {
     "range": range_partition,
 }
 
+#: Default routing bins per shard (N = 64·K), the Megaphone-style
+#: over-partitioning factor: fine enough to split hot regions, coarse
+#: enough that per-bin bookkeeping stays negligible.
+DEFAULT_BINS_PER_SHARD = 64
+
 
 class RoutingTable:
-    """Explicit owner array for one domain, supporting live re-routing.
+    """Two-level owner map for one domain, supporting live re-routing.
 
-    ``owner[i]`` is the shard that owns index ``i``.  Alongside the
-    owners the table keeps an exponentially-decayed per-index traffic
-    count (updated by the router, decayed by the rebalancer), which is
-    what hot-range detection reads.
+    ``bin_of[i]`` is the *static* bin index ``i`` hashes into, and
+    ``bin_owner[b]`` is the *mutable* shard owning bin ``b``; the
+    composed per-index view is cached in ``owners``.  Alongside the map
+    the table keeps an exponentially-decayed **per-bin** traffic count
+    (updated by the router, decayed by the rebalancer), which is what
+    hot-bin detection reads.
+
+    Constructed with a bare owner array the table degenerates to one
+    bin per index — the pre-bin behaviour, still used by tests and by
+    callers that want index-granular control.
     """
 
-    def __init__(self, owners: np.ndarray, shards: int) -> None:
+    def __init__(
+        self,
+        owners: np.ndarray,
+        shards: int,
+        *,
+        bin_of: Optional[np.ndarray] = None,
+    ) -> None:
         owners = np.asarray(owners, dtype=np.int64)
         if owners.ndim != 1 or owners.size == 0:
             raise ReproError("routing table needs a non-empty 1-D owner array")
@@ -76,50 +100,90 @@ class RoutingTable:
             raise ReproError(
                 f"owner array references shards outside [0, {shards})"
             )
-        self.owners = owners
+        if bin_of is None:
+            bin_of = np.arange(owners.size, dtype=np.int64)
+        else:
+            bin_of = np.asarray(bin_of, dtype=np.int64)
+            if bin_of.ndim != 1 or bin_of.size == 0:
+                raise ReproError(
+                    "routing table needs a non-empty 1-D bin map"
+                )
+            if bin_of.min() < 0 or bin_of.max() >= owners.size:
+                raise ReproError(
+                    f"bin map references bins outside [0, {owners.size})"
+                )
+        self.bin_owner = owners
+        self.bin_of = bin_of
+        self.owners = self.bin_owner[self.bin_of]  # cached composition
         self.shards = shards
-        self.traffic = np.zeros(owners.size, dtype=np.float64)
+        self.traffic = np.zeros(self.bin_owner.size, dtype=np.float64)
         self.moves = 0
 
     @property
     def size(self) -> int:
-        return self.owners.size
+        return self.bin_of.size
+
+    @property
+    def n_bins(self) -> int:
+        return self.bin_owner.size
 
     def owner_of(self, index: int) -> int:
         """Owning shard of ``index`` (callers pre-fold keys into range)."""
         return int(self.owners[index])
+
+    def bin_index(self, index: int) -> int:
+        """Static bin the domain index belongs to."""
+        return int(self.bin_of[index])
+
+    def bin_owner_of(self, b: int) -> int:
+        """Shard currently owning bin ``b``."""
+        return int(self.bin_owner[b])
 
     def fold(self, key: int) -> int:
         """Fold an arbitrary key into this domain's index range."""
         return int(key) % self.size
 
     def record(self, index: int, weight: float = 1.0) -> None:
-        """Count routed traffic against ``index`` (rebalancer input)."""
-        self.traffic[index] += weight
+        """Count routed traffic against index's bin (rebalancer input)."""
+        self.traffic[self.bin_of[index]] += weight
 
     def decay(self, alpha: float) -> None:
         """Geometrically age the traffic counts (``alpha`` in (0, 1])."""
         self.traffic *= 1.0 - alpha
 
-    def move(self, index: int, dest: int) -> int:
-        """Retarget ``index`` to shard ``dest``; returns the old owner."""
+    def move_bin(self, b: int, dest: int) -> int:
+        """Re-home bin ``b`` to shard ``dest``; returns the old owner."""
         if not 0 <= dest < self.shards:
-            raise ReproError(f"cannot move index to unknown shard {dest}")
-        old = int(self.owners[index])
-        self.owners[index] = dest
+            raise ReproError(f"cannot move bin to unknown shard {dest}")
+        old = int(self.bin_owner[b])
+        self.bin_owner[b] = dest
         if old != dest:
+            self.owners[self.bin_of == b] = dest
             self.moves += 1
         return old
+
+    def move(self, index: int, dest: int) -> int:
+        """Retarget the bin containing ``index`` (index-granular when the
+        table is one-bin-per-index); returns the old owner."""
+        return self.move_bin(int(self.bin_of[index]), dest)
 
     def shard_load(self) -> np.ndarray:
         """Current per-shard traffic totals (length ``shards``)."""
         return np.bincount(
-            self.owners, weights=self.traffic, minlength=self.shards
+            self.bin_owner, weights=self.traffic, minlength=self.shards
         )
 
     def indices_of(self, shard: int) -> np.ndarray:
         """Indices currently owned by ``shard``."""
         return np.nonzero(self.owners == shard)[0]
+
+    def bins_of(self, shard: int) -> np.ndarray:
+        """Bins currently owned by ``shard``."""
+        return np.nonzero(self.bin_owner == shard)[0]
+
+    def indices_in_bin(self, b: int) -> np.ndarray:
+        """Domain indices that hash into bin ``b``."""
+        return np.nonzero(self.bin_of == b)[0]
 
 
 class PartitionMap:
@@ -185,13 +249,30 @@ def make_partition_map(
     table_size: int,
     n_cells: int,
     key_space: int,
+    bins: Optional[int] = None,
 ) -> PartitionMap:
     """Build the initial :class:`PartitionMap` for a K-shard engine:
-    one owner array per domain in the workload registry."""
+    one two-level routing table per domain in the workload registry.
+
+    ``bins`` is the target bin count ``N`` (default 64·K); a domain
+    smaller than ``N`` gets one bin per index.  Both levels — index →
+    bin and bin → shard — use the ``partitioner`` strategy, so the
+    composed map matches the classic one-level assignment exactly for
+    ``hash`` (any N with K | N) and for ``range`` at N = K.
+    """
     if partitioner not in PARTITIONERS:
         raise ReproError(
             f"unknown partitioner {partitioner!r}; "
             f"expected one of {tuple(PARTITIONERS)}"
+        )
+    if bins is None:
+        bins = DEFAULT_BINS_PER_SHARD * shards
+    if bins <= 0:
+        raise ReproError(f"bin count must be positive, got {bins}")
+    if bins < shards:
+        raise ReproError(
+            f"bin count must be at least the shard count "
+            f"({shards}), got {bins}"
         )
     from ..engine.spec import EngineContext, domains
 
@@ -199,9 +280,11 @@ def make_partition_map(
     ctx = EngineContext(
         table_size=table_size, n_cells=n_cells, key_space=key_space
     )
-    return PartitionMap(
-        {
-            name: RoutingTable(assign(dom.size(ctx), shards), shards)
-            for name, dom in domains().items()
-        }
-    )
+    tables = {}
+    for name, dom in domains().items():
+        size = dom.size(ctx)
+        n_bins = min(bins, size)
+        tables[name] = RoutingTable(
+            assign(n_bins, shards), shards, bin_of=assign(size, n_bins)
+        )
+    return PartitionMap(tables)

@@ -1,4 +1,4 @@
-"""Megaphone-style live migration: move hot key ranges off hot shards.
+"""Megaphone-style live migration planning: move hot *bins* off hot shards.
 
 Owner-computes sharding is only as good as its partition.  Under a
 skewed (Zipf) key stream a contiguous range partition concentrates the
@@ -7,33 +7,37 @@ over shards, one hot shard sets the pace for all K — throughput decays
 toward the single-shard level.  The fix, following the Megaphone design
 in the related file set (`/root/related/LorenzSelv__megaphone/`), is to
 re-partition *live*: detect the hot shard from per-shard load metrics
-and move individual routing indices (chain-head slots, list cells, BST
-key residues) to colder shards **between micro-batches**, while
-in-flight carryover lanes keep flowing.
+and re-home routing **bins** (the N ≫ K static groups every domain's
+indices hash into, see :mod:`repro.shard.partition`) to colder shards
+**between micro-batches**, while in-flight carryover lanes keep
+flowing.
 
 Detection and planning (:class:`Rebalancer`):
 
-* the router records exponentially-decayed per-index traffic in each
+* the router records exponentially-decayed per-bin traffic in each
   :class:`~repro.shard.partition.RoutingTable`; per-shard sums of those
   counts are the load signal (decay keeps it reactive after the
   workload shifts);
 * a shard is *hot* when its load exceeds ``threshold`` x the mean and
   the planner is off cooldown;
-* the plan greedily moves the hot shard's hottest indices to the
-  currently coldest shard, stopping at half the hot-cold gap.  An
-  index whose own traffic exceeds the remaining gap is skipped — moving
-  it would just relocate the hotspot and the next plan would move it
+* the plan greedily moves the hot shard's hottest bins to the
+  currently coldest shard, stopping at half the hot-cold gap.  A bin
+  whose own traffic exceeds the remaining gap is skipped — moving it
+  would just relocate the hotspot and the next plan would move it
   back (oscillation), the one pathology a single dominant key forces on
-  *any* range re-assignment scheme;
+  *any* re-assignment scheme (the bin is the unit of re-homing, as the
+  key range is in Megaphone);
 * ``cooldown`` batches must pass between plans so a migration's effect
   is observed before the next one is sized.
 
-Physical movement is the coordinator's job (it owns both workers and
-the cycle ledger); this module only decides *what* moves.  Per domain:
-hash chains are re-linked into the destination's node arena, list cells
-transfer their accumulated delta, and BST indices are re-routed without
-moving nodes — the destination grows its own subtree for future inserts
-and the global inorder stays the sorted merge of per-shard inorders
+Physical movement is the job of the
+:class:`~repro.shard.migration.MigrationController` and the engine that
+owns the workers (coordinator or process cluster); this module only
+decides *what* moves.  Per domain: hash chains are re-linked into the
+destination's node arena, list cells transfer their accumulated delta,
+and BST/sort residues are re-routed without moving nodes — the
+destination grows its own subtree for future inserts and the global
+inorder stays the sorted merge of per-shard inorders
 (``docs/sharding.md`` §4 has the correctness argument).
 """
 
@@ -50,17 +54,17 @@ from .partition import PartitionMap
 
 @dataclass(frozen=True)
 class Migration:
-    """One planned index move: ``domain[index]`` from ``src`` to ``dst``."""
+    """One planned bin move: ``domain`` bin ``bin`` from ``src`` to ``dst``."""
 
     domain: str
-    index: int
+    bin: int
     src: int
     dst: int
-    traffic: float  # decayed traffic the index carried when planned
+    traffic: float  # decayed traffic the bin carried when planned
 
 
 class Rebalancer:
-    """Detects hot shards and plans index migrations between batches."""
+    """Detects hot shards and plans bin migrations between batches."""
 
     def __init__(
         self,
@@ -109,29 +113,29 @@ class Rebalancer:
         return moves
 
     def _plan_moves(self, hot: int, cold: int, gap: float) -> List[Migration]:
-        """Greedy: hot shard's hottest indices, largest first, until half
+        """Greedy: hot shard's hottest bins, largest first, until half
         the load gap has moved (moving more would overshoot and invert)."""
         budget = gap / 2.0
         candidates = []
         for name, table in self.partition.items():
-            for idx in table.indices_of(hot):
-                t = float(table.traffic[idx])
+            for b in table.bins_of(hot):
+                t = float(table.traffic[b])
                 if t > 0:
-                    candidates.append((t, name, int(idx)))
+                    candidates.append((t, name, int(b)))
         candidates.sort(reverse=True)
         moves: List[Migration] = []
-        for t, name, idx in candidates:
+        for t, name, b in candidates:
             if len(moves) >= self.max_moves or budget <= 0:
                 break
             if t > budget and moves:
                 continue  # would overshoot; smaller candidates may fit
             if t > gap / 2.0 + 1e-9 and not moves:
-                # A single index hotter than half the gap: moving it just
+                # A single bin hotter than half the gap: moving it just
                 # relocates the hotspot.  FOL still serialises that one
                 # address's conflicts on whichever shard owns it, so skew
                 # this extreme is not migratable (Megaphone has the same
-                # floor: one key is the unit of re-assignment).
+                # floor: one bin is the unit of re-assignment).
                 continue
-            moves.append(Migration(name, idx, hot, cold, t))
+            moves.append(Migration(name, b, hot, cold, t))
             budget -= t
         return moves

@@ -25,6 +25,16 @@ carryovers hold no shard-resident state (their ``group`` is a layout
 address, identical across the uniformly-built workers) and re-route
 freely.
 
+When a :class:`~repro.shard.migration.MigrationController` is attached
+(:attr:`Router.controller`), a request routed to a bin that is
+mid-handoff is **parked**: returned in the split's third list instead
+of any shard's sub-batch.  Parked lanes ride the carryover path and
+re-enter the next micro-batch, replaying on the new owner once the bin
+flips.  Parking happens *before* the claim phase ever sees the
+request, so an in-flight bin can never acquire — or lose — a
+cross-shard claim mid-transfer.  Pinned lanes bypass parking: their
+state lives on the pinned shard regardless of the routing map.
+
 The claim phase is first-come over this batch's cross-unit cell set:
 of the cross units competing for a cell, the earliest in batch order
 wins both of its claims or is carried to the next micro-batch — the
@@ -63,18 +73,23 @@ class Router:
     def __init__(self, partition: PartitionMap) -> None:
         self.partition = partition
         self.shards = partition.shards
+        self.controller = None  # optional MigrationController (parking)
         self.cross_routed = 0
         self.cross_won = 0
         self.cross_carried = 0
+        self.parked_total = 0
 
     # ------------------------------------------------------------------
     def split(
         self, batch: Sequence[Request]
-    ) -> Tuple[List[List[Request]], List[CrossUnit]]:
+    ) -> Tuple[List[List[Request]], List[CrossUnit], List[Request]]:
         """Partition ``batch`` into per-shard sub-batches (batch order
-        preserved within each shard) plus the cross-shard units."""
+        preserved within each shard), the cross-shard units, and the
+        requests parked because their bin is mid-handoff."""
         per_shard: List[List[Request]] = [[] for _ in range(self.shards)]
         cross: List[CrossUnit] = []
+        parked: List[Request] = []
+        ctl = self.controller
         for req in batch:
             spec = get_spec(req.kind)
             table = self.partition.domain(spec.domain)
@@ -84,6 +99,17 @@ class Router:
             pinned = spec.pin_shard(req)
             if pinned >= 0:
                 per_shard[pinned].append(req)
+                continue
+            if ctl is not None and ctl.pending and any(
+                ctl.in_flight(spec.domain, idx) for idx in indices
+            ):
+                if req.group < 0:
+                    # A unique group keeps parked lanes from serialising
+                    # through the carryover buffer's one-per-group gate.
+                    req.group = -(2 + req.rid)
+                parked.append(req)
+                self.parked_total += 1
+                ctl.note_parked()
                 continue
             owners = [table.owner_of(idx) for idx in indices]
             if len(set(owners)) == 1:
@@ -98,7 +124,7 @@ class Router:
                     f"router cannot place arity-{len(indices)} request "
                     f"kind {req.kind!r} spanning shards {sorted(set(owners))}"
                 )
-        return per_shard, cross
+        return per_shard, cross, parked
 
     # ------------------------------------------------------------------
     def resolve_claims(

@@ -95,3 +95,25 @@ class TestCliBadInput:
     def test_bad_partitioner_exits_2(self, capsys):
         assert main(["stream", "--shards", "2",
                      "--partitioner", "zigzag"]) == 2
+
+    @pytest.mark.parametrize("argv", [
+        # non-positive bins (argparse _positive_int)
+        ["stream", "--requests", "10", "--shards", "2", "--bins", "0"],
+        ["stream", "--requests", "10", "--shards", "2", "--bins", "-8"],
+        # fewer bins than shards (partition-map validation)
+        ["stream", "--requests", "10", "--shards", "4", "--bins", "2"],
+        # bins without a sharded engine
+        ["stream", "--requests", "10", "--bins", "8"],
+        # unknown pacing strategy (argparse choices)
+        ["stream", "--requests", "10", "--shards", "2", "--rebalance",
+         "--migration", "dribble"],
+        # pacing without migration enabled
+        ["stream", "--requests", "10", "--shards", "2",
+         "--migration", "fluid"],
+        # the serve front-end validates the same pair before spawning
+        ["serve", "--workers", "2", "--requests", "10",
+         "--migration", "batched"],
+        ["serve", "--workers", "2", "--requests", "10", "--bins", "0"],
+    ])
+    def test_bins_and_migration_validation_exits_2(self, argv, capsys):
+        assert main(argv) == 2

@@ -186,6 +186,29 @@ class TestGoldenParity:
             coord.chain_multisets(), coord.bst_inorder(), coord.list_values()
         ) == "9e2135db213ea54c5aed42bed1d7403bc8ef5696a8c4b4bcc7ccf864d2f0e660"
 
+    def test_shard_k4_bins_equal_shards(self):
+        """Degenerate bin layout: N bins = K shards with migration off
+        composes to the identical owner map ((i % K) % K == i % K), so
+        the two-level routing table must reproduce the pre-bin golden
+        numbers bit for bit — same cycles, batches, cross units, state."""
+        rng = np.random.default_rng(123)
+        reqs = closed_loop_workload(
+            rng, 400, kinds=LEGACY_KINDS, skew=1.1,
+            key_space=KEY_SPACE, n_cells=N_CELLS,
+        )
+        coord = ShardCoordinator.for_workload(
+            reqs, shards=4, partitioner="hash", bins=4,
+            table_size=TABLE_SIZE, n_cells=N_CELLS, key_space=KEY_SPACE,
+        )
+        svc = StreamService(coord, batcher=FixedBatcher(batch_size=64))
+        metrics = svc.run(reqs)
+        assert round(svc.now, 6) == 150108.3
+        assert len(metrics.batches) == 34
+        assert coord.total_cross == 204
+        assert state_hash(
+            coord.chain_multisets(), coord.bst_inorder(), coord.list_values()
+        ) == "9e2135db213ea54c5aed42bed1d7403bc8ef5696a8c4b4bcc7ccf864d2f0e660"
+
     @pytest.mark.parametrize(
         "suite,cases,lanes,expected",
         [

@@ -1,10 +1,10 @@
 """Rebalancer cooldown and oscillation-guard behaviour.
 
 The planner's two safety valves — the cooldown between plans and the
-dominant-index skip — are what keep live migration from thrashing.
+dominant-bin skip — are what keep live migration from thrashing.
 These tests pin their exact semantics: the cooldown decrements once per
 planning opportunity (one ``plan()`` call per micro-batch) and blocks
-exactly ``cooldown`` opportunities after a plan; a single index hotter
+exactly ``cooldown`` opportunities after a plan; a single bin hotter
 than half the hot-cold gap is never moved, no matter how many times the
 planner looks at it; and ``cooldown=0`` legitimately plans on every
 batch the load justifies.
@@ -95,23 +95,23 @@ class TestOscillationGuard:
         r = Rebalancer(part, threshold=1.2, cooldown=0, decay=NO_DECAY)
         moves = r.plan()
         assert moves
-        assert all(m.index != 0 for m in moves)
+        assert all(m.bin != 0 for m in moves)
         assert part.hash.owner_of(0) == 0
 
     def test_no_ping_pong_between_two_shards(self):
-        # After a successful migration the moved indices must not bounce
-        # straight back: each index's owner changes at most once over a
+        # After a successful migration the moved bins must not bounce
+        # straight back: each bin's owner changes at most once over a
         # sequence of planning opportunities with stable traffic.
         part = two_shard_map()
         heat(part, [0, 1, 2, 3])
         r = Rebalancer(part, threshold=1.2, cooldown=0, decay=1.0)
         first = r.plan()
         assert first
-        owners_after = {m.index: part.hash.owner_of(m.index) for m in first}
+        owners_after = {m.bin: part.hash.bin_owner_of(m.bin) for m in first}
         # decay=1.0 wipes the old signal; replay the same per-index
         # traffic against the *new* owners, as a stable workload would.
         for _ in range(4):
             heat(part, [0, 1, 2, 3])
             r.plan()
-        for idx, owner in owners_after.items():
-            assert part.hash.owner_of(idx) == owner
+        for b, owner in owners_after.items():
+            assert part.hash.bin_owner_of(b) == owner

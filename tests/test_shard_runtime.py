@@ -18,6 +18,7 @@ from repro.runtime import (
 from repro.runtime.metrics import BatchRecord
 from repro.shard import (
     Migration,
+    MigrationController,
     PartitionMap,
     Rebalancer,
     Router,
@@ -131,21 +132,21 @@ class TestRouter:
             Request(rid=2, kind="list", key=6),   # cell 6 -> shard 1
             Request(rid=3, kind="bst", key=2),    # residue 2 -> shard 0
         ]
-        per_shard, cross = router.split(batch)
+        per_shard, cross, _ = router.split(batch)
         assert [r.rid for r in per_shard[0]] == [0, 3]
         assert [r.rid for r in per_shard[1]] == [1, 2]
         assert cross == []
 
     def test_xfer_same_owner_stays_local(self):
         router = two_shard_router()
-        per_shard, cross = router.split(
+        per_shard, cross, _ = router.split(
             [Request(rid=0, kind="xfer", key=0, key2=3)]
         )
         assert len(per_shard[0]) == 1 and not cross
 
     def test_xfer_cross_owner_detected(self):
         router = two_shard_router()
-        per_shard, cross = router.split(
+        per_shard, cross, _ = router.split(
             [Request(rid=0, kind="xfer", key=0, key2=7)]
         )
         assert not per_shard[0] and not per_shard[1]
@@ -157,14 +158,14 @@ class TestRouter:
         req = Request(rid=0, kind="bst", key=1)  # residue 1 -> shard 0
         req.node = 99  # owns a node on shard 1's tree
         req.home = 1
-        per_shard, _ = router.split([req])
+        per_shard, _, _ = router.split([req])
         assert per_shard[1] == [req]
 
     def test_carried_hash_lane_reroutes_freely(self):
         router = two_shard_router()
         req = Request(rid=0, kind="hash", key=1)
         req.home = 1  # stale home must NOT pin a stateless lane
-        per_shard, _ = router.split([req])
+        per_shard, _, _ = router.split([req])
         assert per_shard[0] == [req]
 
     def test_resolve_claims_first_come(self):
@@ -174,7 +175,7 @@ class TestRouter:
             Request(rid=1, kind="xfer", key=7, key2=1),  # dst 7 taken
             Request(rid=2, kind="xfer", key=2, key2=6),
         ]
-        _, cross = router.split(units)
+        _, cross, _ = router.split(units)
         winners, losers = router.resolve_claims(cross)
         assert [u.request.rid for u in winners] == [0, 2]
         assert [u.request.rid for u in losers] == [1]
@@ -357,12 +358,14 @@ class TestCoordinator:
         # exhaust shard 1's node arena so any chain import must fail
         nodes = coord.workers[1].executor.table.nodes
         nodes.alloc_many(nodes.remaining)
-        plan = [Migration("hash", 0, 0, 1, 1.0)]
         coord.workers[0].execute(reqs)
-        cycles, done = coord._apply_migrations(plan)
-        assert done == 0 and cycles == 0
-        assert coord.migration_skips == 1
-        assert coord.router.partition.hash.owner_of(0) == 0  # route intact
+        table = coord.router.partition.hash
+        ctl = MigrationController(coord.router.partition)
+        ctl.admit([Migration("hash", table.bin_index(0), 0, 1, 1.0)])
+        rep = ctl.step(coord)
+        assert rep.completed == 0 and rep.skipped == 1
+        assert ctl.bins_skipped == 1 and ctl.pending == 0
+        assert table.owner_of(0) == 0  # route intact
 
     def test_invalid_shard_count_raises(self):
         with pytest.raises(ReproError):

@@ -17,6 +17,14 @@ bench writer (``repro.bench.reporting.write_json``) produces:
 * no bare ``NaN``/``Infinity`` tokens — undefined metrics must be
   written as ``null`` (non-JSON tokens break strict parsers).
 
+``BENCH_migration.json`` additionally gets a bench-specific check: the
+rate/latency ``frontier`` must cover every pacing strategy named in
+``config.strategies`` plus the ``static`` baseline arm, the
+``steady_state`` series must report ``cycles_per_request`` per arm and
+the headline ``improvement_pct``, and ``reconfiguration`` must report a
+``p99_spike_ratio`` per strategy — a partially-run sweep must fail CI,
+not upload a plausible-looking file.
+
 Exit status: 0 clean, 1 findings, 2 usage error.
 
 Usage::
@@ -91,6 +99,75 @@ def check_file(path: Path) -> List[str]:
             f"{path.name}: top-level key {k!r} is not an object — result "
             f"series must be objects so diffs stay keyed"
         )
+    if payload.get("bench") == "migration":
+        problems.extend(check_migration(path, payload))
+    return problems
+
+
+def check_migration(path: Path, payload: dict) -> List[str]:
+    """Bench-specific shape for ``BENCH_migration.json``: the pacing
+    sweep must be complete across every strategy the run configured."""
+    problems: List[str] = []
+    config = payload.get("config") or {}
+    strategies = config.get("strategies")
+    if not isinstance(strategies, list) or not strategies:
+        return [
+            f"{path.name}: config.strategies must be a non-empty list "
+            f"of pacing strategies"
+        ]
+    arms = ["static"] + [str(s) for s in strategies]
+
+    frontier = payload.get("frontier")
+    if not isinstance(frontier, dict):
+        problems.append(f"{path.name}: 'frontier' series missing")
+    else:
+        for arm in arms:
+            points = frontier.get(arm)
+            if not isinstance(points, list) or not points:
+                problems.append(
+                    f"{path.name}: frontier is missing arm {arm!r}"
+                )
+                continue
+            for i, pt in enumerate(points):
+                missing = [
+                    f for f in ("offered_rate", "achieved_rate",
+                                "p50_latency", "p99_latency")
+                    if f not in pt
+                ]
+                if missing:
+                    problems.append(
+                        f"{path.name}: frontier[{arm!r}][{i}] lacks "
+                        f"{missing}"
+                    )
+
+    steady = payload.get("steady_state")
+    if not isinstance(steady, dict):
+        problems.append(f"{path.name}: 'steady_state' series missing")
+    else:
+        for arm in arms:
+            cell = steady.get(arm)
+            if not isinstance(cell, dict) or "cycles_per_request" not in cell:
+                problems.append(
+                    f"{path.name}: steady_state[{arm!r}] lacks "
+                    f"cycles_per_request"
+                )
+        if not isinstance(steady.get("improvement_pct"), (int, float)):
+            problems.append(
+                f"{path.name}: steady_state.improvement_pct must be a "
+                f"number (the headline acceptance metric)"
+            )
+
+    reconf = payload.get("reconfiguration")
+    if not isinstance(reconf, dict):
+        problems.append(f"{path.name}: 'reconfiguration' series missing")
+    else:
+        for strategy in strategies:
+            cell = reconf.get(str(strategy))
+            if not isinstance(cell, dict) or "p99_spike_ratio" not in cell:
+                problems.append(
+                    f"{path.name}: reconfiguration[{strategy!r}] lacks "
+                    f"p99_spike_ratio"
+                )
     return problems
 
 
