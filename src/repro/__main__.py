@@ -157,6 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "(owner-computes; batch cost = max over shards)")
     from .shard.migration import PACING_STRATEGIES
     from .shard.partition import PARTITIONERS
+    from .shard.rebalance import REBALANCE_OBJECTIVES
 
     stream.add_argument("--partitioner", choices=tuple(PARTITIONERS),
                         default=None,  # resolved to hash; None flags explicit use
@@ -172,6 +173,25 @@ def build_parser() -> argparse.ArgumentParser:
                         default=None,  # resolved to all-at-once
                         help="bin handoff pacing (needs --rebalance; "
                              "default all-at-once)")
+    stream.add_argument("--tenants", default=None, metavar="NAME=SHARE[:DIST],...",
+                        help="tag requests with tenant classes, e.g. "
+                             "A=0.7:zipf1.2,B=0.3:uniform (DIST defaults to "
+                             "uniform; replaces the global --skew draw)")
+    stream.add_argument("--slo", default=None, metavar="NAME=CYCLES,...",
+                        help="per-tenant latency budget in simulated cycles "
+                             "(needs --tenants)")
+    stream.add_argument("--qos", action="store_true",
+                        help="SLO-aware admission: weighted per-tenant depth "
+                             "caps + weighted-fair dequeue + deadline-aware "
+                             "batch release (needs --tenants)")
+    stream.add_argument("--qos-burst", type=_positive_float, default=1.0,
+                        help="per-tenant depth cap multiplier under --qos "
+                             "(cap = burst * capacity * share; < 1 reserves "
+                             "headroom for light tenants)")
+    stream.add_argument("--rebalance-objective", choices=REBALANCE_OBJECTIVES,
+                        default=None,
+                        help="migration planning objective (needs --rebalance; "
+                             "default imbalance)")
     stream.add_argument("--print-batches", type=_positive_int, default=20,
                         help="per-batch rows to print (subsampled)")
     stream.add_argument("--trace", action="store_true",
@@ -229,6 +249,24 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None,  # resolved to all-at-once
                        help="bin handoff pacing (needs --rebalance; "
                             "default all-at-once)")
+    serve.add_argument("--tenants", default=None, metavar="NAME=SHARE[:DIST],...",
+                       help="tag requests with tenant classes, e.g. "
+                            "A=0.7:zipf1.2,B=0.3:uniform (DIST defaults to "
+                            "uniform; replaces the global --skew draw)")
+    serve.add_argument("--slo", default=None, metavar="NAME=BUDGET,...",
+                       help="per-tenant latency budget with unit suffix, e.g. "
+                            "A=50ms,B=0.2s (needs --tenants)")
+    serve.add_argument("--qos", action="store_true",
+                       help="SLO-aware admission: weighted per-tenant depth "
+                            "caps + weighted-fair dequeue + deadline-aware "
+                            "batch release (needs --tenants)")
+    serve.add_argument("--qos-burst", type=_positive_float, default=1.0,
+                       help="per-tenant depth cap multiplier under --qos "
+                            "(cap = burst * capacity * share)")
+    serve.add_argument("--rebalance-objective", choices=REBALANCE_OBJECTIVES,
+                       default=None,
+                       help="migration planning objective (needs --rebalance; "
+                            "default imbalance)")
     serve.add_argument("--print-batches", type=_positive_int, default=20,
                        help="exchange rows to print (subsampled)")
     serve.add_argument("--seed", type=int, default=0)
@@ -369,10 +407,15 @@ def _stream(args) -> int:
     from .errors import ReproError
     from .runtime import (
         BoundedQueue,
+        QoSPolicy,
         StreamService,
+        apply_slos,
         closed_loop_workload,
         make_batcher,
         open_loop_workload,
+        parse_slo,
+        parse_tenants,
+        tenant_workload,
     )
 
     # Flag combinations that would otherwise be silently ignored are
@@ -396,8 +439,26 @@ def _stream(args) -> int:
         raise ReproError(
             "--migration paces live bin handoff and needs --rebalance"
         )
+    if args.rebalance_objective is not None and not args.rebalance:
+        raise ReproError(
+            "--rebalance-objective steers migration planning and needs "
+            "--rebalance"
+        )
+    if args.tenants is None:
+        if args.slo is not None:
+            raise ReproError("--slo assigns per-tenant budgets and needs "
+                             "--tenants")
+        if args.qos:
+            raise ReproError("--qos admits per tenant class and needs "
+                             "--tenants")
+    tenants = None
+    if args.tenants is not None:
+        tenants = parse_tenants(args.tenants)
+        if args.slo is not None:
+            tenants = apply_slos(tenants, parse_slo(args.slo, unit="cycles"))
     partitioner = args.partitioner or "hash"  # partitioner name  # no-kind-lint
     migration = args.migration or "all-at-once"
+    objective = args.rebalance_objective or "imbalance"
 
     backend = get_backend(args.backend)
     if args.no_recorded_loop and args.recorded_loop not in (None, "off"):
@@ -438,15 +499,27 @@ def _stream(args) -> int:
         for kind in kinds:
             get_spec(kind)  # unknown kind -> ReproError naming the registry
     rng = np.random.default_rng(args.seed)
-    common = dict(
-        kinds=kinds, weights=weights, skew=args.skew, key_space=args.key_space
-    )
-    if args.closed_loop:
-        requests = closed_loop_workload(rng, args.requests, **common)
-    else:
-        requests = open_loop_workload(
-            rng, args.requests, mean_gap=args.mean_gap, **common
+    if tenants is not None:
+        requests = tenant_workload(
+            rng,
+            args.requests,
+            tenants,
+            kinds=kinds,
+            weights=weights,
+            key_space=args.key_space,
+            mean_gap=None if args.closed_loop else args.mean_gap,
         )
+    else:
+        common = dict(
+            kinds=kinds, weights=weights, skew=args.skew,
+            key_space=args.key_space,
+        )
+        if args.closed_loop:
+            requests = closed_loop_workload(rng, args.requests, **common)
+        else:
+            requests = open_loop_workload(
+                rng, args.requests, mean_gap=args.mean_gap, **common
+            )
 
     if args.policy == "fixed":
         batcher = make_batcher("fixed", batch_size=args.batch_size)
@@ -457,7 +530,10 @@ def _stream(args) -> int:
     else:
         batcher = make_batcher("adaptive", initial=args.batch_size)
 
-    queue = BoundedQueue(args.queue_capacity, admission=args.admission)
+    policy = QoSPolicy(tenants, burst=args.qos_burst) if args.qos else None
+    queue = BoundedQueue(
+        args.queue_capacity, admission=args.admission, qos=policy
+    )
     if args.shards > 1:
         from .shard import ShardCoordinator
 
@@ -473,6 +549,7 @@ def _stream(args) -> int:
             seed=args.seed,
             bins=args.bins,
             migration=migration,
+            rebalance_objective=objective,
         )
         service = StreamService(coordinator, batcher=batcher, queue=queue)
     else:
@@ -496,8 +573,17 @@ def _stream(args) -> int:
         interrupted = True
         metrics = service.metrics
         metrics.rejected = queue.stats.rejected
-        metrics.blocked = queue.stats.blocked
+        metrics.blocked_offers = queue.stats.blocked_offers
+        metrics.blocked_requests = queue.stats.blocked_requests
+        metrics.queue_max_depth = queue.stats.max_depth
     wall = time.perf_counter() - t0
+    if tenants is not None:
+        # FIFO baseline runs still report weights/SLOs so the tenant
+        # table and fairness index are comparable with --qos runs.
+        for t in tenants:
+            metrics.tenant_weights.setdefault(t.name, t.share)
+            if np.isfinite(t.slo):
+                metrics.tenant_slos.setdefault(t.name, t.slo)
 
     mode = "retry-in-batch" if args.no_carryover else "carryover"
     loop = "closed" if args.closed_loop else "open"
@@ -531,6 +617,14 @@ def _stream(args) -> int:
         print(metrics.shard_table(max_rows=args.print_batches))
     print()
     print(metrics.summary_table())
+    if tenants is not None:
+        print()
+        qos_note = (
+            f"qos admission (burst={args.qos_burst:g})" if args.qos
+            else "global FIFO admission"
+        )
+        print(f"per-tenant summary ({qos_note}, latency in cycles):")
+        print(metrics.tenant_table())
     print()
     rate = args.requests / wall if wall > 0 else float("inf")
     print(f"wall-clock: {wall:.3f} s on the {backend.name!r} backend "
@@ -554,7 +648,27 @@ def _serve(args) -> int:
         raise ReproError(
             "--migration paces live bin handoff and needs --rebalance"
         )
+    if args.rebalance_objective is not None and not args.rebalance:
+        raise ReproError(
+            "--rebalance-objective steers migration planning and needs "
+            "--rebalance"
+        )
+    if args.tenants is None:
+        if args.slo is not None:
+            raise ReproError("--slo assigns per-tenant budgets and needs "
+                             "--tenants")
+        if args.qos:
+            raise ReproError("--qos admits per tenant class and needs "
+                             "--tenants")
+    tenants = None
+    if args.tenants is not None:
+        from .runtime import apply_slos, parse_slo, parse_tenants
+
+        tenants = parse_tenants(args.tenants)
+        if args.slo is not None:
+            tenants = apply_slos(tenants, parse_slo(args.slo, unit="seconds"))
     migration = args.migration or "all-at-once"
+    objective = args.rebalance_objective or "imbalance"
     if args.mix is not None:
         kinds, weights = _parse_mix(args.mix)
     elif args.kinds is not None:
@@ -587,6 +701,10 @@ def _serve(args) -> int:
         bins=args.bins,
         rebalance=args.rebalance,
         migration=migration,
+        rebalance_objective=objective,
+        tenants=tenants,
+        qos=args.qos,
+        qos_burst=args.qos_burst,
     )
     m = report.metrics
     loop = "closed loop" if args.rate is None else f"open loop @ {args.rate:g}/s"
@@ -605,6 +723,14 @@ def _serve(args) -> int:
     print(m.exchange_table(max_rows=args.print_batches))
     print()
     print(m.summary_table())
+    if tenants is not None:
+        print()
+        qos_note = (
+            f"qos admission (burst={args.qos_burst:g})" if args.qos
+            else "global FIFO admission"
+        )
+        print(f"per-tenant summary ({qos_note}, latency in ms):")
+        print(m.tenant_table())
     print()
     if report.divergence is not None:
         print(f"ORACLE DIVERGENCE: {report.divergence}", file=sys.stderr)

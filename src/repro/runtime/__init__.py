@@ -32,6 +32,15 @@ from .batcher import (
 from .carryover import CarryoverBuffer, fol_round, tuple_round
 from .executor import BatchResult, StreamExecutor
 from .metrics import BatchRecord, StreamMetrics
+from .qos import (
+    QoSPolicy,
+    TenantClass,
+    apply_slos,
+    jain_index,
+    parse_slo,
+    parse_tenants,
+    tenant_workload,
+)
 from .queue import (
     ADMISSION_POLICIES,
     BoundedQueue,
@@ -79,6 +88,14 @@ __all__ = [
     # metrics
     "BatchRecord",
     "StreamMetrics",
+    # qos
+    "QoSPolicy",
+    "TenantClass",
+    "apply_slos",
+    "jain_index",
+    "parse_slo",
+    "parse_tenants",
+    "tenant_workload",
     # service
     "StreamService",
     "open_loop_workload",

@@ -36,17 +36,43 @@ class BatchPolicy:
 
     name = "base"
 
+    #: Head-room subtracted from SLO deadlines in the deadline-aware
+    #: release clip: a batch is released ``slo_margin`` clock units
+    #: before the earliest queued deadline so its execution has a
+    #: chance to finish inside the budget.
+    slo_margin: float = 0.0
+
     def target_size(self) -> int:
         """Desired lane count for the next micro-batch."""
         raise NotImplementedError
 
     def wake_time(
-        self, now: float, oldest_enqueued: Optional[float], next_arrival: float
+        self,
+        now: float,
+        oldest_enqueued: Optional[float],
+        next_arrival: float,
+        earliest_deadline: Optional[float] = None,
     ) -> float:
         """When the service should re-examine the queue if it decides to
         wait for more arrivals.  Returning a time <= ``now`` means
-        "don't wait, flush what is ready"."""
-        return next_arrival
+        "don't wait, flush what is ready".  ``earliest_deadline`` is the
+        soonest absolute SLO deadline among queued requests (QoS runs
+        only); every policy clips its wait so a batch fires early rather
+        than letting an SLO class's head-of-line request blow its
+        budget while the policy holds out for a fuller batch."""
+        return self._clip_to_deadline(next_arrival, now, earliest_deadline)
+
+    def _clip_to_deadline(
+        self, wake: float, now: float, earliest_deadline: Optional[float]
+    ) -> float:
+        """Deadline-aware release: never sleep past the point where the
+        most urgent queued request must launch to meet its SLO."""
+        if earliest_deadline is None:
+            return wake
+        release = earliest_deadline - self.slo_margin
+        if release <= now:
+            return now  # already at/past the release point: flush
+        return min(wake, release)
 
     def observe(
         self,
@@ -93,14 +119,20 @@ class DeadlineBatcher(BatchPolicy):
         return self.max_size
 
     def wake_time(
-        self, now: float, oldest_enqueued: Optional[float], next_arrival: float
+        self,
+        now: float,
+        oldest_enqueued: Optional[float],
+        next_arrival: float,
+        earliest_deadline: Optional[float] = None,
     ) -> float:
         if oldest_enqueued is None:
-            return next_arrival
+            return self._clip_to_deadline(next_arrival, now, earliest_deadline)
         flush_at = oldest_enqueued + self.deadline
         if flush_at <= now:
             return now  # deadline already blown: flush immediately
-        return min(next_arrival, flush_at)
+        return self._clip_to_deadline(
+            min(next_arrival, flush_at), now, earliest_deadline
+        )
 
 
 class AdaptiveBatcher(BatchPolicy):
@@ -116,6 +148,12 @@ class AdaptiveBatcher(BatchPolicy):
     start-up amortisation; under carryover this drives the size toward
     ``max_size``, which is optimal because recirculation makes the
     per-batch round cost flat).
+
+    Under a QoS run the adaptive policy additionally honours the
+    deadline-aware release hook inherited from :class:`BatchPolicy`:
+    waiting for a fuller batch is clipped at the earliest queued SLO
+    deadline (minus :attr:`~BatchPolicy.slo_margin`), so M-EMA sizing
+    never holds an urgent SLO class hostage to start-up amortisation.
     """
 
     name = "adaptive"

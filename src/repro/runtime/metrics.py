@@ -84,17 +84,31 @@ class StreamMetrics:
         self.batches: List[BatchRecord] = []
         self.latencies: List[float] = []
         self.rejected = 0
-        self.blocked = 0
-        self.max_queue_depth = 0
+        self.blocked_offers = 0
+        self.blocked_requests = 0
+        self.max_queue_depth = 0  # sampled at batch launch (see summary())
+        self.queue_max_depth = 0  # the queue's locked high-water mark
         self.instruction_mix: Optional[Dict[str, float]] = None
+        # per-tenant accounting (empty on untenanted runs)
+        self.tenant_latencies: Dict[str, List[float]] = {}
+        self.tenant_admission: Dict[str, Dict[str, int]] = {}
+        self.tenant_weights: Dict[str, float] = {}
+        self.tenant_slos: Dict[str, float] = {}
+
+    @property
+    def blocked(self) -> int:
+        """Legacy alias for :attr:`blocked_offers`."""
+        return self.blocked_offers
 
     # ------------------------------------------------------------------
     def record_batch(self, record: BatchRecord) -> None:
         self.batches.append(record)
         self.max_queue_depth = max(self.max_queue_depth, record.queue_depth)
 
-    def record_completion(self, latency: float) -> None:
+    def record_completion(self, latency: float, tenant: str = "") -> None:
         self.latencies.append(latency)
+        if tenant:
+            self.tenant_latencies.setdefault(tenant, []).append(latency)
 
     def attach_trace(self, tracer: Tracer) -> None:
         """Fold a tracer's cycles-by-category mix into the summary."""
@@ -154,12 +168,17 @@ class StreamMetrics:
             "batches": len(self.batches),
             "completed": self.total_completed,
             "rejected": self.rejected,
-            "blocked": self.blocked,
+            "blocked_offers": self.blocked_offers,
+            "blocked_requests": self.blocked_requests,
             "mean_batch_size": float(np.mean(sizes)) if sizes else 0.0,
             "fol_rounds": self.total_rounds,
             "filtered_ratio": filtered / lanes if lanes else 0.0,
             "max_multiplicity": max((b.multiplicity for b in self.batches), default=0),
-            "max_queue_depth": self.max_queue_depth,
+            # The queue's locked high-water mark; the batch-launch
+            # samples alone miss peaks between launches (every launch
+            # *drains* the queue first, so samples sit below the peak).
+            "max_queue_depth": max(self.max_queue_depth, self.queue_max_depth),
+            "max_queue_depth_sampled": self.max_queue_depth,
             "total_cycles": self.total_cycles,
             "cycles_per_request": self.cycles_per_request,
             "p50_latency": self.latency_percentile(50),
@@ -168,8 +187,65 @@ class StreamMetrics:
         }
         if self.instruction_mix is not None:
             out["instruction_mix"] = dict(self.instruction_mix)
+        if self.tenant_latencies or self.tenant_admission:
+            out["jain_fairness"] = self.jain_fairness()
+            out["tenants"] = self.tenant_summary()
         out.update(self.shard_summary())
         return out
+
+    # ------------------------------------------------------------------
+    # per-tenant aggregates
+    # ------------------------------------------------------------------
+    def tenant_names(self) -> List[str]:
+        """Every tenant seen by the run (completions or admission)."""
+        return sorted(set(self.tenant_latencies) | set(self.tenant_admission))
+
+    def tenant_summary(self) -> Dict[str, Dict[str, object]]:
+        """Per-tenant admission counters, latency percentiles and SLO
+        attainment (fraction of completions inside the tenant's
+        budget), keyed by tenant name."""
+        from .qos import tenant_summary_cells
+
+        return tenant_summary_cells(
+            self.tenant_latencies,
+            self.tenant_admission,
+            self.tenant_weights,
+            self.tenant_slos,
+        )
+
+    def jain_fairness(self) -> float:
+        """Jain's fairness index across tenants (see
+        :func:`repro.runtime.qos.tenant_fairness` for the value
+        definition: SLO attainment when every tenant has a budget,
+        weight-normalised throughput otherwise)."""
+        from .qos import tenant_fairness
+
+        return tenant_fairness(self.tenant_summary(), self.tenant_weights)
+
+    def tenant_table(self) -> str:
+        """Per-tenant metrics rendered as a table (QoS runs)."""
+        summary = self.tenant_summary()
+        headers = [
+            "tenant", "offered", "admitted", "rejected", "blocked",
+            "completed", "p50", "p99", "slo", "attain%",
+        ]
+        rows = []
+        for name, cell in summary.items():
+            slo = cell.get("slo")
+            attain = cell.get("slo_attainment")
+            rows.append([
+                name,
+                cell.get("offered", "—"),
+                cell.get("admitted", "—"),
+                cell.get("rejected", "—"),
+                cell.get("blocked_requests", "—"),
+                cell.get("completed", 0),
+                _fmt_value(cell.get("p50_latency", float("nan"))),
+                _fmt_value(cell.get("p99_latency", float("nan"))),
+                _fmt_value(slo) if slo is not None else "—",
+                f"{100 * attain:.1f}" if attain is not None else "—",
+            ])
+        return format_table(headers, rows)
 
     def shard_summary(self) -> Dict[str, object]:
         """Shard-level aggregates (empty dict on single-pipeline runs)."""
@@ -216,7 +292,11 @@ class StreamMetrics:
     def summary_table(self) -> str:
         """Aggregate metrics rendered as a two-column table."""
         s = self.summary()
-        rows = [[k, _fmt_value(v)] for k, v in s.items() if k != "instruction_mix"]
+        # instruction_mix and the per-tenant cells have their own
+        # renderings (attach_trace / tenant_table); a nested dict row
+        # would be unreadable here.
+        skip = ("instruction_mix", "tenants")
+        rows = [[k, _fmt_value(v)] for k, v in s.items() if k not in skip]
         return format_table(["metric", "value"], rows)
 
     def shard_table(self, max_rows: Optional[int] = None) -> str:

@@ -1,0 +1,432 @@
+"""Multi-tenant QoS: tenant classes, weighted admission and fairness.
+
+The paper's FOL micro-batching (§3–4) assumes one homogeneous request
+stream.  Real traffic is many *tenants* with different key skews and
+latency budgets, and a single hot tenant filling the global
+:class:`~repro.runtime.queue.BoundedQueue` starves everyone behind one
+reject/block policy.  This module supplies the per-tenant layer:
+
+* :class:`TenantClass` — one tenant's traffic share, key-skew and SLO.
+* :func:`parse_tenants` / :func:`parse_slo` — the CLI spec grammar
+  (``A=0.7:zipf1.2,B=0.3:uniform`` and ``A=50ms,B=200ms``).
+* :class:`QoSPolicy` — weighted admission parameters derived from the
+  tenant classes: per-tenant queue-depth caps under backpressure and
+  the weights the queue's weighted-fair dequeue uses.
+* :func:`tenant_workload` — a per-tenant workload generator that draws
+  each tenant's keys with its *own* skew (the hot-tenant scenario) and
+  tags every request.  It is a separate generator, not a mode of
+  :func:`~repro.runtime.service.open_loop_workload`, so the single
+  tenant path keeps its exact RNG draw order (golden parity).
+* :func:`jain_index` — Jain's fairness index over per-tenant values.
+
+SLO units follow the clock of the layer running the queue: simulated
+*cycles* in ``repro stream`` (bare numbers) and wall-clock *seconds*
+in ``repro serve`` (``50ms``/``0.2s`` suffixes) — the queue itself is
+unit-agnostic, exactly like its timestamps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+
+__all__ = [
+    "TenantClass",
+    "QoSPolicy",
+    "parse_tenants",
+    "parse_slo",
+    "apply_slos",
+    "jain_index",
+    "tenant_summary_cells",
+    "tenant_fairness",
+    "tenant_workload",
+]
+
+
+@dataclass(frozen=True)
+class TenantClass:
+    """One tenant's traffic class.
+
+    ``share`` is both the tenant's expected fraction of offered traffic
+    and its weight in weighted-fair admission; ``skew`` is the Zipf
+    exponent of its key draw (0 = uniform); ``slo`` is the latency
+    budget measured from *enqueue* (inf = no deadline).
+    """
+
+    name: str
+    share: float
+    skew: float = 0.0
+    slo: float = math.inf
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ReproError("tenant name must be non-empty")
+        if not (self.share > 0) or not math.isfinite(self.share):
+            raise ReproError(
+                f"tenant {self.name!r}: share must be a positive finite "
+                f"number, got {self.share}"
+            )
+        if self.skew < 0 or not math.isfinite(self.skew):
+            raise ReproError(
+                f"tenant {self.name!r}: skew must be non-negative, "
+                f"got {self.skew}"
+            )
+        if not (self.slo > 0):
+            raise ReproError(
+                f"tenant {self.name!r}: SLO must be positive, got {self.slo}"
+            )
+
+
+def parse_tenants(text: str) -> Tuple[TenantClass, ...]:
+    """Parse ``A=0.7:zipf1.2,B=0.3:uniform`` into tenant classes.
+
+    Grammar: comma-separated ``NAME=SHARE[:DIST]`` entries where DIST is
+    ``uniform`` (default) or ``zipf<EXPONENT>``.  Shares are relative
+    weights (they need not sum to 1).  Raises :class:`ReproError` on any
+    malformed entry — the CLI turns that into exit code 2.
+    """
+    tenants: List[TenantClass] = []
+    seen: set = set()
+    for entry in text.split(","):
+        entry = entry.strip()
+        if not entry:
+            raise ReproError(f"empty tenant entry in {text!r}")
+        name, sep, spec = entry.partition("=")
+        name = name.strip()
+        if not sep or not name:
+            raise ReproError(
+                f"tenant entry {entry!r} must look like NAME=SHARE[:DIST]"
+            )
+        if name in seen:
+            raise ReproError(f"duplicate tenant {name!r} in {text!r}")
+        seen.add(name)
+        share_text, _, dist = spec.partition(":")
+        try:
+            share = float(share_text)
+        except ValueError:
+            raise ReproError(
+                f"tenant {name!r}: share {share_text!r} is not a number"
+            ) from None
+        dist = dist.strip()
+        if not dist or dist == "uniform":
+            skew = 0.0
+        elif dist.startswith("zipf"):
+            try:
+                skew = float(dist[len("zipf"):])
+            except ValueError:
+                raise ReproError(
+                    f"tenant {name!r}: distribution {dist!r} is not "
+                    f"'uniform' or 'zipf<EXPONENT>'"
+                ) from None
+        else:
+            raise ReproError(
+                f"tenant {name!r}: distribution {dist!r} is not "
+                f"'uniform' or 'zipf<EXPONENT>'"
+            )
+        tenants.append(TenantClass(name=name, share=share, skew=skew))
+    if not tenants:
+        raise ReproError(f"no tenants in spec {text!r}")
+    return tuple(tenants)
+
+
+def parse_slo(text: str, *, unit: str = "auto") -> Dict[str, float]:
+    """Parse ``A=50ms,B=200ms`` into per-tenant latency budgets.
+
+    Values take an optional unit suffix: ``ms``/``s`` convert to
+    seconds (the serving layer's wall clock); a bare number is taken
+    verbatim (simulated cycles in the stream runtime).  ``unit`` may
+    pin the accepted form: ``"seconds"`` requires a suffix, ``"cycles"``
+    forbids one, ``"auto"`` accepts both.
+    """
+    slos: Dict[str, float] = {}
+    for entry in text.split(","):
+        entry = entry.strip()
+        if not entry:
+            raise ReproError(f"empty SLO entry in {text!r}")
+        name, sep, value_text = entry.partition("=")
+        name = name.strip()
+        value_text = value_text.strip()
+        if not sep or not name or not value_text:
+            raise ReproError(
+                f"SLO entry {entry!r} must look like NAME=BUDGET "
+                f"(e.g. A=50ms or A=8000)"
+            )
+        if name in slos:
+            raise ReproError(f"duplicate SLO for tenant {name!r} in {text!r}")
+        scale = None
+        if value_text.endswith("ms"):
+            scale, digits = 1e-3, value_text[:-2]
+        elif value_text.endswith("s"):
+            scale, digits = 1.0, value_text[:-1]
+        else:
+            digits = value_text
+        if unit == "seconds" and scale is None:
+            raise ReproError(
+                f"SLO {entry!r}: the serving layer measures wall-clock "
+                f"time; give the budget a unit suffix (ms or s)"
+            )
+        if unit == "cycles" and scale is not None:
+            raise ReproError(
+                f"SLO {entry!r}: the stream runtime measures simulated "
+                f"cycles; give a bare cycle count, not {value_text!r}"
+            )
+        try:
+            value = float(digits)
+        except ValueError:
+            raise ReproError(
+                f"SLO {entry!r}: budget {value_text!r} is not a number "
+                f"(optionally suffixed ms/s)"
+            ) from None
+        if not (value > 0) or not math.isfinite(value):
+            raise ReproError(
+                f"SLO {entry!r}: budget must be positive and finite"
+            )
+        slos[name] = value * (scale if scale is not None else 1.0)
+    if not slos:
+        raise ReproError(f"no SLO entries in spec {text!r}")
+    return slos
+
+
+def apply_slos(
+    tenants: Sequence[TenantClass], slos: Mapping[str, float]
+) -> Tuple[TenantClass, ...]:
+    """Merge parsed SLO budgets onto tenant classes by name."""
+    names = {t.name for t in tenants}
+    unknown = sorted(set(slos) - names)
+    if unknown:
+        raise ReproError(
+            f"SLO names {unknown} do not match any tenant "
+            f"(tenants: {sorted(names)})"
+        )
+    return tuple(
+        replace(t, slo=slos[t.name]) if t.name in slos else t
+        for t in tenants
+    )
+
+
+class QoSPolicy:
+    """Weighted-admission parameters derived from the tenant classes.
+
+    Handed to :class:`~repro.runtime.queue.BoundedQueue` it switches
+    the queue from one global FIFO to per-tenant FIFOs with:
+
+    * **depth caps under backpressure** — tenant *t* may occupy at most
+      ``ceil(burst * capacity * share_t / total_share)`` slots, so a hot
+      tenant's backlog is bounded (and with it that tenant's queueing
+      delay) instead of filling the whole queue and starving everyone.
+      ``burst < 1`` trades admission (more of the hot tenant is shed)
+      for a tighter per-tenant delay bound.
+    * **weighted-fair dequeue** — batches draw requests across tenants
+      by smallest virtual finish time (vtime grows by ``1/weight`` per
+      dequeued request), so service capacity follows the configured
+      weights regardless of who shouts loudest, and is work-conserving:
+      an idle tenant's share flows to the active ones.
+
+    Requests tagged with a tenant the policy does not know fall into a
+    default class weighted like the lightest configured tenant.
+    """
+
+    def __init__(
+        self, tenants: Sequence[TenantClass], *, burst: float = 1.0
+    ) -> None:
+        if not tenants:
+            raise ReproError("QoSPolicy needs at least one tenant class")
+        if not (0 < burst) or not math.isfinite(burst):
+            raise ReproError(f"burst factor must be positive, got {burst}")
+        names = [t.name for t in tenants]
+        if len(set(names)) != len(names):
+            raise ReproError(f"duplicate tenant names: {names}")
+        self.tenants: Tuple[TenantClass, ...] = tuple(tenants)
+        self.burst = burst
+        self._by_name = {t.name: t for t in self.tenants}
+        self._total = sum(t.share for t in self.tenants)
+        self._default_weight = min(t.share for t in self.tenants)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(t.name for t in self.tenants)
+
+    def weight(self, name: str) -> float:
+        t = self._by_name.get(name)
+        return t.share if t is not None else self._default_weight
+
+    def slo(self, name: str) -> float:
+        t = self._by_name.get(name)
+        return t.slo if t is not None else math.inf
+
+    def depth_cap(self, name: str, capacity: int) -> int:
+        """Queue slots tenant ``name`` may occupy (never below 1)."""
+        share = self.weight(name) / self._total
+        return max(1, math.ceil(self.burst * capacity * share))
+
+    def weights(self) -> Dict[str, float]:
+        return {t.name: t.share for t in self.tenants}
+
+    def slos(self) -> Dict[str, float]:
+        return {t.name: t.slo for t in self.tenants}
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index ``(Σx)² / (n·Σx²)`` over per-tenant values.
+
+    1.0 means perfectly even, ``1/n`` means one tenant took everything.
+    Non-finite entries are dropped; with no usable entries (or an
+    all-zero allocation) the index is undefined and ``nan`` is returned,
+    matching the metrics layer's NaN-for-undefined convention.
+    """
+    arr = np.asarray([v for v in values if math.isfinite(v)], dtype=np.float64)
+    if arr.size == 0 or not (arr > 0).any() or (arr < 0).any():
+        return float("nan")
+    return float(arr.sum() ** 2 / (arr.size * (arr ** 2).sum()))
+
+
+def tenant_summary_cells(
+    tenant_latencies: Mapping[str, Sequence[float]],
+    tenant_admission: Mapping[str, Mapping[str, int]],
+    tenant_weights: Mapping[str, float],
+    tenant_slos: Mapping[str, float],
+) -> Dict[str, Dict[str, object]]:
+    """Per-tenant metric cells shared by StreamMetrics and ServeMetrics.
+
+    One cell per tenant name seen anywhere (completions or admission):
+    completion count, latency percentiles (NaN with no completions —
+    never a fake zero), SLO attainment when the tenant has a finite
+    budget, the admission counters, and the configured weight.  Latency
+    and SLO share whatever unit the caller recorded (cycles or
+    seconds)."""
+    out: Dict[str, Dict[str, object]] = {}
+    for name in sorted(set(tenant_latencies) | set(tenant_admission)):
+        lats = np.asarray(tenant_latencies.get(name, ()), dtype=np.float64)
+        done = np.isfinite(lats)
+        cell: Dict[str, object] = {
+            "completed": int(done.sum()),
+            "p50_latency": (
+                float(np.percentile(lats[done], 50))
+                if done.any()
+                else float("nan")
+            ),
+            "p99_latency": (
+                float(np.percentile(lats[done], 99))
+                if done.any()
+                else float("nan")
+            ),
+        }
+        slo = tenant_slos.get(name)
+        if slo is not None and math.isfinite(slo):
+            cell["slo"] = float(slo)
+            cell["slo_attainment"] = (
+                float((lats[done] <= slo).mean()) if done.any() else 0.0
+            )
+        if name in tenant_weights:
+            cell["weight"] = float(tenant_weights[name])
+        cell.update(tenant_admission.get(name, {}))
+        out[name] = cell
+    return out
+
+
+def tenant_fairness(
+    cells: Mapping[str, Mapping[str, object]],
+    tenant_weights: Mapping[str, float],
+) -> float:
+    """Jain's fairness index across the tenant cells.
+
+    When every tenant has a finite SLO the per-tenant values are SLO
+    attainment (a starved tenant contributes 0 and drags the index
+    toward ``1/n``); without full SLO coverage it falls back to
+    weight-normalised completed counts (throughput fairness)."""
+    names = sorted(cells)
+    if not names:
+        return float("nan")
+    if all("slo_attainment" in cells[n] for n in names):
+        return jain_index([float(cells[n]["slo_attainment"]) for n in names])
+    return jain_index(
+        [
+            float(cells[n].get("completed", 0))
+            / float(tenant_weights.get(n, 1.0))
+            for n in names
+        ]
+    )
+
+
+# ----------------------------------------------------------------------
+# tenant-tagged workload generation
+# ----------------------------------------------------------------------
+def tenant_workload(
+    rng: np.random.Generator,
+    n: int,
+    tenants: Sequence[TenantClass],
+    *,
+    kinds: Sequence[str] = ("hash",),  # no-kind-lint
+    weights: Optional[Sequence[float]] = None,
+    key_space: int = 4096,
+    n_cells: int = 64,
+    max_delta: int = 9,
+    mean_gap: Optional[float] = None,
+) -> List["Request"]:
+    """``n`` tenant-tagged requests mixing the tenants by share.
+
+    Each request first draws its tenant (by relative share), then its
+    key with *that tenant's* skew — so one tenant can hammer a few hot
+    keys while another stays uniform, the scenario QoS admission is
+    for.  ``mean_gap`` switches between closed loop (None: everything
+    at t=0) and open loop (exponential inter-arrival gaps).  Kind mix
+    and deltas follow the single-tenant generators.
+    """
+    from ..engine.spec import EngineContext, get_spec
+
+    from .service import zipf_keys
+
+    if n <= 0:
+        raise ReproError(f"request count must be positive, got {n}")
+    if not tenants:
+        raise ReproError("tenant_workload needs at least one tenant class")
+    by_kind = {k: get_spec(k) for k in kinds}
+    shares = np.asarray([t.share for t in tenants], dtype=np.float64)
+    tenant_idx = rng.choice(len(tenants), size=n, p=shares / shares.sum())
+    keys = np.zeros(n, dtype=np.int64)
+    keys2 = np.zeros(n, dtype=np.int64)
+    # Per-tenant key draws in registration order keep the stream
+    # deterministic for a fixed seed regardless of interleaving.
+    for ti, tenant in enumerate(tenants):
+        mask = tenant_idx == ti
+        m = int(mask.sum())
+        if m:
+            keys[mask] = zipf_keys(rng, m, tenant.skew, key_space)
+            keys2[mask] = zipf_keys(rng, m, tenant.skew, key_space)
+    if weights is None:
+        kind_choices = rng.integers(0, len(kinds), size=n)
+    else:
+        if len(weights) != len(kinds):
+            raise ReproError(f"{len(weights)} mix weights for {len(kinds)} kinds")
+        p = np.asarray(weights, dtype=np.float64)
+        if p.size == 0 or (p < 0).any() or p.sum() <= 0:
+            raise ReproError("mix weights must be non-negative, sum > 0")
+        kind_choices = rng.choice(len(kinds), size=n, p=p / p.sum())
+    deltas = rng.integers(1, max_delta + 1, size=n)
+    if mean_gap is None:
+        arrivals = np.zeros(n)
+    else:
+        if mean_gap < 0:
+            raise ReproError(f"mean gap must be non-negative, got {mean_gap}")
+        arrivals = np.cumsum(rng.exponential(mean_gap, size=n))
+    ctx = EngineContext(n_cells=n_cells, key_space=key_space)
+    out: List["Request"] = []
+    for idx in range(n):
+        tenant = tenants[tenant_idx[idx]]
+        req = by_kind[kinds[kind_choices[idx]]].make_request(
+            idx,
+            int(keys[idx]),
+            int(keys2[idx]),
+            int(deltas[idx]),
+            float(arrivals[idx]),
+            ctx,
+        )
+        req.tenant = tenant.name
+        req.slo = tenant.slo
+        out.append(req)
+    return out

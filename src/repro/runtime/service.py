@@ -106,8 +106,19 @@ class StreamService:
             self.metrics.attach_trace(tracer)
         else:
             self._run_loop(arrivals)
-        self.metrics.rejected = self.queue.stats.rejected
-        self.metrics.blocked = self.queue.stats.blocked
+        stats = self.queue.stats
+        self.metrics.rejected = stats.rejected
+        self.metrics.blocked_offers = stats.blocked_offers
+        self.metrics.blocked_requests = stats.blocked_requests
+        self.metrics.queue_max_depth = stats.max_depth
+        if self.queue.tenant_stats:
+            self.metrics.tenant_admission = {
+                name: ts.as_dict()
+                for name, ts in self.queue.tenant_stats.items()
+            }
+        if self.queue.qos is not None:
+            self.metrics.tenant_weights = self.queue.qos.weights()
+            self.metrics.tenant_slos.update(self.queue.qos.slos())
         return self.metrics
 
     def _run_loop(self, arrivals: List[Request]) -> None:
@@ -137,7 +148,10 @@ class StreamService:
             arrivals_pending = i < n and not blocked
             if ready < self.batcher.target_size() and arrivals_pending:
                 wake = self.batcher.wake_time(
-                    self.now, self.queue.oldest_enqueued(), arrivals[i].arrival
+                    self.now,
+                    self.queue.oldest_enqueued(),
+                    arrivals[i].arrival,
+                    earliest_deadline=self.queue.earliest_deadline(),
                 )
                 if wake > self.now:
                     self.now = wake
@@ -151,7 +165,7 @@ class StreamService:
             self.now += result.cycles
             for req in result.completed:
                 req.completed = self.now
-                self.metrics.record_completion(req.latency)
+                self.metrics.record_completion(req.latency, tenant=req.tenant)
             self.carry.put(result.carried)
             self.metrics.record_batch(
                 BatchRecord(

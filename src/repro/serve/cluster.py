@@ -163,6 +163,7 @@ class ProcessCluster:
         reply_timeout: float = REPLY_TIMEOUT,
         bins: Optional[int] = None,
         rebalance: bool = False,
+        rebalance_objective: str = "imbalance",
         migration: str = "all-at-once",
     ) -> None:
         from ..backend import get_backend
@@ -273,7 +274,9 @@ class ProcessCluster:
         # controller's mover: exports run in the source process, imports
         # in the destination, the parent only relays between them.
         self.rebalancer = (
-            Rebalancer(partition) if rebalance else None
+            Rebalancer(partition, objective=rebalance_objective)
+            if rebalance
+            else None
         )
         self.controller = (
             MigrationController(partition, strategy=migration)

@@ -28,9 +28,12 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from ..errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..runtime.qos import TenantClass
 from ..runtime.batcher import BatchPolicy, FixedBatcher
 from ..runtime.carryover import CarryoverBuffer
 from ..runtime.queue import BoundedQueue, Request
@@ -119,7 +122,17 @@ class ServeFrontend:
         self.metrics.offered = stats.offered
         self.metrics.admitted = stats.admitted
         self.metrics.rejected = stats.rejected
-        self.metrics.blocked = stats.blocked
+        self.metrics.blocked_offers = stats.blocked_offers
+        self.metrics.blocked_requests = stats.blocked_requests
+        self.metrics.queue_max_depth = stats.max_depth
+        if self.queue.tenant_stats:
+            self.metrics.tenant_admission = {
+                name: ts.as_dict()
+                for name, ts in self.queue.tenant_stats.items()
+            }
+        if self.queue.qos is not None:
+            self.metrics.tenant_weights = self.queue.qos.weights()
+            self.metrics.tenant_slos.update(self.queue.qos.slos())
         return self.metrics
 
     # ------------------------------------------------------------------
@@ -176,6 +189,14 @@ class ServeFrontend:
                 oldest = self.queue.oldest_enqueued()
                 now = clock()
                 deadline = (oldest if oldest is not None else now) + self.linger
+                # Deadline-aware release (QoS runs): never linger past
+                # the point where the most urgent queued SLO class must
+                # launch to stay inside its budget.
+                slo_release = self.queue.earliest_deadline()
+                if slo_release is not None:
+                    deadline = min(
+                        deadline, slo_release - self.batcher.slo_margin
+                    )
                 if now < deadline:
                     await asyncio.sleep(min(self.linger, deadline - now))
                     continue
@@ -193,7 +214,7 @@ class ServeFrontend:
             t_end = clock()
             for req in result.completed:
                 req.completed = t_end
-                self.metrics.record_completion(req.latency)
+                self.metrics.record_completion(req.latency, tenant=req.tenant)
                 self.completed.append(req)
             self.carry.put(result.carried)
             self.metrics.record_exchange(
@@ -262,12 +283,23 @@ def run_serve(
     install_signal_handlers: bool = True,
     bins: Optional[int] = None,
     rebalance: bool = False,
+    rebalance_objective: str = "imbalance",
     migration: str = "all-at-once",
+    tenants: Optional[Sequence["TenantClass"]] = None,
+    qos: bool = False,
+    qos_burst: float = 1.0,
 ) -> ServeReport:
     """Generate a workload, serve it through a K-process cluster, shut
     the cluster down cleanly, and verify the merged end state against
     the scalar oracle.  The one entry point the CLI, the benchmark and
-    the tests all share."""
+    the tests all share.
+
+    ``tenants`` switches the workload to a tenant-tagged mix (each
+    tenant drawing keys with its own skew) and adds per-tenant metrics;
+    ``qos=True`` additionally enables weighted per-tenant admission and
+    deadline-aware batch release (``qos_burst`` scales the per-tenant
+    depth caps)."""
+    import math as _math
     import signal as _signal
 
     import numpy as np
@@ -275,8 +307,11 @@ def run_serve(
     from ..audit.oracle import diff_stream_state
     from ..engine.spec import stream_mix_kinds
     from ..runtime.batcher import make_batcher
+    from ..runtime.qos import QoSPolicy
     from .loadgen import timed_workload
 
+    if qos and not tenants:
+        raise ReproError("qos=True needs tenant classes (tenants=...)")
     if kinds is None:
         kinds = stream_mix_kinds()
     rng = np.random.default_rng(seed)
@@ -289,6 +324,7 @@ def run_serve(
         key_space=key_space,
         n_cells=n_cells,
         rate=rate,
+        tenants=tenants,
     )
     if policy == "fixed":
         batcher = make_batcher("fixed", batch_size=batch_size)
@@ -311,13 +347,15 @@ def run_serve(
         seed=seed,
         bins=bins,
         rebalance=rebalance,
+        rebalance_objective=rebalance_objective,
         migration=migration,
     )
     try:
+        policy = QoSPolicy(tenants, burst=qos_burst) if qos else None
         frontend = ServeFrontend(
             cluster,
             batcher=batcher,
-            queue=BoundedQueue(queue_capacity, admission=admission),
+            queue=BoundedQueue(queue_capacity, admission=admission, qos=policy),
             linger=linger_ms / 1e3,
         )
 
@@ -354,6 +392,13 @@ def run_serve(
             metrics.interrupted = True
     finally:
         cluster.shutdown()
+    if tenants:
+        # The FIFO baseline has no QoSPolicy on the queue, but fairness
+        # accounting still needs the configured weights and budgets.
+        metrics.tenant_weights.update({t.name: t.share for t in tenants})
+        for t in tenants:
+            if _math.isfinite(t.slo):
+                metrics.tenant_slos.setdefault(t.name, t.slo)
     divergence = diff_stream_state(
         cluster.coordinator,
         frontend.completed,

@@ -49,11 +49,23 @@ class ServeMetrics:
     offered: int = 0
     admitted: int = 0
     rejected: int = 0
-    blocked: int = 0
-    max_queue_depth: int = 0
+    blocked_offers: int = 0
+    blocked_requests: int = 0
+    max_queue_depth: int = 0  # sampled at exchange launch
+    queue_max_depth: int = 0  # the queue's locked high-water mark
     interrupted: bool = False
     first_launch: Optional[float] = None
     last_retire: Optional[float] = None
+    # per-tenant accounting (seconds; empty on untenanted runs)
+    tenant_latencies: Dict[str, List[float]] = field(default_factory=dict)
+    tenant_admission: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    tenant_weights: Dict[str, float] = field(default_factory=dict)
+    tenant_slos: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def blocked(self) -> int:
+        """Legacy alias for :attr:`blocked_offers`."""
+        return self.blocked_offers
 
     # ------------------------------------------------------------------
     def record_exchange(self, record: ExchangeRecord, now: float) -> None:
@@ -63,8 +75,10 @@ class ServeMetrics:
             self.first_launch = now - record.seconds
         self.last_retire = now
 
-    def record_completion(self, latency: float) -> None:
+    def record_completion(self, latency: float, tenant: str = "") -> None:
         self.latencies.append(latency)
+        if tenant:
+            self.tenant_latencies.setdefault(tenant, []).append(latency)
 
     # ------------------------------------------------------------------
     def latency_percentile(self, q: float) -> float:
@@ -96,7 +110,7 @@ class ServeMetrics:
 
     def summary(self) -> Dict[str, object]:
         sizes = [e.size for e in self.exchanges]
-        return {
+        out: Dict[str, object] = {
             "workers": self.workers,
             "backend": self.backend,
             "interrupted": self.interrupted,
@@ -105,15 +119,86 @@ class ServeMetrics:
             "offered": self.offered,
             "admitted": self.admitted,
             "rejected": self.rejected,
-            "blocked": self.blocked,
+            "blocked_offers": self.blocked_offers,
+            "blocked_requests": self.blocked_requests,
             "mean_batch_size": float(np.mean(sizes)) if sizes else 0.0,
-            "max_queue_depth": self.max_queue_depth,
+            # Reconciled: the queue's locked high-water mark dominates
+            # the exchange-launch samples (each launch drains first).
+            "max_queue_depth": max(self.max_queue_depth, self.queue_max_depth),
+            "max_queue_depth_sampled": self.max_queue_depth,
             "cross_shard_units": sum(e.cross_units for e in self.exchanges),
             "busy_seconds": self.busy_seconds,
             "throughput_rps": self.throughput,
             "p50_latency_ms": 1e3 * self.latency_percentile(50),
             "p99_latency_ms": 1e3 * self.latency_percentile(99),
         }
+        if self.tenant_latencies or self.tenant_admission:
+            out["jain_fairness"] = self.jain_fairness()
+            out["tenants"] = self.tenant_summary()
+        return out
+
+    # ------------------------------------------------------------------
+    # per-tenant aggregates (wall-clock; latency cells in milliseconds)
+    # ------------------------------------------------------------------
+    def tenant_summary(self) -> Dict[str, Dict[str, object]]:
+        """Per-tenant cells like StreamMetrics', but with measured
+        latencies and SLO budgets converted to milliseconds (keys
+        ``p50_latency_ms``/``p99_latency_ms``/``slo_ms``)."""
+        from ..runtime.qos import tenant_summary_cells
+
+        cells = tenant_summary_cells(
+            self.tenant_latencies,
+            self.tenant_admission,
+            self.tenant_weights,
+            self.tenant_slos,
+        )
+        out: Dict[str, Dict[str, object]] = {}
+        for name, cell in cells.items():
+            scaled = dict(cell)
+            for key in ("p50_latency", "p99_latency", "slo"):
+                if key in scaled:
+                    scaled[f"{key}_ms"] = 1e3 * float(scaled.pop(key))
+            out[name] = scaled
+        return out
+
+    def jain_fairness(self) -> float:
+        """Jain's fairness index across tenants (SLO attainment when
+        every tenant has a budget, weight-normalised throughput
+        otherwise — see :func:`repro.runtime.qos.tenant_fairness`)."""
+        from ..runtime.qos import tenant_fairness, tenant_summary_cells
+
+        return tenant_fairness(
+            tenant_summary_cells(
+                self.tenant_latencies,
+                self.tenant_admission,
+                self.tenant_weights,
+                self.tenant_slos,
+            ),
+            self.tenant_weights,
+        )
+
+    def tenant_table(self) -> str:
+        """Per-tenant measured metrics rendered as a table."""
+        headers = [
+            "tenant", "offered", "admitted", "rejected", "blocked",
+            "completed", "p50ms", "p99ms", "slo_ms", "attain%",
+        ]
+        rows = []
+        for name, cell in self.tenant_summary().items():
+            attain = cell.get("slo_attainment")
+            rows.append([
+                name,
+                cell.get("offered", "—"),
+                cell.get("admitted", "—"),
+                cell.get("rejected", "—"),
+                cell.get("blocked_requests", "—"),
+                cell.get("completed", 0),
+                _fmt(cell.get("p50_latency_ms", float("nan"))),
+                _fmt(cell.get("p99_latency_ms", float("nan"))),
+                _fmt(cell["slo_ms"]) if "slo_ms" in cell else "—",
+                f"{100 * attain:.1f}" if attain is not None else "—",
+            ])
+        return format_table(headers, rows)
 
     # ------------------------------------------------------------------
     def exchange_table(self, max_rows: Optional[int] = None) -> str:
@@ -134,7 +219,12 @@ class ServeMetrics:
         return format_table(headers, rows)
 
     def summary_table(self) -> str:
-        rows = [[k, _fmt(v)] for k, v in self.summary().items()]
+        # per-tenant cells render via tenant_table(), not as one row
+        rows = [
+            [k, _fmt(v)]
+            for k, v in self.summary().items()
+            if k != "tenants"
+        ]
         return format_table(["metric", "value"], rows)
 
 

@@ -127,6 +127,7 @@ class ShardCoordinator:
         rebalance_threshold: float = 1.8,
         rebalance_cooldown: int = 4,
         rebalance_max_moves: int = 8,
+        rebalance_objective: str = "imbalance",
         bins: Optional[int] = None,
         migration: str = "all-at-once",
     ) -> "ShardCoordinator":
@@ -183,6 +184,7 @@ class ShardCoordinator:
                 threshold=rebalance_threshold,
                 cooldown=rebalance_cooldown,
                 max_moves=rebalance_max_moves,
+                objective=rebalance_objective,
             )
             if rebalance
             else None

@@ -117,6 +117,10 @@ class RoutingTable:
         self.owners = self.bin_owner[self.bin_of]  # cached composition
         self.shards = shards
         self.traffic = np.zeros(self.bin_owner.size, dtype=np.float64)
+        #: Per-tenant decayed per-bin traffic, lazily created the first
+        #: time a tenant-tagged request is recorded (QoS-aware
+        #: rebalancing reads it; untenanted runs never allocate it).
+        self.tenant_traffic: Dict[str, np.ndarray] = {}
         self.moves = 0
 
     @property
@@ -143,13 +147,27 @@ class RoutingTable:
         """Fold an arbitrary key into this domain's index range."""
         return int(key) % self.size
 
-    def record(self, index: int, weight: float = 1.0) -> None:
-        """Count routed traffic against index's bin (rebalancer input)."""
-        self.traffic[self.bin_of[index]] += weight
+    def record(
+        self, index: int, weight: float = 1.0, tenant: Optional[str] = None
+    ) -> None:
+        """Count routed traffic against index's bin (rebalancer input);
+        a tenant tag additionally accumulates into that tenant's own
+        per-bin counts for worst-tenant-aware planning."""
+        b = self.bin_of[index]
+        self.traffic[b] += weight
+        if tenant:
+            arr = self.tenant_traffic.get(tenant)
+            if arr is None:
+                arr = self.tenant_traffic.setdefault(
+                    tenant, np.zeros(self.bin_owner.size, dtype=np.float64)
+                )
+            arr[b] += weight
 
     def decay(self, alpha: float) -> None:
         """Geometrically age the traffic counts (``alpha`` in (0, 1])."""
         self.traffic *= 1.0 - alpha
+        for arr in self.tenant_traffic.values():
+            arr *= 1.0 - alpha
 
     def move_bin(self, b: int, dest: int) -> int:
         """Re-home bin ``b`` to shard ``dest``; returns the old owner."""
@@ -167,10 +185,18 @@ class RoutingTable:
         table is one-bin-per-index); returns the old owner."""
         return self.move_bin(int(self.bin_of[index]), dest)
 
-    def shard_load(self) -> np.ndarray:
-        """Current per-shard traffic totals (length ``shards``)."""
+    def shard_load(self, tenant: Optional[str] = None) -> np.ndarray:
+        """Current per-shard traffic totals (length ``shards``); with a
+        ``tenant`` only that tenant's recorded traffic is summed."""
+        weights = (
+            self.traffic
+            if tenant is None
+            else self.tenant_traffic.get(tenant)
+        )
+        if weights is None:
+            return np.zeros(self.shards, dtype=np.float64)
         return np.bincount(
-            self.bin_owner, weights=self.traffic, minlength=self.shards
+            self.bin_owner, weights=weights, minlength=self.shards
         )
 
     def indices_of(self, shard: int) -> np.ndarray:
@@ -231,12 +257,22 @@ class PartitionMap:
     def items(self) -> Iterable[Tuple[str, RoutingTable]]:
         yield from self.tables.items()
 
-    def shard_load(self) -> np.ndarray:
-        """Per-shard decayed traffic summed over all domains."""
+    def shard_load(self, tenant: Optional[str] = None) -> np.ndarray:
+        """Per-shard decayed traffic summed over all domains (optionally
+        restricted to one tenant's recorded traffic)."""
         total = np.zeros(self.shards, dtype=np.float64)
         for _, table in self.items():
-            total += table.shard_load()
+            total += table.shard_load(tenant)
         return total
+
+    def tenants(self) -> Tuple[str, ...]:
+        """Tenant names with recorded traffic, in first-seen order per
+        domain and domain registration order (deterministic)."""
+        seen: Dict[str, None] = {}
+        for _, table in self.items():
+            for name in table.tenant_traffic:
+                seen.setdefault(name, None)
+        return tuple(seen)
 
     def total_moves(self) -> int:
         return sum(table.moves for _, table in self.items())

@@ -63,8 +63,28 @@ class Migration:
     traffic: float  # decayed traffic the bin carried when planned
 
 
+#: Planning objectives understood by :class:`Rebalancer`.
+REBALANCE_OBJECTIVES = ("imbalance", "worst-tenant")
+
+
 class Rebalancer:
-    """Detects hot shards and plans bin migrations between batches."""
+    """Detects hot shards and plans bin migrations between batches.
+
+    Two planning objectives:
+
+    * ``"imbalance"`` (default) — minimise total-load imbalance: the
+      hottest shard sheds its hottest bins to the coldest shard.
+    * ``"worst-tenant"`` — minimise the *worst tenant's* p99 instead of
+      mean imbalance: the planner finds the tenant whose own traffic is
+      most concentrated on one shard (that concentration is what sets
+      the tenant's tail latency, since a batch's cost is the max over
+      shards), then moves the bins *that tenant* hammers off its hot
+      shard, ranked by the tenant's per-bin traffic rather than the
+      aggregate.  Total load may stay slightly imbalanced — the point
+      is to stop one tenant's hotspot from hiding behind a globally
+      balanced-looking load.  Falls back to ``"imbalance"`` while no
+      tenant traffic has been recorded.
+    """
 
     def __init__(
         self,
@@ -74,16 +94,23 @@ class Rebalancer:
         cooldown: int = 4,
         decay: float = 0.3,
         max_moves: int = 8,
+        objective: str = "imbalance",
     ) -> None:
         if threshold <= 1.0:
             raise ReproError(f"rebalance threshold must exceed 1, got {threshold}")
         if not 0.0 < decay <= 1.0:
             raise ReproError(f"traffic decay must be in (0, 1], got {decay}")
+        if objective not in REBALANCE_OBJECTIVES:
+            raise ReproError(
+                f"unknown rebalance objective {objective!r}; "
+                f"expected one of {REBALANCE_OBJECTIVES}"
+            )
         self.partition = partition
         self.threshold = threshold
         self.cooldown = cooldown
         self.decay = decay
         self.max_moves = max_moves
+        self.objective = objective
         self._cool = 0
         self.plans = 0
         self.total_moves = 0
@@ -94,32 +121,69 @@ class Rebalancer:
         migrations (empty most of the time).  Call once per micro-batch,
         after execution; traffic decay is applied here."""
         part = self.partition
-        load = part.shard_load()
         moves: List[Migration] = []
         if self._cool > 0:
             self._cool -= 1
-        elif part.shards > 1 and load.sum() > 0:
-            mean = load.sum() / part.shards
-            hot = int(np.argmax(load))
-            cold = int(np.argmin(load))
-            if load[hot] > self.threshold * mean and load[hot] > load[cold]:
-                moves = self._plan_moves(hot, cold, float(load[hot] - load[cold]))
-                if moves:
-                    self.plans += 1
-                    self.total_moves += len(moves)
-                    self._cool = self.cooldown
+        elif part.shards > 1:
+            tenant = None
+            if self.objective == "worst-tenant":
+                tenant = self._worst_tenant()
+            load = part.shard_load(tenant)
+            if load.sum() > 0:
+                mean = load.sum() / part.shards
+                hot = int(np.argmax(load))
+                cold = int(np.argmin(load))
+                if load[hot] > self.threshold * mean and load[hot] > load[cold]:
+                    moves = self._plan_moves(
+                        hot, cold, float(load[hot] - load[cold]), tenant=tenant
+                    )
+                    if moves:
+                        self.plans += 1
+                        self.total_moves += len(moves)
+                        self._cool = self.cooldown
         for _, table in part.items():
             table.decay(self.decay)
         return moves
 
-    def _plan_moves(self, hot: int, cold: int, gap: float) -> List[Migration]:
+    def _worst_tenant(self) -> "str | None":
+        """Tenant whose traffic is most concentrated on a single shard
+        (max-over-mean of its per-shard load), or None when no tenant
+        traffic is recorded yet — the imbalance fallback."""
+        part = self.partition
+        worst, worst_ratio = None, 0.0
+        for name in part.tenants():
+            load = part.shard_load(name)
+            total = load.sum()
+            if total <= 0:
+                continue
+            ratio = float(load.max() / (total / part.shards))
+            if ratio > worst_ratio:
+                worst, worst_ratio = name, ratio
+        return worst
+
+    def _plan_moves(
+        self,
+        hot: int,
+        cold: int,
+        gap: float,
+        tenant: "str | None" = None,
+    ) -> List[Migration]:
         """Greedy: hot shard's hottest bins, largest first, until half
-        the load gap has moved (moving more would overshoot and invert)."""
+        the load gap has moved (moving more would overshoot and invert).
+        Under the worst-tenant objective the bin heat is the *tenant's*
+        per-bin traffic, so the plan moves what that tenant touches."""
         budget = gap / 2.0
         candidates = []
         for name, table in self.partition.items():
+            heat = (
+                table.traffic
+                if tenant is None
+                else table.tenant_traffic.get(tenant)
+            )
+            if heat is None:
+                continue
             for b in table.bins_of(hot):
-                t = float(table.traffic[b])
+                t = float(heat[b])
                 if t > 0:
                     candidates.append((t, name, int(b)))
         candidates.sort(reverse=True)

@@ -95,7 +95,7 @@ class Router:
             table = self.partition.domain(spec.domain)
             indices = spec.route_indices(req, table.fold)
             for idx in indices:  # traffic counts feed the rebalancer
-                table.record(idx)
+                table.record(idx, tenant=req.tenant or None)
             pinned = spec.pin_shard(req)
             if pinned >= 0:
                 per_shard[pinned].append(req)

@@ -117,3 +117,50 @@ class TestCliBadInput:
     ])
     def test_bins_and_migration_validation_exits_2(self, argv, capsys):
         assert main(argv) == 2
+
+    @pytest.mark.parametrize("argv", [
+        # malformed tenant specs (parse_tenants grammar)
+        ["stream", "--requests", "10", "--tenants", "A"],
+        ["stream", "--requests", "10", "--tenants", "A=0.7,"],
+        ["stream", "--requests", "10", "--tenants", "A=lots"],
+        ["stream", "--requests", "10", "--tenants", "A=0.7:gauss"],
+        ["stream", "--requests", "10", "--tenants", "A=0.7:zipfx"],
+        ["stream", "--requests", "10", "--tenants", "A=0.5,A=0.5"],
+        ["stream", "--requests", "10", "--tenants", "A=-1"],
+        # malformed SLO specs (parse_slo grammar)
+        ["stream", "--requests", "10", "--tenants", "A=1",
+         "--slo", "A="],
+        ["stream", "--requests", "10", "--tenants", "A=1",
+         "--slo", "A=soon"],
+        ["stream", "--requests", "10", "--tenants", "A=1",
+         "--slo", "A=-5"],
+        # stream SLOs are cycles; a wall-clock suffix is an error
+        ["stream", "--requests", "10", "--tenants", "A=1",
+         "--slo", "A=50ms"],
+        # SLO for a tenant that was never declared
+        ["stream", "--requests", "10", "--tenants", "A=1",
+         "--slo", "B=5000"],
+        # --slo / --qos without --tenants
+        ["stream", "--requests", "10", "--slo", "A=5000"],
+        ["stream", "--requests", "10", "--qos"],
+        # --rebalance-objective without --rebalance
+        ["stream", "--requests", "10", "--shards", "2",
+         "--rebalance-objective", "worst-tenant"],
+        # unknown objective (argparse choices)
+        ["stream", "--requests", "10", "--shards", "2", "--rebalance",
+         "--rebalance-objective", "roundrobin"],
+        # non-positive burst factor (argparse _positive_float)
+        ["stream", "--requests", "10", "--tenants", "A=1", "--qos",
+         "--qos-burst", "0"],
+        # serve validates the same combinations before spawning, and
+        # its SLOs are wall-clock: a bare cycle count is an error
+        ["serve", "--workers", "2", "--requests", "10", "--qos"],
+        ["serve", "--workers", "2", "--requests", "10",
+         "--slo", "A=50ms"],
+        ["serve", "--workers", "2", "--requests", "10",
+         "--tenants", "A=1", "--slo", "A=5000"],
+        ["serve", "--workers", "2", "--requests", "10",
+         "--tenants", "A=0.7:gauss"],
+    ])
+    def test_tenant_and_qos_validation_exits_2(self, argv, capsys):
+        assert main(argv) == 2

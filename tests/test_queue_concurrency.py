@@ -53,7 +53,9 @@ class TestConcurrentReject:
         n_admitted = sum(len(a) for a in admitted)
         assert stats.offered == 8 * 200
         assert stats.admitted == n_admitted == queue.depth
-        assert stats.blocked == 0
+        assert stats.blocked_offers == 0
+        assert stats.blocked_requests == 0
+        assert stats.blocked == 0  # legacy alias tracks blocked_offers
         assert stats.admitted + stats.rejected == stats.offered
         # the full-check and append are atomic: never overshoots
         assert queue.depth <= 64
@@ -96,7 +98,10 @@ class TestConcurrentBlock:
         assert all(len(a) == 150 for a in admitted)  # nobody starved out
         assert stats.admitted == 6 * 150
         assert stats.rejected == 0
-        assert stats.admitted + stats.blocked == stats.offered
+        assert stats.admitted + stats.blocked_offers == stats.offered
+        # every retried offer counts, but a request blocks at most once
+        assert stats.blocked_requests <= stats.blocked_offers
+        assert stats.blocked_requests <= 6 * 150
         assert stats.max_depth <= 32
         rids = [r.rid for r in taken]
         assert len(set(rids)) == len(rids) == 6 * 150
@@ -110,3 +115,45 @@ class TestConcurrentBlock:
         assert stats.rejected > 0  # 400 offers into 16 slots must shed
         assert stats.admitted + stats.rejected == stats.offered == 400
         assert queue.depth == stats.admitted <= 16
+
+
+class TestConcurrentReaders:
+    def test_len_depth_full_are_locked_and_consistent(self):
+        """Hammer ``__len__``/``depth``/``full`` from reader threads
+        while producers and a consumer churn the queue: every read must
+        be a value the locked counter could actually hold (0..capacity),
+        and ``full`` must agree with a same-instant depth reading."""
+        queue = BoundedQueue(capacity=32, admission="reject")
+        stop = threading.Event()
+        bad: list = []
+
+        def read():
+            while not stop.is_set():
+                d = queue.depth
+                n = len(queue)
+                f = queue.full
+                if not (0 <= d <= 32 and 0 <= n <= 32):
+                    bad.append(("range", d, n))
+                # full is sampled after depth; it may disagree only by
+                # a concurrent mutation, never by a torn read
+                if f and len(queue) == 0 and queue.depth == 0:
+                    bad.append(("full-but-empty", f))
+
+        def consume():
+            while not stop.is_set():
+                queue.take(4)
+
+        readers = [threading.Thread(target=read) for _ in range(4)]
+        consumer = threading.Thread(target=consume)
+        for t in readers + [consumer]:
+            t.start()
+        _run_producers(
+            queue, per_producer=2000, n_producers=4, retry_blocked=False
+        )
+        stop.set()
+        for t in readers + [consumer]:
+            t.join()
+        assert bad == []
+        stats = queue.stats
+        assert stats.admitted + stats.rejected == stats.offered == 4 * 2000
+        assert stats.max_depth <= 32

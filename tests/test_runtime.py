@@ -49,6 +49,13 @@ class TestRequest:
         r.arrival, r.completed = 10.0, 35.0
         assert r.latency == 25.0
 
+    def test_latency_nan_until_completed(self):
+        # A never-completed request has no latency — NaN, not a fake 0
+        # measured against the epoch.
+        r = req()
+        r.arrival = 10.0
+        assert math.isnan(r.latency)
+
 
 class TestBoundedQueue:
     def test_fifo_take(self):
@@ -62,7 +69,11 @@ class TestBoundedQueue:
         q = BoundedQueue(2, admission="block")
         assert q.offer(req(0), 0.0) and q.offer(req(1), 0.0)
         assert not q.offer(req(2), 0.0)
-        assert q.stats.blocked == 1 and q.stats.rejected == 0
+        assert q.stats.blocked_offers == 1 and q.stats.rejected == 0
+        assert q.stats.blocked_requests == 1
+        assert not q.offer(req(2), 0.0)  # same request retried
+        assert q.stats.blocked_offers == 2  # every offer counts...
+        assert q.stats.blocked_requests == 1  # ...each request once
         assert q.depth == 2
 
     def test_reject_policy_drops(self):
@@ -411,7 +422,8 @@ class TestStreamService:
             batcher=FixedBatcher(8),
         )
         assert m.summary()["completed"] == 50
-        assert m.blocked > 0
+        assert m.blocked_offers > 0
+        assert 0 < m.blocked_requests <= m.blocked_offers
 
     def test_carryover_recirculates_hot_key(self):
         reqs = requests_from_keys([7] * 20)

@@ -25,6 +25,13 @@ the headline ``improvement_pct``, and ``reconfiguration`` must report a
 ``p99_spike_ratio`` per strategy — a partially-run sweep must fail CI,
 not upload a plausible-looking file.
 
+``BENCH_qos.json`` likewise: the ``hot_tenant`` series must carry both
+the ``fifo`` and ``qos`` arms, each with a per-tenant cell (p99 +
+admission counters) for every tenant named in ``config.tenants``, a
+``jain_fairness`` value and ``worst_tenant_p99``, plus the headline
+``improvement_pct``; the ``burst_sweep`` must cover every burst in
+``config.bursts``.
+
 Exit status: 0 clean, 1 findings, 2 usage error.
 
 Usage::
@@ -101,6 +108,8 @@ def check_file(path: Path) -> List[str]:
         )
     if payload.get("bench") == "migration":
         problems.extend(check_migration(path, payload))
+    if payload.get("bench") == "qos":
+        problems.extend(check_qos(path, payload))
     return problems
 
 
@@ -167,6 +176,81 @@ def check_migration(path: Path, payload: dict) -> List[str]:
                 problems.append(
                     f"{path.name}: reconfiguration[{strategy!r}] lacks "
                     f"p99_spike_ratio"
+                )
+    return problems
+
+
+def check_qos(path: Path, payload: dict) -> List[str]:
+    """Bench-specific shape for ``BENCH_qos.json``: both admission arms
+    must be complete over every configured tenant and burst point."""
+    problems: List[str] = []
+    config = payload.get("config") or {}
+    tenants = config.get("tenants")
+    if not isinstance(tenants, dict) or not tenants:
+        return [
+            f"{path.name}: config.tenants must be a non-empty object "
+            f"of tenant classes"
+        ]
+
+    hot = payload.get("hot_tenant")
+    if not isinstance(hot, dict):
+        problems.append(f"{path.name}: 'hot_tenant' series missing")
+    else:
+        for arm in ("fifo", "qos"):
+            cell = hot.get(arm)
+            if not isinstance(cell, dict):
+                problems.append(
+                    f"{path.name}: hot_tenant is missing arm {arm!r}"
+                )
+                continue
+            for field in ("worst_tenant_p99", "jain_fairness"):
+                if not isinstance(cell.get(field), (int, float)):
+                    problems.append(
+                        f"{path.name}: hot_tenant[{arm!r}].{field} must "
+                        f"be a number"
+                    )
+            arm_tenants = cell.get("tenants")
+            if not isinstance(arm_tenants, dict):
+                problems.append(
+                    f"{path.name}: hot_tenant[{arm!r}].tenants missing"
+                )
+                continue
+            for name in tenants:
+                tcell = arm_tenants.get(str(name))
+                if not isinstance(tcell, dict):
+                    problems.append(
+                        f"{path.name}: hot_tenant[{arm!r}] lacks a cell "
+                        f"for tenant {name!r}"
+                    )
+                    continue
+                missing = [
+                    f for f in ("p99_latency", "completed",
+                                "offered", "admitted", "rejected")
+                    if f not in tcell
+                ]
+                if missing:
+                    problems.append(
+                        f"{path.name}: hot_tenant[{arm!r}][{name!r}] "
+                        f"lacks {missing}"
+                    )
+        if not isinstance(hot.get("improvement_pct"), (int, float)):
+            problems.append(
+                f"{path.name}: hot_tenant.improvement_pct must be a "
+                f"number (the headline acceptance metric)"
+            )
+
+    sweep = payload.get("burst_sweep")
+    bursts = config.get("bursts")
+    if not isinstance(sweep, dict):
+        problems.append(f"{path.name}: 'burst_sweep' series missing")
+    elif isinstance(bursts, list):
+        for burst in bursts:
+            key = f"burst{burst:g}"
+            cell = sweep.get(key)
+            if not isinstance(cell, dict) or "worst_tenant_p99" not in cell:
+                problems.append(
+                    f"{path.name}: burst_sweep[{key!r}] lacks "
+                    f"worst_tenant_p99"
                 )
     return problems
 
