@@ -16,6 +16,12 @@ Two experiments (ISSUE 7 acceptance criteria):
 2. **Sub-saturation latency** — open-loop Poisson arrivals well below
    the K=1 saturation rate; p50/p99 arrival-to-completion latency as the
    front-end observes it (queueing + linger + transport + execution).
+3. **Trace overhead** (ISSUE 10) — the same closed-loop run with the
+   lifecycle recorder off vs on; the p99 latency delta is the cost of
+   ``--trace`` and the target is ≤ 5%.  The traced arm's per-stage
+   breakdown is recorded alongside.  (Wall-clock p99 on a shared 1-CPU
+   runner is noisy; the recorded number is the measurement, the target
+   a soft gate printed as PASS/WARN.)
 
 Every run's merged worker end state is checked against the one-shot
 scalar oracle; a divergence fails the bench.
@@ -52,6 +58,7 @@ N_REQUESTS = 6000
 LATENCY_REQUESTS = 1200
 LATENCY_RATE = 150.0  # rps, well below K=1 saturation
 SEED = 0
+TRACE_OVERHEAD_TARGET_PCT = 5.0
 
 
 def _one_run(*, workers, requests, rate, batch_size):
@@ -88,6 +95,68 @@ def _one_run(*, workers, requests, rate, batch_size):
         "cross_shard_units": summary["cross_shard_units"],
         "fingerprint": report.state_fingerprint,
     }
+
+
+def _trace_overhead(*, workers, requests, batch_size):
+    """Run the identical closed-loop workload with the lifecycle
+    recorder off and on; the p99 delta is the cost of ``--trace``."""
+    rows = {}
+    breakdown = None
+    for arm, trace in (("off", False), ("on", True)):
+        report = run_serve(
+            workers=workers,
+            backend="native",
+            requests=requests,
+            rate=None,
+            skew=SKEW,
+            kinds=KINDS,
+            weights=WEIGHTS,
+            batch_size=batch_size,
+            table_size=TABLE_SIZE,
+            n_cells=N_CELLS,
+            key_space=KEY_SPACE,
+            seed=SEED,
+            install_signal_handlers=False,
+            trace=trace,
+        )
+        if report.divergence is not None:
+            raise SystemExit(
+                f"ORACLE DIVERGENCE in trace-overhead arm {arm!r}: "
+                f"{report.divergence}"
+            )
+        summary = report.metrics.summary()
+        rows[arm] = {
+            "p50_latency_ms": round(summary["p50_latency_ms"], 2),
+            "p99_latency_ms": round(summary["p99_latency_ms"], 2),
+            "throughput_rps": round(summary["throughput_rps"], 1),
+        }
+        if trace:
+            breakdown = report.recorder.stage_breakdown()
+            rows[arm]["events"] = len(report.recorder.events)
+    off_p99 = rows["off"]["p99_latency_ms"]
+    on_p99 = rows["on"]["p99_latency_ms"]
+    overhead = (
+        100.0 * (on_p99 - off_p99) / off_p99 if off_p99 > 0 else float("nan")
+    )
+    series = {
+        "off": rows["off"],
+        "on": rows["on"],
+        "overhead_pct": round(overhead, 2),
+        "target_pct": TRACE_OVERHEAD_TARGET_PCT,
+        "stage_breakdown": breakdown,
+    }
+    verdict = (
+        "PASS" if overhead <= TRACE_OVERHEAD_TARGET_PCT
+        else "WARN (wall-clock noise on shared runners; see the recorded "
+             "number)"
+    )
+    print(
+        f"trace overhead (K={workers}, {requests} requests): "
+        f"p99 {off_p99} ms off -> {on_p99} ms on "
+        f"({overhead:+.1f}%, target <= {TRACE_OVERHEAD_TARGET_PCT:g}%) "
+        f"{verdict}"
+    )
+    return series
 
 
 def _series_table(title, rows):
@@ -139,12 +208,14 @@ def main(argv=None):
     if args.smoke:
         row = _one_run(workers=2, requests=1200, rate=None, batch_size=512)
         _series_table("serve smoke (K=2, closed loop)", [row])
+        overhead = _trace_overhead(workers=2, requests=800, batch_size=256)
         write_json(
             args.json,
             {
                 "bench": "serve",
                 "config": config,
                 "saturation": {"K=2": row},
+                "trace_overhead": overhead,
             },
         )
         print(f"\nwrote {args.json}")
@@ -182,10 +253,15 @@ def main(argv=None):
         list(latency.values()),
     )
 
+    overhead = _trace_overhead(
+        workers=2, requests=LATENCY_REQUESTS, batch_size=256
+    )
+
     write_json(
         args.json,
         {"bench": "serve", "config": config,
-         "saturation": saturation, "latency": latency},
+         "saturation": saturation, "latency": latency,
+         "trace_overhead": overhead},
     )
     print(f"\nwrote {args.json}")
 

@@ -1,804 +1,16 @@
-"""Command-line entry point: ``python -m repro``.
+"""``python -m repro`` — thin shim over the :mod:`repro.cli` package.
 
-Subcommands
------------
-``figures [names...]``
-    Regenerate the paper's tables/figures (delegates to
-    :mod:`repro.bench.figures`; default: all).
-``demo``
-    One-screen tour: FOL1 on a shared index vector, the theorem checks,
-    and a chained multiple-hashing run with its cycle breakdown.
-``stream``
-    Run the streaming micro-batch FOL service (:mod:`repro.runtime`)
-    over a generated workload and print per-batch metrics.
-``serve``
-    Run the real multi-process serving layer (:mod:`repro.serve`): one
-    shared-memory shard process per worker, asyncio admission and
-    batching, measured wall-clock latency, oracle-checked end state.
-``audit``
-    Fuzz the FOL pipelines under the runtime invariant auditor and the
-    scalar differential oracles (:mod:`repro.audit`); exits non-zero
-    with a shrunk counterexample on any failure.
-``info``
-    Print the library version, the calibrated cost model, and the
-    experiment registry.
-
-An unknown or missing subcommand prints help and exits with status 2.
+The CLI itself (parser, validators, one module per subcommand) lives
+in :mod:`repro.cli`; this module only re-exports :func:`main` and
+:func:`build_parser` so ``python -m repro`` and the historical
+``from repro.__main__ import main`` import path keep working.
 """
 
 from __future__ import annotations
 
-import argparse
 import sys
-from typing import Optional, Sequence
 
-
-def _positive_int(text: str) -> int:
-    """argparse type: an int >= 1 (clean exit 2 on 0/negative input)."""
-    try:
-        value = int(text)
-    except ValueError:
-        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
-    if value <= 0:
-        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
-    return value
-
-
-def _positive_float(text: str) -> float:
-    """argparse type: a float > 0."""
-    try:
-        value = float(text)
-    except ValueError:
-        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
-    if value <= 0:
-        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
-    return value
-
-
-def _nonneg_float(text: str) -> float:
-    """argparse type: a float >= 0."""
-    try:
-        value = float(text)
-    except ValueError:
-        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
-    if value < 0:
-        raise argparse.ArgumentTypeError(f"must be non-negative, got {value}")
-    return value
-
-
-#: Largest accepted Zipf skew: beyond this the truncated distribution is
-#: numerically degenerate (rank-1 mass ~ 1.0) and run times explode.
-MAX_SKEW = 8.0
-
-
-def _skew(text: str) -> float:
-    """argparse type: a Zipf skew in [0, MAX_SKEW]."""
-    value = _nonneg_float(text)
-    if value > MAX_SKEW:
-        raise argparse.ArgumentTypeError(
-            f"skew must be at most {MAX_SKEW}, got {value}"
-        )
-    return value
-
-
-#: (name, one-line help) per subcommand — single source for the parser
-#: and the ``repro info`` listing.
-SUBCOMMANDS = (
-    ("figures", "regenerate paper tables/figures"),
-    ("demo", "one-screen FOL tour"),
-    ("info", "version, cost model, kinds, backends, subcommands"),
-    ("stream", "run the streaming micro-batch FOL service (simulated clock)"),
-    ("serve", "run the multi-process serving layer (measured wall-clock)"),
-    ("audit", "fuzz the FOL pipelines under invariant auditing"),
-)
-_HELP = dict(SUBCOMMANDS)
-
-
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
-    sub = parser.add_subparsers(dest="command")
-
-    fig = sub.add_parser("figures", help=_HELP["figures"])
-    fig.add_argument("names", nargs="*", default=[])
-    fig.add_argument("--seed", type=int, default=0)
-
-    sub.add_parser("demo", help=_HELP["demo"])
-    sub.add_parser("info", help=_HELP["info"])
-
-    stream = sub.add_parser("stream", help=_HELP["stream"])
-    stream.add_argument("--requests", type=_positive_int, default=5000,
-                        help="number of requests in the workload")
-    stream.add_argument("--policy", choices=("fixed", "deadline", "adaptive"),
-                        default="adaptive", help="batch-sizing policy")
-    stream.add_argument("--batch-size", type=_positive_int, default=256,
-                        help="fixed/initial batch size (max size for deadline)")
-    stream.add_argument("--deadline", type=_positive_float, default=2000.0,
-                        help="deadline policy: max head-of-line wait in cycles")
-    stream.add_argument("--skew", type=_skew, default=0.0,
-                        help=f"Zipf key skew (0 = uniform, max {MAX_SKEW})")
-    stream.add_argument("--kinds", default="hash",  # no-kind-lint
-                        help="comma-separated request kinds; registered kinds "
-                             "are listed by `repro info` (uniform mix)")
-    stream.add_argument("--mix", default=None, metavar="KIND=W,...",
-                        help="weighted workload mix, e.g. hash=3,xfer=1 "
-                             "(overrides --kinds; weights need not sum to 1)")
-    from .backend import registered_backends
-
-    stream.add_argument("--backend", choices=registered_backends(),
-                        default="sim",
-                        help="execution backend: sim = calibrated S-810 "
-                             "cycle model, native = raw NumPy wall-clock "
-                             "(see docs/backends.md)")
-    stream.add_argument("--no-recorded-loop", action="store_true",
-                        help="native backend only: interpret each FOL "
-                             "round op-by-op instead of replaying the "
-                             "recorded fused round (ablation)")
-    stream.add_argument("--recorded-loop", choices=("on", "off", "auto"),
-                        default=None,
-                        help="native backend only: force the fused "
-                             "recorded round (on, the default), the "
-                             "op-by-op interpreter (off), or calibrate "
-                             "per plan shape once and keep the faster "
-                             "path (auto)")
-    stream.add_argument("--queue-capacity", type=_positive_int, default=4096)
-    stream.add_argument("--admission", choices=("block", "reject"),
-                        default="block", help="full-queue policy")
-    stream.add_argument("--no-carryover", action="store_true",
-                        help="retry filtered lanes in-batch (paper §3.2) "
-                             "instead of carrying them to the next batch")
-    stream.add_argument("--closed-loop", action="store_true",
-                        help="all requests ready at t=0 (throughput mode)")
-    stream.add_argument("--mean-gap", type=_positive_float, default=40.0,
-                        help="open loop: mean inter-arrival gap in cycles")
-    stream.add_argument("--table-size", type=_positive_int, default=509)
-    stream.add_argument("--key-space", type=_positive_int, default=4096)
-    stream.add_argument("--shards", type=_positive_int, default=1,
-                        help="partition the address space across K workers "
-                             "(owner-computes; batch cost = max over shards)")
-    from .shard.migration import PACING_STRATEGIES
-    from .shard.partition import PARTITIONERS
-    from .shard.rebalance import REBALANCE_OBJECTIVES
-
-    stream.add_argument("--partitioner", choices=tuple(PARTITIONERS),
-                        default=None,  # resolved to hash; None flags explicit use
-                        help="initial shard assignment (needs --shards > 1; "
-                             "default hash)")
-    stream.add_argument("--rebalance", action="store_true",
-                        help="migrate hot routing bins between micro-batches "
-                             "(Megaphone-style; needs --shards > 1)")
-    stream.add_argument("--bins", type=_positive_int, default=None,
-                        help="routing bins N per domain (needs --shards > 1; "
-                             "default 64 per shard, must be >= shards)")
-    stream.add_argument("--migration", choices=PACING_STRATEGIES,
-                        default=None,  # resolved to all-at-once
-                        help="bin handoff pacing (needs --rebalance; "
-                             "default all-at-once)")
-    stream.add_argument("--tenants", default=None, metavar="NAME=SHARE[:DIST],...",
-                        help="tag requests with tenant classes, e.g. "
-                             "A=0.7:zipf1.2,B=0.3:uniform (DIST defaults to "
-                             "uniform; replaces the global --skew draw)")
-    stream.add_argument("--slo", default=None, metavar="NAME=CYCLES,...",
-                        help="per-tenant latency budget in simulated cycles "
-                             "(needs --tenants)")
-    stream.add_argument("--qos", action="store_true",
-                        help="SLO-aware admission: weighted per-tenant depth "
-                             "caps + weighted-fair dequeue + deadline-aware "
-                             "batch release (needs --tenants)")
-    stream.add_argument("--qos-burst", type=_positive_float, default=1.0,
-                        help="per-tenant depth cap multiplier under --qos "
-                             "(cap = burst * capacity * share; < 1 reserves "
-                             "headroom for light tenants)")
-    stream.add_argument("--rebalance-objective", choices=REBALANCE_OBJECTIVES,
-                        default=None,
-                        help="migration planning objective (needs --rebalance; "
-                             "default imbalance)")
-    stream.add_argument("--print-batches", type=_positive_int, default=20,
-                        help="per-batch rows to print (subsampled)")
-    stream.add_argument("--trace", action="store_true",
-                        help="record and print the instruction mix")
-    stream.add_argument("--seed", type=int, default=0)
-
-    serve = sub.add_parser("serve", help=_HELP["serve"])
-    serve.add_argument("--workers", type=_positive_int, default=2,
-                       help="shard worker processes (one shared-memory "
-                            "arena each)")
-    serve.add_argument("--backend", choices=registered_backends(),
-                       default="native",
-                       help="execution backend inside each worker process "
-                            "(native = raw NumPy, the wall-clock path)")
-    serve.add_argument("--requests", type=_positive_int, default=2000,
-                       help="workload size (pre-generated, replayed in "
-                            "real time)")
-    serve.add_argument("--rate", type=_positive_float, default=None,
-                       help="open-loop offered load in requests/second "
-                            "(default: closed loop, everything ready at t=0)")
-    serve.add_argument("--duration", type=_positive_float, default=None,
-                       help="stop admitting after S seconds, drain, and "
-                            "print the partial summary")
-    serve.add_argument("--skew", type=_skew, default=1.2,
-                       help=f"Zipf key skew (max {MAX_SKEW})")
-    serve.add_argument("--kinds", default=None,
-                       help="comma-separated request kinds (default: the "
-                            "registry's stream mix; see `repro info`)")
-    serve.add_argument("--mix", default=None, metavar="KIND=W,...",
-                       help="weighted workload mix (overrides --kinds)")
-    serve.add_argument("--policy", choices=("fixed", "adaptive"),
-                       default="fixed",
-                       help="batch-sizing policy (wall-clock linger replaces "
-                            "the cycle-driven deadline policy)")
-    serve.add_argument("--batch-size", type=_positive_int, default=512,
-                       help="fixed/initial micro-batch target")
-    serve.add_argument("--linger-ms", type=_nonneg_float, default=2.0,
-                       help="max head-of-line wait for a fuller batch")
-    serve.add_argument("--queue-capacity", type=_positive_int, default=8192)
-    serve.add_argument("--admission", choices=("block", "reject"),
-                       default="block", help="full-queue policy")
-    serve.add_argument("--table-size", type=_positive_int, default=509)
-    serve.add_argument("--key-space", type=_positive_int, default=4096)
-    serve.add_argument("--n-cells", type=_positive_int, default=64)
-    serve.add_argument("--partitioner", choices=tuple(PARTITIONERS),
-                       default="hash",  # partitioner name  # no-kind-lint
-                       help="initial shard assignment")
-    serve.add_argument("--rebalance", action="store_true",
-                       help="migrate hot routing bins between exchanges "
-                            "(live, across the worker processes)")
-    serve.add_argument("--bins", type=_positive_int, default=None,
-                       help="routing bins N per domain (default 64 per "
-                            "worker, must be >= workers)")
-    serve.add_argument("--migration", choices=PACING_STRATEGIES,
-                       default=None,  # resolved to all-at-once
-                       help="bin handoff pacing (needs --rebalance; "
-                            "default all-at-once)")
-    serve.add_argument("--tenants", default=None, metavar="NAME=SHARE[:DIST],...",
-                       help="tag requests with tenant classes, e.g. "
-                            "A=0.7:zipf1.2,B=0.3:uniform (DIST defaults to "
-                            "uniform; replaces the global --skew draw)")
-    serve.add_argument("--slo", default=None, metavar="NAME=BUDGET,...",
-                       help="per-tenant latency budget with unit suffix, e.g. "
-                            "A=50ms,B=0.2s (needs --tenants)")
-    serve.add_argument("--qos", action="store_true",
-                       help="SLO-aware admission: weighted per-tenant depth "
-                            "caps + weighted-fair dequeue + deadline-aware "
-                            "batch release (needs --tenants)")
-    serve.add_argument("--qos-burst", type=_positive_float, default=1.0,
-                       help="per-tenant depth cap multiplier under --qos "
-                            "(cap = burst * capacity * share)")
-    serve.add_argument("--rebalance-objective", choices=REBALANCE_OBJECTIVES,
-                       default=None,
-                       help="migration planning objective (needs --rebalance; "
-                            "default imbalance)")
-    serve.add_argument("--print-batches", type=_positive_int, default=20,
-                       help="exchange rows to print (subsampled)")
-    serve.add_argument("--seed", type=int, default=0)
-
-    audit = sub.add_parser("audit", help=_HELP["audit"])
-    audit.add_argument("--suite", choices=("core", "stream", "shard", "all"),
-                       default="all", help="which pipeline family to fuzz")
-    audit.add_argument("--seed", type=int, default=0,
-                       help="base seed (every case derives from it)")
-    audit.add_argument("--cases", type=_positive_int, default=100,
-                       help="generated cases per suite")
-    audit.add_argument("--max-lanes", type=_positive_int, default=96,
-                       help="largest generated input size")
-    audit.add_argument("--artifact", default=None, metavar="PATH",
-                       help="write a JSON report (counterexamples included) "
-                            "to PATH on failure")
-    return parser
-
-
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    parser = build_parser()
-    try:
-        args = parser.parse_args(argv)
-    except SystemExit as exc:
-        # argparse exits 2 on bad input (e.g. an unknown subcommand) and
-        # 0 for --help; normalise the error path to help + status 2 so
-        # the CLI never silently falls through.
-        code = exc.code if isinstance(exc.code, int) else 2
-        if code == 0:
-            return 0
-        parser.print_help()
-        return 2
-
-    if args.command == "figures":
-        from .bench.figures import main as figures_main
-
-        figures_main(list(args.names) + ["--seed", str(args.seed)])
-        return 0
-
-    if args.command == "demo":
-        _demo()
-        return 0
-
-    if args.command == "stream":
-        from .errors import ReproError
-
-        try:
-            return _stream(args)
-        except ReproError as exc:
-            print(f"repro stream: {exc}", file=sys.stderr)
-            return 2
-
-    if args.command == "serve":
-        from .errors import ReproError
-
-        try:
-            return _serve(args)
-        except ReproError as exc:
-            print(f"repro serve: {exc}", file=sys.stderr)
-            return 2
-
-    if args.command == "audit":
-        from .errors import ReproError
-
-        try:
-            return _audit(args)
-        except ReproError as exc:
-            print(f"repro audit: {exc}", file=sys.stderr)
-            return 2
-
-    if args.command == "info":
-        _info()
-        return 0
-
-    parser.print_help()
-    return 2
-
-
-def _demo() -> None:
-    import numpy as np
-
-    from . import fol1, make_machine
-    from .core.theorems import check_all
-    from .hashing import ChainedHashTable, vector_chained_insert
-    from .mem import BumpAllocator
-
-    vm = make_machine(32_768, seed=42)
-    v = np.array([100, 200, 100, 300, 100, 200], dtype=np.int64)
-    dec = fol1(vm, v)
-    check_all(dec)
-    print(f"FOL1 over {v.tolist()}: M = {dec.m} sets "
-          f"{[vm_set.tolist() for vm_set in dec.sets]} (all theorems hold)")
-
-    table = ChainedHashTable(BumpAllocator(vm.mem), 127, 1000)
-    keys = np.random.default_rng(0).integers(0, 5000, size=1000)
-    rounds = vector_chained_insert(vm, table, keys)
-    print(f"chained multiple hashing: 1000 keys in {rounds} FOL rounds, "
-          f"{vm.counter.total:,.0f} simulated cycles")
-    print(vm.counter.report())
-
-
-def _parse_mix(text: str):
-    """Parse ``--mix kind=weight,...`` into (kinds, weights).  Unknown
-    kinds and malformed entries raise :class:`ReproError` (exit 2)."""
-    from .engine.spec import get_spec
-    from .errors import ReproError
-
-    kinds, weights = [], []
-    for entry in (e.strip() for e in text.split(",") if e.strip()):
-        name, sep, weight = entry.partition("=")
-        if not sep:
-            raise ReproError(
-                f"malformed mix entry {entry!r}; expected kind=weight"
-            )
-        get_spec(name.strip())  # raises listing registered kinds
-        try:
-            w = float(weight)
-        except ValueError:
-            raise ReproError(f"mix weight {weight!r} is not a number")
-        if w < 0:
-            raise ReproError(f"mix weight for {name!r} is negative: {w}")
-        kinds.append(name.strip())
-        weights.append(w)
-    if not kinds:
-        raise ReproError("empty workload mix")
-    if sum(weights) <= 0:
-        raise ReproError("workload mix weights sum to zero")
-    return tuple(kinds), tuple(weights)
-
-
-def _stream(args) -> int:
-    import time
-
-    import numpy as np
-
-    from .backend import get_backend
-    from .engine.spec import get_spec
-    from .errors import ReproError
-    from .runtime import (
-        BoundedQueue,
-        QoSPolicy,
-        StreamService,
-        apply_slos,
-        closed_loop_workload,
-        make_batcher,
-        open_loop_workload,
-        parse_slo,
-        parse_tenants,
-        tenant_workload,
-    )
-
-    # Flag combinations that would otherwise be silently ignored are
-    # hard errors (exit 2), not no-ops.
-    if args.shards == 1:
-        if args.rebalance:
-            raise ReproError(
-                "--rebalance migrates state between shards and needs "
-                "--shards > 1"
-            )
-        if args.partitioner is not None:
-            raise ReproError(
-                "--partitioner chooses the shard assignment and needs "
-                "--shards > 1"
-            )
-        if args.bins is not None:
-            raise ReproError(
-                "--bins sizes the routing-bin level and needs --shards > 1"
-            )
-    if args.migration is not None and not args.rebalance:
-        raise ReproError(
-            "--migration paces live bin handoff and needs --rebalance"
-        )
-    if args.rebalance_objective is not None and not args.rebalance:
-        raise ReproError(
-            "--rebalance-objective steers migration planning and needs "
-            "--rebalance"
-        )
-    if args.tenants is None:
-        if args.slo is not None:
-            raise ReproError("--slo assigns per-tenant budgets and needs "
-                             "--tenants")
-        if args.qos:
-            raise ReproError("--qos admits per tenant class and needs "
-                             "--tenants")
-    tenants = None
-    if args.tenants is not None:
-        tenants = parse_tenants(args.tenants)
-        if args.slo is not None:
-            tenants = apply_slos(tenants, parse_slo(args.slo, unit="cycles"))
-    partitioner = args.partitioner or "hash"  # partitioner name  # no-kind-lint
-    migration = args.migration or "all-at-once"
-    objective = args.rebalance_objective or "imbalance"
-
-    backend = get_backend(args.backend)
-    if args.no_recorded_loop and args.recorded_loop not in (None, "off"):
-        raise ReproError(
-            "--no-recorded-loop is shorthand for --recorded-loop off; "
-            f"it conflicts with --recorded-loop {args.recorded_loop}"
-        )
-    loop_choice = "off" if args.no_recorded_loop else args.recorded_loop
-    if loop_choice is not None:
-        if not hasattr(backend, "recorded_loop"):
-            raise ReproError(
-                f"--recorded-loop only applies to the native backend, "
-                f"not {backend.name!r}"
-            )
-        backend.recorded_loop = {
-            "on": True, "off": False, "auto": "auto"
-        }[loop_choice]
-    if not backend.calibrated:
-        # Cycle-only features would silently measure zero on an
-        # uncalibrated backend; refuse them up front.
-        if args.trace:
-            raise ReproError(
-                "--trace records the simulated instruction mix, which the "
-                f"{backend.name!r} backend does not charge; use --backend sim"
-            )
-        if args.policy == "deadline":
-            raise ReproError(
-                "the deadline batch policy is driven by simulated cycles, "
-                f"which the {backend.name!r} backend does not charge; use "
-                "--backend sim or --policy fixed/adaptive"
-            )
-
-    if args.mix is not None:
-        kinds, weights = _parse_mix(args.mix)
-    else:
-        kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
-        weights = None
-        for kind in kinds:
-            get_spec(kind)  # unknown kind -> ReproError naming the registry
-    rng = np.random.default_rng(args.seed)
-    if tenants is not None:
-        requests = tenant_workload(
-            rng,
-            args.requests,
-            tenants,
-            kinds=kinds,
-            weights=weights,
-            key_space=args.key_space,
-            mean_gap=None if args.closed_loop else args.mean_gap,
-        )
-    else:
-        common = dict(
-            kinds=kinds, weights=weights, skew=args.skew,
-            key_space=args.key_space,
-        )
-        if args.closed_loop:
-            requests = closed_loop_workload(rng, args.requests, **common)
-        else:
-            requests = open_loop_workload(
-                rng, args.requests, mean_gap=args.mean_gap, **common
-            )
-
-    if args.policy == "fixed":
-        batcher = make_batcher("fixed", batch_size=args.batch_size)
-    elif args.policy == "deadline":
-        batcher = make_batcher(
-            "deadline", deadline=args.deadline, max_size=args.batch_size
-        )
-    else:
-        batcher = make_batcher("adaptive", initial=args.batch_size)
-
-    policy = QoSPolicy(tenants, burst=args.qos_burst) if args.qos else None
-    queue = BoundedQueue(
-        args.queue_capacity, admission=args.admission, qos=policy
-    )
-    if args.shards > 1:
-        from .shard import ShardCoordinator
-
-        coordinator = ShardCoordinator.for_workload(
-            requests,
-            shards=args.shards,
-            partitioner=partitioner,
-            rebalance=args.rebalance,
-            table_size=args.table_size,
-            key_space=args.key_space,
-            carryover=not args.no_carryover,
-            backend=backend,
-            seed=args.seed,
-            bins=args.bins,
-            migration=migration,
-            rebalance_objective=objective,
-        )
-        service = StreamService(coordinator, batcher=batcher, queue=queue)
-    else:
-        service = StreamService.for_workload(
-            requests,
-            batcher=batcher,
-            queue=queue,
-            table_size=args.table_size,
-            carryover=not args.no_carryover,
-            trace=args.trace,
-            backend=backend,
-            seed=args.seed,
-        )
-    t0 = time.perf_counter()
-    interrupted = False
-    try:
-        metrics = service.run(requests)
-    except KeyboardInterrupt:
-        # Partial summary instead of a traceback: the metrics object
-        # already holds every batch that finished before the interrupt.
-        interrupted = True
-        metrics = service.metrics
-        metrics.rejected = queue.stats.rejected
-        metrics.blocked_offers = queue.stats.blocked_offers
-        metrics.blocked_requests = queue.stats.blocked_requests
-        metrics.queue_max_depth = queue.stats.max_depth
-    wall = time.perf_counter() - t0
-    if tenants is not None:
-        # FIFO baseline runs still report weights/SLOs so the tenant
-        # table and fairness index are comparable with --qos runs.
-        for t in tenants:
-            metrics.tenant_weights.setdefault(t.name, t.share)
-            if np.isfinite(t.slo):
-                metrics.tenant_slos.setdefault(t.name, t.slo)
-
-    mode = "retry-in-batch" if args.no_carryover else "carryover"
-    loop = "closed" if args.closed_loop else "open"
-    shard_note = (
-        f", shards={args.shards} ({partitioner}"
-        f"{f', bins={args.bins}' if args.bins is not None else ''}"
-        f"{f', rebalance/{migration}' if args.rebalance else ''})"
-        if args.shards > 1 else ""
-    )
-    if weights is not None:
-        mix_note = ",".join(f"{k}={w:g}" for k, w in zip(kinds, weights))
-    else:
-        mix_note = ",".join(kinds)
-    rl = getattr(backend, "recorded_loop", None)
-    if backend.calibrated or not rl:
-        loop_note = ""
-    elif rl == "auto":
-        loop_note = ", auto loop"
-    else:
-        loop_note = ", recorded loop"
-    print(f"stream: {args.requests} requests, kinds={mix_note}, "
-          f"skew={args.skew}, policy={batcher.name}, {mode}, {loop} loop, "
-          f"backend={backend.name}{loop_note}{shard_note}")
-    if interrupted:
-        print(f"\ninterrupted — partial summary "
-              f"({metrics.total_completed} of {args.requests} completed)")
-    print()
-    print(metrics.batch_table(max_rows=args.print_batches))
-    if args.shards > 1:
-        print()
-        print(metrics.shard_table(max_rows=args.print_batches))
-    print()
-    print(metrics.summary_table())
-    if tenants is not None:
-        print()
-        qos_note = (
-            f"qos admission (burst={args.qos_burst:g})" if args.qos
-            else "global FIFO admission"
-        )
-        print(f"per-tenant summary ({qos_note}, latency in cycles):")
-        print(metrics.tenant_table())
-    print()
-    rate = args.requests / wall if wall > 0 else float("inf")
-    print(f"wall-clock: {wall:.3f} s on the {backend.name!r} backend "
-          f"({rate:,.0f} requests/sec)")
-    if metrics.instruction_mix is not None:
-        print()
-        print("instruction mix (cycles by category):")
-        for cat, cyc in sorted(
-            metrics.instruction_mix.items(), key=lambda kv: -kv[1]
-        ):
-            print(f"  {cat:<16s} {cyc:>14,.0f}")
-    return 130 if interrupted else 0
-
-
-def _serve(args) -> int:
-    from .engine.spec import get_spec
-    from .errors import ReproError
-    from .serve import run_serve
-
-    if args.migration is not None and not args.rebalance:
-        raise ReproError(
-            "--migration paces live bin handoff and needs --rebalance"
-        )
-    if args.rebalance_objective is not None and not args.rebalance:
-        raise ReproError(
-            "--rebalance-objective steers migration planning and needs "
-            "--rebalance"
-        )
-    if args.tenants is None:
-        if args.slo is not None:
-            raise ReproError("--slo assigns per-tenant budgets and needs "
-                             "--tenants")
-        if args.qos:
-            raise ReproError("--qos admits per tenant class and needs "
-                             "--tenants")
-    tenants = None
-    if args.tenants is not None:
-        from .runtime import apply_slos, parse_slo, parse_tenants
-
-        tenants = parse_tenants(args.tenants)
-        if args.slo is not None:
-            tenants = apply_slos(tenants, parse_slo(args.slo, unit="seconds"))
-    migration = args.migration or "all-at-once"
-    objective = args.rebalance_objective or "imbalance"
-    if args.mix is not None:
-        kinds, weights = _parse_mix(args.mix)
-    elif args.kinds is not None:
-        kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
-        weights = None
-        for kind in kinds:
-            get_spec(kind)  # unknown kind -> ReproError naming the registry
-    else:
-        kinds, weights = None, None  # the registry's default stream mix
-
-    report = run_serve(
-        workers=args.workers,
-        backend=args.backend,
-        requests=args.requests,
-        rate=args.rate,
-        duration=args.duration,
-        skew=args.skew,
-        kinds=kinds,
-        weights=weights,
-        policy=args.policy,
-        batch_size=args.batch_size,
-        linger_ms=args.linger_ms,
-        queue_capacity=args.queue_capacity,
-        admission=args.admission,
-        table_size=args.table_size,
-        n_cells=args.n_cells,
-        key_space=args.key_space,
-        partitioner=args.partitioner,
-        seed=args.seed,
-        bins=args.bins,
-        rebalance=args.rebalance,
-        migration=migration,
-        rebalance_objective=objective,
-        tenants=tenants,
-        qos=args.qos,
-        qos_burst=args.qos_burst,
-    )
-    m = report.metrics
-    loop = "closed loop" if args.rate is None else f"open loop @ {args.rate:g}/s"
-    mix_note = (
-        ",".join(f"{k}={w:g}" for k, w in zip(kinds, weights))
-        if kinds is not None and weights is not None
-        else ",".join(kinds) if kinds is not None else "stream mix"
-    )
-    print(f"serve: {args.workers} worker processes, backend={args.backend}, "
-          f"{args.requests} requests, kinds={mix_note}, skew={args.skew}, "
-          f"{loop}, policy={args.policy}, linger={args.linger_ms:g}ms")
-    if m.interrupted:
-        print(f"\nstopped early — drained partial summary "
-              f"({m.total_completed} of {args.requests} completed)")
-    print()
-    print(m.exchange_table(max_rows=args.print_batches))
-    print()
-    print(m.summary_table())
-    if tenants is not None:
-        print()
-        qos_note = (
-            f"qos admission (burst={args.qos_burst:g})" if args.qos
-            else "global FIFO admission"
-        )
-        print(f"per-tenant summary ({qos_note}, latency in ms):")
-        print(m.tenant_table())
-    print()
-    if report.divergence is not None:
-        print(f"ORACLE DIVERGENCE: {report.divergence}", file=sys.stderr)
-        return 1
-    print(f"merged end state matches the scalar oracle over "
-          f"{len(report.completed)} completed requests "
-          f"(fingerprint {report.state_fingerprint[:16]})")
-    return 130 if report.signalled else 0
-
-
-def _audit(args) -> int:
-    import json
-
-    from .audit import run_suite
-
-    suites = ("core", "stream", "shard") if args.suite == "all" else (args.suite,)
-    reports = []
-    failed = False
-    for suite in suites:
-        report = run_suite(
-            suite, seed=args.seed, cases=args.cases, max_lanes=args.max_lanes
-        )
-        reports.append(report)
-        s = report.stats
-        print(
-            f"audit {suite}: {report.cases} cases, "
-            f"{s.scatters} scatters ({s.conflicts} conflicting groups), "
-            f"{s.rounds} rounds, {s.claims} claims, "
-            f"{s.decompositions + s.tuple_decompositions} decompositions -> "
-            f"{'OK' if report.ok else f'{len(report.failures)} FAILURES'}"
-        )
-        for failure in report.failures:
-            failed = True
-            print(f"  FAIL {failure.case.describe()}")
-            print(f"       {failure.message}")
-            print(
-                f"       shrunk to {len(failure.keys)} lanes "
-                f"(from {failure.shrunk_from}): {failure.keys}"
-            )
-    if failed and args.artifact:
-        with open(args.artifact, "w", encoding="utf-8") as fh:
-            json.dump([r.as_dict() for r in reports], fh, indent=2)
-        print(f"counterexample report written to {args.artifact}")
-    return 1 if failed else 0
-
-
-def _info() -> None:
-    from . import CostModel, __version__
-    from .backend import backend_summaries
-    from .bench.figures import EXPERIMENTS
-    from .engine.spec import specs
-
-    print(f"repro {__version__}")
-    print(f"cost model (s810): {CostModel.s810()}")
-    print("subcommands:")
-    for name, help_line in SUBCOMMANDS:
-        print(f"  {name:<8s} {help_line}")
-    print("workload kinds:")
-    for spec in specs():
-        arity = f" (arity {spec.arity})" if spec.arity != 1 else ""
-        print(f"  {spec.name:<6s} domain={spec.domain}{arity}  "
-              f"{spec.description}")
-    print("backends:")
-    for name, calibrated, doc in backend_summaries():
-        tag = "calibrated cycles" if calibrated else "wall-clock only"
-        print(f"  {name:<6s} [{tag}]  {doc}")
-    print("experiments:", ", ".join(sorted(set(EXPERIMENTS))))
-
+from .cli import SUBCOMMANDS, build_parser, main  # noqa: F401
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -6,35 +6,13 @@ from __future__ import annotations
 import json
 import math
 from pathlib import Path
-from typing import Iterable, List, Mapping, Sequence, Union
+from typing import Mapping, Sequence, Union
 
-
-def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
-    """Right-aligned ASCII table."""
-    srows = [[_fmt(c) for c in row] for row in rows]
-    widths = [len(h) for h in headers]
-    for row in srows:
-        for i, cell in enumerate(row):
-            widths[i] = max(widths[i], len(cell))
-    lines = [
-        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
-        "  ".join("-" * w for w in widths),
-    ]
-    for row in srows:
-        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
-    return "\n".join(lines)
-
-
-def _fmt(cell: object) -> str:
-    if isinstance(cell, float):
-        if math.isnan(cell):
-            return "—"  # undefined metric (e.g. no completions)
-        if cell >= 1000:
-            return f"{cell:,.0f}"
-        return f"{cell:.2f}"
-    if isinstance(cell, int):
-        return f"{cell:,}"
-    return str(cell)
+# The table renderer and its NaN-safe cell formatter live on the
+# observability spine now; re-exported here because every bench and
+# figure module (and years of call sites) import them from this module.
+from ..obs.core import fmt_cell as _fmt  # noqa: F401
+from ..obs.core import format_table  # noqa: F401
 
 
 def sparkline(values: Sequence[float], width: int = 40) -> str:

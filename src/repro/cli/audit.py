@@ -1,0 +1,39 @@
+"""``repro audit`` — fuzz the FOL pipelines under invariant auditing."""
+
+from __future__ import annotations
+
+
+def run(args) -> int:
+    import json
+
+    from ..audit import run_suite
+
+    suites = ("core", "stream", "shard") if args.suite == "all" else (args.suite,)
+    reports = []
+    failed = False
+    for suite in suites:
+        report = run_suite(
+            suite, seed=args.seed, cases=args.cases, max_lanes=args.max_lanes
+        )
+        reports.append(report)
+        s = report.stats
+        print(
+            f"audit {suite}: {report.cases} cases, "
+            f"{s.scatters} scatters ({s.conflicts} conflicting groups), "
+            f"{s.rounds} rounds, {s.claims} claims, "
+            f"{s.decompositions + s.tuple_decompositions} decompositions -> "
+            f"{'OK' if report.ok else f'{len(report.failures)} FAILURES'}"
+        )
+        for failure in report.failures:
+            failed = True
+            print(f"  FAIL {failure.case.describe()}")
+            print(f"       {failure.message}")
+            print(
+                f"       shrunk to {len(failure.keys)} lanes "
+                f"(from {failure.shrunk_from}): {failure.keys}"
+            )
+    if failed and args.artifact:
+        with open(args.artifact, "w", encoding="utf-8") as fh:
+            json.dump([r.as_dict() for r in reports], fh, indent=2)
+        print(f"counterexample report written to {args.artifact}")
+    return 1 if failed else 0

@@ -1,0 +1,10 @@
+"""``repro figures`` — regenerate paper tables/figures."""
+
+from __future__ import annotations
+
+
+def run(args) -> int:
+    from ..bench.figures import main as figures_main
+
+    figures_main(list(args.names) + ["--seed", str(args.seed)])
+    return 0

@@ -1,0 +1,28 @@
+"""``repro info`` — version, cost model, registries."""
+
+from __future__ import annotations
+
+
+def run(args) -> int:
+    from .. import CostModel, __version__
+    from ..backend import backend_summaries
+    from ..bench.figures import EXPERIMENTS
+    from ..engine.spec import specs
+    from .parser import SUBCOMMANDS
+
+    print(f"repro {__version__}")
+    print(f"cost model (s810): {CostModel.s810()}")
+    print("subcommands:")
+    for name, help_line in SUBCOMMANDS:
+        print(f"  {name:<8s} {help_line}")
+    print("workload kinds:")
+    for spec in specs():
+        arity = f" (arity {spec.arity})" if spec.arity != 1 else ""
+        print(f"  {spec.name:<6s} domain={spec.domain}{arity}  "
+              f"{spec.description}")
+    print("backends:")
+    for name, calibrated, doc in backend_summaries():
+        tag = "calibrated cycles" if calibrated else "wall-clock only"
+        print(f"  {name:<6s} [{tag}]  {doc}")
+    print("experiments:", ", ".join(sorted(set(EXPERIMENTS))))
+    return 0

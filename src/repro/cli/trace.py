@@ -1,0 +1,21 @@
+"""``repro trace`` — render a lifecycle trace JSONL file.
+
+Pure post-processing: loads the events a ``--trace-out`` run flushed
+and prints the :mod:`repro.obs.report` views (stage decomposition +
+histograms, per-tenant breakdown, top-k slowest requests)."""
+
+from __future__ import annotations
+
+
+def run(args) -> int:
+    from ..errors import ReproError
+    from ..obs.report import render_trace_report
+
+    try:
+        text = render_trace_report(args.file, top=args.top, bins=args.bins)
+    except FileNotFoundError:
+        raise ReproError(f"trace file not found: {args.file}")
+    except ValueError as exc:
+        raise ReproError(str(exc))
+    print(text)
+    return 0

@@ -1,0 +1,48 @@
+"""`repro.obs` — the observability spine.
+
+Two halves (see docs/observability.md):
+
+* :mod:`repro.obs.core` — the clock-agnostic telemetry core every
+  metrics facade builds on (percentiles, NaN-safe formatting, tables,
+  tenant cells + Jain fairness, queue-ledger absorption).
+* :mod:`repro.obs.events` — the opt-in request-lifecycle span layer
+  (``--trace``): per-request stage decomposition (admit / queue /
+  batch / execute / commit / park / carry) and a JSONL event sink.
+
+:mod:`repro.obs.report` post-processes a flushed JSONL file into the
+``python -m repro trace`` report (stage histograms, per-tenant
+breakdown, top-k slowest requests).
+"""
+
+from .core import (
+    Clock,
+    MetricsBase,
+    fmt_cell,
+    fmt_value,
+    format_table,
+    jain_index,
+    percentile,
+    subsample,
+    tenant_fairness,
+    tenant_summary_cells,
+)
+from .events import STAGES, TraceRecorder, load_events
+from .report import TraceReport, render_trace_report
+
+__all__ = [
+    "Clock",
+    "MetricsBase",
+    "fmt_cell",
+    "fmt_value",
+    "format_table",
+    "jain_index",
+    "percentile",
+    "subsample",
+    "tenant_fairness",
+    "tenant_summary_cells",
+    "STAGES",
+    "TraceRecorder",
+    "TraceReport",
+    "load_events",
+    "render_trace_report",
+]

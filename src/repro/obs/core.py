@@ -1,0 +1,397 @@
+"""Clock-agnostic telemetry core shared by every metrics facade.
+
+One observability spine (ISSUE 10): the percentile math, NaN-safe
+formatting, ASCII table rendering, admission-ledger absorption and the
+per-tenant cells + Jain fairness used to live copy-pasted across
+``runtime/metrics.py``, ``serve/metrics.py``, ``runtime/qos.py`` and
+``bench/reporting.py`` — which is how the PR 9 ``blocked_offers``/NaN
+bugs had to be fixed twice.  They live here now, once:
+
+* :class:`Clock` — a unit-tagged time source.  The stream runtime runs
+  on *simulated cycles* (the service clock), the serving layer on
+  *wall seconds* (a monotonic origin); everything in this module is
+  agnostic to which, it only labels values with ``clock.unit``.
+* :func:`percentile` — NaN-for-undefined percentiles (an empty run has
+  no latency distribution; 0.0 would read as an infinitely fast
+  service).
+* :func:`fmt_value` / :func:`fmt_cell` / :func:`format_table` — the
+  NaN-safe pretty-printers behind every summary, tenant and bench
+  table.
+* :func:`jain_index` / :func:`tenant_summary_cells` /
+  :func:`tenant_fairness` — the per-tenant aggregates both facades
+  report (re-exported by :mod:`repro.runtime.qos` for compatibility).
+* :class:`MetricsBase` — the shared half of ``StreamMetrics`` and
+  ``ServeMetrics``: completion ledger, latency percentiles, queue-stat
+  absorption, tenant summaries/fairness and the tenant/summary table
+  renderers, parameterised by each facade's units and float precision.
+
+The one hard rule: this module imports nothing from the layers it
+observes (only :mod:`math`/:mod:`numpy`), so every layer can import it
+without cycles — and ``tools/check_obs_imports.py`` forbids fresh
+percentile/format helpers anywhere else under ``repro/``.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Clock",
+    "percentile",
+    "fmt_value",
+    "fmt_cell",
+    "format_table",
+    "subsample",
+    "jain_index",
+    "tenant_summary_cells",
+    "tenant_fairness",
+    "MetricsBase",
+]
+
+
+class Clock:
+    """A unit-tagged time source (simulated cycles or wall seconds).
+
+    ``fn`` returns the current time in ``unit``; the constructors cover
+    the repo's two time bases.  Telemetry never converts between units
+    — it records whatever the owning layer's clock says and labels it.
+    """
+
+    def __init__(self, fn: Callable[[], float], unit: str) -> None:
+        self.fn = fn
+        self.unit = unit
+
+    def now(self) -> float:
+        return float(self.fn())
+
+    @classmethod
+    def simulated(cls, fn: Callable[[], float]) -> "Clock":
+        """The stream runtime's simulated-cycle clock (``fn`` typically
+        reads ``service.now``)."""
+        return cls(fn, "cycles")
+
+    @classmethod
+    def wall(cls, origin: Optional[float] = None) -> "Clock":
+        """Monotonic wall clock in seconds since ``origin`` (defaults
+        to now) — the serving layer's time base."""
+        t0 = time.perf_counter() if origin is None else origin
+        return cls(lambda: time.perf_counter() - t0, "seconds")
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Percentile with the NaN-for-undefined convention: no samples
+    means no distribution, so the result is ``nan`` (rendered ``—`` in
+    tables and ``null`` in JSON), never a fake 0.0."""
+    if not len(values):
+        return float("nan")
+    return float(np.percentile(np.asarray(values), q))
+
+
+def fmt_value(v: object, precision: int = 2, dicts: bool = False) -> str:
+    """NaN-safe scalar formatting for two-column summary tables.
+
+    ``precision`` is the facade's float precision (the stream runtime
+    prints cycles at 2 decimals, the serving layer milliseconds at 3);
+    ``dicts`` additionally flattens one dict level to ``k=v`` pairs
+    (the stream summary's ``lanes_by_kind`` row).
+    """
+    if isinstance(v, float):
+        if np.isnan(v):
+            return "—"  # undefined metric (e.g. no completions)
+        return f"{v:,.{precision}f}"
+    if dicts and isinstance(v, dict):
+        return " ".join(f"{k}={fmt_value(n, precision, True)}" for k, n in v.items()) or "—"
+    return str(v)
+
+
+def fmt_cell(cell: object) -> str:
+    """Bench-table cell formatting (thousands separators, NaN as ``—``,
+    floats ≥ 1000 rounded to integers)."""
+    if isinstance(cell, float):
+        if math.isnan(cell):
+            return "—"  # undefined metric (e.g. no completions)
+        if cell >= 1000:
+            return f"{cell:,.0f}"
+        return f"{cell:.2f}"
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    return str(cell)
+
+
+def format_table(headers: Sequence[str], rows) -> str:
+    """Right-aligned ASCII table."""
+    srows = [[fmt_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in srows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def subsample(records: Sequence, max_rows: Optional[int]) -> List:
+    """Evenly subsample ``records`` down to ``max_rows`` (the table
+    renderers' shared row cap)."""
+    records = list(records)
+    if max_rows is not None and len(records) > max_rows:
+        idx = np.linspace(0, len(records) - 1, max_rows).astype(int)
+        records = [records[i] for i in sorted(set(idx))]
+    return records
+
+
+# ----------------------------------------------------------------------
+# per-tenant aggregates (re-exported by repro.runtime.qos)
+# ----------------------------------------------------------------------
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index ``(Σx)² / (n·Σx²)`` over per-tenant values.
+
+    1.0 means perfectly even, ``1/n`` means one tenant took everything.
+    Non-finite entries are dropped; with no usable entries (or an
+    all-zero allocation) the index is undefined and ``nan`` is returned,
+    matching the metrics layer's NaN-for-undefined convention.
+    """
+    arr = np.asarray([v for v in values if math.isfinite(v)], dtype=np.float64)
+    if arr.size == 0 or not (arr > 0).any() or (arr < 0).any():
+        return float("nan")
+    return float(arr.sum() ** 2 / (arr.size * (arr ** 2).sum()))
+
+
+def tenant_summary_cells(
+    tenant_latencies: Mapping[str, Sequence[float]],
+    tenant_admission: Mapping[str, Mapping[str, int]],
+    tenant_weights: Mapping[str, float],
+    tenant_slos: Mapping[str, float],
+) -> Dict[str, Dict[str, object]]:
+    """Per-tenant metric cells shared by StreamMetrics and ServeMetrics.
+
+    One cell per tenant name seen anywhere (completions or admission):
+    completion count, latency percentiles (NaN with no completions —
+    never a fake zero), SLO attainment when the tenant has a finite
+    budget, the admission counters, and the configured weight.  Latency
+    and SLO share whatever unit the caller recorded (cycles or
+    seconds)."""
+    out: Dict[str, Dict[str, object]] = {}
+    for name in sorted(set(tenant_latencies) | set(tenant_admission)):
+        lats = np.asarray(tenant_latencies.get(name, ()), dtype=np.float64)
+        done = np.isfinite(lats)
+        cell: Dict[str, object] = {
+            "completed": int(done.sum()),
+            "p50_latency": (
+                float(np.percentile(lats[done], 50))
+                if done.any()
+                else float("nan")
+            ),
+            "p99_latency": (
+                float(np.percentile(lats[done], 99))
+                if done.any()
+                else float("nan")
+            ),
+        }
+        slo = tenant_slos.get(name)
+        if slo is not None and math.isfinite(slo):
+            cell["slo"] = float(slo)
+            cell["slo_attainment"] = (
+                float((lats[done] <= slo).mean()) if done.any() else 0.0
+            )
+        if name in tenant_weights:
+            cell["weight"] = float(tenant_weights[name])
+        cell.update(tenant_admission.get(name, {}))
+        out[name] = cell
+    return out
+
+
+def tenant_fairness(
+    cells: Mapping[str, Mapping[str, object]],
+    tenant_weights: Mapping[str, float],
+) -> float:
+    """Jain's fairness index across the tenant cells.
+
+    When every tenant has a finite SLO the per-tenant values are SLO
+    attainment (a starved tenant contributes 0 and drags the index
+    toward ``1/n``); without full SLO coverage it falls back to
+    weight-normalised completed counts (throughput fairness)."""
+    names = sorted(cells)
+    if not names:
+        return float("nan")
+    if all("slo_attainment" in cells[n] for n in names):
+        return jain_index([float(cells[n]["slo_attainment"]) for n in names])
+    return jain_index(
+        [
+            float(cells[n].get("completed", 0))
+            / float(tenant_weights.get(n, 1.0))
+            for n in names
+        ]
+    )
+
+
+# ----------------------------------------------------------------------
+# the shared metrics half
+# ----------------------------------------------------------------------
+class MetricsBase:
+    """Everything ``StreamMetrics`` and ``ServeMetrics`` have in common.
+
+    Subclasses set three class attributes that parameterise rendering:
+    ``_precision`` (float decimals in tables), ``_fmt_dicts`` (flatten
+    dict rows in the summary table) and ``_tenant_unit_suffix`` (``""``
+    for raw clock units, ``"_ms"`` for the serving layer's millisecond
+    tenant cells).
+    """
+
+    _precision = 2
+    _fmt_dicts = True
+    _tenant_unit_suffix = ""
+    _summary_table_skip = ("tenants",)
+
+    def __init__(self) -> None:
+        self.latencies: List[float] = []
+        self.rejected = 0
+        self.blocked_offers = 0
+        self.blocked_requests = 0
+        self.max_queue_depth = 0  # sampled at batch/exchange launch
+        self.queue_max_depth = 0  # the queue's locked high-water mark
+        # per-tenant accounting (empty on untenanted runs)
+        self.tenant_latencies: Dict[str, List[float]] = {}
+        self.tenant_admission: Dict[str, Dict[str, int]] = {}
+        self.tenant_weights: Dict[str, float] = {}
+        self.tenant_slos: Dict[str, float] = {}
+        # optional lifecycle-span recorder (see repro.obs.events);
+        # None means tracing is off and nothing else changes.
+        self.trace_recorder = None
+
+    @property
+    def blocked(self) -> int:
+        """Legacy alias for :attr:`blocked_offers`."""
+        return self.blocked_offers
+
+    # ------------------------------------------------------------------
+    def record_completion(self, latency: float, tenant: str = "") -> None:
+        self.latencies.append(latency)
+        if tenant:
+            self.tenant_latencies.setdefault(tenant, []).append(latency)
+
+    def latency_percentile(self, q: float) -> float:
+        """Latency percentile over completed requests, in the owning
+        layer's clock unit (``nan`` with no completions)."""
+        return percentile(self.latencies, q)
+
+    @property
+    def reconciled_max_depth(self) -> int:
+        """The queue's locked high-water mark reconciled with the
+        launch-time samples: every launch *drains* the queue first, so
+        samples alone sit below the true peak."""
+        return max(self.max_queue_depth, self.queue_max_depth)
+
+    def absorb_queue(self, queue) -> None:
+        """Copy a :class:`~repro.runtime.queue.BoundedQueue`'s admission
+        ledger (global + per-tenant) and QoS configuration in — the one
+        place the queue's counters become metrics fields."""
+        stats = queue.stats
+        self.rejected = stats.rejected
+        self.blocked_offers = stats.blocked_offers
+        self.blocked_requests = stats.blocked_requests
+        self.queue_max_depth = stats.max_depth
+        if queue.tenant_stats:
+            self.tenant_admission = {
+                name: ts.as_dict() for name, ts in queue.tenant_stats.items()
+            }
+        if queue.qos is not None:
+            self.tenant_weights = queue.qos.weights()
+            self.tenant_slos.update(queue.qos.slos())
+
+    # ------------------------------------------------------------------
+    # per-tenant aggregates
+    # ------------------------------------------------------------------
+    def tenant_names(self) -> List[str]:
+        """Every tenant seen by the run (completions or admission)."""
+        return sorted(set(self.tenant_latencies) | set(self.tenant_admission))
+
+    def _tenant_cells(self) -> Dict[str, Dict[str, object]]:
+        return tenant_summary_cells(
+            self.tenant_latencies,
+            self.tenant_admission,
+            self.tenant_weights,
+            self.tenant_slos,
+        )
+
+    def tenant_summary(self) -> Dict[str, Dict[str, object]]:
+        """Per-tenant admission counters, latency percentiles and SLO
+        attainment, keyed by tenant name (subclasses may rescale the
+        latency cells to their display unit)."""
+        return self._tenant_cells()
+
+    def jain_fairness(self) -> float:
+        """Jain's fairness index across tenants (see
+        :func:`tenant_fairness` for the value definition: SLO attainment
+        when every tenant has a budget, weight-normalised throughput
+        otherwise)."""
+        return tenant_fairness(self._tenant_cells(), self.tenant_weights)
+
+    def tenant_table(self) -> str:
+        """Per-tenant metrics rendered as a table (QoS runs)."""
+        sfx = self._tenant_unit_suffix
+        unit_hdr = sfx.lstrip("_")
+        headers = [
+            "tenant", "offered", "admitted", "rejected", "blocked",
+            "completed", f"p50{unit_hdr}", f"p99{unit_hdr}",
+            f"slo{sfx}" if sfx else "slo", "attain%",
+        ]
+        rows = []
+        for name, cell in self.tenant_summary().items():
+            slo = cell.get(f"slo{sfx}")
+            attain = cell.get("slo_attainment")
+            rows.append([
+                name,
+                cell.get("offered", "—"),
+                cell.get("admitted", "—"),
+                cell.get("rejected", "—"),
+                cell.get("blocked_requests", "—"),
+                cell.get("completed", 0),
+                self._fmt(cell.get(f"p50_latency{sfx}", float("nan"))),
+                self._fmt(cell.get(f"p99_latency{sfx}", float("nan"))),
+                self._fmt(slo) if slo is not None else "—",
+                f"{100 * attain:.1f}" if attain is not None else "—",
+            ])
+        return format_table(headers, rows)
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def _fmt(self, v: object) -> str:
+        return fmt_value(v, self._precision, self._fmt_dicts)
+
+    def summary(self) -> Dict[str, object]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def summary_table(self) -> str:
+        """Aggregate metrics rendered as a two-column table (nested
+        per-tenant cells and the instruction mix render via their own
+        tables instead of one unreadable row)."""
+        rows = [
+            [k, self._fmt(v)]
+            for k, v in self.summary().items()
+            if k not in self._summary_table_skip
+        ]
+        return format_table(["metric", "value"], rows)
+
+    def _tenant_summary_keys(self, out: Dict[str, object]) -> None:
+        """Append the tenant block to a summary dict when the run was
+        tenant-tagged (shared tail of both facades' ``summary()``)."""
+        if self.tenant_latencies or self.tenant_admission:
+            out["jain_fairness"] = self.jain_fairness()
+            out["tenants"] = self.tenant_summary()
+
+    def _stage_summary_keys(self, out: Dict[str, object]) -> None:
+        """Append the per-stage latency decomposition when a lifecycle
+        trace recorder is attached (``--trace`` runs only — with
+        tracing off the summary is bit-identical to pre-span builds)."""
+        if self.trace_recorder is not None:
+            out["stage_breakdown"] = self.trace_recorder.stage_breakdown()

@@ -1,0 +1,206 @@
+"""Offline trace reports: render a ``--trace-out`` JSONL file.
+
+``python -m repro trace <file>`` loads the lifecycle events a
+:class:`~repro.obs.events.TraceRecorder` flushed and renders three
+views over the completed requests:
+
+* the per-stage latency decomposition (same table the live run
+  prints), plus an ASCII histogram per stage;
+* the per-tenant stage breakdown (which tenant spends its latency
+  where);
+* the top-k slowest requests with their individual stage spans — the
+  "why was this one slow" view.
+
+Everything here is pure post-processing of the JSONL: no recorder, no
+run state, so traces can be inspected long after the run (or shipped
+from another machine)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..errors import ReproError
+from .core import format_table, percentile
+from .events import STAGES, load_events
+
+#: Width of the histogram bars, in characters at full height.
+_BAR_WIDTH = 40
+
+
+class TraceReport:
+    """Aggregated view over one trace file's events."""
+
+    def __init__(self, events: Sequence[dict], source: str = "<events>"):
+        self.source = source
+        meta: Dict[str, object] = {}
+        if events and events[0].get("ev") == "meta":
+            meta = events[0]
+            events = events[1:]
+        self.unit = str(meta.get("unit", "units"))
+        self.events = list(events)
+        self.completed = [e for e in self.events if e.get("ev") == "completed"]
+        self.counts: Dict[str, int] = {}
+        for e in self.events:
+            kind = str(e.get("ev", "?"))
+            self.counts[kind] = self.counts.get(kind, 0) + 1
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "TraceReport":
+        return cls(load_events(path), source=str(path))
+
+    # ------------------------------------------------------------------
+    @property
+    def _scale(self) -> float:
+        return 1e3 if self.unit == "seconds" else 1.0
+
+    @property
+    def _unit_label(self) -> str:
+        return "ms" if self.unit == "seconds" else self.unit
+
+    def _fmt(self, value: float) -> str:
+        return f"{self._scale * value:,.2f}"
+
+    # ------------------------------------------------------------------
+    def header(self) -> str:
+        parts = [f"trace: {self.source}", f"unit: {self._unit_label}"]
+        order = ("offered", "batched", "completed", "filtered", "parked",
+                 "committed", "batch", "migration")
+        counted = [f"{k}={self.counts[k]}" for k in order if k in self.counts]
+        counted += [
+            f"{k}={v}" for k, v in sorted(self.counts.items())
+            if k not in order
+        ]
+        parts.append("events: " + (", ".join(counted) if counted else "none"))
+        return "\n".join(parts)
+
+    def stage_table(self) -> str:
+        """Per-stage decomposition over completed requests (the same
+        shape the live ``--trace`` summary prints)."""
+        done = self.completed
+        total_latency = sum(e["latency"] for e in done)
+        u = self._unit_label
+        headers = ["stage", f"total ({u})", "share%", f"p50 ({u})", f"p99 ({u})"]
+        rows = []
+        for stage in STAGES:
+            values = [e["stages"].get(stage, 0.0) for e in done]
+            total = sum(values)
+            share = total / total_latency if total_latency else float("nan")
+            p50 = percentile(values, 50)
+            p99 = percentile(values, 99)
+            rows.append([
+                stage,
+                self._fmt(total),
+                f"{100 * share:.1f}" if share == share else "—",
+                self._fmt(p50) if p50 == p50 else "—",
+                self._fmt(p99) if p99 == p99 else "—",
+            ])
+        return format_table(headers, rows)
+
+    # ------------------------------------------------------------------
+    def stage_histograms(self, bins: int = 8) -> str:
+        """One ASCII histogram per stage with any nonzero span."""
+        if bins <= 0:
+            raise ReproError(f"histogram bins must be positive, got {bins}")
+        sections: List[str] = []
+        for stage in STAGES:
+            values = [e["stages"].get(stage, 0.0) for e in self.completed]
+            if not values or max(values) <= 0.0:
+                continue
+            sections.append(self._histogram(stage, values, bins))
+        if not sections:
+            return "(no nonzero stage spans)"
+        return "\n\n".join(sections)
+
+    def _histogram(self, stage: str, values: List[float], bins: int) -> str:
+        lo, hi = min(values), max(values)
+        if hi <= lo:  # all mass in one bin
+            bins, width = 1, 1.0
+        else:
+            width = (hi - lo) / bins
+        counts = [0] * bins
+        for v in values:
+            i = min(bins - 1, int((v - lo) / width)) if hi > lo else 0
+            counts[i] += 1
+        peak = max(counts)
+        lines = [f"{stage} ({self._unit_label}):"]
+        for i, n in enumerate(counts):
+            left = lo + i * width
+            right = lo + (i + 1) * width if hi > lo else hi
+            bar = "#" * max(1 if n else 0, round(_BAR_WIDTH * n / peak))
+            lines.append(
+                f"  [{self._fmt(left):>10s}, {self._fmt(right):>10s})"
+                f" {n:>6d} {bar}"
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def tenant_table(self) -> str:
+        """Per-tenant stage totals: where each tenant's latency goes."""
+        by_tenant: Dict[str, List[dict]] = {}
+        for e in self.completed:
+            by_tenant.setdefault(str(e.get("tenant", "")), []).append(e)
+        u = self._unit_label
+        headers = (["tenant", "done", f"p99 ({u})"]
+                   + [f"{s} ({u})" for s in STAGES])
+        rows = []
+        for tenant in sorted(by_tenant):
+            done = by_tenant[tenant]
+            p99 = percentile([e["latency"] for e in done], 99)
+            row = [tenant or "—", str(len(done)),
+                   self._fmt(p99) if p99 == p99 else "—"]
+            for stage in STAGES:
+                row.append(
+                    self._fmt(sum(e["stages"].get(stage, 0.0) for e in done))
+                )
+            rows.append(row)
+        return format_table(headers, rows)
+
+    # ------------------------------------------------------------------
+    def slowest_table(self, top: int = 10) -> str:
+        """The ``top`` highest-latency requests with their stage spans."""
+        if top <= 0:
+            raise ReproError(f"top-k must be positive, got {top}")
+        ranked = sorted(
+            self.completed, key=lambda e: -float(e["latency"])
+        )[:top]
+        u = self._unit_label
+        headers = (["rid", "tenant", f"latency ({u})"]
+                   + [f"{s} ({u})" for s in STAGES])
+        rows = []
+        for e in ranked:
+            row = [str(e.get("rid", "?")), str(e.get("tenant", "")) or "—",
+                   self._fmt(e["latency"])]
+            for stage in STAGES:
+                row.append(self._fmt(e["stages"].get(stage, 0.0)))
+            rows.append(row)
+        return format_table(headers, rows)
+
+    # ------------------------------------------------------------------
+    def render(self, top: int = 10, bins: int = 8) -> str:
+        """The full report (what ``python -m repro trace`` prints)."""
+        out = [self.header()]
+        if not self.completed:
+            out.append("no completed requests in this trace")
+            return "\n\n".join(out)
+        out.append("stage decomposition over "
+                   f"{len(self.completed)} completed requests:\n"
+                   + self.stage_table())
+        out.append("stage histograms:\n\n" + self.stage_histograms(bins=bins))
+        tenants = {str(e.get("tenant", "")) for e in self.completed}
+        if tenants - {""}:
+            out.append("per-tenant stage totals:\n" + self.tenant_table())
+        out.append(f"top {min(top, len(self.completed))} slowest requests:\n"
+                   + self.slowest_table(top=top))
+        return "\n\n".join(out)
+
+
+def render_trace_report(
+    path: Union[str, Path], *, top: int = 10, bins: int = 8,
+    source: Optional[str] = None,
+) -> str:
+    """Load ``path`` and render the full report string."""
+    report = TraceReport.from_file(path)
+    if source is not None:
+        report.source = source
+    return report.render(top=top, bins=bins)

@@ -70,6 +70,14 @@ class BatchResult:
     cross_units: int = 0
     migrations: int = 0
     parked: int = 0  # lanes parked because their bin was mid-handoff
+    # Phase spans for the lifecycle-trace decomposition, in the layer's
+    # clock unit (simulated cycles under the coordinator, wall seconds
+    # under the process cluster).  ``cycles`` stays the single source of
+    # simulated cost — these only split it (execute = cycles − spans).
+    exchange_span: float = 0.0  # claim/commit phase of this batch
+    migration_span: float = 0.0  # migration phase of this batch
+    shard_exec_spans: Tuple[float, ...] = ()  # worker-measured exec spans
+    cross_committed: Tuple[int, ...] = ()  # rids committed cross-shard
 
     @property
     def size(self) -> int:

@@ -3,9 +3,15 @@
 Every executed micro-batch appends one :class:`BatchRecord`; request
 completions append their simulated arrival-to-completion latency.  The
 aggregate view (:meth:`StreamMetrics.summary`) exports plain dicts so
-benches and tests can assert on them, and the pretty-printers reuse
-:func:`repro.bench.reporting.format_table` so CLI output matches the
-figure tables.
+benches and tests can assert on them.
+
+:class:`StreamMetrics` is a thin facade over
+:class:`repro.obs.core.MetricsBase` — the percentile math, NaN-safe
+formatting, tenant cells/fairness and table rendering live in
+:mod:`repro.obs.core` (shared with the serving layer's
+:class:`~repro.serve.metrics.ServeMetrics`); this module only keeps
+what is stream-specific: the per-batch records, cycle totals,
+lanes-by-kind and the shard-level aggregates.
 
 An optional :class:`~repro.machine.trace.Tracer` can be folded in
 (:meth:`StreamMetrics.attach_trace`), adding the run's instruction mix —
@@ -20,8 +26,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..bench.reporting import format_table
 from ..machine.trace import Tracer
+from ..obs.core import MetricsBase, format_table, subsample
 
 
 @dataclass(frozen=True)
@@ -77,38 +83,23 @@ class BatchRecord:
         return max(self.shard_sizes) / mean if mean else 1.0
 
 
-class StreamMetrics:
+class StreamMetrics(MetricsBase):
     """Accumulates batch records and completion latencies for one run."""
 
-    def __init__(self) -> None:
-        self.batches: List[BatchRecord] = []
-        self.latencies: List[float] = []
-        self.rejected = 0
-        self.blocked_offers = 0
-        self.blocked_requests = 0
-        self.max_queue_depth = 0  # sampled at batch launch (see summary())
-        self.queue_max_depth = 0  # the queue's locked high-water mark
-        self.instruction_mix: Optional[Dict[str, float]] = None
-        # per-tenant accounting (empty on untenanted runs)
-        self.tenant_latencies: Dict[str, List[float]] = {}
-        self.tenant_admission: Dict[str, Dict[str, int]] = {}
-        self.tenant_weights: Dict[str, float] = {}
-        self.tenant_slos: Dict[str, float] = {}
+    _precision = 2
+    _fmt_dicts = True
+    _tenant_unit_suffix = ""
+    _summary_table_skip = ("instruction_mix", "tenants", "stage_breakdown")
 
-    @property
-    def blocked(self) -> int:
-        """Legacy alias for :attr:`blocked_offers`."""
-        return self.blocked_offers
+    def __init__(self) -> None:
+        super().__init__()
+        self.batches: List[BatchRecord] = []
+        self.instruction_mix: Optional[Dict[str, float]] = None
 
     # ------------------------------------------------------------------
     def record_batch(self, record: BatchRecord) -> None:
         self.batches.append(record)
         self.max_queue_depth = max(self.max_queue_depth, record.queue_depth)
-
-    def record_completion(self, latency: float, tenant: str = "") -> None:
-        self.latencies.append(latency)
-        if tenant:
-            self.tenant_latencies.setdefault(tenant, []).append(latency)
 
     def attach_trace(self, tracer: Tracer) -> None:
         """Fold a tracer's cycles-by-category mix into the summary."""
@@ -117,17 +108,6 @@ class StreamMetrics:
     # ------------------------------------------------------------------
     # aggregates
     # ------------------------------------------------------------------
-    def latency_percentile(self, q: float) -> float:
-        """Simulated-latency percentile over completed requests.
-
-        With no completions there is no latency distribution to take a
-        percentile of; the result is ``nan`` (rendered as ``—`` in the
-        tables and ``null`` in JSON reports), never a fake 0.0 that
-        would read as an infinitely fast service."""
-        if not self.latencies:
-            return float("nan")
-        return float(np.percentile(np.asarray(self.latencies), q))
-
     @property
     def total_cycles(self) -> float:
         return sum(b.cycles for b in self.batches)
@@ -155,7 +135,7 @@ class StreamMetrics:
     def cycles_per_request(self) -> float:
         """Total cycles per completed request; ``nan`` when nothing
         completed (0.0 would claim free requests — see
-        :meth:`latency_percentile`)."""
+        :meth:`~repro.obs.core.MetricsBase.latency_percentile`)."""
         done = self.total_completed
         return self.total_cycles / done if done else float("nan")
 
@@ -177,7 +157,7 @@ class StreamMetrics:
             # The queue's locked high-water mark; the batch-launch
             # samples alone miss peaks between launches (every launch
             # *drains* the queue first, so samples sit below the peak).
-            "max_queue_depth": max(self.max_queue_depth, self.queue_max_depth),
+            "max_queue_depth": self.reconciled_max_depth,
             "max_queue_depth_sampled": self.max_queue_depth,
             "total_cycles": self.total_cycles,
             "cycles_per_request": self.cycles_per_request,
@@ -187,65 +167,10 @@ class StreamMetrics:
         }
         if self.instruction_mix is not None:
             out["instruction_mix"] = dict(self.instruction_mix)
-        if self.tenant_latencies or self.tenant_admission:
-            out["jain_fairness"] = self.jain_fairness()
-            out["tenants"] = self.tenant_summary()
+        self._tenant_summary_keys(out)
         out.update(self.shard_summary())
+        self._stage_summary_keys(out)
         return out
-
-    # ------------------------------------------------------------------
-    # per-tenant aggregates
-    # ------------------------------------------------------------------
-    def tenant_names(self) -> List[str]:
-        """Every tenant seen by the run (completions or admission)."""
-        return sorted(set(self.tenant_latencies) | set(self.tenant_admission))
-
-    def tenant_summary(self) -> Dict[str, Dict[str, object]]:
-        """Per-tenant admission counters, latency percentiles and SLO
-        attainment (fraction of completions inside the tenant's
-        budget), keyed by tenant name."""
-        from .qos import tenant_summary_cells
-
-        return tenant_summary_cells(
-            self.tenant_latencies,
-            self.tenant_admission,
-            self.tenant_weights,
-            self.tenant_slos,
-        )
-
-    def jain_fairness(self) -> float:
-        """Jain's fairness index across tenants (see
-        :func:`repro.runtime.qos.tenant_fairness` for the value
-        definition: SLO attainment when every tenant has a budget,
-        weight-normalised throughput otherwise)."""
-        from .qos import tenant_fairness
-
-        return tenant_fairness(self.tenant_summary(), self.tenant_weights)
-
-    def tenant_table(self) -> str:
-        """Per-tenant metrics rendered as a table (QoS runs)."""
-        summary = self.tenant_summary()
-        headers = [
-            "tenant", "offered", "admitted", "rejected", "blocked",
-            "completed", "p50", "p99", "slo", "attain%",
-        ]
-        rows = []
-        for name, cell in summary.items():
-            slo = cell.get("slo")
-            attain = cell.get("slo_attainment")
-            rows.append([
-                name,
-                cell.get("offered", "—"),
-                cell.get("admitted", "—"),
-                cell.get("rejected", "—"),
-                cell.get("blocked_requests", "—"),
-                cell.get("completed", 0),
-                _fmt_value(cell.get("p50_latency", float("nan"))),
-                _fmt_value(cell.get("p99_latency", float("nan"))),
-                _fmt_value(slo) if slo is not None else "—",
-                f"{100 * attain:.1f}" if attain is not None else "—",
-            ])
-        return format_table(headers, rows)
 
     def shard_summary(self) -> Dict[str, object]:
         """Shard-level aggregates (empty dict on single-pipeline runs)."""
@@ -266,7 +191,7 @@ class StreamMetrics:
         }
 
     # ------------------------------------------------------------------
-    # pretty-printing
+    # pretty-printing (summary_table / tenant_table live on MetricsBase)
     # ------------------------------------------------------------------
     def batch_table(self, max_rows: Optional[int] = None) -> str:
         """Per-batch metrics table; evenly subsamples when the run has
@@ -275,37 +200,20 @@ class StreamMetrics:
             "batch", "size", "carried", "depth",
             "rounds", "M", "filt%", "cyc/lane",
         ]
-        records = self.batches
-        if max_rows is not None and len(records) > max_rows:
-            idx = np.linspace(0, len(records) - 1, max_rows).astype(int)
-            records = [records[i] for i in sorted(set(idx))]
         rows = [
             [
                 b.index, b.size, b.carried_in, b.queue_depth,
                 b.rounds, b.multiplicity,
                 f"{100 * b.filtered_ratio:.1f}", f"{b.cycles_per_lane:.1f}",
             ]
-            for b in records
+            for b in subsample(self.batches, max_rows)
         ]
         return format_table(headers, rows)
-
-    def summary_table(self) -> str:
-        """Aggregate metrics rendered as a two-column table."""
-        s = self.summary()
-        # instruction_mix and the per-tenant cells have their own
-        # renderings (attach_trace / tenant_table); a nested dict row
-        # would be unreadable here.
-        skip = ("instruction_mix", "tenants")
-        rows = [[k, _fmt_value(v)] for k, v in s.items() if k not in skip]
-        return format_table(["metric", "value"], rows)
 
     def shard_table(self, max_rows: Optional[int] = None) -> str:
         """Per-batch shard split (sharded runs only): lanes per shard,
         concurrent rounds, cross-shard units and migrations."""
         records = [b for b in self.batches if b.shard_sizes]
-        if max_rows is not None and len(records) > max_rows:
-            idx = np.linspace(0, len(records) - 1, max_rows).astype(int)
-            records = [records[i] for i in sorted(set(idx))]
         headers = ["batch", "lanes/shard", "rounds/shard", "occ", "imbal", "cross", "moves"]
         rows = [
             [
@@ -317,16 +225,6 @@ class StreamMetrics:
                 b.cross_units,
                 b.migrations,
             ]
-            for b in records
+            for b in subsample(records, max_rows)
         ]
         return format_table(headers, rows)
-
-
-def _fmt_value(v: object) -> str:
-    if isinstance(v, float):
-        if np.isnan(v):
-            return "—"  # undefined metric (e.g. no completions)
-        return f"{v:,.2f}"
-    if isinstance(v, dict):
-        return " ".join(f"{k}={_fmt_value(n)}" for k, n in v.items()) or "—"
-    return str(v)

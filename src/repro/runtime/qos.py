@@ -34,6 +34,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import ReproError
+from ..obs.core import jain_index, tenant_fairness, tenant_summary_cells
 
 __all__ = [
     "TenantClass",
@@ -271,87 +272,10 @@ class QoSPolicy:
         return {t.name: t.slo for t in self.tenants}
 
 
-def jain_index(values: Sequence[float]) -> float:
-    """Jain's fairness index ``(Σx)² / (n·Σx²)`` over per-tenant values.
-
-    1.0 means perfectly even, ``1/n`` means one tenant took everything.
-    Non-finite entries are dropped; with no usable entries (or an
-    all-zero allocation) the index is undefined and ``nan`` is returned,
-    matching the metrics layer's NaN-for-undefined convention.
-    """
-    arr = np.asarray([v for v in values if math.isfinite(v)], dtype=np.float64)
-    if arr.size == 0 or not (arr > 0).any() or (arr < 0).any():
-        return float("nan")
-    return float(arr.sum() ** 2 / (arr.size * (arr ** 2).sum()))
-
-
-def tenant_summary_cells(
-    tenant_latencies: Mapping[str, Sequence[float]],
-    tenant_admission: Mapping[str, Mapping[str, int]],
-    tenant_weights: Mapping[str, float],
-    tenant_slos: Mapping[str, float],
-) -> Dict[str, Dict[str, object]]:
-    """Per-tenant metric cells shared by StreamMetrics and ServeMetrics.
-
-    One cell per tenant name seen anywhere (completions or admission):
-    completion count, latency percentiles (NaN with no completions —
-    never a fake zero), SLO attainment when the tenant has a finite
-    budget, the admission counters, and the configured weight.  Latency
-    and SLO share whatever unit the caller recorded (cycles or
-    seconds)."""
-    out: Dict[str, Dict[str, object]] = {}
-    for name in sorted(set(tenant_latencies) | set(tenant_admission)):
-        lats = np.asarray(tenant_latencies.get(name, ()), dtype=np.float64)
-        done = np.isfinite(lats)
-        cell: Dict[str, object] = {
-            "completed": int(done.sum()),
-            "p50_latency": (
-                float(np.percentile(lats[done], 50))
-                if done.any()
-                else float("nan")
-            ),
-            "p99_latency": (
-                float(np.percentile(lats[done], 99))
-                if done.any()
-                else float("nan")
-            ),
-        }
-        slo = tenant_slos.get(name)
-        if slo is not None and math.isfinite(slo):
-            cell["slo"] = float(slo)
-            cell["slo_attainment"] = (
-                float((lats[done] <= slo).mean()) if done.any() else 0.0
-            )
-        if name in tenant_weights:
-            cell["weight"] = float(tenant_weights[name])
-        cell.update(tenant_admission.get(name, {}))
-        out[name] = cell
-    return out
-
-
-def tenant_fairness(
-    cells: Mapping[str, Mapping[str, object]],
-    tenant_weights: Mapping[str, float],
-) -> float:
-    """Jain's fairness index across the tenant cells.
-
-    When every tenant has a finite SLO the per-tenant values are SLO
-    attainment (a starved tenant contributes 0 and drags the index
-    toward ``1/n``); without full SLO coverage it falls back to
-    weight-normalised completed counts (throughput fairness)."""
-    names = sorted(cells)
-    if not names:
-        return float("nan")
-    if all("slo_attainment" in cells[n] for n in names):
-        return jain_index([float(cells[n]["slo_attainment"]) for n in names])
-    return jain_index(
-        [
-            float(cells[n].get("completed", 0))
-            / float(tenant_weights.get(n, 1.0))
-            for n in names
-        ]
-    )
-
+# jain_index / tenant_summary_cells / tenant_fairness moved to the
+# observability spine (repro.obs.core) and are re-exported above: both
+# metrics facades consume them through obs, and this module stays the
+# compatibility surface for QoS callers.
 
 # ----------------------------------------------------------------------
 # tenant-tagged workload generation

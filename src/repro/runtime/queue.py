@@ -190,6 +190,11 @@ class BoundedQueue:
         self.capacity = capacity
         self.admission = admission
         self.qos = qos
+        #: Optional lifecycle-trace recorder (see repro.obs.events).
+        #: When set, every offer reports its outcome (``blocked`` only
+        #: once per request, mirroring ``blocked_requests``); when None
+        #: — the default — admission pays a single attribute check.
+        self.observer = None
         self.stats = QueueStats()
         self.tenant_stats: Dict[str, QueueStats] = {}
         self._items: Deque[Request] = deque()  # global FIFO (no policy)
@@ -295,6 +300,8 @@ class BoundedQueue:
                     self.stats.rejected += 1
                     if tstats is not None:
                         tstats.rejected += 1
+                    if self.observer is not None:
+                        self.observer.request_offered(req, now, "rejected")
                 else:
                     self.stats.blocked_offers += 1
                     if tstats is not None:
@@ -304,6 +311,8 @@ class BoundedQueue:
                         self.stats.blocked_requests += 1
                         if tstats is not None:
                             tstats.blocked_requests += 1
+                        if self.observer is not None:
+                            self.observer.request_offered(req, now, "blocked")
                 return False
 
             req.enqueued = now
@@ -318,6 +327,8 @@ class BoundedQueue:
                 tstats.admitted += 1
                 if fifo is not None:
                     tstats.max_depth = max(tstats.max_depth, len(fifo))
+            if self.observer is not None:
+                self.observer.request_offered(req, now, "admitted")
             return True
 
     def take(self, n: int) -> List[Request]:

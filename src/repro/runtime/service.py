@@ -52,7 +52,23 @@ class StreamService:
         self.carry = CarryoverBuffer()
         self.metrics = StreamMetrics()
         self.trace = trace
+        self.recorder = None
         self.now = 0.0
+
+    # ------------------------------------------------------------------
+    def attach_recorder(self, recorder) -> None:
+        """Attach a lifecycle-span recorder (see
+        :class:`repro.obs.events.TraceRecorder`) — or detach with
+        ``None``.  Wires the queue's admission observer, the migration
+        controller's step observer (sharded engines) and the metrics
+        summary's stage breakdown.  The recorder is passive: cycle
+        accounting is bit-identical with or without it."""
+        self.recorder = recorder
+        self.queue.observer = recorder
+        self.metrics.trace_recorder = recorder
+        controller = getattr(self.executor, "controller", None)
+        if controller is not None:
+            controller.observer = recorder
 
     # ------------------------------------------------------------------
     @classmethod
@@ -106,19 +122,7 @@ class StreamService:
             self.metrics.attach_trace(tracer)
         else:
             self._run_loop(arrivals)
-        stats = self.queue.stats
-        self.metrics.rejected = stats.rejected
-        self.metrics.blocked_offers = stats.blocked_offers
-        self.metrics.blocked_requests = stats.blocked_requests
-        self.metrics.queue_max_depth = stats.max_depth
-        if self.queue.tenant_stats:
-            self.metrics.tenant_admission = {
-                name: ts.as_dict()
-                for name, ts in self.queue.tenant_stats.items()
-            }
-        if self.queue.qos is not None:
-            self.metrics.tenant_weights = self.queue.qos.weights()
-            self.metrics.tenant_slos.update(self.queue.qos.slos())
+        self.metrics.absorb_queue(self.queue)
         return self.metrics
 
     def _run_loop(self, arrivals: List[Request]) -> None:
@@ -154,6 +158,8 @@ class StreamService:
                     earliest_deadline=self.queue.earliest_deadline(),
                 )
                 if wake > self.now:
+                    if self.recorder is not None:
+                        self.recorder.linger_wait(self.now, wake)
                     self.now = wake
                     continue
 
@@ -161,6 +167,7 @@ class StreamService:
             carried = self.carry.drain_ready()
             take = max(0, self.batcher.target_size() - len(carried))
             batch = carried + self.queue.take(take)
+            launch = self.now
             result = self.executor.execute(batch)
             self.now += result.cycles
             for req in result.completed:
@@ -187,6 +194,10 @@ class StreamService:
                     t_end=self.now,
                 )
             )
+            if self.recorder is not None:
+                self.recorder.record_batch(
+                    batch_index, batch, result, launch, self.now
+                )
             self.batcher.observe(
                 len(batch),
                 result.rounds,

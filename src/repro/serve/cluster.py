@@ -44,6 +44,7 @@ inspectable post-mortem), and unlinks every shared segment.
 from __future__ import annotations
 
 import multiprocessing as mp
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..engine.spec import (
@@ -362,10 +363,11 @@ class ProcessCluster:
 
         # -- gather ----------------------------------------------------
         rounds = [0] * self.shards
+        exec_spans = [0.0] * self.shards
         mults = [1]
         for s, sub in busy:
             msg = self._expect(s, MSG_DONE)
-            _, _, batch_id, n_done, n_carried, r, m = msg
+            _, _, batch_id, n_done, n_carried, r, m, exec_s = msg
             assert batch_id == self._batch_id
             out = self._links[s]["outbox"].array
             by_rid = {req.rid: req for req in sub}
@@ -376,10 +378,12 @@ class ProcessCluster:
                     req
                 )
             rounds[s] = r
+            exec_spans[s] = exec_s
             mults.append(m)
 
         # -- two-phase claim/commit over the message queues ------------
         if cross:
+            t_claim = time.perf_counter()
             winners, losers = self.router.resolve_claims(cross)
             self._recorder.reset()
             for unit in winners:
@@ -397,17 +401,22 @@ class ProcessCluster:
             for s, _ in commits:
                 self._expect(s, MSG_COMMITTED)
             self.total_cross += len(cross)
+            result.cross_committed = tuple(u.request.rid for u in winners)
+            result.exchange_span = time.perf_counter() - t_claim
 
         # -- inter-batch live migration (workers idle at their queues) -
         if self.rebalancer is not None:
+            t_mig = time.perf_counter()
             self.controller.admit(self.rebalancer.plan())
             rep = self.controller.step(self)
             result.migrations = rep.completed
             self.total_migrations += rep.completed
             self.migration_skips += rep.skipped
+            result.migration_span = time.perf_counter() - t_mig
 
         result.rounds = max(rounds)
         result.multiplicity = max(mults)
+        result.shard_exec_spans = tuple(exec_spans)
         result.kind_counts = tuple(count_by_kind(batch).items())
         result.shard_sizes = tuple(len(sub) for sub in per_shard)
         result.shard_rounds = tuple(rounds)

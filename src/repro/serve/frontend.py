@@ -69,10 +69,26 @@ class ServeFrontend:
         )
         #: Requests retired in completion order (the oracle's workload).
         self.completed: List[Request] = []
+        self.recorder = None
         self._stop = False
         self._stop_event: Optional[asyncio.Event] = None
         self._work = asyncio.Event()
         self._space = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    def attach_recorder(self, recorder) -> None:
+        """Attach a lifecycle-span recorder (see
+        :class:`repro.obs.events.TraceRecorder`) — or detach with
+        ``None``.  Wires the queue's admission observer, the cluster
+        coordinator's migration observer, and the metrics summary's
+        stage breakdown.  Purely observational: no timing path
+        changes."""
+        self.recorder = recorder
+        self.queue.observer = recorder
+        self.metrics.trace_recorder = recorder
+        controller = getattr(self.cluster.coordinator, "controller", None)
+        if controller is not None:
+            controller.observer = recorder
 
     # ------------------------------------------------------------------
     def request_stop(self) -> None:
@@ -103,6 +119,12 @@ class ServeFrontend:
         def clock() -> float:
             return time.perf_counter() - t0
 
+        if self.recorder is not None:
+            # Re-anchor the recorder on this run's monotonic origin so
+            # every event timestamp shares the frontend's clock.
+            from ..obs.core import Clock
+
+            self.recorder.clock = Clock(clock, "seconds")
         arrivals = sorted(requests, key=lambda r: (r.arrival, r.rid))
         timer = (
             loop.call_later(duration, self.request_stop)
@@ -118,21 +140,7 @@ class ServeFrontend:
             await producer
             if timer is not None:
                 timer.cancel()
-        stats = self.queue.stats
-        self.metrics.offered = stats.offered
-        self.metrics.admitted = stats.admitted
-        self.metrics.rejected = stats.rejected
-        self.metrics.blocked_offers = stats.blocked_offers
-        self.metrics.blocked_requests = stats.blocked_requests
-        self.metrics.queue_max_depth = stats.max_depth
-        if self.queue.tenant_stats:
-            self.metrics.tenant_admission = {
-                name: ts.as_dict()
-                for name, ts in self.queue.tenant_stats.items()
-            }
-        if self.queue.qos is not None:
-            self.metrics.tenant_weights = self.queue.qos.weights()
-            self.metrics.tenant_slos.update(self.queue.qos.slos())
+        self.metrics.absorb_queue(self.queue)
         return self.metrics
 
     # ------------------------------------------------------------------
@@ -199,6 +207,8 @@ class ServeFrontend:
                     )
                 if now < deadline:
                     await asyncio.sleep(min(self.linger, deadline - now))
+                    if self.recorder is not None:
+                        self.recorder.linger_wait(now, clock())
                     continue
 
             # -- form and execute one micro-batch exchange -------------
@@ -231,6 +241,8 @@ class ServeFrontend:
                 ),
                 t_end,
             )
+            if self.recorder is not None:
+                self.recorder.record_batch(index, batch, result, t_start, t_end)
             self.batcher.observe(
                 len(batch),
                 result.rounds,
@@ -258,6 +270,8 @@ class ServeReport:
     state_fingerprint: str
     #: True when SIGINT/SIGTERM (not --duration) stopped the run.
     signalled: bool = False
+    #: The lifecycle-span recorder of a ``--trace`` run, or None.
+    recorder: Optional[object] = None
 
 
 def run_serve(
@@ -288,6 +302,8 @@ def run_serve(
     tenants: Optional[Sequence["TenantClass"]] = None,
     qos: bool = False,
     qos_burst: float = 1.0,
+    trace: bool = False,
+    trace_out: Optional[str] = None,
 ) -> ServeReport:
     """Generate a workload, serve it through a K-process cluster, shut
     the cluster down cleanly, and verify the merged end state against
@@ -298,7 +314,13 @@ def run_serve(
     tenant drawing keys with its own skew) and adds per-tenant metrics;
     ``qos=True`` additionally enables weighted per-tenant admission and
     deadline-aware batch release (``qos_burst`` scales the per-tenant
-    depth caps)."""
+    depth caps).
+
+    ``trace=True`` attaches a request-lifecycle span recorder (see
+    :mod:`repro.obs.events`): the summary gains a per-stage latency
+    decomposition and ``trace_out`` exports the event log as JSONL for
+    ``python -m repro trace``.  Purely observational — admission,
+    batching and execution paths are unchanged."""
     import math as _math
     import signal as _signal
 
@@ -358,6 +380,13 @@ def run_serve(
             queue=BoundedQueue(queue_capacity, admission=admission, qos=policy),
             linger=linger_ms / 1e3,
         )
+        recorder = None
+        if trace or trace_out:
+            from ..obs.core import Clock
+            from ..obs.events import TraceRecorder
+
+            recorder = TraceRecorder(Clock.wall(), sink=trace_out)
+            frontend.attach_recorder(recorder)
 
         signalled = {"flag": False}
 
@@ -406,10 +435,13 @@ def run_serve(
         n_cells=n_cells,
         key_space=key_space,
     )
+    if recorder is not None:
+        recorder.flush()
     return ServeReport(
         metrics=metrics,
         divergence=divergence,
         completed=frontend.completed,
         state_fingerprint=cluster.coordinator.state_fingerprint(),
         signalled=signalled["flag"],
+        recorder=recorder,
     )

@@ -7,6 +7,12 @@ cycle, and mixing the two units in one object is exactly the confusion
 the backends split (docs/backends.md) exists to prevent.  The summary
 names its units explicitly so ``BENCH_serve.json`` is unambiguous.
 
+Both types share one telemetry core —
+:class:`repro.obs.core.MetricsBase` carries the completion ledger,
+percentile math, tenant cells/fairness and table rendering; this facade
+keeps only what is serve-specific (exchange records, throughput over
+the busy span, and millisecond scaling of the latency cells).
+
 Latency is arrival-to-completion as the front-end observes it: queueing
 delay + batching linger + transport + shard execution.  Saturation
 throughput is completed requests over the span from first batch launch
@@ -15,12 +21,12 @@ to last batch retirement (idle warm-up excluded).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..bench.reporting import format_table
+from ..obs.core import MetricsBase, format_table, subsample
 
 
 @dataclass(frozen=True)
@@ -38,34 +44,24 @@ class ExchangeRecord:
     shard_sizes: Tuple[int, ...] = ()
 
 
-@dataclass
-class ServeMetrics:
+class ServeMetrics(MetricsBase):
     """Accumulated measurements for one serve run."""
 
-    workers: int = 0
-    backend: str = ""
-    exchanges: List[ExchangeRecord] = field(default_factory=list)
-    latencies: List[float] = field(default_factory=list)
-    offered: int = 0
-    admitted: int = 0
-    rejected: int = 0
-    blocked_offers: int = 0
-    blocked_requests: int = 0
-    max_queue_depth: int = 0  # sampled at exchange launch
-    queue_max_depth: int = 0  # the queue's locked high-water mark
-    interrupted: bool = False
-    first_launch: Optional[float] = None
-    last_retire: Optional[float] = None
-    # per-tenant accounting (seconds; empty on untenanted runs)
-    tenant_latencies: Dict[str, List[float]] = field(default_factory=dict)
-    tenant_admission: Dict[str, Dict[str, int]] = field(default_factory=dict)
-    tenant_weights: Dict[str, float] = field(default_factory=dict)
-    tenant_slos: Dict[str, float] = field(default_factory=dict)
+    _precision = 3
+    _fmt_dicts = False
+    _tenant_unit_suffix = "_ms"
+    _summary_table_skip = ("tenants", "stage_breakdown")
 
-    @property
-    def blocked(self) -> int:
-        """Legacy alias for :attr:`blocked_offers`."""
-        return self.blocked_offers
+    def __init__(self, workers: int = 0, backend: str = "") -> None:
+        super().__init__()
+        self.workers = workers
+        self.backend = backend
+        self.exchanges: List[ExchangeRecord] = []
+        self.offered = 0
+        self.admitted = 0
+        self.interrupted = False
+        self.first_launch: Optional[float] = None
+        self.last_retire: Optional[float] = None
 
     # ------------------------------------------------------------------
     def record_exchange(self, record: ExchangeRecord, now: float) -> None:
@@ -75,19 +71,12 @@ class ServeMetrics:
             self.first_launch = now - record.seconds
         self.last_retire = now
 
-    def record_completion(self, latency: float, tenant: str = "") -> None:
-        self.latencies.append(latency)
-        if tenant:
-            self.tenant_latencies.setdefault(tenant, []).append(latency)
+    def absorb_queue(self, queue) -> None:
+        super().absorb_queue(queue)
+        self.offered = queue.stats.offered
+        self.admitted = queue.stats.admitted
 
     # ------------------------------------------------------------------
-    def latency_percentile(self, q: float) -> float:
-        """Measured-latency percentile in seconds (NaN with no
-        completions — same no-fake-zeros rule as StreamMetrics)."""
-        if not self.latencies:
-            return float("nan")
-        return float(np.percentile(np.asarray(self.latencies), q))
-
     @property
     def total_completed(self) -> int:
         return len(self.latencies)
@@ -124,7 +113,7 @@ class ServeMetrics:
             "mean_batch_size": float(np.mean(sizes)) if sizes else 0.0,
             # Reconciled: the queue's locked high-water mark dominates
             # the exchange-launch samples (each launch drains first).
-            "max_queue_depth": max(self.max_queue_depth, self.queue_max_depth),
+            "max_queue_depth": self.reconciled_max_depth,
             "max_queue_depth_sampled": self.max_queue_depth,
             "cross_shard_units": sum(e.cross_units for e in self.exchanges),
             "busy_seconds": self.busy_seconds,
@@ -132,9 +121,8 @@ class ServeMetrics:
             "p50_latency_ms": 1e3 * self.latency_percentile(50),
             "p99_latency_ms": 1e3 * self.latency_percentile(99),
         }
-        if self.tenant_latencies or self.tenant_admission:
-            out["jain_fairness"] = self.jain_fairness()
-            out["tenants"] = self.tenant_summary()
+        self._tenant_summary_keys(out)
+        self._stage_summary_keys(out)
         return out
 
     # ------------------------------------------------------------------
@@ -144,16 +132,8 @@ class ServeMetrics:
         """Per-tenant cells like StreamMetrics', but with measured
         latencies and SLO budgets converted to milliseconds (keys
         ``p50_latency_ms``/``p99_latency_ms``/``slo_ms``)."""
-        from ..runtime.qos import tenant_summary_cells
-
-        cells = tenant_summary_cells(
-            self.tenant_latencies,
-            self.tenant_admission,
-            self.tenant_weights,
-            self.tenant_slos,
-        )
         out: Dict[str, Dict[str, object]] = {}
-        for name, cell in cells.items():
+        for name, cell in self._tenant_cells().items():
             scaled = dict(cell)
             for key in ("p50_latency", "p99_latency", "slo"):
                 if key in scaled:
@@ -161,51 +141,8 @@ class ServeMetrics:
             out[name] = scaled
         return out
 
-    def jain_fairness(self) -> float:
-        """Jain's fairness index across tenants (SLO attainment when
-        every tenant has a budget, weight-normalised throughput
-        otherwise — see :func:`repro.runtime.qos.tenant_fairness`)."""
-        from ..runtime.qos import tenant_fairness, tenant_summary_cells
-
-        return tenant_fairness(
-            tenant_summary_cells(
-                self.tenant_latencies,
-                self.tenant_admission,
-                self.tenant_weights,
-                self.tenant_slos,
-            ),
-            self.tenant_weights,
-        )
-
-    def tenant_table(self) -> str:
-        """Per-tenant measured metrics rendered as a table."""
-        headers = [
-            "tenant", "offered", "admitted", "rejected", "blocked",
-            "completed", "p50ms", "p99ms", "slo_ms", "attain%",
-        ]
-        rows = []
-        for name, cell in self.tenant_summary().items():
-            attain = cell.get("slo_attainment")
-            rows.append([
-                name,
-                cell.get("offered", "—"),
-                cell.get("admitted", "—"),
-                cell.get("rejected", "—"),
-                cell.get("blocked_requests", "—"),
-                cell.get("completed", 0),
-                _fmt(cell.get("p50_latency_ms", float("nan"))),
-                _fmt(cell.get("p99_latency_ms", float("nan"))),
-                _fmt(cell["slo_ms"]) if "slo_ms" in cell else "—",
-                f"{100 * attain:.1f}" if attain is not None else "—",
-            ])
-        return format_table(headers, rows)
-
     # ------------------------------------------------------------------
     def exchange_table(self, max_rows: Optional[int] = None) -> str:
-        records = self.exchanges
-        if max_rows is not None and len(records) > max_rows:
-            idx = np.linspace(0, len(records) - 1, max_rows).astype(int)
-            records = [records[i] for i in sorted(set(idx))]
         headers = ["batch", "size", "carried", "depth", "rounds",
                    "lanes/shard", "cross", "ms"]
         rows = [
@@ -214,21 +151,6 @@ class ServeMetrics:
                 ":".join(str(s) for s in e.shard_sizes),
                 e.cross_units, f"{1e3 * e.seconds:.2f}",
             ]
-            for e in records
+            for e in subsample(self.exchanges, max_rows)
         ]
         return format_table(headers, rows)
-
-    def summary_table(self) -> str:
-        # per-tenant cells render via tenant_table(), not as one row
-        rows = [
-            [k, _fmt(v)]
-            for k, v in self.summary().items()
-            if k != "tenants"
-        ]
-        return format_table(["metric", "value"], rows)
-
-
-def _fmt(v: object) -> str:
-    if isinstance(v, float):
-        return "—" if np.isnan(v) else f"{v:,.3f}"
-    return str(v)

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import os
 import signal
+import time
 import traceback
 
 from . import transport
@@ -96,7 +97,9 @@ def worker_main(cfg: WorkerConfig, cmd_q, res_q) -> None:
             if tag == MSG_BATCH:
                 _, batch_id, n = msg
                 batch = transport.decode_requests(inbox.array, n)
+                t0 = time.perf_counter()
                 result = worker.execute(batch)
+                exec_s = time.perf_counter() - t0
                 n_done = transport.encode_requests(
                     result.completed + result.carried, outbox.array
                 )
@@ -110,6 +113,7 @@ def worker_main(cfg: WorkerConfig, cmd_q, res_q) -> None:
                         len(result.carried),
                         result.rounds,
                         result.multiplicity,
+                        exec_s,
                     )
                 )
             elif tag == MSG_COMMIT:

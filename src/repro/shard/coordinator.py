@@ -285,6 +285,7 @@ class ShardCoordinator:
         exchange = 0.0
         if cross:
             winners, losers = self.router.resolve_claims(cross)
+            result.cross_committed = tuple(u.request.rid for u in winners)
             for unit in winners:
                 get_spec(unit.request.kind).commit_cross(self, unit)
                 result.completed.append(unit.request)
@@ -317,6 +318,9 @@ class ShardCoordinator:
         result.rounds = max(local_rounds)
         result.multiplicity = max(mults)
         result.cycles = max(local_cycles) + exchange + migration
+        result.exchange_span = exchange
+        result.migration_span = migration
+        result.shard_exec_spans = tuple(local_cycles)
         result.kind_counts = tuple(count_by_kind(batch).items())
         result.shard_sizes = tuple(len(sub) for sub in per_shard)
         result.shard_cycles = tuple(local_cycles)

@@ -115,6 +115,9 @@ class MigrationController:
         self.bins_completed = 0
         self.bins_skipped = 0
         self.parked_requests = 0
+        #: Optional lifecycle-trace recorder (see repro.obs.events);
+        #: notified after every step that engaged at least one bin.
+        self.observer = None
 
     # ------------------------------------------------------------------
     @property
@@ -209,4 +212,6 @@ class MigrationController:
             if moved_any or not transfer.indices:
                 bins_engaged += 1
                 report.rtts += 1
+        if self.observer is not None and (report.rtts or report.completed):
+            self.observer.migration_step(report)
         return report

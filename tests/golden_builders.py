@@ -1,0 +1,243 @@
+"""Deterministic run builders for the observability golden fixtures.
+
+Each builder constructs one fixed-seed run and returns its metrics
+object.  ``capture()`` reduces a metrics object to the exact artefacts
+the refactor must keep bit-identical — the summary dict (serialised
+with sorted keys), every table rendering, and the total simulated
+cycles — and ``python -m tests.golden_builders`` regenerates the JSON
+fixtures under ``tests/golden/``.
+
+The fixtures were captured from the pre-``repro.obs`` code (PR 9 head)
+and are the parity pin for the telemetry refactor: if a summary key,
+a table cell or a cycle count changes, ``tests/test_obs_golden.py``
+fails with a diff.  Regenerate only for an *intentional* metrics
+change, and say so in the commit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+STREAM_BUILDERS = {}
+
+
+def _stream(name):
+    def register(fn):
+        STREAM_BUILDERS[name] = fn
+        return fn
+
+    return register
+
+
+@_stream("stream_closed")
+def build_stream_closed():
+    """Closed-loop mixed-kind run on the sim backend, block admission."""
+    from repro.runtime.queue import BoundedQueue
+    from repro.runtime.service import StreamService, closed_loop_workload
+
+    rng = np.random.default_rng(0)
+    requests = closed_loop_workload(
+        rng, 80, kinds=("hash", "list", "bst"), skew=1.1
+    )
+    service = StreamService.for_workload(
+        requests, queue=BoundedQueue(capacity=32, admission="block")
+    )
+    service.run(requests)
+    return service.metrics
+
+
+@_stream("stream_open")
+def build_stream_open():
+    """Open-loop run with the adaptive batcher and reject admission."""
+    from repro.runtime.batcher import AdaptiveBatcher
+    from repro.runtime.queue import BoundedQueue
+    from repro.runtime.service import StreamService, open_loop_workload
+
+    rng = np.random.default_rng(1)
+    requests = open_loop_workload(
+        rng, 60, kinds=("hash", "xfer"), skew=0.8, mean_gap=30.0
+    )
+    service = StreamService.for_workload(
+        requests,
+        batcher=AdaptiveBatcher(),
+        queue=BoundedQueue(capacity=16, admission="reject"),
+    )
+    service.run(requests)
+    return service.metrics
+
+
+@_stream("stream_shard_k4")
+def build_stream_shard_k4():
+    """K=4 sharded run with rebalancing (migration + parked lanes)."""
+    from repro.runtime.queue import BoundedQueue
+    from repro.runtime.service import StreamService, closed_loop_workload
+    from repro.shard.coordinator import ShardCoordinator
+
+    rng = np.random.default_rng(2)
+    requests = closed_loop_workload(
+        rng, 120, kinds=("hash", "list", "xfer"), skew=1.2
+    )
+    coordinator = ShardCoordinator.for_workload(
+        requests,
+        shards=4,
+        rebalance=True,
+        migration="batched",
+    )
+    service = StreamService(
+        coordinator, queue=BoundedQueue(capacity=48, admission="block")
+    )
+    service.run(requests)
+    return service.metrics
+
+
+@_stream("stream_qos")
+def build_stream_qos():
+    """Tenant-tagged run under a QoS policy with cycle SLOs."""
+    from repro.runtime.qos import QoSPolicy, apply_slos, parse_slo, parse_tenants
+    from repro.runtime.queue import BoundedQueue
+    from repro.runtime.service import StreamService
+    from repro.runtime.qos import tenant_workload
+
+    tenants = apply_slos(
+        parse_tenants("A=0.7:zipf1.2,B=0.3:uniform"),
+        parse_slo("A=9000,B=30000", unit="cycles"),
+    )
+    rng = np.random.default_rng(3)
+    requests = tenant_workload(
+        rng, 90, tenants, kinds=("hash", "list"), mean_gap=25.0
+    )
+    policy = QoSPolicy(tenants)
+    service = StreamService.for_workload(
+        requests,
+        queue=BoundedQueue(capacity=24, admission="reject", qos=policy),
+    )
+    service.run(requests)
+    return service.metrics
+
+
+def build_serve_synthetic():
+    """A hand-fed ServeMetrics (serving wall clocks are nondeterministic,
+    so the serve parity pin uses synthetic measurements)."""
+    from repro.serve.metrics import ExchangeRecord, ServeMetrics
+
+    m = ServeMetrics(workers=2, backend="native")
+    m.offered = 40
+    m.admitted = 36
+    m.rejected = 3
+    m.blocked_offers = 5
+    m.blocked_requests = 1
+    m.queue_max_depth = 9
+    m.tenant_weights = {"A": 0.7, "B": 0.3}
+    m.tenant_slos = {"A": 0.05}  # B has no SLO: missing-budget cell path
+    m.tenant_admission = {
+        "A": {"offered": 28, "admitted": 25, "rejected": 3,
+              "blocked_offers": 0, "blocked_requests": 0, "max_depth": 6},
+        "B": {"offered": 12, "admitted": 11, "rejected": 0,
+              "blocked_offers": 5, "blocked_requests": 1, "max_depth": 3},
+    }
+    rng = np.random.default_rng(4)
+    now = 0.0
+    for i in range(6):
+        seconds = round(float(0.004 + 0.002 * rng.random()), 6)
+        now += seconds + 0.001
+        m.record_exchange(
+            ExchangeRecord(
+                index=i,
+                size=6,
+                carried_in=i % 2,
+                queue_depth=7 - i,
+                rounds=2,
+                completed=6,
+                seconds=seconds,
+                cross_units=i % 3,
+                shard_sizes=(3, 3),
+            ),
+            now,
+        )
+        for _ in range(6):
+            lat = round(float(0.005 + 0.01 * rng.random()), 6)
+            m.record_completion(lat, tenant="A" if rng.random() < 0.7 else "B")
+    return m
+
+
+def capture_stream(metrics):
+    """The stream artefacts pinned by the golden fixtures."""
+    return {
+        "summary": _dumps(metrics.summary()),
+        "total_cycles": metrics.total_cycles,
+        "summary_table": metrics.summary_table(),
+        "batch_table": metrics.batch_table(max_rows=12),
+        "shard_table": metrics.shard_table(max_rows=12),
+        "tenant_table": metrics.tenant_table(),
+    }
+
+
+def capture_serve(metrics):
+    """The serve artefacts pinned by the golden fixtures."""
+    return {
+        "summary": _dumps(metrics.summary()),
+        "summary_table": metrics.summary_table(),
+        "exchange_table": metrics.exchange_table(max_rows=12),
+        "tenant_table": metrics.tenant_table(),
+    }
+
+
+def capture_bench_payload(tmp_path):
+    """Bytes of a write_json payload exercising the NaN->null path."""
+    from repro.bench.reporting import write_json
+    from repro.serve.metrics import ServeMetrics
+
+    empty = ServeMetrics(workers=1, backend="sim")
+    stream = STREAM_BUILDERS["stream_closed"]()
+    path = write_json(
+        Path(tmp_path) / "BENCH_obs_golden.json",
+        {
+            "bench": "obs_golden",
+            "stream": stream.summary(),
+            "serve_empty": empty.summary(),
+        },
+    )
+    return path.read_text()
+
+
+def _dumps(payload) -> str:
+    # allow_nan keeps NaN visible in the pin (write_json's null mapping
+    # is pinned separately via capture_bench_payload).
+    return json.dumps(payload, indent=2, sort_keys=True, default=_coerce)
+
+
+def _coerce(value):
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    raise TypeError(f"not JSON-serialisable: {value!r}")
+
+
+def regenerate() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, builder in STREAM_BUILDERS.items():
+        artefacts = capture_stream(builder())
+        out = GOLDEN_DIR / f"{name}.json"
+        out.write_text(json.dumps(artefacts, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out}")
+    artefacts = capture_serve(build_serve_synthetic())
+    out = GOLDEN_DIR / "serve_synthetic.json"
+    out.write_text(json.dumps(artefacts, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        payload = capture_bench_payload(tmp)
+    out = GOLDEN_DIR / "bench_payload.json"
+    out.write_text(payload)
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    regenerate()

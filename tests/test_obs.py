@@ -1,0 +1,303 @@
+"""The observability spine (ISSUE 10): shared facade edge cases, the
+lifecycle-span decomposition, the JSONL sink and the trace report.
+
+The golden fixtures (``test_obs_golden.py``) pin bit-identical output
+with tracing *off*; this file covers the shared :class:`MetricsBase`
+behaviour both facades inherit and the opt-in span layer itself."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import (
+    Clock,
+    STAGES,
+    TraceRecorder,
+    TraceReport,
+    jain_index,
+    load_events,
+    percentile,
+    render_trace_report,
+)
+from repro.runtime.executor import BatchResult
+from repro.runtime.metrics import StreamMetrics
+from repro.runtime.queue import BoundedQueue, Request
+from repro.serve.metrics import ServeMetrics
+
+
+def make_stream():
+    return StreamMetrics()
+
+
+def make_serve():
+    return ServeMetrics(workers=2, backend="native")
+
+
+FACADES = [make_stream, make_serve]
+FACADE_IDS = ["stream", "serve"]
+
+
+# ----------------------------------------------------------------------
+# shared facade edge cases (parameterized over both facades)
+# ----------------------------------------------------------------------
+class TestFacadeEdgeCases:
+    @pytest.mark.parametrize("make", FACADES, ids=FACADE_IDS)
+    def test_empty_run_percentiles_are_nan(self, make):
+        m = make()
+        assert math.isnan(m.latency_percentile(50))
+        assert math.isnan(m.latency_percentile(99))
+        # NaN renders as an em dash, never a fake 0.0
+        assert m._fmt(m.latency_percentile(99)) == "—"
+
+    @pytest.mark.parametrize("make", FACADES, ids=FACADE_IDS)
+    def test_single_completion_percentiles_collapse(self, make):
+        m = make()
+        m.record_completion(42.5)
+        assert m.latency_percentile(50) == 42.5
+        assert m.latency_percentile(99) == 42.5
+
+    @pytest.mark.parametrize("make", FACADES, ids=FACADE_IDS)
+    def test_tenant_table_handles_missing_slo(self, make):
+        m = make()
+        m.record_completion(10.0, tenant="A")
+        m.record_completion(20.0, tenant="B")
+        m.tenant_weights = {"A": 0.5, "B": 0.5}
+        m.tenant_slos = {"A": 100.0}  # B has no budget
+        cells = m.tenant_summary()
+        assert "slo_attainment" in cells["A"] or any(
+            k.startswith("slo") for k in cells["A"]
+        )
+        assert not any(k.startswith("slo") for k in cells["B"])
+        table = m.tenant_table()
+        assert "A" in table and "B" in table
+        assert "—" in table  # B's empty SLO cells
+        # partial SLO coverage -> fairness falls back to throughput
+        assert m.jain_fairness() == pytest.approx(
+            jain_index([1 / 0.5, 1 / 0.5])
+        )
+
+    @pytest.mark.parametrize("make", FACADES, ids=FACADE_IDS)
+    def test_max_depth_reconciliation(self, make):
+        m = make()
+        m.max_queue_depth = 7  # sampled at launch (after drains)
+        m.queue_max_depth = 12  # the queue's locked high-water mark
+        assert m.reconciled_max_depth == 12
+        m.queue_max_depth = 3
+        assert m.reconciled_max_depth == 7
+
+    @pytest.mark.parametrize("make", FACADES, ids=FACADE_IDS)
+    def test_absorb_queue_copies_the_ledger(self, make):
+        q = BoundedQueue(capacity=2, admission="reject")
+        assert q.offer(Request(rid=0, kind="hash", key=1), 0.0)
+        assert q.offer(Request(rid=1, kind="hash", key=2), 0.0)
+        assert not q.offer(Request(rid=2, kind="hash", key=3), 0.0)
+        m = make()
+        m.absorb_queue(q)
+        assert m.rejected == 1
+        assert m.queue_max_depth == 2
+
+    @pytest.mark.parametrize("make", FACADES, ids=FACADE_IDS)
+    def test_stage_breakdown_key_only_under_trace(self, make):
+        m = make()
+        out = {}
+        m._stage_summary_keys(out)
+        assert out == {}  # tracing off: summary shape unchanged
+        m.trace_recorder = TraceRecorder(Clock.simulated(lambda: 0.0))
+        m._stage_summary_keys(out)
+        assert set(out) == {"stage_breakdown"}
+        assert tuple(out["stage_breakdown"]["stages"]) == STAGES
+
+
+# ----------------------------------------------------------------------
+# the span layer: exact decomposition
+# ----------------------------------------------------------------------
+def _request(rid, arrival=0.0):
+    return Request(rid=rid, kind="hash", key=rid, arrival=arrival)
+
+
+class TestDecomposition:
+    def test_percentile_empty_is_nan(self):
+        assert math.isnan(percentile([], 50))
+
+    def test_stages_sum_to_latency_single_batch(self):
+        rec = TraceRecorder(Clock.simulated(lambda: 0.0))
+        req = _request(1, arrival=2.0)
+        rec.request_offered(req, 5.0, "admitted")  # admit = 3
+        result = BatchResult(completed=[req], exchange_span=4.0)
+        rec.record_batch(0, [req], result, 10.0, 30.0)
+        (done,) = rec.completed_spans
+        s = done["stages"]
+        assert s["admit"] == 3.0
+        assert s["queue"] == 5.0  # 5 -> 10, no linger
+        assert s["commit"] == 4.0
+        assert s["execute"] == 16.0  # 20 total - 4 commit
+        assert done["latency"] == 28.0
+        assert sum(s.values()) == pytest.approx(done["latency"])
+
+    def test_linger_overlap_is_the_batch_stage(self):
+        rec = TraceRecorder(Clock.simulated(lambda: 0.0))
+        req = _request(1)
+        rec.request_offered(req, 0.0, "admitted")
+        rec.linger_wait(3.0, 8.0)  # policy chose to wait 5
+        result = BatchResult(completed=[req])
+        rec.record_batch(0, [req], result, 8.0, 12.0)
+        s = rec.completed_spans[0]["stages"]
+        assert s["batch"] == 5.0
+        assert s["queue"] == 3.0  # 0 -> 8 minus the 5-cycle linger
+        assert sum(s.values()) == pytest.approx(12.0)
+
+    def test_park_gap_and_migration_phase_attribution(self):
+        rec = TraceRecorder(Clock.simulated(lambda: 0.0))
+        req = _request(1)
+        rec.request_offered(req, 0.0, "admitted")
+        # batch 0: the lane is parked (its bin is mid-handoff)
+        r0 = BatchResult(carried=[req], parked=1)
+        rec.record_batch(0, [req], r0, 0.0, 10.0)
+        # batch 1 launches after a 5-cycle gap; 3 cycles of it are the
+        # migration phase itself
+        r1 = BatchResult(completed=[req], migration_span=3.0)
+        rec.record_batch(1, [req], r1, 15.0, 20.0)
+        (done,) = rec.completed_spans
+        s = done["stages"]
+        assert s["park"] == 5.0 + 3.0  # parked gap + migration phase
+        assert s["execute"] == 10.0 + 2.0
+        assert done["latency"] == 20.0
+        assert sum(s.values()) == pytest.approx(20.0)
+
+    def test_filtered_gap_is_the_carry_stage(self):
+        rec = TraceRecorder(Clock.simulated(lambda: 0.0))
+        req = _request(1)
+        rec.request_offered(req, 0.0, "admitted")
+        r0 = BatchResult(carried=[req])  # filtered, not parked
+        rec.record_batch(0, [req], r0, 0.0, 10.0)
+        r1 = BatchResult(completed=[req])
+        rec.record_batch(1, [req], r1, 14.0, 18.0)
+        s = rec.completed_spans[0]["stages"]
+        assert s["carry"] == 4.0
+        assert s["park"] == 0.0
+        assert sum(s.values()) == pytest.approx(18.0)
+
+    def test_end_to_end_stream_decomposition_is_exact(self):
+        import numpy as np
+
+        from repro.runtime.batcher import FixedBatcher
+        from repro.runtime.service import StreamService, closed_loop_workload
+
+        rng = np.random.default_rng(0)
+        reqs = closed_loop_workload(rng, 80, kinds=("hash", "list", "bst"),
+                                    skew=1.1)
+        svc = StreamService.for_workload(
+            reqs, batcher=FixedBatcher(16),
+            queue=BoundedQueue(capacity=32, admission="block"),
+        )
+        rec = TraceRecorder(Clock.simulated(lambda: svc.now))
+        svc.attach_recorder(rec)
+        m = svc.run(reqs)
+        bd = rec.stage_breakdown()
+        assert bd["unit"] == "cycles"
+        assert bd["requests"] == m.total_completed == 80
+        # the acceptance bound is 1%; the construction is exact
+        assert bd["sum_to_latency_max_err"] < 1e-6
+        total = sum(cell["total"] for cell in bd["stages"].values())
+        assert total == pytest.approx(bd["total_latency"], rel=1e-9)
+        assert "stage_breakdown" in m.summary()
+
+    def test_blocked_is_counted_once_and_admit_measures_backpressure(self):
+        rec = TraceRecorder(Clock.simulated(lambda: 0.0))
+        q = BoundedQueue(capacity=1, admission="block")
+        q.observer = rec
+        assert q.offer(_request(0), 0.0)
+        late = _request(1, arrival=0.0)
+        assert not q.offer(late, 1.0)
+        assert not q.offer(late, 2.0)  # re-offer: not re-counted
+        assert rec.counts["blocked"] == 1
+        q.take(1)
+        assert q.offer(late, 3.0)
+        assert rec._lanes[1].stages["admit"] == 3.0
+
+
+# ----------------------------------------------------------------------
+# JSONL sink + offline report
+# ----------------------------------------------------------------------
+class TestSinkAndReport:
+    def _traced_run(self, tmp_path):
+        rec = TraceRecorder(
+            Clock.simulated(lambda: 0.0), sink=tmp_path / "t.jsonl"
+        )
+        a = _request(1)
+        a.tenant = "A"
+        b = _request(2)
+        b.tenant = "B"
+        rec.request_offered(a, 0.0, "admitted")
+        rec.request_offered(b, 1.0, "admitted")
+        rec.record_batch(
+            0, [a, b], BatchResult(completed=[a, b], exchange_span=1.0),
+            4.0, 10.0,
+        )
+        return rec
+
+    def test_jsonl_round_trip(self, tmp_path):
+        rec = self._traced_run(tmp_path)
+        path = rec.flush()
+        rows = load_events(path)
+        assert rows[0] == {"ev": "meta", "unit": "cycles", "schema": 1}
+        assert [r["ev"] for r in rows[1:]] == [
+            e["ev"] for e in rec.events
+        ]
+        # every line is standalone JSON (the jq-ability contract)
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_load_events_rejects_malformed_lines(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"ev": "meta"}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            load_events(bad)
+
+    def test_report_renders_all_sections(self, tmp_path):
+        rec = self._traced_run(tmp_path)
+        path = rec.flush()
+        text = render_trace_report(path, top=5, bins=4)
+        assert "stage decomposition over 2 completed requests" in text
+        assert "stage histograms" in text
+        assert "per-tenant stage totals" in text
+        assert "slowest requests" in text
+        for stage in STAGES:
+            assert stage in text
+
+    def test_report_empty_trace(self):
+        report = TraceReport([{"ev": "meta", "unit": "cycles", "schema": 1}])
+        assert "no completed requests" in report.render()
+
+    def test_trace_cli_roundtrip(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        rec = self._traced_run(tmp_path)
+        path = rec.flush()
+        assert main(["trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "unit: cycles" in out
+        assert "per-tenant stage totals" in out
+
+    def test_trace_cli_missing_file_exits_2(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        assert main(["trace", str(tmp_path / "nope.jsonl")]) == 2
+        assert "trace file not found" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# the lint tool guards the spine
+# ----------------------------------------------------------------------
+def test_obs_lint_passes_on_the_tree():
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    repo = Path(__file__).resolve().parent.parent
+    proc = subprocess.run(
+        [sys.executable, str(repo / "tools" / "check_obs_imports.py")],
+        capture_output=True, text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,0 +1,53 @@
+"""Golden-parity pins for the `repro.obs` telemetry refactor.
+
+The fixtures under ``tests/golden/`` were captured from the
+pre-refactor metrics code (see ``tests/golden_builders.py``).  These
+tests re-run the same fixed-seed workloads against the current code and
+assert the summary dicts, every table rendering, the BENCH JSON bytes
+and the simulated cycle totals are **bit-identical** — the acceptance
+bar for ISSUE 10's Part A (and the cycles pin doubles as the
+"tracing off changes nothing" guarantee).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from . import golden_builders as gb
+
+
+def _load(name: str) -> dict:
+    path = gb.GOLDEN_DIR / f"{name}.json"
+    return json.loads(path.read_text())
+
+
+@pytest.mark.parametrize("name", sorted(gb.STREAM_BUILDERS))
+def test_stream_golden_parity(name):
+    golden = _load(name)
+    live = gb.capture_stream(gb.STREAM_BUILDERS[name]())
+    assert set(live) == set(golden)
+    for key in sorted(golden):
+        assert live[key] == golden[key], f"{name}:{key} drifted from golden"
+
+
+def test_serve_golden_parity():
+    golden = _load("serve_synthetic")
+    live = gb.capture_serve(gb.build_serve_synthetic())
+    assert set(live) == set(golden)
+    for key in sorted(golden):
+        assert live[key] == golden[key], f"serve:{key} drifted from golden"
+
+
+def test_bench_payload_bytes(tmp_path):
+    golden = (gb.GOLDEN_DIR / "bench_payload.json").read_text()
+    assert gb.capture_bench_payload(tmp_path) == golden
+
+
+def test_cycles_identical_with_tracing_off():
+    """The golden totals pin simulated cycles; a trace-capable build
+    must charge exactly these cycles when tracing is off."""
+    for name, builder in sorted(gb.STREAM_BUILDERS.items()):
+        golden = json.loads(_load(name)["summary"])
+        assert builder().total_cycles == golden["total_cycles"], name

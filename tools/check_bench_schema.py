@@ -32,6 +32,13 @@ admission counters) for every tenant named in ``config.tenants``, a
 ``improvement_pct``; the ``burst_sweep`` must cover every burst in
 ``config.bursts``.
 
+``BENCH_serve.json`` (ISSUE 10): the ``trace_overhead`` series must
+carry the ``off`` and ``on`` arms (each with ``p99_latency_ms``), the
+headline ``overhead_pct`` against ``target_pct``, and the traced arm's
+``stage_breakdown`` naming every lifecycle stage (admit / queue /
+batch / execute / commit / park / carry) with ``total`` and ``share``
+cells — the ``--trace`` cost claim must never upload half-measured.
+
 Exit status: 0 clean, 1 findings, 2 usage error.
 
 Usage::
@@ -110,6 +117,58 @@ def check_file(path: Path) -> List[str]:
         problems.extend(check_migration(path, payload))
     if payload.get("bench") == "qos":
         problems.extend(check_qos(path, payload))
+    if payload.get("bench") == "serve":
+        problems.extend(check_serve(path, payload))
+    return problems
+
+
+#: Lifecycle stages the traced arm's breakdown must cover (must match
+#: ``repro.obs.events.STAGES``; duplicated here so the linter stays
+#: import-free).
+LIFECYCLE_STAGES = (
+    "admit", "queue", "batch", "execute", "commit", "park", "carry"
+)
+
+
+def check_serve(path: Path, payload: dict) -> List[str]:
+    """Bench-specific shape for ``BENCH_serve.json``: the ``--trace``
+    overhead measurement must be complete (both arms + breakdown)."""
+    problems: List[str] = []
+    overhead = payload.get("trace_overhead")
+    if not isinstance(overhead, dict):
+        return [f"{path.name}: 'trace_overhead' series missing"]
+    for arm in ("off", "on"):
+        cell = overhead.get(arm)
+        if not isinstance(cell, dict) or "p99_latency_ms" not in cell:
+            problems.append(
+                f"{path.name}: trace_overhead[{arm!r}] lacks p99_latency_ms"
+            )
+    for field in ("overhead_pct", "target_pct"):
+        if not isinstance(overhead.get(field), (int, float)):
+            problems.append(
+                f"{path.name}: trace_overhead.{field} must be a number"
+            )
+    breakdown = overhead.get("stage_breakdown")
+    if not isinstance(breakdown, dict):
+        problems.append(
+            f"{path.name}: trace_overhead.stage_breakdown missing"
+        )
+    else:
+        stages = breakdown.get("stages")
+        if not isinstance(stages, dict):
+            problems.append(
+                f"{path.name}: trace_overhead.stage_breakdown.stages missing"
+            )
+        else:
+            for stage in LIFECYCLE_STAGES:
+                cell = stages.get(stage)
+                if not isinstance(cell, dict) or not {
+                    "total", "share"
+                } <= set(cell):
+                    problems.append(
+                        f"{path.name}: stage_breakdown lacks a "
+                        f"total/share cell for stage {stage!r}"
+                    )
     return problems
 
 

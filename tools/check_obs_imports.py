@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Lint: one observability spine — no fresh telemetry helpers outside
+``repro.obs``.
+
+ISSUE 10 collapsed the duplicated percentile math and table/number
+formatting that had grown in ``runtime/metrics.py``, ``serve/
+metrics.py``, ``runtime/qos.py`` and ``bench/reporting.py`` into the
+single clock-agnostic core ``repro.obs.core``.  This script keeps it
+collapsed: it parses every Python file under ``src/repro`` except
+``src/repro/obs/`` and fails on
+
+* any **attribute call** named ``percentile`` (e.g. ``np.percentile``)
+  — quantiles come from :func:`repro.obs.core.percentile`, which is
+  NaN-safe on empty inputs;
+* any **function or method definition** whose name re-introduces a
+  formatting/aggregation helper the spine owns: ``percentile``,
+  ``_percentile``, ``fmt_value``, ``_fmt_value``, ``_fmt``,
+  ``fmt_cell``, ``format_table``, ``jain_index``, ``tenant_fairness``,
+  ``tenant_summary_cells``.
+
+Importing those names *from* ``repro.obs`` is of course fine — that is
+the whole point.  A line carrying ``# no-obs-lint`` is skipped for the
+rare legitimate exception.
+
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+EXCLUDED_DIRS = {SRC / "obs"}
+PRAGMA = "# no-obs-lint"
+
+#: Helper names the spine owns; defining one elsewhere is a finding.
+RESERVED_DEFS = frozenset({
+    "percentile",
+    "_percentile",
+    "fmt_value",
+    "_fmt_value",
+    "_fmt",
+    "fmt_cell",
+    "format_table",
+    "jain_index",
+    "tenant_fairness",
+    "tenant_summary_cells",
+})
+
+#: Attribute calls that bypass the spine's NaN-safe wrappers.
+FORBIDDEN_ATTR_CALLS = frozenset({"percentile", "nanpercentile", "quantile"})
+
+
+def check_file(path: Path) -> list:
+    source = path.read_text(encoding="utf-8")
+    lines = source.splitlines()
+    tree = ast.parse(source, filename=str(path))
+    findings = []
+
+    def line_has_pragma(lineno: int) -> bool:
+        return lineno <= len(lines) and PRAGMA in lines[lineno - 1]
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name in RESERVED_DEFS and not line_has_pragma(node.lineno):
+                findings.append(
+                    f"{path.relative_to(REPO)}:{node.lineno}: "
+                    f"defines {node.name!r} outside repro/obs/ — import it "
+                    f"from repro.obs.core instead (or mark the line "
+                    f"{PRAGMA} if this is genuinely not telemetry)"
+                )
+        elif isinstance(node, ast.Call):
+            fn = node.func
+            if (
+                isinstance(fn, ast.Attribute)
+                and fn.attr in FORBIDDEN_ATTR_CALLS
+                and not line_has_pragma(node.lineno)
+            ):
+                findings.append(
+                    f"{path.relative_to(REPO)}:{node.lineno}: "
+                    f"calls .{fn.attr}() outside repro/obs/ — use "
+                    f"repro.obs.core.percentile (NaN-safe on empty input)"
+                )
+    return findings
+
+
+def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv:
+        print(f"usage: {Path(sys.argv[0]).name} (no arguments)", file=sys.stderr)
+        return 2
+    findings = []
+    for path in sorted(SRC.rglob("*.py")):
+        if any(excl in path.parents for excl in EXCLUDED_DIRS):
+            continue
+        findings.extend(check_file(path))
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(
+            f"\n{len(findings)} telemetry helper(s) outside repro/obs/; "
+            f"the observability spine owns: {', '.join(sorted(RESERVED_DEFS))}",
+            file=sys.stderr,
+        )
+        return 1
+    print("observability spine intact: no stray percentile/format helpers "
+          "outside repro/obs/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
